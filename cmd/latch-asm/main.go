@@ -1,0 +1,90 @@
+// Command latch-asm is the LA32 assembler toolchain front end: it
+// assembles source to object files, disassembles objects or sources, and
+// dumps symbol tables.
+//
+// Usage:
+//
+//	latch-asm prog.s                 # assemble to prog.lobj
+//	latch-asm -o out.lobj prog.s
+//	latch-asm -d prog.lobj           # disassemble an object
+//	latch-asm -d prog.s              # assemble + disassemble source
+//	latch-asm -syms prog.lobj        # dump the symbol table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"latch/internal/isa"
+)
+
+func main() {
+	var (
+		out    = flag.String("o", "", "output object path (default: input with .lobj)")
+		disasm = flag.Bool("d", false, "disassemble instead of assembling")
+		syms   = flag.Bool("syms", false, "dump the symbol table")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: latch-asm [-o out.lobj] [-d] [-syms] <input>")
+		os.Exit(2)
+	}
+	input := flag.Arg(0)
+
+	prog, err := load(input)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *syms:
+		names := make([]string, 0, len(prog.Labels))
+		for name := range prog.Labels {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			return prog.Labels[names[i]] < prog.Labels[names[j]]
+		})
+		for _, name := range names {
+			fmt.Printf("%08x  %s\n", prog.Labels[name], name)
+		}
+	case *disasm:
+		fmt.Print(isa.Disassemble(prog))
+	default:
+		path := *out
+		if path == "" {
+			path = strings.TrimSuffix(input, ".s") + ".lobj"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := isa.WriteObject(f, prog); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d bytes, %d symbols, entry %#x\n",
+			path, len(prog.Image), len(prog.Labels), prog.Entry)
+	}
+}
+
+// load reads either an object file or assembly source, deciding by content.
+func load(path string) (*isa.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= 4 && string(data[:4]) == "LOBJ" {
+		return isa.ReadObject(strings.NewReader(string(data)))
+	}
+	return isa.Assemble(string(data))
+}

@@ -1,0 +1,139 @@
+// Command latch-calibrate audits the workload calibration: it runs every
+// benchmark through the H-LATCH cache stack and the temporal analyzer,
+// compares the measured metrics against the paper's published values, and
+// reports residual ratios together with which profile knob moves each
+// metric. It is the tool behind the calibration recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	latch-calibrate                 # audit everything
+//	latch-calibrate -bench astar    # one benchmark
+//	latch-calibrate -tol 2.5        # flag residuals beyond 2.5x
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"latch/internal/experiments"
+	"latch/internal/hlatch"
+	"latch/internal/shadow"
+	"latch/internal/stats"
+	"latch/internal/trace"
+	"latch/internal/workload"
+)
+
+// metricHints explain which knob to turn when a metric drifts.
+var metricHints = map[string]string{
+	"taint %":     "derived from TaintPct/ActiveShare; check epoch classes if runs are short",
+	"CTC miss %":  "NearTaintRandom (random wander defeats the 16-entry CTC); CleanNearTaint volume",
+	"t$ miss %":   "TaintReuse (hit rate on true positives); BurstNearTaint (FP traffic)",
+	"baseline %":  "HotFraction (walk accesses miss a 4-byte-line cache, hot-set accesses hit)",
+	"avoided %":   "follows the other four; no dedicated knob",
+	"tainted pgs": "PagesTainted (exact by construction)",
+}
+
+func main() {
+	var (
+		bench  = flag.String("bench", "", "audit a single benchmark")
+		events = flag.Uint64("events", 2_000_000, "stream length for the cache pass")
+		epochs = flag.Uint64("epoch-events", 4_000_000, "stream length for the taint-%% pass")
+		tol    = flag.Float64("tol", 3.0, "flag metrics off by more than this factor")
+	)
+	flag.Parse()
+
+	names := workload.Names()
+	if *bench != "" {
+		if _, err := workload.Get(*bench); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		names = []string{*bench}
+	}
+
+	hlCfg := hlatch.DefaultConfig()
+	hlCfg.Events = *events
+
+	flagged := 0
+	for _, name := range names {
+		p := workload.MustGet(name)
+
+		res, err := hlatch.Run(p, hlCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g, err := workload.NewGenerator(p, shadow.DefaultDomainSize)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		a := trace.NewEpochAnalyzer()
+		g.Run(*epochs, a)
+		a.Finish()
+
+		ctc, tc, _, base, avoid, _ := experiments.PaperCachePerf(name)
+		rows := []struct {
+			metric           string
+			measured, target float64
+		}{
+			{"taint %", a.TaintedPercent(), p.TaintPct},
+			{"CTC miss %", res.CTCMissPct, ctc},
+			{"t$ miss %", res.TCacheMissPct, tc},
+			{"baseline %", res.BaselineMissPct, base},
+			{"avoided %", res.AvoidedPct, avoid},
+			{"tainted pgs", float64(g.Shadow().EverTaintedPages()), float64(p.PagesTainted)},
+		}
+
+		fmt.Printf("%s (%s)\n", name, p.Suite)
+		for _, r := range rows {
+			ratio, verdict := assess(r.measured, r.target, *tol)
+			if verdict != "ok" {
+				flagged++
+			}
+			line := fmt.Sprintf("  %-11s measured %-10s target %-10s ratio %-8s %s",
+				r.metric, stats.FormatFloat(r.measured), stats.FormatFloat(r.target),
+				ratio, verdict)
+			if verdict != "ok" {
+				line += "\n              knob: " + metricHints[r.metric]
+			}
+			fmt.Println(line)
+		}
+		fmt.Println()
+	}
+	if flagged > 0 {
+		fmt.Printf("%d metric(s) outside the %gx tolerance\n", flagged, *tol)
+		os.Exit(1)
+	}
+	fmt.Println("all metrics within tolerance")
+}
+
+// assess compares measured to target, tolerating noise floors: sub-0.01%
+// rates are effectively zero in short runs and compare on absolute
+// difference instead of ratio.
+func assess(measured, target, tol float64) (ratio string, verdict string) {
+	const floor = 0.01
+	if target <= floor && measured <= floor {
+		return "~", "ok"
+	}
+	if target <= floor {
+		if measured < 0.1 {
+			return "~", "ok"
+		}
+		return "inf", strings.TrimSpace("HIGH")
+	}
+	r := measured / target
+	ratio = stats.FormatFloat(r)
+	switch {
+	case math.IsInf(r, 0) || r > tol:
+		return ratio, "HIGH"
+	case r < 1/tol && target > floor && measured <= floor:
+		return ratio, "LOW"
+	case r < 1/tol:
+		return ratio, "LOW"
+	}
+	return ratio, "ok"
+}

@@ -1,0 +1,98 @@
+// Command latch-experiments regenerates the tables and figures of the
+// paper's evaluation from this repository's implementation.
+//
+// Usage:
+//
+//	latch-experiments                      # run everything
+//	latch-experiments -exp table6,figure16
+//	latch-experiments -list
+//	latch-experiments -events 5000000      # longer, lower-noise runs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"latch/internal/experiments"
+	"latch/internal/stats"
+)
+
+func main() {
+	var (
+		list        = flag.Bool("list", false, "list experiment ids and exit")
+		exp         = flag.String("exp", "", "comma-separated experiment ids (default: all)")
+		events      = flag.Uint64("events", 0, "override stream length for cache/overhead experiments")
+		epochEvents = flag.Uint64("epoch-events", 0, "override stream length for temporal experiments")
+		format      = flag.String("format", "text", "output format: text, json, or markdown")
+		chart       = flag.Bool("chart", false, "also render bar charts for figure experiments")
+	)
+	flag.Parse()
+	if *format != "text" && *format != "json" && *format != "markdown" {
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, e := range experiments.Catalog {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.DefaultOptions()
+	if *events > 0 {
+		opts.Events = *events
+	}
+	if *epochEvents > 0 {
+		opts.EpochEvents = *epochEvents
+	}
+	runner := experiments.NewRunner(opts)
+
+	selected := experiments.Catalog
+	if *exp != "" {
+		selected = selected[:0:0]
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := experiments.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(runner)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *format == "markdown" {
+			fmt.Println(table.Markdown())
+			continue
+		}
+		if *format == "json" {
+			if err := enc.Encode(struct {
+				ID    string       `json:"id"`
+				Table *stats.Table `json:"table"`
+			}{e.ID, table}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Println(table.String())
+		if *chart {
+			if c, ok := experiments.Chart(e.ID, table); ok {
+				fmt.Println(c)
+			}
+		}
+		fmt.Printf("[%s regenerated in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,216 @@
+// Command latch-run assembles and executes an LA32 program on the virtual
+// machine, optionally under byte-precise DIFT with the LATCH coarse state
+// attached, and reports execution statistics and any policy violations.
+//
+// Usage:
+//
+//	latch-run -prog overflow -file-hex 414141...   # built-in program
+//	latch-run -src prog.s -file "input data"       # program from a file
+//	latch-run -list                                # list built-in programs
+//
+// Taint sources: -file supplies SysRead data, -request (repeatable) supplies
+// one inbound connection each for SysAccept/SysRecv.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+
+	"latch"
+	"latch/internal/cosim"
+	"latch/internal/isa"
+	"latch/internal/trace"
+	"latch/internal/workload"
+	"strings"
+)
+
+type requestList [][]byte
+
+func (r *requestList) String() string { return fmt.Sprintf("%d requests", len(*r)) }
+func (r *requestList) Set(s string) error {
+	*r = append(*r, []byte(s))
+	return nil
+}
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list built-in programs and exit")
+		progName = flag.String("prog", "", "built-in program name")
+		srcPath  = flag.String("src", "", "path to an LA32 assembly file")
+		fileData = flag.String("file", "", "file-source input data (string)")
+		fileHex  = flag.String("file-hex", "", "file-source input data (hex)")
+		disasm   = flag.Bool("disasm", false, "print the disassembly and exit")
+		noDift   = flag.Bool("no-dift", false, "run without DIFT tracking")
+		coSLatch = flag.Bool("slatch", false, "co-simulate the full S-LATCH two-mode protocol")
+		slowdown = flag.Float64("sw-slowdown", 5, "software DIFT slowdown for -slatch")
+		leak     = flag.Bool("check-leak", false, "enable the output-leak check")
+		saveTnt  = flag.String("save-taint", "", "write a taint snapshot after the run")
+		maxSteps = flag.Uint64("max-steps", 10_000_000, "instruction budget")
+		requests requestList
+	)
+	flag.Var(&requests, "request", "inbound request data (repeatable)")
+	flag.Parse()
+
+	if *list {
+		for _, name := range workload.ProgramNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	src, err := loadSource(*progName, *srcPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *disasm {
+		prog, err := assembleOrLoad(src)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(isa.Disassemble(prog))
+		return
+	}
+
+	pol := latch.DefaultPolicy()
+	pol.CheckLeak = *leak
+
+	input := []byte(*fileData)
+	if *fileHex != "" {
+		var err error
+		if input, err = hex.DecodeString(*fileHex); err != nil {
+			fatal(fmt.Errorf("bad -file-hex: %w", err))
+		}
+	}
+
+	if *coSLatch {
+		runCoSim(src, pol, input, requests, *slowdown, *maxSteps)
+		return
+	}
+
+	sys, err := latch.NewSystem(latch.DefaultConfig(), pol)
+	if err != nil {
+		fatal(err)
+	}
+	if *noDift {
+		sys.Machine.SetTracker(nil)
+	}
+	sys.Machine.Env.FileData = input
+	sys.Machine.Env.Requests = requests
+
+	analyzer := trace.NewEpochAnalyzer()
+	sys.Machine.SetHook(analyzer)
+
+	prog, err := assembleOrLoad(src)
+	if err != nil {
+		fatal(err)
+	}
+	sys.Machine.Load(prog)
+	_, runErr := sys.Machine.Run(*maxSteps)
+	code := sys.Machine.ExitCode()
+	analyzer.Finish()
+
+	fmt.Printf("instructions: %d\n", sys.Machine.Instret())
+	if !*noDift {
+		fmt.Printf("tainted instructions: %d (%.3f%%)\n",
+			analyzer.TaintedInstructions(), analyzer.TaintedPercent())
+		fmt.Printf("tainted bytes now: %d across %d pages (ever: %d pages)\n",
+			sys.Shadow.TaintedBytes(), sys.Shadow.CurrentTaintedPages(), sys.Shadow.EverTaintedPages())
+		fmt.Printf("coarse taint: %d domains in %d CTT words\n",
+			sys.Module.CTT().TaintedDomains(), sys.Module.CTT().WordsAllocated())
+	}
+	if out := sys.Machine.Env.Output.String(); out != "" {
+		fmt.Printf("output: %q\n", out)
+	}
+	if *saveTnt != "" && !*noDift {
+		if err := writeSnapshot(*saveTnt, sys.Shadow); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("taint snapshot written to %s\n", *saveTnt)
+	}
+	if runErr != nil {
+		fmt.Printf("SECURITY EXCEPTION: %v\n", runErr)
+		os.Exit(1)
+	}
+	fmt.Printf("exit code: %d\n", code)
+}
+
+// runCoSim executes the program under the full S-LATCH two-mode protocol
+// and reports the mode split and cycle accounting.
+func runCoSim(src string, pol latch.Policy, input []byte, requests requestList, slowdown float64, maxSteps uint64) {
+	cfg := cosim.DefaultConfig()
+	cfg.SWSlowdown = slowdown
+	sys, err := cosim.New(cfg, pol)
+	if err != nil {
+		fatal(err)
+	}
+	sys.Machine.Env.FileData = input
+	sys.Machine.Env.Requests = requests
+	prog, err := assembleOrLoad(src)
+	if err != nil {
+		fatal(err)
+	}
+	sys.Machine.Load(prog)
+	_, runErr := sys.Machine.Run(maxSteps)
+	code := sys.Machine.ExitCode()
+	st := sys.Stats()
+	fmt.Printf("instructions: %d (hardware %d, software %d)\n",
+		st.Instructions, st.HWInstrs, st.SWInstrs)
+	fmt.Printf("mode switches: %d to software, %d returns; traps %d (%d dismissed as false positives)\n",
+		st.Switches, st.Returns, st.Traps, st.FalseTraps)
+	fmt.Printf("cycles: %d total over %d native (overhead %.1f%%; continuous DIFT would be %.1f%%)\n",
+		st.TotalCycles(), st.BaseCycles, 100*st.Overhead(), 100*(slowdown-1))
+	if out := sys.Machine.Env.Output.String(); out != "" {
+		fmt.Printf("output: %q\n", out)
+	}
+	if runErr != nil {
+		fmt.Printf("SECURITY EXCEPTION: %v\n", runErr)
+		os.Exit(1)
+	}
+	fmt.Printf("exit code: %d\n", code)
+}
+
+// writeSnapshot serializes the shadow taint state to path.
+func writeSnapshot(path string, sh *latch.Shadow) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := sh.WriteTo(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// assembleOrLoad treats src as a serialized object file when it carries the
+// LOBJ magic (latch-asm output passed via -src), assembly source otherwise.
+func assembleOrLoad(src string) (*isa.Program, error) {
+	if strings.HasPrefix(src, "LOBJ") {
+		return isa.ReadObject(strings.NewReader(src))
+	}
+	return isa.Assemble(src)
+}
+
+func loadSource(progName, srcPath string) (string, error) {
+	switch {
+	case progName != "" && srcPath != "":
+		return "", fmt.Errorf("use either -prog or -src, not both")
+	case progName != "":
+		return workload.ProgramSource(progName)
+	case srcPath != "":
+		data, err := os.ReadFile(srcPath)
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	}
+	return "", fmt.Errorf("one of -prog or -src is required (see -list)")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -1,0 +1,202 @@
+// Command latch-trace generates a calibrated benchmark stream and dumps its
+// locality characterization: taint percentage, taint-free epoch histogram,
+// page footprint, and the coarse-granularity false-positive sweep — the raw
+// material of the paper's Section 3 analysis, for one benchmark at a time.
+//
+// Usage:
+//
+//	latch-trace -bench astar -events 4000000
+//	latch-trace -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"latch/internal/shadow"
+	"latch/internal/stats"
+	"latch/internal/trace"
+	"latch/internal/workload"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list benchmark names and exit")
+		bench   = flag.String("bench", "", "benchmark name")
+		events  = flag.Uint64("events", 4_000_000, "stream length in instructions")
+		dump    = flag.String("dump", "", "also serialize the stream to this trace file")
+		replay  = flag.String("replay", "", "analyze a previously dumped trace file instead of generating")
+		profile = flag.String("profile", "", "load a custom benchmark profile from a JSON file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range workload.Names() {
+			p := workload.MustGet(name)
+			fmt.Printf("%-10s %-9s taint=%5.2f%% pages=%d/%d\n",
+				name, p.Suite, p.TaintPct, p.PagesTainted, p.PagesAccessed)
+		}
+		return
+	}
+	if *replay != "" {
+		if err := replayTrace(*replay); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	var p workload.Profile
+	switch {
+	case *profile != "":
+		f, err := os.Open(*profile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		p, err = workload.ReadProfile(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	case *bench != "":
+		var err error
+		if p, err = workload.Get(*bench); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "-bench or -profile is required (see -list)")
+		os.Exit(2)
+	}
+	g, err := workload.NewGenerator(p, shadow.DefaultDomainSize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sh := g.Shadow()
+
+	var tw *trace.Writer
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if tw, err = trace.NewWriter(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := tw.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("dumped %d events to %s\n", tw.Count(), *dump)
+		}()
+	}
+
+	analyzer := trace.NewEpochAnalyzer()
+	granularities := []uint32{8, 16, 32, 64, 128, 256}
+	coarse := make([]uint64, len(granularities))
+	var precise, memAccesses uint64
+	pagesSeen := make(map[uint32]bool)
+
+	g.Run(*events, trace.SinkFunc(func(ev trace.Event) {
+		if tw != nil {
+			tw.Consume(ev)
+		}
+		analyzer.Consume(ev)
+		if !ev.IsMem {
+			return
+		}
+		memAccesses++
+		pagesSeen[ev.Addr>>12] = true
+		if ev.Tainted {
+			precise++
+		}
+		for i, gs := range granularities {
+			if sh.TaintedAt(ev.Addr, gs) {
+				coarse[i]++
+			}
+		}
+	}))
+	analyzer.Finish()
+
+	fmt.Printf("benchmark: %s (%s)\n", p.Name, p.Suite)
+	fmt.Printf("instructions: %d, memory accesses: %d\n",
+		analyzer.TotalInstructions(), memAccesses)
+	fmt.Printf("tainted instructions: %.4f%% (paper: %.2f%%)\n",
+		analyzer.TaintedPercent(), p.TaintPct)
+	fmt.Printf("taint-free epochs: %d (longest %d instructions)\n",
+		analyzer.EpochCount(), analyzer.LongestEpoch())
+
+	et := stats.NewTable("instructions in taint-free epochs of at least:",
+		">=100", ">=1K", ">=10K", ">=100K", ">=1M")
+	shares := analyzer.EpochShares()
+	et.AddRowf(100*shares[0], 100*shares[1], 100*shares[2], 100*shares[3], 100*shares[4])
+	fmt.Println(et.String())
+
+	fmt.Printf("footprint: %d pages declared, %d touched in this stream, %d tainted\n",
+		p.PagesAccessed, len(pagesSeen), sh.EverTaintedPages())
+	fmt.Printf("tainted bytes: %d in %d taint domains (%d CTT words would be nonzero)\n",
+		sh.TaintedBytes(), countDomains(sh), (countDomains(sh)+31)/32)
+
+	ft := stats.NewTable("coarse taint detection multiplier vs. byte-precise:",
+		"8B", "16B", "32B", "64B", "128B", "256B")
+	row := make([]any, len(granularities))
+	for i := range granularities {
+		if precise == 0 {
+			row[i] = 0.0
+		} else {
+			row[i] = float64(coarse[i]) / float64(precise)
+		}
+	}
+	ft.AddRowf(row...)
+	fmt.Println(ft.String())
+}
+
+// replayTrace re-analyzes a serialized event stream: epoch structure and
+// taint percentage are recomputed from the records alone.
+func replayTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	analyzer := trace.NewEpochAnalyzer()
+	n, err := r.Replay(analyzer)
+	if err != nil {
+		return err
+	}
+	analyzer.Finish()
+	fmt.Printf("replayed %d events from %s\n", n, path)
+	fmt.Printf("tainted instructions: %.4f%%\n", analyzer.TaintedPercent())
+	fmt.Printf("taint-free epochs: %d (longest %d)\n", analyzer.EpochCount(), analyzer.LongestEpoch())
+	et := stats.NewTable("instructions in taint-free epochs of at least:",
+		">=100", ">=1K", ">=10K", ">=100K", ">=1M")
+	s := analyzer.EpochShares()
+	et.AddRowf(100*s[0], 100*s[1], 100*s[2], 100*s[3], 100*s[4])
+	fmt.Println(et.String())
+	return nil
+}
+
+// countDomains counts currently tainted domains by scanning tainted pages.
+func countDomains(sh *shadow.Shadow) int {
+	n := 0
+	for _, pn := range sh.EverTaintedPageNumbers() {
+		base := pn << 12
+		for off := uint32(0); off < 4096; off += sh.DomainSize() {
+			if sh.DomainTainted(sh.DomainIndex(base + off)) {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,58 @@
+// Compression: the bzip2 effect (§3.3.2). Compression and cryptographic
+// kernels replace input bytes with precomputed table entries; classical DTA
+// does not propagate taint through addresses, so the output is untainted
+// even though it is derived from the input. The result is the extreme taint
+// locality the paper measures for bzip2: taint confined to the input buffer
+// pages, near-zero coarse false positives at every domain granularity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"latch"
+	"latch/internal/workload"
+)
+
+func main() {
+	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := []byte("compress me, please: aaaaabbbbbccccc")
+	sys.Machine.Env.FileData = input
+
+	src, err := workload.ProgramSource("substitution")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Run(src, 1_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("input  (%d bytes): %q\n", len(input), input)
+	fmt.Printf("output (%d bytes): % x\n", sys.Machine.Env.Output.Len(),
+		sys.Machine.Env.Output.Bytes()[:16])
+
+	fmt.Printf("\ninput buffer tainted:  %v\n", sys.Shadow.RangeTainted(0x8000, len(input)))
+	fmt.Printf("output buffer tainted: %v  <- taint laundered by the table lookup\n",
+		sys.Shadow.RangeTainted(0x9000, len(input)))
+	fmt.Printf("pages ever tainted: %d (input buffer only)\n", sys.Shadow.EverTaintedPages())
+
+	// Spatial locality: at every granularity Figure 6 sweeps, the coarse
+	// state over this layout produces no false positives outside the input
+	// buffer's own domains.
+	fmt.Println("\ncoarse checks after the run:")
+	for _, probe := range []struct {
+		name string
+		addr uint32
+	}{
+		{"input buffer ", 0x8000},
+		{"output buffer", 0x9000},
+		{"lookup table ", 0xA000},
+	} {
+		res := sys.Module.CheckMem(probe.addr, 4)
+		fmt.Printf("  %s resolved at %-7s coarse-positive=%v\n",
+			probe.name, res.Level, res.CoarsePositive)
+	}
+}

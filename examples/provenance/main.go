@@ -1,0 +1,66 @@
+// Provenance: taint tags are bitmasks of labels, so a policy can tell
+// *which* source data came from. A program mixes file and network input;
+// the derived value carries both labels, and a violation reports exactly
+// which sources reached the dangerous operation.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"latch"
+)
+
+func main() {
+	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Machine.Env.FileData = []byte{0x10, 0x00, 0x00, 0x00}     // file source
+	sys.Machine.Env.Requests = [][]byte{{0x20, 0x00, 0x00, 0x00}} // net source
+
+	_, err = sys.Run(`
+		li   r1, 0x8000
+		movi r2, 4
+		sys  2            ; read file input  -> label 0
+		sys  4            ; accept connection
+		li   r1, 0x8100
+		movi r2, 4
+		sys  3            ; recv net input   -> label 1
+		li   r3, 0x8000
+		ldw  r4, [r3]     ; file-tainted
+		li   r5, 0x8100
+		ldw  r6, [r5]     ; net-tainted
+		add  r7, r4, r6   ; union: both labels
+		li   r8, 0x8200
+		stw  r7, [r8]
+		jr   r7           ; jump through the mixed value
+		halt
+	`, 10_000)
+
+	var v latch.Violation
+	if !errors.As(err, &v) {
+		log.Fatalf("expected a violation, got %v", err)
+	}
+	fmt.Printf("violation: %v\n", v)
+
+	fileTag, netTag := latch.Label(0), latch.Label(1)
+	fmt.Printf("target carried file-source data:    %v\n", v.Tag&fileTag != 0)
+	fmt.Printf("target carried network-source data: %v\n", v.Tag&netTag != 0)
+
+	fmt.Println()
+	fmt.Println("per-byte provenance of the derived buffer:")
+	for _, probe := range []struct {
+		name string
+		addr uint32
+	}{
+		{"file buffer   ", 0x8000},
+		{"network buffer", 0x8100},
+		{"derived sum   ", 0x8200},
+	} {
+		tag := sys.Shadow.RangeTag(probe.addr, 4)
+		fmt.Printf("  %s tag=%#02x file=%-5v net=%v\n",
+			probe.name, uint8(tag), tag&fileTag != 0, tag&netTag != 0)
+	}
+}

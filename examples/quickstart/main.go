@@ -1,0 +1,61 @@
+// Quickstart: build a complete DIFT system, taint external input, watch it
+// propagate through a running program, and query both the byte-precise and
+// the coarse (LATCH) taint state.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"latch"
+)
+
+func main() {
+	// A System bundles the LA32 machine, the byte-precise DIFT engine, and
+	// the LATCH hardware module over one shared shadow taint state.
+	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// External input: eight bytes arriving through the file taint source.
+	sys.Machine.Env.FileData = []byte("UNTRUSTED")
+
+	// The program reads the input, adds the first two words, and stores the
+	// result: taint flows input -> registers -> derived memory.
+	code, err := sys.Run(`
+_start:
+		li   r1, 0x8000      ; buffer
+		movi r2, 8
+		sys  2               ; read(buffer, 8): taint initialization
+		li   r3, 0x8000
+		ldw  r4, [r3]        ; r4 tainted by propagation
+		ldw  r5, [r3+4]      ; r5 tainted
+		add  r6, r4, r5      ; union of source taints
+		li   r7, 0x8100
+		stw  r6, [r7]        ; derived value taints new memory
+		movi r1, 0
+		sys  1
+	`, 10_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program exited with code %d after %d instructions\n",
+		code, sys.Machine.Instret())
+
+	// Byte-precise state: the input buffer and the derived word are tainted.
+	fmt.Printf("input  buffer tainted: %v\n", sys.Shadow.RangeTainted(0x8000, 8))
+	fmt.Printf("derived word  tainted: %v\n", sys.Shadow.RangeTainted(0x8100, 4))
+	fmt.Printf("unrelated byte tainted: %v\n", sys.Shadow.RangeTainted(0x9000, 1))
+	fmt.Printf("tainted bytes total: %d\n", sys.Shadow.TaintedBytes())
+
+	// Coarse state: LATCH resolves the same questions with one cached bit
+	// per 64-byte domain, consulting the precise state only on positives.
+	for _, addr := range []uint32{0x8000, 0x8100, 0x9000} {
+		res := sys.Module.CheckMem(addr, 4)
+		fmt.Printf("coarse check %#x: resolved at %-7s coarse-positive=%-5v truly-tainted=%v\n",
+			addr, res.Level, res.CoarsePositive, res.TrulyTainted)
+	}
+	fmt.Printf("coarse taint table: %d tainted domains in %d words\n",
+		sys.Module.CTT().TaintedDomains(), sys.Module.CTT().WordsAllocated())
+}

@@ -1,0 +1,3 @@
+module latch
+
+go 1.22

@@ -1,0 +1,220 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Sets: 0, Ways: 1, LineSize: 4},
+		{Sets: 3, Ways: 1, LineSize: 4},
+		{Sets: 1, Ways: 0, LineSize: 4},
+		{Sets: 1, Ways: 1, LineSize: 0},
+		{Sets: 1, Ways: 1, LineSize: 3},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", c)
+		}
+	}
+	good := Config{Sets: 4, Ways: 2, LineSize: 32}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if good.CapacityBytes() != 256 {
+		t.Fatalf("CapacityBytes = %d", good.CapacityBytes())
+	}
+}
+
+func TestHitMissBasic(t *testing.T) {
+	c := MustNew(Config{Sets: 1, Ways: 2, LineSize: 4})
+	if _, hit, _ := c.Access(0); hit {
+		t.Fatal("cold access hit")
+	}
+	if _, hit, _ := c.Access(0); !hit {
+		t.Fatal("warm access missed")
+	}
+	if _, hit, _ := c.Access(3); !hit {
+		t.Fatal("same-line access missed")
+	}
+	if _, hit, _ := c.Access(4); hit {
+		t.Fatal("next-line access hit")
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := MustNew(Config{Sets: 1, Ways: 2, LineSize: 4})
+	c.Access(0)             // A
+	c.Access(4)             // B
+	c.Access(0)             // touch A, so B is LRU
+	_, _, ev := c.Access(8) // C evicts B
+	if !ev.Valid || ev.Addr != 4 {
+		t.Fatalf("eviction = %+v, want addr 4", ev)
+	}
+	if _, hit, _ := c.Access(0); !hit {
+		t.Fatal("A was evicted, want B")
+	}
+}
+
+func TestPayloadPreservedOnHitZeroedOnFill(t *testing.T) {
+	c := MustNew(Config{Sets: 1, Ways: 1, LineSize: 4})
+	l, hit, _ := c.Access(0)
+	if hit {
+		t.Fatal("cold hit")
+	}
+	l.Data, l.Aux = 0xAAAA, 0xBBBB
+	l2, hit, _ := c.Access(0)
+	if !hit || l2.Data != 0xAAAA || l2.Aux != 0xBBBB {
+		t.Fatal("payload lost on hit")
+	}
+	l3, _, ev := c.Access(8)
+	if l3.Data != 0 || l3.Aux != 0 {
+		t.Fatal("payload not zeroed on fill")
+	}
+	if !ev.Valid || ev.Data != 0xAAAA || ev.Aux != 0xBBBB || ev.Addr != 0 {
+		t.Fatalf("eviction payload = %+v", ev)
+	}
+}
+
+func TestSetIndexing(t *testing.T) {
+	// 2 sets, 1 way: addresses in different sets must not evict each other.
+	c := MustNew(Config{Sets: 2, Ways: 1, LineSize: 4})
+	c.Access(0) // set 0
+	c.Access(4) // set 1
+	if _, hit, _ := c.Access(0); !hit {
+		t.Fatal("cross-set eviction")
+	}
+	if _, hit, _ := c.Access(4); !hit {
+		t.Fatal("cross-set eviction")
+	}
+	// Same set, different tag evicts.
+	c.Access(8) // set 0, evicts 0
+	if _, hit, _ := c.Access(0); hit {
+		t.Fatal("conflicting line survived")
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	c := MustNew(Config{Sets: 1, Ways: 2, LineSize: 4})
+	c.Access(0)
+	before := c.Stats()
+	if _, ok := c.Probe(0); !ok {
+		t.Fatal("Probe missed resident line")
+	}
+	if _, ok := c.Probe(100); ok {
+		t.Fatal("Probe hit absent line")
+	}
+	if c.Stats() != before {
+		t.Fatal("Probe changed stats")
+	}
+	// Probe must not refresh LRU: 0 then 4 then probe 0 then fill: LRU is 0.
+	c.Access(4)
+	c.Probe(0)
+	_, _, ev := c.Access(8)
+	if ev.Addr != 0 {
+		t.Fatalf("Probe refreshed LRU; evicted %#x, want 0", ev.Addr)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := MustNew(Config{Sets: 1, Ways: 2, LineSize: 4})
+	l, _, _ := c.Access(0)
+	l.Data = 7
+	ev, ok := c.Invalidate(0)
+	if !ok || ev.Data != 7 || ev.Addr != 0 {
+		t.Fatalf("Invalidate = %+v, %v", ev, ok)
+	}
+	if _, ok := c.Probe(0); ok {
+		t.Fatal("line still resident")
+	}
+	if _, ok := c.Invalidate(0); ok {
+		t.Fatal("double invalidate succeeded")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := MustNew(Config{Sets: 2, Ways: 2, LineSize: 4})
+	for a := uint32(0); a < 16; a += 4 {
+		l, _, _ := c.Access(a)
+		l.Data = a
+	}
+	if c.ResidentBlocks() != 4 {
+		t.Fatalf("ResidentBlocks = %d", c.ResidentBlocks())
+	}
+	seen := map[uint32]uint32{}
+	c.Flush(func(ev Eviction) { seen[ev.Addr] = ev.Data })
+	if len(seen) != 4 || c.ResidentBlocks() != 0 {
+		t.Fatalf("flush saw %v", seen)
+	}
+	for a, d := range seen {
+		if a != d {
+			t.Fatalf("flush payload mismatch %d->%d", a, d)
+		}
+	}
+}
+
+func TestAddrReconstruction(t *testing.T) {
+	// Evicted address must be the block base of the original fill address.
+	f := func(addr uint32, setsSel, waysSel, lineSel uint8) bool {
+		cfg := Config{
+			Sets:     1 << (setsSel % 5),
+			Ways:     1 + int(waysSel%4),
+			LineSize: 1 << (2 + lineSel%6),
+		}
+		c := MustNew(cfg)
+		c.Access(addr)
+		ev, ok := c.Invalidate(addr)
+		return ok && ev.Addr == c.BlockBase(addr)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullyAssociativeCapacity(t *testing.T) {
+	// A 16-entry FA cache touched with 16 distinct blocks then re-touched
+	// must hit every time (the CTC configuration from §6.4).
+	c := MustNew(Config{Sets: 1, Ways: 16, LineSize: 4})
+	for i := uint32(0); i < 16; i++ {
+		c.Access(i * 4)
+	}
+	c.ResetStats()
+	for i := uint32(0); i < 16; i++ {
+		if _, hit, _ := c.Access(i * 4); !hit {
+			t.Fatalf("block %d missed", i)
+		}
+	}
+	if c.Stats().HitRate() != 1 {
+		t.Fatalf("hit rate = %v", c.Stats().HitRate())
+	}
+}
+
+func TestStatsRates(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 || s.HitRate() != 0 {
+		t.Fatal("zero-access rates should be 0")
+	}
+	s = Stats{Accesses: 10, Hits: 9, Misses: 1}
+	if s.MissRate() != 0.1 || s.HitRate() != 0.9 {
+		t.Fatal("rates wrong")
+	}
+}
+
+func BenchmarkAccessFA16(b *testing.B) {
+	c := MustNew(Config{Sets: 1, Ways: 16, LineSize: 4})
+	for i := 0; i < b.N; i++ {
+		c.Access(uint32(i%64) * 4)
+	}
+}
+
+func BenchmarkAccess4Way(b *testing.B) {
+	c := MustNew(Config{Sets: 8, Ways: 4, LineSize: 4})
+	for i := 0; i < b.N; i++ {
+		c.Access(uint32(i%128) * 4)
+	}
+}

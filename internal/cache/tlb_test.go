@@ -1,0 +1,113 @@
+package cache
+
+import (
+	"testing"
+
+	"latch/internal/mem"
+)
+
+func TestNewTLBValidation(t *testing.T) {
+	if _, err := NewTLB(128, 0); err == nil {
+		t.Error("pageDomains 0 accepted")
+	}
+	if _, err := NewTLB(128, 33); err == nil {
+		t.Error("pageDomains 33 accepted")
+	}
+	if _, err := NewTLB(0, 2); err == nil {
+		t.Error("0 entries accepted")
+	}
+	tlb, err := NewTLB(128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlb.PageDomains() != 2 || tlb.PageDomainSize() != 2048 {
+		t.Fatalf("geometry: domains=%d size=%d", tlb.PageDomains(), tlb.PageDomainSize())
+	}
+}
+
+func TestTLBFillAndFilter(t *testing.T) {
+	tlb := MustNewTLB(4, 2)
+	fills := 0
+	// Page 0: first half tainted (bit 0), second half clean.
+	bits := func(pn uint32) uint32 {
+		fills++
+		if pn == 0 {
+			return 0b01
+		}
+		return 0
+	}
+	tainted, hit := tlb.Access(100, bits) // page 0, domain 0
+	if hit || !tainted {
+		t.Fatalf("first access: tainted=%v hit=%v", tainted, hit)
+	}
+	tainted, hit = tlb.Access(3000, bits) // page 0, domain 1
+	if !hit || tainted {
+		t.Fatalf("second access: tainted=%v hit=%v", tainted, hit)
+	}
+	tainted, hit = tlb.Access(mem.PageSize+5, bits) // page 1
+	if hit || tainted {
+		t.Fatalf("page 1: tainted=%v hit=%v", tainted, hit)
+	}
+	if fills != 2 || tlb.Fills() != 2 {
+		t.Fatalf("fills = %d / %d", fills, tlb.Fills())
+	}
+}
+
+func TestTLBUpdateTaintBit(t *testing.T) {
+	tlb := MustNewTLB(4, 2)
+	zero := func(uint32) uint32 { return 0 }
+	tlb.Access(0, zero)
+	tlb.UpdateTaintBit(100, true) // domain 0 of page 0
+	if tainted, hit := tlb.Access(50, zero); !hit || !tainted {
+		t.Fatal("update not visible")
+	}
+	if tainted, _ := tlb.Access(3000, zero); tainted {
+		t.Fatal("update leaked to other page domain")
+	}
+	tlb.UpdateTaintBit(100, false)
+	if tainted, _ := tlb.Access(50, zero); tainted {
+		t.Fatal("clear not visible")
+	}
+	// Updates to non-resident pages are dropped silently.
+	tlb.UpdateTaintBit(10*mem.PageSize, true)
+	if tainted, hit := tlb.Access(10*mem.PageSize, zero); hit || tainted {
+		t.Fatal("non-resident update should be a no-op")
+	}
+}
+
+func TestTLBEvictionRefill(t *testing.T) {
+	tlb := MustNewTLB(2, 2)
+	calls := map[uint32]int{}
+	bits := func(pn uint32) uint32 {
+		calls[pn]++
+		return 0b11
+	}
+	tlb.Access(0*mem.PageSize, bits)
+	tlb.Access(1*mem.PageSize, bits)
+	tlb.Access(2*mem.PageSize, bits) // evicts page 0
+	if tainted, hit := tlb.Access(0, bits); hit || !tainted {
+		t.Fatal("page 0 should refill with fresh bits")
+	}
+	if calls[0] != 2 {
+		t.Fatalf("page 0 filled %d times, want 2", calls[0])
+	}
+}
+
+func TestTLBInvalidateAndFlush(t *testing.T) {
+	tlb := MustNewTLB(4, 2)
+	zero := func(uint32) uint32 { return 0 }
+	tlb.Access(0, zero)
+	tlb.Access(mem.PageSize, zero)
+	tlb.InvalidatePage(0)
+	if _, hit := tlb.Access(0, zero); hit {
+		t.Fatal("invalidated page hit")
+	}
+	tlb.Flush()
+	if _, hit := tlb.Access(mem.PageSize, zero); hit {
+		t.Fatal("flushed page hit")
+	}
+	tlb.ResetStats()
+	if tlb.Stats().Accesses != 0 || tlb.Fills() != 0 {
+		t.Fatal("ResetStats incomplete")
+	}
+}

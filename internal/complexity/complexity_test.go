@@ -1,0 +1,98 @@
+package complexity
+
+import (
+	"testing"
+
+	"latch/internal/latch"
+)
+
+func TestDefaultMatchesPaperRatios(t *testing.T) {
+	e := Compute(latch.DefaultConfig())
+	// §6.4: +4% logic elements, +5% memory bits, +5% dynamic power, +0.2%
+	// static power, no cycle-time impact.
+	if e.LEIncreasePct < 3 || e.LEIncreasePct > 5.5 {
+		t.Errorf("LE increase = %.2f%%, want ~4%%", e.LEIncreasePct)
+	}
+	if e.MemBitsIncreasePct < 4 || e.MemBitsIncreasePct > 6 {
+		t.Errorf("memory bits increase = %.2f%%, want ~5%%", e.MemBitsIncreasePct)
+	}
+	if e.DynPowerIncreasePct < 4 || e.DynPowerIncreasePct > 6 {
+		t.Errorf("dynamic power increase = %.2f%%, want ~5%%", e.DynPowerIncreasePct)
+	}
+	if e.StaticPowerIncreasePct < 0.1 || e.StaticPowerIncreasePct > 0.35 {
+		t.Errorf("static power increase = %.3f%%, want ~0.2%%", e.StaticPowerIncreasePct)
+	}
+	if e.CycleTimeImpact() {
+		t.Error("cycle time impacted; the paper reports none")
+	}
+}
+
+func TestBitAccounting(t *testing.T) {
+	cfg := latch.DefaultConfig()
+	e := Compute(cfg)
+	sum := e.CTCTagBits + e.CTCDataBits + e.CTCClearBits + e.CTCMetaBits + e.TRFBits + e.TLBTaintBits
+	if sum != e.TotalBits {
+		t.Fatalf("bit components sum %d != total %d", sum, e.TotalBits)
+	}
+	// Default (eager) has no clear bits.
+	if e.CTCClearBits != 0 {
+		t.Fatal("eager config has clear bits")
+	}
+	// 16 entries x 32-bit words = 512 data bits ("64 bytes of capacity").
+	if e.CTCDataBits != 512 {
+		t.Fatalf("CTC data bits = %d", e.CTCDataBits)
+	}
+	// 128 TLB entries x 2 page domains.
+	if e.TLBTaintBits != 256 {
+		t.Fatalf("TLB taint bits = %d", e.TLBTaintBits)
+	}
+}
+
+func TestLazyClearAddsClearBits(t *testing.T) {
+	cfg := latch.DefaultConfig()
+	eager := Compute(cfg)
+	cfg.Clear = latch.LazyClear
+	lazy := Compute(cfg)
+	if lazy.CTCClearBits != 512 {
+		t.Fatalf("lazy clear bits = %d", lazy.CTCClearBits)
+	}
+	if lazy.TotalBits <= eager.TotalBits || lazy.TotalLEs <= eager.TotalLEs {
+		t.Fatal("lazy config should cost more than eager")
+	}
+}
+
+func TestScalesWithGeometry(t *testing.T) {
+	small := Compute(latch.DefaultConfig())
+	big := latch.DefaultConfig()
+	big.CTCEntries = 64
+	big.TLBEntries = 512
+	bigE := Compute(big)
+	if bigE.TotalBits <= small.TotalBits || bigE.TotalLEs <= small.TotalLEs {
+		t.Fatal("larger geometry should cost more")
+	}
+	if bigE.LEIncreasePct <= small.LEIncreasePct {
+		t.Fatal("ratio should grow with geometry")
+	}
+}
+
+func TestDomainSizeChangesTagWidth(t *testing.T) {
+	// Smaller domains -> more CTT words -> wider tags.
+	cfg := latch.DefaultConfig()
+	d64 := Compute(cfg)
+	cfg.DomainSize = 8
+	d8 := Compute(cfg)
+	if d8.CTCTagBits <= d64.CTCTagBits {
+		t.Fatalf("tag bits: 8B domains %d, 64B domains %d", d8.CTCTagBits, d64.CTCTagBits)
+	}
+}
+
+func TestLEAccounting(t *testing.T) {
+	e := Compute(latch.DefaultConfig())
+	partial := e.ExtractionLEs + e.CompareLEs + e.UpdateLEs + e.ControlLEs
+	if e.TotalLEs <= partial {
+		t.Fatal("total LEs must include state flops")
+	}
+	if e.TotalLEs != partial+e.TotalBits/2 {
+		t.Fatal("LE total formula changed without test update")
+	}
+}

@@ -1,0 +1,372 @@
+// Package cosim executes real LA32 programs under the full S-LATCH protocol
+// (Figure 9): hardware mode runs the native image while the LATCH module
+// checks memory operands against the coarse taint state and register
+// operands against the taint register file; a confirmed trap transfers
+// control to the (modeled) instrumented image, which performs byte-precise
+// DIFT until the timeout returns control to hardware.
+//
+// Where package slatch models S-LATCH statistically over calibrated
+// streams, cosim is the cycle-accounted co-simulation of an actual program:
+// every mode decision is made from the *hardware-visible* state (TRF bits
+// and coarse memory checks), while the precise DIFT engine runs alongside
+// as both the software layer and the false-positive oracle — exactly the
+// split of §5.1.
+//
+// Soundness argument mirrored from the paper: in hardware mode no
+// instruction with a tainted source operand executes un-trapped (tainted
+// registers are visible in the TRF, tainted memory in the coarse state,
+// and the coarse state has no false negatives), so native execution can
+// only *clear* taint, never move it. Taint creation (syscall input) writes
+// the shadow directly and reaches the coarse state through the module's
+// watchers before any dependent instruction commits.
+package cosim
+
+import (
+	"fmt"
+
+	"latch/internal/dift"
+	"latch/internal/isa"
+	"latch/internal/latch"
+	"latch/internal/shadow"
+	"latch/internal/vm"
+)
+
+// Mode is the current execution layer.
+type Mode int
+
+// Modes.
+const (
+	ModeHardware Mode = iota
+	ModeSoftware
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeHardware {
+		return "hardware"
+	}
+	return "software"
+}
+
+// Config carries the cost model (same constants as the stream-level
+// S-LATCH model) and the software-mode slowdown to assume for the
+// instrumented image.
+type Config struct {
+	Latch           latch.Config
+	TimeoutInstrs   uint64
+	CtxSwitchCycles uint64
+	FPCheckCycles   uint64
+	ScanCyclesPer   uint64
+	CodeCacheLat    uint64
+	// SWSlowdown is the instrumented image's slowdown over native
+	// execution (libdft's per-program factor).
+	SWSlowdown float64
+}
+
+// DefaultConfig mirrors the paper's parameters with a 5x software DIFT
+// slowdown.
+func DefaultConfig() Config {
+	lc := latch.DefaultConfig()
+	lc.Clear = latch.LazyClear
+	lc.BaselineTCache = false
+	return Config{
+		Latch:           lc,
+		TimeoutInstrs:   1000,
+		CtxSwitchCycles: 400,
+		FPCheckCycles:   120,
+		ScanCyclesPer:   20,
+		CodeCacheLat:    800,
+		SWSlowdown:      5,
+	}
+}
+
+// Stats is the co-simulation outcome.
+type Stats struct {
+	Instructions uint64
+	HWInstrs     uint64
+	SWInstrs     uint64
+	Switches     uint64 // hardware -> software transfers
+	Returns      uint64 // software -> hardware transfers
+	Traps        uint64 // coarse/TRF positives taken in hardware mode
+	FalseTraps   uint64 // traps dismissed by the precise filter
+
+	BaseCycles    uint64
+	LibdftCycles  uint64
+	XferCycles    uint64
+	FPCheckCycles uint64
+	CTCMissCycles uint64
+	ScanCycles    uint64
+}
+
+// TotalCycles returns the modeled runtime.
+func (s Stats) TotalCycles() uint64 {
+	return s.BaseCycles + s.LibdftCycles + s.XferCycles + s.FPCheckCycles +
+		s.CTCMissCycles + s.ScanCycles
+}
+
+// Overhead returns fractional overhead over native execution.
+func (s Stats) Overhead() float64 {
+	if s.BaseCycles == 0 {
+		return 0
+	}
+	return float64(s.TotalCycles())/float64(s.BaseCycles) - 1
+}
+
+// System is a co-simulated S-LATCH machine. It satisfies vm.Tracker,
+// wrapping the precise engine with the mode-switching protocol.
+type System struct {
+	Machine *vm.CPU
+	Engine  *dift.Engine
+	Module  *latch.Module
+	Shadow  *shadow.Shadow
+
+	cfg  Config
+	mode Mode
+
+	sinceTaint uint64
+	swFrac     float64 // fractional extra cycles accumulator
+	stats      Stats
+
+	lastMisses uint64
+}
+
+var _ vm.Tracker = (*System)(nil)
+
+// New builds a co-simulated system with the given DIFT policy.
+func New(cfg Config, pol dift.Policy) (*System, error) {
+	if cfg.Latch.Clear == latch.EagerClear {
+		return nil, fmt.Errorf("cosim: S-LATCH co-simulation requires lazy or disabled clears")
+	}
+	if cfg.SWSlowdown < 1 {
+		return nil, fmt.Errorf("cosim: software slowdown %v < 1", cfg.SWSlowdown)
+	}
+	sh, err := shadow.New(cfg.Latch.DomainSize)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := latch.New(cfg.Latch, sh)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		Engine: dift.NewEngine(sh, pol),
+		Module: mod,
+		Shadow: sh,
+		cfg:    cfg,
+	}
+	s.Machine = vm.New()
+	s.Machine.SetTracker(s)
+	return s, nil
+}
+
+// Mode returns the current execution mode.
+func (s *System) Mode() Mode { return s.mode }
+
+// Stats returns the accumulated accounting.
+func (s *System) Stats() Stats {
+	st := s.stats
+	st.LibdftCycles = uint64(s.swFrac)
+	return st
+}
+
+// Run assembles src, loads it, and executes up to maxSteps instructions.
+func (s *System) Run(src string, maxSteps uint64) (uint32, error) {
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		return 0, err
+	}
+	s.Machine.Load(prog)
+	if _, err := s.Machine.Run(maxSteps); err != nil {
+		return 0, err
+	}
+	return s.Machine.ExitCode(), nil
+}
+
+// --- vm.Tracker ---
+
+// Touches delegates the ground-truth predicate to the precise engine.
+func (s *System) Touches(in isa.Instr, addr uint32) bool {
+	return s.Engine.Touches(in, addr)
+}
+
+// IndirectTarget enforces the control-flow policy in both modes: in
+// software mode it is the instrumented check; in hardware mode a tainted
+// target register traps through the TRF before this check fires, so the
+// engine view is never stale when it matters.
+func (s *System) IndirectTarget(pc uint32, reg int, target uint32) error {
+	return s.Engine.IndirectTarget(pc, reg, target)
+}
+
+// Commit implements the per-instruction S-LATCH protocol.
+func (s *System) Commit(pc uint32, in isa.Instr, addr uint32) error {
+	s.stats.Instructions++
+	s.stats.BaseCycles++
+	precise := s.Engine.Touches(in, addr)
+
+	switch s.mode {
+	case ModeHardware:
+		s.stats.HWInstrs++
+		positive := s.hardwarePositive(in, addr)
+		if positive {
+			s.stats.Traps++
+			s.stats.FPCheckCycles += s.cfg.FPCheckCycles
+			s.Module.SetLastException(addr)
+			if precise {
+				// Confirmed: transfer to the instrumented image.
+				s.stats.Switches++
+				s.stats.XferCycles += 2*s.cfg.CtxSwitchCycles + s.cfg.CodeCacheLat
+				s.mode = ModeSoftware
+				s.sinceTaint = 0
+				s.swFrac += s.cfg.SWSlowdown - 1 // trapping instr re-executes
+			} else {
+				// False positive: dismiss and refresh the stale TRF bits.
+				s.stats.FalseTraps++
+				s.refreshTRF(in)
+			}
+		}
+	case ModeSoftware:
+		s.stats.SWInstrs++
+		s.swFrac += s.cfg.SWSlowdown - 1
+		if precise {
+			s.sinceTaint = 0
+		} else {
+			s.sinceTaint++
+			if s.sinceTaint >= s.cfg.TimeoutInstrs {
+				s.returnToHardware()
+			}
+		}
+	}
+
+	// The precise engine propagates in every mode. In hardware mode this
+	// can only clear taint (see the package comment), keeping the oracle
+	// exact without moving tainted data un-checked.
+	if err := s.Engine.Commit(pc, in, addr); err != nil {
+		return err
+	}
+	if s.mode == ModeHardware {
+		s.updateTRF(in, addr)
+	}
+	return nil
+}
+
+// hardwarePositive evaluates the hardware-visible check: TRF bits for
+// register sources, the coarse stack for memory operands.
+func (s *System) hardwarePositive(in isa.Instr, addr uint32) bool {
+	trf := s.Module.TRF()
+	positive := false
+	switch in.Op.Class() {
+	case isa.ClassMove, isa.ClassALUImm:
+		positive = trf.Tainted(int(in.Rs1))
+	case isa.ClassALU2:
+		positive = trf.Tainted(int(in.Rs1)) || trf.Tainted(int(in.Rs2))
+	case isa.ClassBranch:
+		positive = trf.Tainted(int(in.Rd)) || trf.Tainted(int(in.Rs1))
+	case isa.ClassJumpInd:
+		positive = trf.Tainted(int(in.Rs1))
+	case isa.ClassStore:
+		positive = trf.Tainted(int(in.Rd))
+	}
+	if in.ReadsMem() || in.WritesMem() {
+		before := s.Module.Stats().CTCCheckMisses
+		res := s.Module.CheckMem(addr, in.Op.MemSize())
+		if d := s.Module.Stats().CTCCheckMisses - before; d > 0 {
+			s.stats.CTCMissCycles += d * s.cfg.Latch.CTCMissPenalty
+		}
+		positive = positive || res.CoarsePositive
+	}
+	return positive
+}
+
+// refreshTRF clears TRF bits that the precise filter showed stale for the
+// dismissed instruction's register sources.
+func (s *System) refreshTRF(in isa.Instr) {
+	trf := s.Module.TRF()
+	clearIfClean := func(r int) {
+		if !s.Engine.RegTaint(r).Tainted() {
+			trf.Set(r, shadow.TagClean)
+		}
+	}
+	switch in.Op.Class() {
+	case isa.ClassMove, isa.ClassALUImm, isa.ClassJumpInd:
+		clearIfClean(int(in.Rs1))
+	case isa.ClassALU2:
+		clearIfClean(int(in.Rs1))
+		clearIfClean(int(in.Rs2))
+	case isa.ClassBranch:
+		clearIfClean(int(in.Rd))
+		clearIfClean(int(in.Rs1))
+	case isa.ClassStore:
+		clearIfClean(int(in.Rd))
+	}
+}
+
+// updateTRF applies the hardware's single-bit register taint propagation
+// after an un-trapped (hence taint-source-free) instruction.
+func (s *System) updateTRF(in isa.Instr, addr uint32) {
+	trf := s.Module.TRF()
+	switch in.Op.Class() {
+	case isa.ClassMove:
+		trf.Set(int(in.Rd), trf.Get(int(in.Rs1)))
+	case isa.ClassImm:
+		trf.Set(int(in.Rd), shadow.TagClean)
+	case isa.ClassALU2:
+		if in.Op == isa.XOR && in.Rs1 == in.Rs2 {
+			trf.Set(int(in.Rd), shadow.TagClean)
+			break
+		}
+		trf.Set(int(in.Rd), trf.Get(int(in.Rs1))|trf.Get(int(in.Rs2)))
+	case isa.ClassALUImm:
+		trf.Set(int(in.Rd), trf.Get(int(in.Rs1)))
+	case isa.ClassLoad:
+		// A load that did not trap read coarse-clean (or precise-clean)
+		// memory; mirror the engine's byte-precise verdict.
+		trf.Set(int(in.Rd), s.Engine.RegTaint(int(in.Rd)).Union())
+	case isa.ClassJump, isa.ClassJumpInd:
+		if in.Op == isa.CALL || in.Op == isa.CALLR {
+			trf.Set(isa.RegLR, shadow.TagClean)
+		}
+	}
+}
+
+// returnToHardware performs the software->hardware transition: scan clear
+// bits, rewrite the TRF from the precise register state (strf), restore
+// the native context.
+func (s *System) returnToHardware() {
+	scanned := s.Module.ScanResidentClears()
+	s.stats.ScanCycles += scanned * s.cfg.ScanCyclesPer
+	s.stats.XferCycles += s.cfg.CtxSwitchCycles
+	trf := s.Module.TRF()
+	for r := 0; r < isa.NumRegs; r++ {
+		trf.Set(r, s.Engine.RegTaint(r).Union())
+	}
+	s.stats.Returns++
+	s.mode = ModeHardware
+	s.sinceTaint = 0
+}
+
+// --- delegation of the remaining Tracker surface ---
+
+// Input forwards taint initialization to the engine (coarse state follows
+// through the shadow watchers).
+func (s *System) Input(addr uint32, n int, source dift.InputSource, conn int) {
+	s.Engine.Input(addr, n, source, conn)
+}
+
+// Output forwards sink checks.
+func (s *System) Output(pc uint32, addr uint32, n int) error {
+	return s.Engine.Output(pc, addr, n)
+}
+
+// Accept forwards connection registration.
+func (s *System) Accept() int { return s.Engine.Accept() }
+
+// SetTaintByte forwards stnt, write-through included.
+func (s *System) SetTaintByte(addr uint32, tag shadow.Tag) {
+	s.Module.StoreTaint(addr, tag)
+}
+
+// SetRegTaintMask forwards strf to both the engine and the TRF.
+func (s *System) SetRegTaintMask(mask uint32, tag shadow.Tag) {
+	s.Engine.SetRegTaintMask(mask, tag)
+	s.Module.TRF().SetMask(mask, tag)
+}

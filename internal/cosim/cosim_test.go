@@ -1,0 +1,280 @@
+package cosim
+
+import (
+	"errors"
+	"testing"
+
+	"latch/internal/dift"
+	"latch/internal/isa"
+	"latch/internal/latch"
+	"latch/internal/shadow"
+	"latch/internal/vm"
+	"latch/internal/workload"
+)
+
+func newSystem(t *testing.T, mutate func(*Config)) *System {
+	t.Helper()
+	cfg := DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg, dift.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRejectsEagerClear(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Latch.Clear = latch.EagerClear
+	if _, err := New(cfg, dift.DefaultPolicy()); err == nil {
+		t.Fatal("eager clear accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.SWSlowdown = 0.5
+	if _, err := New(cfg, dift.DefaultPolicy()); err == nil {
+		t.Fatal("sub-native slowdown accepted")
+	}
+}
+
+func TestCleanProgramStaysInHardware(t *testing.T) {
+	s := newSystem(t, nil)
+	if _, err := s.Run(`
+		movi r1, 100
+		movi r2, 0
+	loop:
+		add  r2, r2, r1
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.SWInstrs != 0 || st.Switches != 0 {
+		t.Fatalf("clean program entered software mode: %+v", st)
+	}
+	if st.Overhead() > 0.01 {
+		t.Fatalf("clean overhead = %v", st.Overhead())
+	}
+}
+
+func TestTaintedInputTriggersSwitchAndTimeout(t *testing.T) {
+	s := newSystem(t, func(c *Config) { c.TimeoutInstrs = 50 })
+	s.Machine.Env.FileData = []byte{1, 2, 3, 4}
+	// Read tainted data, touch it once, then run a long clean loop: the
+	// system must switch to software on the tainted load and back to
+	// hardware after the timeout.
+	if _, err := s.Run(`
+		li   r1, 0x8000
+		movi r2, 4
+		sys  2
+		li   r3, 0x8000
+		ldw  r4, [r3]     ; tainted load -> trap -> software mode
+		movi r4, 0        ; clears the register again
+		movi r5, 500
+	loop:
+		addi r5, r5, -1
+		bne  r5, r0, loop ; long clean epoch -> timeout -> hardware mode
+		halt
+	`, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Switches != 1 {
+		t.Fatalf("switches = %d, want 1", st.Switches)
+	}
+	if st.Returns != 1 {
+		t.Fatalf("returns = %d, want 1", st.Returns)
+	}
+	if s.Mode() != ModeHardware {
+		t.Fatalf("final mode = %v", s.Mode())
+	}
+	if st.SWInstrs == 0 || st.HWInstrs == 0 {
+		t.Fatalf("mode split: %+v", st)
+	}
+	if st.Overhead() <= 0 {
+		t.Fatal("no overhead recorded")
+	}
+}
+
+func TestExploitCaughtInBothModes(t *testing.T) {
+	// The overflow attack must be caught by the co-simulated system exactly
+	// as by pure DIFT: no false negatives through the acceleration layer.
+	src, err := workload.ProgramSource("overflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := append(make([]byte, 16), 0x00, 0x10, 0x00, 0x00)
+	s := newSystem(t, nil)
+	s.Machine.Env.FileData = attack
+	_, err = s.Run(src, 100_000)
+	var v dift.Violation
+	if !errors.As(err, &v) || v.Kind != dift.ViolationControlFlow {
+		t.Fatalf("err = %v, want control-flow violation", err)
+	}
+	// The trap (and switch) must have occurred before the violation: the
+	// tainted pointer load put the system in software mode.
+	if s.Stats().Switches == 0 {
+		t.Fatal("attack did not transfer to software mode first")
+	}
+}
+
+func TestBenignOverflowRunsHardwareFalsePositiveFree(t *testing.T) {
+	src, err := workload.ProgramSource("overflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSystem(t, nil)
+	s.Machine.Env.FileData = []byte("ok")
+	if _, err := s.Run(src, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	// The program never reads the message bytes themselves; the only taint
+	// interaction is the function-pointer load from the same 64-byte domain
+	// as the tainted buffer — a textbook coarse false positive (Figure 1,
+	// case B) that the handler dismisses without a mode switch.
+	if st.FalseTraps == 0 {
+		t.Fatalf("expected a dismissed same-domain trap: %+v", st)
+	}
+	if st.Switches != 0 {
+		t.Fatalf("false positive escalated to a mode switch: %+v", st)
+	}
+	if s.Machine.Regs[3] != 42 {
+		t.Fatal("handler did not run")
+	}
+}
+
+func TestFalsePositiveDismissal(t *testing.T) {
+	// Taint one byte, then access a *different* byte in the same 64-byte
+	// domain from hardware mode: the coarse check fires, the precise filter
+	// dismisses it, and execution never enters software mode.
+	s := newSystem(t, nil)
+	s.Engine.TaintMemory(0x8000, 1, shadow.Label(0))
+	if _, err := s.Run(`
+		li   r3, 0x8020   ; same domain as 0x8000, clean byte
+		ldw  r4, [r3]
+		halt
+	`, 1000); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Traps == 0 || st.FalseTraps == 0 {
+		t.Fatalf("expected a dismissed trap: %+v", st)
+	}
+	if st.Switches != 0 {
+		t.Fatal("false positive caused a mode switch")
+	}
+}
+
+func TestTRFPropagationInHardware(t *testing.T) {
+	// strf-set taint on a register propagates through hardware TRF rules
+	// and traps on use.
+	s := newSystem(t, func(c *Config) { c.TimeoutInstrs = 10 })
+	prog := isa.MustAssemble(`
+		movi r2, 0b10   ; mark r1 tainted in the TRF and engine
+		strf r2
+		mov  r3, r1     ; tainted move -> trap -> software
+		halt
+	`)
+	s.Machine.Load(prog)
+	if _, err := s.Machine.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Switches != 1 {
+		t.Fatalf("switches = %d, want 1 (TRF-driven trap)", st.Switches)
+	}
+}
+
+func TestStatsBreakdownConsistent(t *testing.T) {
+	s := newSystem(t, func(c *Config) { c.TimeoutInstrs = 20 })
+	s.Machine.Env.FileData = []byte("abcdefgh")
+	src, _ := workload.ProgramSource("copyloop")
+	if _, err := s.Run(src, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.HWInstrs+st.SWInstrs != st.Instructions {
+		t.Fatalf("mode split does not sum: %+v", st)
+	}
+	sum := st.BaseCycles + st.LibdftCycles + st.XferCycles + st.FPCheckCycles + st.CTCMissCycles + st.ScanCycles
+	if sum != st.TotalCycles() {
+		t.Fatal("cycle categories do not sum to total")
+	}
+	if st.FalseTraps > st.Traps {
+		t.Fatal("more dismissals than traps")
+	}
+}
+
+func TestSubstitutionMostlyHardware(t *testing.T) {
+	// The substitution kernel touches taint only while reading input bytes;
+	// table lookups and stores are clean, so after the timeout the long
+	// table-build prologue and the output writes run in hardware.
+	s := newSystem(t, func(c *Config) { c.TimeoutInstrs = 100 })
+	s.Machine.Env.FileData = []byte{9, 8, 7}
+	src, _ := workload.ProgramSource("substitution")
+	if _, err := s.Run(src, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	// The 256-entry table build alone is >1500 hardware instructions.
+	if st.HWInstrs < st.SWInstrs {
+		t.Fatalf("expected hardware-dominated run: %+v", st)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeHardware.String() != "hardware" || ModeSoftware.String() != "software" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestTrackerInterfaceDelegation(t *testing.T) {
+	s := newSystem(t, nil)
+	// Output with leak checking disabled passes.
+	if err := s.Output(0, 0x100, 4); err != nil {
+		t.Fatal(err)
+	}
+	if s.Accept() != 0 || s.Accept() != 1 {
+		t.Fatal("accept ids wrong")
+	}
+	s.SetTaintByte(0x40, shadow.Label(1))
+	if !s.Shadow.Get(0x40).Tainted() {
+		t.Fatal("stnt delegation failed")
+	}
+	s.SetRegTaintMask(0b100, shadow.Label(0))
+	if !s.Engine.RegTaint(2).Tainted() || !s.Module.TRF().Tainted(2) {
+		t.Fatal("strf delegation failed")
+	}
+	var _ vm.Tracker = s
+}
+
+func BenchmarkSLatchCoSim(b *testing.B) {
+	src, err := workload.ProgramSource("substitution")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(2960, "instrs/op") // substitution's instruction count
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(DefaultConfig(), dift.DefaultPolicy())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Machine.Env.FileData = []byte("benchmark input data here")
+		s.Machine.Load(prog)
+		if _, err := s.Machine.Run(100_000); err != nil {
+			b.Fatal(err)
+		}
+		if s.Machine.Instret() < 2000 {
+			b.Fatal("program did not run")
+		}
+	}
+}

@@ -1,0 +1,391 @@
+// Package dift implements the byte-precise dynamic information flow tracking
+// engine that plays the role libdft plays in the paper: classical Dynamic
+// Taint Analysis propagation over the LA32 ISA, a byte-granular taint
+// register file, shadow-memory-backed memory tags, taint initialization from
+// external input sources, and data-use validation (tainted control transfers
+// and tainted output leaks).
+//
+// Propagation follows the classical DTA rules the paper's evaluation uses
+// ([32]): taint is copied by data movement, unioned by computation, cleared
+// by immediates and by xor-with-self, and — crucially — *not* propagated
+// through addresses. The last rule is what makes substitution-table kernels
+// (bzip2's tables, TLS S-boxes) replace tainted data with untainted
+// precomputed values, the effect §3.3.2 observes.
+package dift
+
+import (
+	"fmt"
+
+	"latch/internal/isa"
+	"latch/internal/shadow"
+)
+
+// InputSource identifies where external data entered the program; each
+// source gets its own taint label so policies can distinguish file input
+// (SPEC workloads) from network input (server workloads).
+type InputSource int
+
+// Input sources.
+const (
+	SourceFile InputSource = iota
+	SourceNet
+	numSources
+)
+
+// Tag returns the taint label associated with the source.
+func (s InputSource) Tag() shadow.Tag {
+	return shadow.Label(int(s))
+}
+
+// String names the source.
+func (s InputSource) String() string {
+	switch s {
+	case SourceFile:
+		return "file"
+	case SourceNet:
+		return "net"
+	}
+	return fmt.Sprintf("source(%d)", int(s))
+}
+
+// ViolationKind classifies policy violations.
+type ViolationKind int
+
+// Violation kinds.
+const (
+	// ViolationControlFlow: an indirect control transfer used a tainted
+	// target — the signature of a control-flow hijack (§1).
+	ViolationControlFlow ViolationKind = iota
+	// ViolationLeak: tainted bytes reached an external output sink.
+	ViolationLeak
+)
+
+// String names the violation kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case ViolationControlFlow:
+		return "control-flow"
+	case ViolationLeak:
+		return "leak"
+	}
+	return fmt.Sprintf("violation(%d)", int(k))
+}
+
+// Violation records one policy violation.
+type Violation struct {
+	Kind ViolationKind
+	PC   uint32
+	Addr uint32 // jump target or leaking buffer address
+	Tag  shadow.Tag
+}
+
+// Error renders the violation as an error string.
+func (v Violation) Error() string {
+	return fmt.Sprintf("dift: %s violation at pc=%#x addr=%#x tag=%#02x", v.Kind, v.PC, v.Addr, v.Tag)
+}
+
+// PropagationMode selects the taint propagation rules.
+type PropagationMode int
+
+// Propagation modes.
+const (
+	// PropagationClassical is full Dynamic Taint Analysis: data movement
+	// copies taint, computation unions it (the libdft rules the paper
+	// evaluates).
+	PropagationClassical PropagationMode = iota
+	// PropagationPIFT approximates PIFT ([56] in the paper): taint flows
+	// through consecutive load/store/move chains but is *not* tracked
+	// through computation — ALU results are treated as fresh values. The
+	// paper notes LATCH's coarse caching composes with such approximate
+	// schemes; this mode lets that be demonstrated (and the
+	// under-tainting measured).
+	PropagationPIFT
+)
+
+// String names the mode.
+func (m PropagationMode) String() string {
+	switch m {
+	case PropagationClassical:
+		return "classical"
+	case PropagationPIFT:
+		return "pift"
+	}
+	return fmt.Sprintf("propagation(%d)", int(m))
+}
+
+// Policy configures which sources taint data and which uses are violations.
+type Policy struct {
+	// Propagation selects the rule set (classical DTA by default).
+	Propagation PropagationMode
+
+	// TaintFile and TaintNet control whether the respective sources
+	// initialize taint.
+	TaintFile bool
+	TaintNet  bool
+	// TrustConn, if non-nil, exempts individual network connections from
+	// tainting — the paper's apache-25/50/75 policies mark a fraction of
+	// accepted connections trusted (§3.1).
+	TrustConn func(conn int) bool
+	// CheckControlFlow raises a violation when an indirect jump target is
+	// tainted.
+	CheckControlFlow bool
+	// CheckLeak raises a violation when tainted data is written to a sink.
+	CheckLeak bool
+	// FailFast makes violations abort execution (returned as errors); when
+	// false they are recorded and execution continues.
+	FailFast bool
+}
+
+// DefaultPolicy is the conservative policy of the paper's general
+// evaluation: all external input is untrusted, control-flow checks enabled.
+func DefaultPolicy() Policy {
+	return Policy{
+		TaintFile:        true,
+		TaintNet:         true,
+		CheckControlFlow: true,
+		CheckLeak:        false,
+		FailFast:         true,
+	}
+}
+
+// RegTaint is the byte-granular taint of one 32-bit register.
+type RegTaint [4]shadow.Tag
+
+// Union returns the combined tag across all bytes.
+func (r RegTaint) Union() shadow.Tag {
+	return r[0] | r[1] | r[2] | r[3]
+}
+
+// Tainted reports whether any byte is tainted.
+func (r RegTaint) Tainted() bool { return r.Union() != shadow.TagClean }
+
+// splat returns a RegTaint with every byte set to t.
+func splat(t shadow.Tag) RegTaint { return RegTaint{t, t, t, t} }
+
+// Engine is the precise DIFT engine.
+type Engine struct {
+	Shadow *shadow.Shadow
+	policy Policy
+
+	regs [isa.NumRegs]RegTaint
+
+	violations []Violation
+
+	// connCounter assigns ids to accepted connections.
+	connCounter int
+
+	// stats
+	instrTotal   uint64
+	instrTainted uint64
+}
+
+// NewEngine builds an engine over the given shadow memory.
+func NewEngine(sh *shadow.Shadow, p Policy) *Engine {
+	return &Engine{Shadow: sh, policy: p}
+}
+
+// Policy returns the engine's policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// RegTaint returns the taint of register r.
+func (e *Engine) RegTaint(r int) RegTaint { return e.regs[r] }
+
+// SetRegTaint assigns the taint of register r.
+func (e *Engine) SetRegTaint(r int, t RegTaint) { e.regs[r] = t }
+
+// TaintMemory marks [addr, addr+n) with tag; the taint-initialization
+// operation (step 1 in Figure 3).
+func (e *Engine) TaintMemory(addr uint32, n int, tag shadow.Tag) {
+	e.Shadow.SetRange(addr, n, tag)
+}
+
+// ClearMemory removes taint from [addr, addr+n).
+func (e *Engine) ClearMemory(addr uint32, n int) {
+	e.Shadow.SetRange(addr, n, shadow.TagClean)
+}
+
+// Violations returns all recorded violations.
+func (e *Engine) Violations() []Violation { return e.violations }
+
+// InstructionsTotal returns the number of committed instructions observed.
+func (e *Engine) InstructionsTotal() uint64 { return e.instrTotal }
+
+// InstructionsTainted returns how many observed instructions touched taint.
+func (e *Engine) InstructionsTainted() uint64 { return e.instrTainted }
+
+func (e *Engine) violate(v Violation) error {
+	e.violations = append(e.violations, v)
+	if e.policy.FailFast {
+		return v
+	}
+	return nil
+}
+
+// Touches reports whether instruction in, with effective memory address addr
+// (for loads/stores), manipulates tainted data under the current precise
+// state. This is the ground-truth predicate of the paper's locality analysis
+// ("instructions touching tainted data", Tables 1–2) and of the S-LATCH
+// false-positive filter.
+func (e *Engine) Touches(in isa.Instr, addr uint32) bool {
+	switch in.Op.Class() {
+	case isa.ClassMove:
+		return e.regs[in.Rs1].Tainted()
+	case isa.ClassALU2:
+		return e.regs[in.Rs1].Tainted() || e.regs[in.Rs2].Tainted()
+	case isa.ClassALUImm:
+		return e.regs[in.Rs1].Tainted()
+	case isa.ClassLoad:
+		return e.Shadow.RangeTainted(addr, in.Op.MemSize())
+	case isa.ClassStore:
+		return e.regs[in.Rd].Tainted() || e.Shadow.RangeTainted(addr, in.Op.MemSize())
+	case isa.ClassBranch:
+		return e.regs[in.Rd].Tainted() || e.regs[in.Rs1].Tainted()
+	case isa.ClassJumpInd:
+		return e.regs[in.Rs1].Tainted()
+	}
+	return false
+}
+
+// Commit propagates taint for a committed instruction; addr is the effective
+// memory address for loads and stores. It must be called after the VM has
+// executed the instruction's architectural semantics (memory taint for
+// stores is derived from register state, which stores do not modify, and
+// vice versa for loads, so ordering is safe). Returns a violation error when
+// the policy is FailFast and a check fires.
+func (e *Engine) Commit(pc uint32, in isa.Instr, addr uint32) error {
+	e.instrTotal++
+	if e.Touches(in, addr) {
+		e.instrTainted++
+	}
+	switch in.Op.Class() {
+	case isa.ClassMove:
+		e.regs[in.Rd] = e.regs[in.Rs1]
+	case isa.ClassImm:
+		e.regs[in.Rd] = RegTaint{}
+	case isa.ClassALU2:
+		if e.policy.Propagation == PropagationPIFT {
+			// PIFT does not track taint through computation.
+			e.regs[in.Rd] = RegTaint{}
+			break
+		}
+		if in.Op == isa.XOR && in.Rs1 == in.Rs2 {
+			// xor r, a, a: result is constant zero — classical DTA clears.
+			e.regs[in.Rd] = RegTaint{}
+			break
+		}
+		u := e.regs[in.Rs1].Union() | e.regs[in.Rs2].Union()
+		e.regs[in.Rd] = splat(u)
+	case isa.ClassALUImm:
+		if e.policy.Propagation == PropagationPIFT {
+			e.regs[in.Rd] = RegTaint{}
+			break
+		}
+		e.regs[in.Rd] = splat(e.regs[in.Rs1].Union())
+	case isa.ClassLoad:
+		size := in.Op.MemSize()
+		var rt RegTaint
+		for i := 0; i < size; i++ {
+			rt[i] = e.Shadow.Get(addr + uint32(i))
+		}
+		// Zero-extension: upper bytes are untainted constants.
+		e.regs[in.Rd] = rt
+	case isa.ClassStore:
+		size := in.Op.MemSize()
+		rt := e.regs[in.Rd]
+		for i := 0; i < size; i++ {
+			e.Shadow.Set(addr+uint32(i), rt[i])
+		}
+	case isa.ClassJump:
+		if in.Op == isa.CALL {
+			// The return address is an untainted constant.
+			e.regs[isa.RegLR] = RegTaint{}
+		}
+	case isa.ClassJumpInd:
+		if in.Op == isa.CALLR {
+			e.regs[isa.RegLR] = RegTaint{}
+		}
+	}
+	return nil
+}
+
+// IndirectTarget validates an indirect control transfer through register
+// reg to the given target before it executes.
+func (e *Engine) IndirectTarget(pc uint32, reg int, target uint32) error {
+	if !e.policy.CheckControlFlow {
+		return nil
+	}
+	if t := e.regs[reg].Union(); t != shadow.TagClean {
+		return e.violate(Violation{Kind: ViolationControlFlow, PC: pc, Addr: target, Tag: t})
+	}
+	return nil
+}
+
+// Input records external data arriving in [addr, addr+n): taint
+// initialization per the policy. conn is the connection id for network
+// input (-1 for file input).
+func (e *Engine) Input(addr uint32, n int, source InputSource, conn int) {
+	var taint bool
+	switch source {
+	case SourceFile:
+		taint = e.policy.TaintFile
+	case SourceNet:
+		taint = e.policy.TaintNet
+		if taint && e.policy.TrustConn != nil && conn >= 0 && e.policy.TrustConn(conn) {
+			taint = false
+		}
+	}
+	if taint {
+		e.Shadow.SetRange(addr, n, source.Tag())
+	} else {
+		// Untrusted-turned-trusted input overwrites memory with clean data.
+		e.Shadow.SetRange(addr, n, shadow.TagClean)
+	}
+}
+
+// Output validates data leaving through an output sink from [addr, addr+n).
+func (e *Engine) Output(pc uint32, addr uint32, n int) error {
+	if !e.policy.CheckLeak {
+		return nil
+	}
+	if t := e.Shadow.RangeTag(addr, n); t != shadow.TagClean {
+		return e.violate(Violation{Kind: ViolationLeak, PC: pc, Addr: addr, Tag: t})
+	}
+	return nil
+}
+
+// Accept registers a new inbound connection and returns its id.
+func (e *Engine) Accept() int {
+	id := e.connCounter
+	e.connCounter++
+	return id
+}
+
+// SetTaintByte implements the semantics of the stnt instruction (Table 5):
+// the software DIFT layer updates the taint status of a single memory byte,
+// writing through to the shadow (and, via shadow watchers, to the coarse
+// taint state) without touching the data caches.
+func (e *Engine) SetTaintByte(addr uint32, tag shadow.Tag) {
+	e.Shadow.Set(addr, tag)
+}
+
+// SetRegTaintMask implements the semantics of the strf instruction
+// (Table 5): bit i of mask sets or clears the taint flag of register i.
+func (e *Engine) SetRegTaintMask(mask uint32, tag shadow.Tag) {
+	for r := 0; r < isa.NumRegs; r++ {
+		if mask&(1<<r) != 0 {
+			e.regs[r] = splat(tag)
+		} else {
+			e.regs[r] = RegTaint{}
+		}
+	}
+}
+
+// Reset clears register taint, violations, and counters; the shadow memory
+// is left to the caller (it may be shared with the coarse state).
+func (e *Engine) Reset() {
+	e.regs = [isa.NumRegs]RegTaint{}
+	e.violations = nil
+	e.connCounter = 0
+	e.instrTotal = 0
+	e.instrTainted = 0
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+
+	"latch/internal/hlatch"
+	"latch/internal/latch"
+	"latch/internal/platch"
+	"latch/internal/shadow"
+	"latch/internal/slatch"
+	"latch/internal/stats"
+	"latch/internal/trace"
+	"latch/internal/workload"
+)
+
+// Ablation studies for the design choices DESIGN.md §5 calls out. These go
+// beyond the paper's published evaluation: they vary one parameter of the
+// LATCH design at a time and measure its effect on a representative
+// benchmark mix (a well-behaved program, a fragmented one, and a server).
+
+// ablationBenchmarks is the mix used by all sweeps.
+var ablationBenchmarks = []string{"gcc", "sphinx3", "apache"}
+
+// AblationDomainSize sweeps the taint-domain granularity (§4.1's central
+// trade-off): smaller domains need more CTT words and CTC reach but produce
+// fewer false positives; larger domains compress better but mix clean and
+// tainted bytes.
+func (r *Runner) AblationDomainSize() (*stats.Table, error) {
+	t := stats.NewTable("Ablation: taint-domain size (H-LATCH, combined miss % | false positives per 1K checks)",
+		"benchmark", "8B", "16B", "32B", "64B", "128B", "256B")
+	for _, name := range ablationBenchmarks {
+		p, err := workload.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{name}
+		for _, ds := range Fig6Granularities {
+			cfg := hlatch.DefaultConfig()
+			cfg.Events = r.opts.Events / 4
+			cfg.Latch.DomainSize = ds
+			res, err := hlatch.Run(p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			fpPerK := 1000 * float64(res.Latch.FalsePositives) / float64(res.Checks)
+			row = append(row, fmt.Sprintf("%s|%s",
+				stats.FormatFloat(res.CombinedMissPct), stats.FormatFloat(fpPerK)))
+		}
+		t.AddRowf(row...)
+	}
+	return t, nil
+}
+
+// AblationTimeout sweeps the S-LATCH software-mode timeout (§5.1.3 fixes
+// 1000 instructions): too short thrashes on mode switches, too long wastes
+// instrumented execution on taint-free code.
+func (r *Runner) AblationTimeout() (*stats.Table, error) {
+	timeouts := []uint64{10, 100, 500, 1000, 5000, 20000}
+	header := []string{"benchmark"}
+	for _, to := range timeouts {
+		header = append(header, fmt.Sprintf("%d", to))
+	}
+	t := stats.NewTable("Ablation: S-LATCH timeout in instructions (overhead over native)", header...)
+	for _, name := range ablationBenchmarks {
+		p, err := workload.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{name}
+		for _, to := range timeouts {
+			cfg := slatch.DefaultConfig()
+			cfg.Events = r.opts.Events / 4
+			cfg.TimeoutInstrs = to
+			res, err := slatch.Run(p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.Overhead())
+		}
+		t.AddRowf(row...)
+	}
+	return t, nil
+}
+
+// AblationCTCSize sweeps the Coarse Taint Cache capacity; the paper's 16
+// entries (64 B of payload) suffice because coarse words cover 2 KiB each
+// and tainted working sets are small (§4.1).
+func (r *Runner) AblationCTCSize() (*stats.Table, error) {
+	sizes := []int{2, 4, 8, 16, 32, 64}
+	header := []string{"benchmark"}
+	for _, n := range sizes {
+		header = append(header, fmt.Sprintf("%d entries", n))
+	}
+	t := stats.NewTable("Ablation: CTC entries (H-LATCH CTC miss %)", header...)
+	for _, name := range append(ablationBenchmarks, "astar") {
+		p, err := workload.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{name}
+		for _, n := range sizes {
+			cfg := hlatch.DefaultConfig()
+			cfg.Events = r.opts.Events / 4
+			cfg.Latch.CTCEntries = n
+			res, err := hlatch.Run(p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.CTCMissPct)
+		}
+		t.AddRowf(row...)
+	}
+	return t, nil
+}
+
+// AblationClearBits isolates the §5.1.4 clear-bit machinery: a churning
+// workload retires taint from whole domains over time; with lazy clear bits
+// plus periodic scans (the timeout returns) the CTT tracks the precise
+// state, while with clears disabled the coarse state only ever grows and
+// every retired domain remains a permanent false-positive source.
+func (r *Runner) AblationClearBits() (*stats.Table, error) {
+	t := stats.NewTable("Ablation: clear-bit machinery (coarse domains marked vs truly tainted after a churning run)",
+		"benchmark", "truly tainted", "marked (eager)", "marked (lazy+scan)", "marked (no clear)", "stale % (no clear)")
+	for _, name := range ablationBenchmarks {
+		p, err := workload.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		// Boost churn so domain retirement is the dominant effect.
+		p.ChurnProb = 0.8
+		p.TaintReuse = 4
+
+		type outcome struct {
+			marked, truth int
+		}
+		run := func(clear latch.ClearPolicy) (outcome, error) {
+			cfg := latch.DefaultConfig()
+			cfg.Clear = clear
+			cfg.BaselineTCache = false
+			sh, err := shadow.New(cfg.DomainSize)
+			if err != nil {
+				return outcome{}, err
+			}
+			m, err := latch.New(cfg, sh)
+			if err != nil {
+				return outcome{}, err
+			}
+			g, err := workload.NewGeneratorOn(p, sh)
+			if err != nil {
+				return outcome{}, err
+			}
+			var i uint64
+			g.Run(r.opts.Events/4, trace.SinkFunc(func(ev trace.Event) {
+				i++
+				if clear == latch.LazyClear && i%10_000 == 0 {
+					// Model the periodic timeout returns that trigger the
+					// resident clear-bit scan.
+					m.ScanResidentClears()
+				}
+			}))
+			if clear == latch.LazyClear {
+				m.ScanResidentClears()
+			}
+			// Ground truth: count domains that still hold taint.
+			truth := 0
+			for _, pn := range sh.EverTaintedPageNumbers() {
+				base := pn << 12
+				for off := uint32(0); off < 4096; off += cfg.DomainSize {
+					if sh.DomainTainted(sh.DomainIndex(base + off)) {
+						truth++
+					}
+				}
+			}
+			return outcome{marked: m.CTT().TaintedDomains(), truth: truth}, nil
+		}
+
+		eager, err := run(latch.EagerClear)
+		if err != nil {
+			return nil, err
+		}
+		lazy, err := run(latch.LazyClear)
+		if err != nil {
+			return nil, err
+		}
+		none, err := run(latch.NoClear)
+		if err != nil {
+			return nil, err
+		}
+		stale := 0.0
+		if none.marked > 0 {
+			stale = 100 * float64(none.marked-none.truth) / float64(none.marked)
+		}
+		t.AddRowf(name, eager.truth, eager.marked, lazy.marked, none.marked, stale)
+	}
+	return t, nil
+}
+
+// AblationQueueDepth sweeps the P-LATCH shared-FIFO depth in the queue
+// simulation: deeper queues absorb longer bursts before the monitored core
+// stalls (§5.2).
+func (r *Runner) AblationQueueDepth() (*stats.Table, error) {
+	depths := []int{16, 64, 256, 1024, 4096}
+	header := []string{"benchmark"}
+	for _, d := range depths {
+		header = append(header, fmt.Sprintf("depth %d", d))
+	}
+	t := stats.NewTable("Ablation: P-LATCH queue depth (queue-sim overhead, simple LBA)", header...)
+	for _, name := range append(ablationBenchmarks, "astar") {
+		p, err := workload.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		row := []any{name}
+		for _, d := range depths {
+			cfg := platch.DefaultConfig()
+			cfg.QueueDepth = d
+			cfg.Events = r.opts.Events / 4
+			res, err := platch.Run(p, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.QueueOverheadSimple)
+		}
+		t.AddRowf(row...)
+	}
+	return t, nil
+}

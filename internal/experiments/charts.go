@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strconv"
+
+	"latch/internal/stats"
+)
+
+// chartSpecs maps experiment ids to the table column worth rendering as a
+// bar chart — the terminal stand-in for the paper's bar figures. Rows whose
+// cell does not parse as a number (summary and reference rows) are skipped.
+var chartSpecs = map[string]struct {
+	column int
+	title  string
+}{
+	"figure5":  {3, "instructions in taint-free epochs >= 10K (%)"},
+	"figure13": {2, "S-LATCH overhead over native execution"},
+	"figure15": {2, "P-LATCH overhead (simple LBA integration)"},
+	"figure16": {1, "memory accesses resolved at the TLB (%)"},
+	"table6":   {0, ""}, // no chart: paired measured|paper cells
+}
+
+// Chart renders the bar-chart view of an experiment's table, if one is
+// defined. The boolean reports whether a chart exists for the id.
+func Chart(id string, t *stats.Table) (string, bool) {
+	spec, ok := chartSpecs[id]
+	if !ok || spec.column == 0 {
+		return "", false
+	}
+	var labels []string
+	var values []float64
+	for i := 0; i < t.Rows(); i++ {
+		v, err := strconv.ParseFloat(t.Cell(i, spec.column), 64)
+		if err != nil {
+			continue
+		}
+		labels = append(labels, t.Cell(i, 0))
+		values = append(values, v)
+	}
+	if len(values) == 0 {
+		return "", false
+	}
+	return stats.BarChart(spec.title, labels, values, 50), true
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+
+	"latch/internal/cosim"
+	"latch/internal/dift"
+	"latch/internal/stats"
+	"latch/internal/vm"
+	"latch/internal/workload"
+)
+
+// cosimCase is one end-to-end S-LATCH co-simulation scenario: a real LA32
+// program with real taint sources, executed under the full two-mode
+// protocol (Figure 9).
+type cosimCase struct {
+	name    string
+	program string
+	setup   func(*vm.Env)
+}
+
+var cosimCases = []cosimCase{
+	{"copyloop", "copyloop", func(e *vm.Env) {
+		e.FileData = []byte("thirty-two bytes of tainted in!!")
+	}},
+	{"substitution", "substitution", func(e *vm.Env) {
+		e.FileData = []byte("compressible aaaa bbbb cccc dddd")
+	}},
+	{"parser", "parser", func(e *vm.Env) {
+		e.FileData = []byte("scan these words for separators here")
+	}},
+	{"server", "server", func(e *vm.Env) {
+		for i := 0; i < 8; i++ {
+			e.Requests = append(e.Requests, []byte(fmt.Sprintf("GET /page/%d HTTP/1.0", i)))
+		}
+	}},
+	{"overflow-benign", "overflow", func(e *vm.Env) {
+		e.FileData = []byte("short")
+	}},
+	{"rle", "rle", func(e *vm.Env) {
+		e.FileData = []byte("aaaaaaaabbbbbbbbccccccccdddddddd")
+	}},
+	{"checksum", "checksum", func(e *vm.Env) {
+		e.FileData = []byte("data to be checksummed end to end!!!")
+	}},
+	{"caesar", "caesar", func(e *vm.Env) {
+		e.FileData = []byte("rotate thirteen")
+	}},
+	{"filter", "filter", func(e *vm.Env) {
+		e.FileData = []byte("strip\x01\x02the\x03controls")
+	}},
+	{"pipeline", "pipeline", func(e *vm.Env) {
+		e.FileData = []byte("stage me through three kernels")
+	}},
+}
+
+// ParallelCoSim runs the scenarios on the two-core P-LATCH co-simulation:
+// the monitored core executes natively with the LATCH filter deciding which
+// committed instructions enter the shared log; a lagging monitor replays
+// the log through the byte-precise engine. The unfiltered LBA baseline runs
+// the same programs for comparison.
+func (r *Runner) ParallelCoSim() (*stats.Table, error) {
+	t := stats.NewTable("Two-core P-LATCH co-simulation (real LA32 programs, LBA service 3.38 cycles/entry)",
+		"program", "instructions", "logged % (filtered)", "overhead (filtered)", "overhead (baseline LBA)", "max queue")
+	for _, c := range cosimCases {
+		run := func(filtered bool) (cosim.ParallelStats, error) {
+			cfg := cosim.DefaultParallelConfig()
+			cfg.Filtered = filtered
+			sys, err := cosim.NewParallel(cfg, dift.DefaultPolicy())
+			if err != nil {
+				return cosim.ParallelStats{}, err
+			}
+			c.setup(sys.Machine.Env)
+			src, err := workload.ProgramSource(c.program)
+			if err != nil {
+				return cosim.ParallelStats{}, err
+			}
+			if _, err := sys.Run(src, 1_000_000); err != nil {
+				return cosim.ParallelStats{}, fmt.Errorf("platch-cosim %s: %w", c.name, err)
+			}
+			return sys.Stats(), nil
+		}
+		filtered, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		baseline, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(c.name, filtered.Instructions,
+			100*float64(filtered.Enqueued)/float64(filtered.Instructions),
+			filtered.Overhead(), baseline.Overhead(), filtered.MaxQueueDepth)
+	}
+	return t, nil
+}
+
+// CoSim runs every scenario under the end-to-end S-LATCH co-simulation and
+// tabulates the mode split and overhead against continuous software DIFT.
+func (r *Runner) CoSim() (*stats.Table, error) {
+	t := stats.NewTable("End-to-end S-LATCH co-simulation (real LA32 programs, 5x software DIFT)",
+		"program", "instructions", "hw %", "sw %", "switches", "false traps", "overhead %", "continuous %")
+	for _, c := range cosimCases {
+		cfg := cosim.DefaultConfig()
+		sys, err := cosim.New(cfg, dift.DefaultPolicy())
+		if err != nil {
+			return nil, err
+		}
+		c.setup(sys.Machine.Env)
+		src, err := workload.ProgramSource(c.program)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.Run(src, 1_000_000); err != nil {
+			return nil, fmt.Errorf("cosim %s: %w", c.name, err)
+		}
+		st := sys.Stats()
+		n := float64(st.Instructions)
+		t.AddRowf(c.name, st.Instructions,
+			100*float64(st.HWInstrs)/n, 100*float64(st.SWInstrs)/n,
+			st.Switches, st.FalseTraps,
+			100*st.Overhead(), 100*(cfg.SWSlowdown-1))
+	}
+	return t, nil
+}

@@ -1,0 +1,462 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from this repository's implementation. Each experiment runs
+// the calibrated workload streams through the real LATCH machinery and
+// renders a paper-style table, printing the published value beside the
+// measured one wherever the paper reports an exact number.
+//
+// Shared simulation passes (the temporal characterization, the H-LATCH
+// cache runs, the S-LATCH runs) are memoized on the Runner so regenerating
+// several related artifacts does not repeat work.
+package experiments
+
+import (
+	"fmt"
+
+	"latch/internal/complexity"
+	"latch/internal/hlatch"
+	"latch/internal/latch"
+	"latch/internal/platch"
+	"latch/internal/shadow"
+	"latch/internal/slatch"
+	"latch/internal/stats"
+	"latch/internal/trace"
+	"latch/internal/workload"
+)
+
+// Options sizes the simulation runs. The paper streams 500M instructions
+// per benchmark; scaled-down defaults keep a full regeneration to a few
+// minutes while preserving every reported shape. All results are rates, so
+// run length affects noise, not means.
+type Options struct {
+	// Events is the stream length for cache and overhead experiments.
+	Events uint64
+	// EpochEvents is the stream length for the temporal characterization
+	// (Tables 1-2, Figure 5); it must be a large multiple of the longest
+	// epoch class (1M instructions) for the top Figure 5 bucket to fill.
+	EpochEvents uint64
+	// Fig6Events is the stream length for the granularity sweep.
+	Fig6Events uint64
+}
+
+// DefaultOptions returns run lengths suitable for interactive use.
+func DefaultOptions() Options {
+	return Options{Events: 2_000_000, EpochEvents: 8_000_000, Fig6Events: 4_000_000}
+}
+
+// Runner executes experiments with memoized simulation passes.
+type Runner struct {
+	opts Options
+
+	temporal map[workload.Suite][]temporalResult
+	hl       map[workload.Suite][]hlatch.Result
+	sl       map[workload.Suite][]slatch.Result
+	pl       map[workload.Suite][]platch.Result
+}
+
+// NewRunner builds a Runner.
+func NewRunner(o Options) *Runner {
+	return &Runner{
+		opts:     o,
+		temporal: make(map[workload.Suite][]temporalResult),
+		hl:       make(map[workload.Suite][]hlatch.Result),
+		sl:       make(map[workload.Suite][]slatch.Result),
+		pl:       make(map[workload.Suite][]platch.Result),
+	}
+}
+
+// temporalResult is one benchmark's temporal characterization.
+type temporalResult struct {
+	Name         string
+	TaintPct     float64
+	EpochShares  []float64
+	PagesTainted int
+	Events       uint64
+}
+
+// Temporal runs (or returns the memoized) temporal characterization pass.
+func (r *Runner) Temporal(s workload.Suite) ([]temporalResult, error) {
+	if res, ok := r.temporal[s]; ok {
+		return res, nil
+	}
+	var out []temporalResult
+	for _, name := range workload.BySuite(s) {
+		p := workload.MustGet(name)
+		g, err := workload.NewGenerator(p, shadow.DefaultDomainSize)
+		if err != nil {
+			return nil, err
+		}
+		a := trace.NewEpochAnalyzer()
+		g.Run(r.opts.EpochEvents, a)
+		a.Finish()
+		out = append(out, temporalResult{
+			Name:         name,
+			TaintPct:     a.TaintedPercent(),
+			EpochShares:  a.EpochShares(),
+			PagesTainted: g.Shadow().EverTaintedPages(),
+			Events:       a.TotalInstructions(),
+		})
+	}
+	r.temporal[s] = out
+	return out, nil
+}
+
+// HLatch runs (or returns the memoized) H-LATCH cache pass.
+func (r *Runner) HLatch(s workload.Suite) ([]hlatch.Result, error) {
+	if res, ok := r.hl[s]; ok {
+		return res, nil
+	}
+	cfg := hlatch.DefaultConfig()
+	cfg.Events = r.opts.Events
+	res, err := hlatch.RunSuite(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.hl[s] = res
+	return res, nil
+}
+
+// SLatch runs (or returns the memoized) S-LATCH pass.
+func (r *Runner) SLatch(s workload.Suite) ([]slatch.Result, error) {
+	if res, ok := r.sl[s]; ok {
+		return res, nil
+	}
+	cfg := slatch.DefaultConfig()
+	cfg.Events = r.opts.Events
+	res, err := slatch.RunSuite(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.sl[s] = res
+	return res, nil
+}
+
+// PLatch runs (or returns the memoized) P-LATCH pass.
+func (r *Runner) PLatch(s workload.Suite) ([]platch.Result, error) {
+	if res, ok := r.pl[s]; ok {
+		return res, nil
+	}
+	cfg := platch.DefaultConfig()
+	cfg.Events = r.opts.Events
+	res, err := platch.RunSuite(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.pl[s] = res
+	return res, nil
+}
+
+// Table1 regenerates Table 1: percentage of instructions touching tainted
+// data, SPEC 2006.
+func (r *Runner) Table1() (*stats.Table, error) {
+	return r.taintPctTable(workload.SuiteSPEC, "Table 1")
+}
+
+// Table2 regenerates Table 2: same metric for the network applications.
+func (r *Runner) Table2() (*stats.Table, error) {
+	return r.taintPctTable(workload.SuiteNetwork, "Table 2")
+}
+
+func (r *Runner) taintPctTable(s workload.Suite, title string) (*stats.Table, error) {
+	res, err := r.Temporal(s)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(title+": instructions touching tainted data (%)",
+		"benchmark", "measured %", "paper %")
+	for _, tr := range res {
+		t.AddRowf(tr.Name, tr.TaintPct, workload.MustGet(tr.Name).TaintPct)
+	}
+	return t, nil
+}
+
+// Figure5 regenerates Figure 5: the share of instructions executed inside
+// taint-free epochs of at least 100/1K/10K/100K/1M instructions.
+func (r *Runner) Figure5() (*stats.Table, error) {
+	t := stats.NewTable("Figure 5: % of instructions in taint-free epochs of at least N instructions",
+		"benchmark", ">=100", ">=1K", ">=10K", ">=100K", ">=1M")
+	for _, s := range []workload.Suite{workload.SuiteSPEC, workload.SuiteNetwork} {
+		res, err := r.Temporal(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range res {
+			t.AddRowf(tr.Name,
+				100*tr.EpochShares[0], 100*tr.EpochShares[1], 100*tr.EpochShares[2],
+				100*tr.EpochShares[3], 100*tr.EpochShares[4])
+		}
+	}
+	return t, nil
+}
+
+// Table3 regenerates Table 3: page-granularity taint distribution, SPEC.
+func (r *Runner) Table3() (*stats.Table, error) { return r.pagesTable(workload.SuiteSPEC, "Table 3") }
+
+// Table4 regenerates Table 4: page-granularity taint distribution, network
+// applications.
+func (r *Runner) Table4() (*stats.Table, error) {
+	return r.pagesTable(workload.SuiteNetwork, "Table 4")
+}
+
+func (r *Runner) pagesTable(s workload.Suite, title string) (*stats.Table, error) {
+	t := stats.NewTable(title+": distribution of taint at page granularity",
+		"benchmark", "pages accessed", "pages tainted", "tainted %", "paper %")
+	for _, name := range workload.BySuite(s) {
+		p := workload.MustGet(name)
+		g, err := workload.NewGenerator(p, shadow.DefaultDomainSize)
+		if err != nil {
+			return nil, err
+		}
+		tainted := g.Shadow().EverTaintedPages()
+		t.AddRowf(name, p.PagesAccessed, tainted,
+			100*float64(tainted)/float64(p.PagesAccessed),
+			100*float64(p.PagesTainted)/float64(p.PagesAccessed))
+	}
+	return t, nil
+}
+
+// Fig6Granularities are the taint-domain sizes swept by Figure 6.
+var Fig6Granularities = []uint32{8, 16, 32, 64, 128, 256}
+
+// Figure6 regenerates Figure 6: the taint-detection multiplier (coarse
+// detections over byte-precise detections) as domain size grows.
+func (r *Runner) Figure6() (*stats.Table, error) {
+	t := stats.NewTable("Figure 6: taint detection multiplier vs. domain size (1.0 = byte-precise)",
+		"benchmark", "8B", "16B", "32B", "64B", "128B", "256B")
+	for _, s := range []workload.Suite{workload.SuiteSPEC, workload.SuiteNetwork} {
+		for _, name := range workload.BySuite(s) {
+			p := workload.MustGet(name)
+			g, err := workload.NewGenerator(p, shadow.DefaultDomainSize)
+			if err != nil {
+				return nil, err
+			}
+			sh := g.Shadow()
+			coarse := make([]uint64, len(Fig6Granularities))
+			var precise uint64
+			g.Run(r.opts.Fig6Events, trace.SinkFunc(func(ev trace.Event) {
+				if !ev.IsMem {
+					return
+				}
+				if ev.Tainted {
+					precise++
+				}
+				for i, gsize := range Fig6Granularities {
+					if sh.TaintedAt(ev.Addr, gsize) {
+						coarse[i]++
+					}
+				}
+			}))
+			row := make([]any, 0, 7)
+			row = append(row, name)
+			for i := range Fig6Granularities {
+				if precise == 0 {
+					row = append(row, 0.0)
+					continue
+				}
+				row = append(row, float64(coarse[i])/float64(precise))
+			}
+			t.AddRowf(row...)
+		}
+	}
+	return t, nil
+}
+
+// Figure13 regenerates Figure 13: S-LATCH and software-only DIFT overheads
+// over native execution.
+func (r *Runner) Figure13() (*stats.Table, error) {
+	t := stats.NewTable("Figure 13: performance overhead over native execution",
+		"benchmark", "libdft overhead", "S-LATCH overhead", "speedup vs libdft")
+	var overheads []float64
+	var speedups []float64
+	for _, s := range []workload.Suite{workload.SuiteSPEC, workload.SuiteNetwork} {
+		res, err := r.SLatch(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, sr := range res {
+			t.AddRowf(sr.Benchmark, sr.LibdftOverhead(), sr.Overhead(), sr.SpeedupVsLibdft())
+			if s == workload.SuiteSPEC {
+				overheads = append(overheads, 1+sr.Overhead())
+				speedups = append(speedups, sr.SpeedupVsLibdft())
+			}
+		}
+	}
+	if hm, err := stats.HarmonicMean(overheads); err == nil {
+		t.AddRowf("SPEC harmonic mean", "", hm-1, stats.Mean(speedups))
+		t.AddRowf("paper reference", "", PaperSLatchHarmonicMeanOverhead, PaperSLatchMeanSpeedup)
+	}
+	return t, nil
+}
+
+// Figure14 regenerates Figure 14: the sources of S-LATCH overhead, as
+// shares of total overhead cycles.
+func (r *Runner) Figure14() (*stats.Table, error) {
+	t := stats.NewTable("Figure 14: sources of S-LATCH overhead (% of overhead cycles)",
+		"benchmark", "libdft", "control xfer", "fp checks", "ctc miss", "reset")
+	for _, s := range []workload.Suite{workload.SuiteSPEC, workload.SuiteNetwork} {
+		res, err := r.SLatch(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, sr := range res {
+			total := float64(sr.TotalCycles() - sr.BaseCycles)
+			if total == 0 {
+				t.AddRowf(sr.Benchmark, 0.0, 0.0, 0.0, 0.0, 0.0)
+				continue
+			}
+			t.AddRowf(sr.Benchmark,
+				100*float64(sr.LibdftCycles)/total,
+				100*float64(sr.XferCycles)/total,
+				100*float64(sr.FPCheckCycles)/total,
+				100*float64(sr.CTCMissCycles)/total,
+				100*float64(sr.ResetCycles)/total)
+		}
+	}
+	return t, nil
+}
+
+// Figure15 regenerates Figure 15: P-LATCH overheads relative to native
+// execution, for the simple and optimized LBA integrations.
+func (r *Runner) Figure15() (*stats.Table, error) {
+	t := stats.NewTable("Figure 15: P-LATCH overhead over native execution",
+		"benchmark", "active window frac", "simple", "optimized", "queue-sim simple", "queue-sim optimized")
+	var specS, specO, netS, netO []float64
+	for _, s := range []workload.Suite{workload.SuiteSPEC, workload.SuiteNetwork} {
+		res, err := r.PLatch(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, pr := range res {
+			t.AddRowf(pr.Benchmark, pr.ActiveWindowFraction,
+				pr.OverheadSimple, pr.OverheadOptimized,
+				pr.QueueOverheadSimple, pr.QueueOverheadOptimized)
+			if s == workload.SuiteSPEC {
+				specS = append(specS, pr.OverheadSimple)
+				specO = append(specO, pr.OverheadOptimized)
+			} else {
+				netS = append(netS, pr.OverheadSimple)
+				netO = append(netO, pr.OverheadOptimized)
+			}
+		}
+	}
+	t.AddRowf("SPEC mean", "", stats.Mean(specS), stats.Mean(specO), "", "")
+	t.AddRowf("network mean", "", stats.Mean(netS), stats.Mean(netO), "", "")
+	t.AddRowf("paper SPEC mean", "", PaperPLatchSPECMeanSimple, PaperPLatchSPECMeanOptimized, "", "")
+	t.AddRowf("paper network mean", "", PaperPLatchNetworkMeanSimple, PaperPLatchNetworkMeanOptimized, "", "")
+	return t, nil
+}
+
+// Table6 regenerates Table 6: H-LATCH cache performance for SPEC 2006.
+func (r *Runner) Table6() (*stats.Table, error) { return r.cacheTable(workload.SuiteSPEC, "Table 6") }
+
+// Table7 regenerates Table 7: H-LATCH cache performance for the network
+// applications.
+func (r *Runner) Table7() (*stats.Table, error) {
+	return r.cacheTable(workload.SuiteNetwork, "Table 7")
+}
+
+func (r *Runner) cacheTable(s workload.Suite, title string) (*stats.Table, error) {
+	res, err := r.HLatch(s)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(title+": H-LATCH cache performance (measured | paper)",
+		"benchmark", "CTC miss %", "t$ miss %", "combined %", "baseline %", "avoided %")
+	pair := func(measured, paper float64) string {
+		return stats.FormatFloat(measured) + " | " + stats.FormatFloat(paper)
+	}
+	for _, hr := range res {
+		ctc, tc, comb, base, avoid, ok := PaperCachePerf(hr.Benchmark)
+		if !ok {
+			t.AddRowf(hr.Benchmark, hr.CTCMissPct, hr.TCacheMissPct, hr.CombinedMissPct,
+				hr.BaselineMissPct, hr.AvoidedPct)
+			continue
+		}
+		t.AddRow(hr.Benchmark,
+			pair(hr.CTCMissPct, ctc), pair(hr.TCacheMissPct, tc),
+			pair(hr.CombinedMissPct, comb), pair(hr.BaselineMissPct, base),
+			pair(hr.AvoidedPct, avoid))
+	}
+	return t, nil
+}
+
+// Figure16 regenerates Figure 16: the share of memory accesses resolved by
+// each element of the H-LATCH taint-checking stack.
+func (r *Runner) Figure16() (*stats.Table, error) {
+	t := stats.NewTable("Figure 16: % of memory accesses handled by each taint caching element",
+		"benchmark", "TLB", "CTC", "t-cache")
+	for _, s := range []workload.Suite{workload.SuiteSPEC, workload.SuiteNetwork} {
+		res, err := r.HLatch(s)
+		if err != nil {
+			return nil, err
+		}
+		for _, hr := range res {
+			t.AddRowf(hr.Benchmark, 100*hr.ShareTLB, 100*hr.ShareCTC, 100*hr.SharePrecise)
+		}
+	}
+	return t, nil
+}
+
+// Complexity regenerates the §6.4 FPGA complexity analysis.
+func (r *Runner) Complexity() (*stats.Table, error) {
+	t := stats.NewTable("Complexity (AO486 + LATCH, §6.4): measured | paper",
+		"metric", "value")
+	pair := func(measured, paper float64) string {
+		return stats.FormatFloat(measured) + " | " + stats.FormatFloat(paper)
+	}
+	eager := complexity.Compute(latch.DefaultConfig())
+	lazyCfg := latch.DefaultConfig()
+	lazyCfg.Clear = latch.LazyClear
+	lazy := complexity.Compute(lazyCfg)
+	t.AddRow("logic elements increase %", pair(eager.LEIncreasePct, PaperLEIncreasePct))
+	t.AddRow("memory bits increase %", pair(eager.MemBitsIncreasePct, PaperMemBitsIncreasePct))
+	t.AddRow("dynamic power increase %", pair(eager.DynPowerIncreasePct, PaperDynPowerIncreasePct))
+	t.AddRow("static power increase %", pair(eager.StaticPowerIncreasePct, PaperStatPowerIncreasePct))
+	t.AddRowf("cycle time impact", fmt.Sprintf("%v | none", eager.CycleTimeImpact()))
+	t.AddRowf("module state bits (H-LATCH/eager)", eager.TotalBits)
+	t.AddRowf("module state bits (S-LATCH/lazy)", lazy.TotalBits)
+	t.AddRowf("CTC payload bytes", latch.DefaultConfig().CTCPayloadBytes())
+	return t, nil
+}
+
+// Experiment couples an id with its generator, for the CLI and benches.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(*Runner) (*stats.Table, error)
+}
+
+// Catalog lists every regenerable artifact in paper order.
+var Catalog = []Experiment{
+	{"table1", "Table 1: taint % (SPEC)", (*Runner).Table1},
+	{"table2", "Table 2: taint % (network)", (*Runner).Table2},
+	{"figure5", "Figure 5: taint-free epochs", (*Runner).Figure5},
+	{"table3", "Table 3: page taint (SPEC)", (*Runner).Table3},
+	{"table4", "Table 4: page taint (network)", (*Runner).Table4},
+	{"figure6", "Figure 6: granularity sweep", (*Runner).Figure6},
+	{"figure13", "Figure 13: S-LATCH overhead", (*Runner).Figure13},
+	{"figure14", "Figure 14: S-LATCH breakdown", (*Runner).Figure14},
+	{"figure15", "Figure 15: P-LATCH overhead", (*Runner).Figure15},
+	{"table6", "Table 6: H-LATCH caches (SPEC)", (*Runner).Table6},
+	{"table7", "Table 7: H-LATCH caches (network)", (*Runner).Table7},
+	{"figure16", "Figure 16: resolution levels", (*Runner).Figure16},
+	{"complexity", "§6.4: FPGA complexity", (*Runner).Complexity},
+	{"ablation-domain", "Ablation: taint-domain size sweep", (*Runner).AblationDomainSize},
+	{"ablation-timeout", "Ablation: S-LATCH timeout sweep", (*Runner).AblationTimeout},
+	{"ablation-ctc", "Ablation: CTC size sweep", (*Runner).AblationCTCSize},
+	{"ablation-clear", "Ablation: clear-bit machinery on/off", (*Runner).AblationClearBits},
+	{"ablation-queue", "Ablation: P-LATCH queue depth sweep", (*Runner).AblationQueueDepth},
+	{"cosim", "End-to-end S-LATCH co-simulation", (*Runner).CoSim},
+	{"conventional", "Intro claim: 4KiB conventional vs 320B H-LATCH stack", (*Runner).Conventional},
+	{"platch-cosim", "Two-core P-LATCH co-simulation", (*Runner).ParallelCoSim},
+	{"pift", "Classical DTA vs PIFT-style propagation", (*Runner).PIFT},
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Catalog {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+}

@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"latch/internal/workload"
+)
+
+// shortRunner keeps suite-wide passes fast for unit tests.
+func shortRunner() *Runner {
+	return NewRunner(Options{Events: 120_000, EpochEvents: 400_000, Fig6Events: 200_000})
+}
+
+func TestCatalogComplete(t *testing.T) {
+	// Every table and figure of the evaluation plus the five ablations.
+	if len(Catalog) != 22 {
+		t.Fatalf("catalog has %d entries", len(Catalog))
+	}
+	seen := map[string]bool{}
+	for _, e := range Catalog {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete catalog entry %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"table1", "table6", "figure16", "complexity", "ablation-clear"} {
+		if !seen[id] {
+			t.Errorf("missing %s", id)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, err := Lookup("table6")
+	if err != nil || e.ID != "table6" {
+		t.Fatalf("Lookup: %v, %v", e, err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestPaperCachePerf(t *testing.T) {
+	ctc, _, _, baseline, _, ok := PaperCachePerf("astar")
+	if !ok || ctc != 2.622 || baseline != 7.9707 {
+		t.Fatalf("astar row: %v %v %v", ctc, baseline, ok)
+	}
+	if _, _, _, _, _, ok := PaperCachePerf("apache"); !ok {
+		t.Fatal("apache row missing")
+	}
+	if _, _, _, _, _, ok := PaperCachePerf("unknown"); ok {
+		t.Fatal("unknown benchmark found")
+	}
+	// Every registered benchmark has a paper row.
+	for _, name := range workload.Names() {
+		if _, _, _, _, _, ok := PaperCachePerf(name); !ok {
+			t.Errorf("no paper data for %s", name)
+		}
+	}
+}
+
+func TestMemoization(t *testing.T) {
+	r := shortRunner()
+	a, err := r.HLatch(workload.SuiteNetwork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.HLatch(workload.SuiteNetwork)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("HLatch pass not memoized")
+	}
+}
+
+func TestTable6Structure(t *testing.T) {
+	r := shortRunner()
+	tbl, err := r.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 20 {
+		t.Fatalf("Table 6 rows = %d", tbl.Rows())
+	}
+	// Every data cell carries "measured | paper".
+	for i := 0; i < tbl.Rows(); i++ {
+		for c := 1; c <= 5; c++ {
+			if !strings.Contains(tbl.Cell(i, c), "|") {
+				t.Fatalf("cell (%d,%d) = %q missing paper value", i, c, tbl.Cell(i, c))
+			}
+		}
+	}
+}
+
+func TestTable7Structure(t *testing.T) {
+	r := shortRunner()
+	tbl, err := r.Table7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 7 {
+		t.Fatalf("Table 7 rows = %d", tbl.Rows())
+	}
+}
+
+func TestFigure16SharesSumTo100(t *testing.T) {
+	r := shortRunner()
+	tbl, err := r.Figure16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != 27 {
+		t.Fatalf("Figure 16 rows = %d", tbl.Rows())
+	}
+	for i := 0; i < tbl.Rows(); i++ {
+		var sum float64
+		for c := 1; c <= 3; c++ {
+			v, err := strconv.ParseFloat(tbl.Cell(i, c), 64)
+			if err != nil {
+				t.Fatalf("cell (%d,%d) = %q: %v", i, c, tbl.Cell(i, c), err)
+			}
+			sum += v
+		}
+		if sum < 99.9 || sum > 100.1 {
+			t.Fatalf("row %d shares sum to %v", i, sum)
+		}
+	}
+}
+
+func TestTaintTablesTrackPaper(t *testing.T) {
+	// Table 1/2 measured column must track the paper column (the generator
+	// is calibrated to it). Short runs are noisy for long-epoch benchmarks,
+	// so allow generous slack but demand the big values line up.
+	r := NewRunner(Options{Events: 100_000, EpochEvents: 1_500_000, Fig6Events: 100_000})
+	tbl, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tbl.Rows(); i++ {
+		measured, err1 := strconv.ParseFloat(tbl.Cell(i, 1), 64)
+		paper, err2 := strconv.ParseFloat(tbl.Cell(i, 2), 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("row %d unparsable: %q %q", i, tbl.Cell(i, 1), tbl.Cell(i, 2))
+		}
+		if paper > 1 && (measured < paper*0.5 || measured > paper*1.5) {
+			t.Errorf("row %d (%s): measured %v vs paper %v", i, tbl.Cell(i, 0), measured, paper)
+		}
+	}
+}
+
+func TestComplexityTable(t *testing.T) {
+	r := shortRunner()
+	tbl, err := r.Complexity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"logic elements", "memory bits", "dynamic power", "cycle time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("complexity table missing %q", want)
+		}
+	}
+}
+
+func TestFigure13IncludesSummary(t *testing.T) {
+	r := shortRunner()
+	tbl, err := r.Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "harmonic mean") || !strings.Contains(out, "paper reference") {
+		t.Fatal("figure 13 missing summary rows")
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	r := shortRunner()
+	for _, id := range []string{"ablation-domain", "ablation-timeout", "ablation-ctc", "ablation-clear", "ablation-queue"} {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := e.Run(r)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if tbl.Rows() < 3 {
+			t.Fatalf("%s: only %d rows", id, tbl.Rows())
+		}
+	}
+}
+
+func TestAllCatalogEntriesProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog is slow")
+	}
+	r := shortRunner()
+	for _, e := range Catalog {
+		tbl, err := e.Run(r)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if tbl.Rows() == 0 {
+			t.Fatalf("%s: empty table", e.ID)
+		}
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	r := shortRunner()
+	tbl, err := r.Figure16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart, ok := Chart("figure16", tbl)
+	if !ok || !strings.Contains(chart, "#") {
+		t.Fatalf("figure16 chart missing: ok=%v\n%s", ok, chart)
+	}
+	if !strings.Contains(chart, "astar") {
+		t.Fatal("chart missing benchmark labels")
+	}
+	// Experiments without a chart spec report none.
+	if _, ok := Chart("complexity", tbl); ok {
+		t.Fatal("complexity should have no chart")
+	}
+	// Paired measured|paper cells are not chartable.
+	t6, err := r.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Chart("table6", t6); ok {
+		t.Fatal("table6 should have no chart")
+	}
+}
+
+func TestPIFTExperiment(t *testing.T) {
+	r := shortRunner()
+	tbl, err := r.PIFT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows() != len(cosimCases) {
+		t.Fatalf("rows = %d", tbl.Rows())
+	}
+	// caesar must show under-tainting; copyloop must not.
+	var caesarUnder, copyUnder string
+	for i := 0; i < tbl.Rows(); i++ {
+		switch tbl.Cell(i, 0) {
+		case "caesar":
+			caesarUnder = tbl.Cell(i, 3)
+		case "copyloop":
+			copyUnder = tbl.Cell(i, 3)
+		}
+	}
+	if caesarUnder == "0" {
+		t.Error("caesar shows no under-tainting under PIFT")
+	}
+	if copyUnder != "0" {
+		t.Errorf("copyloop under-taints (%s) under PIFT", copyUnder)
+	}
+}
+
+func TestCoSimExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cosim tables are slow-ish")
+	}
+	r := shortRunner()
+	for _, id := range []string{"cosim", "platch-cosim"} {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := e.Run(r)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if tbl.Rows() != len(cosimCases) {
+			t.Fatalf("%s rows = %d", id, tbl.Rows())
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package hlatch implements H-LATCH (§5.3): the integration of the LATCH
+// module with hardware-based DIFT. The LATCH coarse-checking stack — TLB
+// taint bits, then the tiny Coarse Taint Cache — screens memory-operand
+// checks before they reach the byte-precise taint cache, which can therefore
+// be scaled down to a fraction of a conventional implementation's size
+// without sacrificing hit rates (Tables 6–7, Figure 16).
+//
+// The simulator drives the core latch.Module with a benchmark's memory
+// reference stream under the eager (hardware AND-chain) clear policy of
+// §5.3.1, and simultaneously feeds an identical, unfiltered taint cache to
+// produce the paper's "without LATCH" comparison in the same pass.
+package hlatch
+
+import (
+	"fmt"
+	"sync"
+
+	"latch/internal/cache"
+	"latch/internal/latch"
+	"latch/internal/shadow"
+	"latch/internal/trace"
+	"latch/internal/workload"
+)
+
+// Result holds the cache-performance metrics of one benchmark run — the
+// rows of Tables 6 and 7 plus the Figure 16 level shares.
+type Result struct {
+	Benchmark string
+	Events    uint64 // total instructions streamed
+	Checks    uint64 // memory-operand checks performed
+
+	Latch latch.Stats
+	TLB   cache.Stats
+
+	// Derived, in paper units.
+	CTCMissPct      float64 // CTC misses / checks x100
+	TCacheMissPct   float64 // filtered t-cache misses / checks x100
+	CombinedMissPct float64
+	BaselineMissPct float64 // unfiltered t-cache misses / accesses x100
+	AvoidedPct      float64 // baseline misses eliminated by filtering
+
+	ShareTLB     float64 // fraction of checks resolved at the TLB
+	ShareCTC     float64
+	SharePrecise float64
+}
+
+// Config parameterizes an H-LATCH run.
+type Config struct {
+	Latch  latch.Config
+	Events uint64 // stream length in instructions
+}
+
+// DefaultConfig returns the paper's H-LATCH configuration (§6.4): the
+// default LATCH geometry with the eager hardware clear chain and the
+// unfiltered baseline enabled.
+func DefaultConfig() Config {
+	lc := latch.DefaultConfig()
+	lc.Clear = latch.EagerClear
+	lc.BaselineTCache = true
+	return Config{Latch: lc, Events: 2_000_000}
+}
+
+// Run simulates one benchmark through the H-LATCH caching stack.
+func Run(p workload.Profile, cfg Config) (Result, error) {
+	sh, err := shadow.New(cfg.Latch.DomainSize)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := latch.New(cfg.Latch, sh)
+	if err != nil {
+		return Result{}, err
+	}
+	g, err := workload.NewGeneratorOn(p, sh)
+	if err != nil {
+		return Result{}, err
+	}
+	// Layout materialization populated the coarse state through the shadow
+	// watchers; measure only the steady-state reference stream.
+	m.ResetStats()
+
+	var events uint64
+	g.Run(cfg.Events, trace.SinkFunc(func(ev trace.Event) {
+		events++
+		if ev.IsMem {
+			m.CheckMem(ev.Addr, int(ev.Size))
+		}
+	}))
+
+	st := m.Stats()
+	tlbShare, ctcShare, preciseShare := st.ShareResolved()
+	return Result{
+		Benchmark:       p.Name,
+		Events:          events,
+		Checks:          st.Checks,
+		Latch:           st,
+		TLB:             m.TLBStats(),
+		CTCMissPct:      st.CTCMissPercent(),
+		TCacheMissPct:   st.TCacheMissPercent(),
+		CombinedMissPct: st.CombinedMissPercent(),
+		BaselineMissPct: st.BaselineMissPercent(),
+		AvoidedPct:      st.MissesAvoidedPercent(),
+		ShareTLB:        tlbShare,
+		ShareCTC:        ctcShare,
+		SharePrecise:    preciseShare,
+	}, nil
+}
+
+// RunSuite simulates every benchmark of a suite, in registry order. The
+// benchmarks are independent (each stream has its own deterministic
+// generator), so they run concurrently.
+func RunSuite(s workload.Suite, cfg Config) ([]Result, error) {
+	names := workload.BySuite(s)
+	out := make([]Result, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			p, err := workload.Get(name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			r, err := Run(p, cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("hlatch %s: %w", name, err)
+				return
+			}
+			out[i] = r
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

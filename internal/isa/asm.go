@@ -1,0 +1,613 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled LA32 image.
+type Program struct {
+	Origin uint32            // load address of Image[0]
+	Image  []byte            // raw bytes (instructions and data)
+	Labels map[string]uint32 // label -> absolute byte address
+	Entry  uint32            // address of the "_start" label, or Origin
+}
+
+// Assemble translates LA32 assembly source into a Program.
+//
+// Syntax summary:
+//
+//	; comment           # comment
+//	label:              (may share a line with an instruction)
+//	add r1, r2, r3      movi r1, -5       ldw r1, [r2+8]
+//	beq r1, r2, label   jmp label         call label
+//	li  r1, 0x12345678  li r1, =label     (pseudo: LUI+ORI or MOVI)
+//	ret                                    (pseudo: jr lr)
+//	.org 0x1000         .word 1, 2        .byte 1, 2
+//	.space 64           .ascii "text"
+//
+// Registers: r0..r15, sp (r13), lr (r14).
+func Assemble(src string) (*Program, error) {
+	a := &assembler{
+		labels: make(map[string]uint32),
+	}
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: compute label addresses.
+	if err := a.scan(lines, true); err != nil {
+		return nil, err
+	}
+	// Pass 2: emit.
+	if err := a.scan(lines, false); err != nil {
+		return nil, err
+	}
+	p := &Program{
+		Origin: a.origin,
+		Image:  a.image,
+		Labels: a.labels,
+		Entry:  a.origin,
+	}
+	if e, ok := a.labels["_start"]; ok {
+		p.Entry = e
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for tests and fixed
+// built-in workload programs.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	origin    uint32
+	originSet bool
+	pc        uint32 // current absolute address
+	image     []byte
+	labels    map[string]uint32
+	emitting  bool
+	line      int
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return fmt.Errorf("asm: line %d: %s", a.line, fmt.Sprintf(format, args...))
+}
+
+func (a *assembler) scan(lines []string, firstPass bool) error {
+	a.pc = 0
+	a.originSet = false
+	a.emitting = !firstPass
+	if !firstPass {
+		a.image = a.image[:0]
+	}
+	for n, raw := range lines {
+		a.line = n + 1
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				return a.errf("invalid label %q", label)
+			}
+			if firstPass {
+				if _, dup := a.labels[label]; dup {
+					return a.errf("duplicate label %q", label)
+				}
+				a.labels[label] = a.pc
+			}
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if err := a.statement(line, firstPass); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) statement(line string, firstPass bool) error {
+	mnemonic, rest := line, ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	mnemonic = strings.ToLower(mnemonic)
+
+	if strings.HasPrefix(mnemonic, ".") {
+		return a.directive(mnemonic, rest)
+	}
+	return a.instruction(mnemonic, rest, firstPass)
+}
+
+func (a *assembler) directive(name, rest string) error {
+	switch name {
+	case ".org":
+		v, err := a.evalImm(rest, false)
+		if err != nil {
+			return err
+		}
+		addr := uint32(v)
+		if !a.originSet {
+			a.origin = addr
+			a.originSet = true
+			a.pc = addr
+			return nil
+		}
+		if addr < a.pc {
+			return a.errf(".org %#x moves backwards (pc=%#x)", addr, a.pc)
+		}
+		a.pad(addr - a.pc)
+		return nil
+	case ".word":
+		for _, f := range splitOperands(rest) {
+			v, err := a.evalImm(f, true)
+			if err != nil {
+				return err
+			}
+			a.emit32(uint32(v))
+		}
+		return nil
+	case ".byte":
+		for _, f := range splitOperands(rest) {
+			v, err := a.evalImm(f, true)
+			if err != nil {
+				return err
+			}
+			if v < -128 || v > 255 {
+				return a.errf(".byte value %d out of range", v)
+			}
+			a.emit8(byte(v))
+		}
+		return nil
+	case ".space":
+		v, err := a.evalImm(rest, false)
+		if err != nil {
+			return err
+		}
+		if v < 0 {
+			return a.errf(".space negative size")
+		}
+		a.pad(uint32(v))
+		return nil
+	case ".ascii":
+		s, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return a.errf(".ascii: %v", err)
+		}
+		for i := 0; i < len(s); i++ {
+			a.emit8(s[i])
+		}
+		return nil
+	}
+	return a.errf("unknown directive %s", name)
+}
+
+var mnemonicOps = func() map[string]Op {
+	m := make(map[string]Op)
+	for op := Op(0); op < opCount; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func (a *assembler) instruction(mnemonic, rest string, firstPass bool) error {
+	ops := splitOperands(rest)
+
+	// Pseudo-instructions first.
+	switch mnemonic {
+	case "li":
+		if len(ops) != 2 {
+			return a.errf("li needs 2 operands")
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		arg := strings.TrimSpace(ops[1])
+		if strings.HasPrefix(arg, "=") {
+			// Address-of-label: always two instructions so pass-1 sizing is
+			// stable before labels are known.
+			var v uint32
+			if !firstPass {
+				addr, ok := a.labels[arg[1:]]
+				if !ok {
+					return a.errf("undefined label %q", arg[1:])
+				}
+				v = addr
+			}
+			a.emitInstr(Instr{Op: LUI, Rd: rd, Imm: int32(int16(v >> 16))})
+			a.emitInstr(Instr{Op: ORI, Rd: rd, Rs1: rd, Imm: int32(int16(uint16(v)))})
+			return nil
+		}
+		v, err := a.evalImm(arg, false)
+		if err != nil {
+			return err
+		}
+		if v >= -32768 && v <= 32767 {
+			a.emitInstr(Instr{Op: MOVI, Rd: rd, Imm: int32(v)})
+			return nil
+		}
+		u := uint32(v)
+		a.emitInstr(Instr{Op: LUI, Rd: rd, Imm: int32(int16(u >> 16))})
+		a.emitInstr(Instr{Op: ORI, Rd: rd, Rs1: rd, Imm: int32(int16(uint16(u)))})
+		return nil
+	case "ret":
+		a.emitInstr(Instr{Op: JR, Rs1: RegLR})
+		return nil
+	}
+
+	op, ok := mnemonicOps[mnemonic]
+	if !ok {
+		return a.errf("unknown mnemonic %q", mnemonic)
+	}
+	in := Instr{Op: op}
+	var err error
+	switch op.Class() {
+	case ClassNop, ClassHalt:
+		if len(ops) != 0 {
+			return a.errf("%s takes no operands", op)
+		}
+	case ClassMove:
+		if len(ops) != 2 {
+			return a.errf("%s needs 2 operands", op)
+		}
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return err
+		}
+		if in.Rs1, err = a.reg(ops[1]); err != nil {
+			return err
+		}
+	case ClassImm:
+		if len(ops) != 2 {
+			return a.errf("%s needs 2 operands", op)
+		}
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return err
+		}
+		v, err := a.evalImm(ops[1], false)
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm16(op, v)
+		if err != nil {
+			return err
+		}
+		in.Imm = imm
+	case ClassALU2:
+		if len(ops) != 3 {
+			return a.errf("%s needs 3 operands", op)
+		}
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return err
+		}
+		if in.Rs1, err = a.reg(ops[1]); err != nil {
+			return err
+		}
+		if in.Rs2, err = a.reg(ops[2]); err != nil {
+			return err
+		}
+	case ClassALUImm:
+		if len(ops) != 3 {
+			return a.errf("%s needs 3 operands", op)
+		}
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return err
+		}
+		if in.Rs1, err = a.reg(ops[1]); err != nil {
+			return err
+		}
+		v, err := a.evalImm(ops[2], false)
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm16(op, v)
+		if err != nil {
+			return err
+		}
+		in.Imm = imm
+	case ClassLoad, ClassStore:
+		if len(ops) != 2 {
+			return a.errf("%s needs 2 operands", op)
+		}
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return err
+		}
+		base, disp, err := a.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		in.Rs1, in.Imm = base, disp
+	case ClassBranch:
+		if len(ops) != 3 {
+			return a.errf("%s needs 3 operands", op)
+		}
+		if in.Rd, err = a.reg(ops[0]); err != nil {
+			return err
+		}
+		if in.Rs1, err = a.reg(ops[1]); err != nil {
+			return err
+		}
+		off, err := a.branchTarget(ops[2], firstPass)
+		if err != nil {
+			return err
+		}
+		in.Imm = off
+	case ClassJump:
+		if len(ops) != 1 {
+			return a.errf("%s needs 1 operand", op)
+		}
+		off, err := a.branchTarget(ops[0], firstPass)
+		if err != nil {
+			return err
+		}
+		in.Imm = off
+	case ClassJumpInd:
+		if len(ops) != 1 {
+			return a.errf("%s needs 1 operand", op)
+		}
+		if in.Rs1, err = a.reg(ops[0]); err != nil {
+			return err
+		}
+	case ClassSys:
+		if len(ops) != 1 {
+			return a.errf("sys needs 1 operand")
+		}
+		v, err := a.evalImm(ops[0], false)
+		if err != nil {
+			return err
+		}
+		in.Imm = int32(v)
+	case ClassLatch:
+		switch op {
+		case STNT:
+			if len(ops) != 2 {
+				return a.errf("stnt needs 2 operands (addr reg, tag reg)")
+			}
+			if in.Rs1, err = a.reg(ops[0]); err != nil {
+				return err
+			}
+			if in.Rd, err = a.reg(ops[1]); err != nil {
+				return err
+			}
+		default: // STRF, LTNT
+			if len(ops) != 1 {
+				return a.errf("%s needs 1 operand", op)
+			}
+			if in.Rd, err = a.reg(ops[0]); err != nil {
+				return err
+			}
+		}
+	}
+	a.emitInstr(in)
+	return nil
+}
+
+// imm16 range-checks a 16-bit immediate for op. Zero-extending ops (ori,
+// andi, xori, lui) accept 0..0xFFFF as well as negative literals; the rest
+// take the signed range.
+func (a *assembler) imm16(op Op, v int64) (int32, error) {
+	zeroExtends := op == ORI || op == ANDI || op == XORI || op == LUI
+	if zeroExtends {
+		if v < -32768 || v > 65535 {
+			return 0, a.errf("%s immediate %d out of 16-bit range", op, v)
+		}
+		return int32(int16(uint16(v))), nil
+	}
+	if v < -32768 || v > 32767 {
+		return 0, a.errf("%s immediate %d out of signed 16-bit range", op, v)
+	}
+	return int32(v), nil
+}
+
+// branchTarget resolves a label or numeric offset to an instruction-count
+// offset relative to the next instruction.
+func (a *assembler) branchTarget(arg string, firstPass bool) (int32, error) {
+	arg = strings.TrimSpace(arg)
+	if addr, ok := a.labels[arg]; ok || (firstPass && isIdent(arg) && !isNumeric(arg)) {
+		if firstPass && !ok {
+			return 0, nil // forward reference; resolved in pass 2
+		}
+		delta := int64(addr) - int64(a.pc) - WordSize
+		if delta%WordSize != 0 {
+			return 0, a.errf("branch target %q not instruction-aligned", arg)
+		}
+		off := delta / WordSize
+		if off < -32768 || off > 32767 {
+			return 0, a.errf("branch to %q out of range (%d instructions)", arg, off)
+		}
+		return int32(off), nil
+	}
+	if isIdent(arg) && !isNumeric(arg) {
+		return 0, a.errf("undefined label %q", arg)
+	}
+	v, err := a.evalImm(arg, false)
+	if err != nil {
+		return 0, err
+	}
+	return int32(v), nil
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	return c == '-' || c == '+' || (c >= '0' && c <= '9')
+}
+
+func (a *assembler) reg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	switch s {
+	case "sp":
+		return RegSP, nil
+	case "lr":
+		return RegLR, nil
+	}
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, a.errf("invalid register %q", s)
+}
+
+// memOperand parses "[rN]", "[rN+disp]" or "[rN-disp]".
+func (a *assembler) memOperand(s string) (base uint8, disp int32, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, a.errf("invalid memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sign := int64(1)
+	regPart, dispPart := inner, ""
+	if i := strings.IndexAny(inner, "+-"); i > 0 {
+		if inner[i] == '-' {
+			sign = -1
+		}
+		regPart, dispPart = inner[:i], inner[i+1:]
+	}
+	base, err = a.reg(regPart)
+	if err != nil {
+		return 0, 0, err
+	}
+	if dispPart != "" {
+		v, err := a.evalImm(dispPart, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		v *= sign
+		if v < -32768 || v > 32767 {
+			return 0, 0, a.errf("displacement %d out of range", v)
+		}
+		disp = int32(v)
+	}
+	return base, disp, nil
+}
+
+// evalImm parses an immediate: decimal, 0x hex, 'c' char, or (when
+// allowLabel) a label name resolving to its address.
+func (a *assembler) evalImm(s string, allowLabel bool) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, a.errf("missing immediate")
+	}
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body, err := strconv.Unquote(s)
+		if err != nil || len(body) != 1 {
+			return 0, a.errf("invalid char literal %s", s)
+		}
+		return int64(body[0]), nil
+	}
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		if v < -(1<<31) || v > (1<<32)-1 {
+			return 0, a.errf("immediate %d out of 32-bit range", v)
+		}
+		return v, nil
+	}
+	if allowLabel && isIdent(s) {
+		if addr, ok := a.labels[s]; ok {
+			return int64(addr), nil
+		}
+		if a.emitting {
+			return 0, a.errf("undefined label %q", s)
+		}
+		return 0, nil // pass 1: size-stable placeholder
+	}
+	return 0, a.errf("invalid immediate %q", s)
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	// Split on commas that are not inside quotes or brackets.
+	var out []string
+	depth := 0
+	inQuote := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inQuote = !inQuote
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 && !inQuote {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func (a *assembler) pad(n uint32) {
+	if a.emitting {
+		a.image = append(a.image, make([]byte, n)...)
+	}
+	a.pc += n
+}
+
+func (a *assembler) emit8(b byte) {
+	if a.emitting {
+		a.image = append(a.image, b)
+	}
+	a.pc++
+}
+
+func (a *assembler) emit32(w uint32) {
+	if a.emitting {
+		a.image = append(a.image, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	a.pc += 4
+}
+
+func (a *assembler) emitInstr(i Instr) {
+	if !a.emitting {
+		a.pc += WordSize
+		return
+	}
+	w, err := Encode(i)
+	if err != nil {
+		// Encoding failures here are assembler bugs (operand ranges are
+		// validated during parsing), but surface them loudly.
+		panic(fmt.Sprintf("asm: line %d: %v", a.line, err))
+	}
+	a.emit32(w)
+}

@@ -1,0 +1,255 @@
+package isa
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// decodeAt decodes the instruction at byte offset off of p's image.
+func decodeAt(t *testing.T, p *Program, off int) Instr {
+	t.Helper()
+	w := binary.LittleEndian.Uint32(p.Image[off : off+4])
+	in, err := Decode(w)
+	if err != nil {
+		t.Fatalf("decode at %d: %v", off, err)
+	}
+	return in
+}
+
+func TestAssembleBasic(t *testing.T) {
+	p, err := Assemble(`
+		; a trivial program
+		movi r1, 42
+		add  r2, r1, r1
+		halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Image) != 12 {
+		t.Fatalf("image size = %d, want 12", len(p.Image))
+	}
+	if in := decodeAt(t, p, 0); in != (Instr{Op: MOVI, Rd: 1, Imm: 42}) {
+		t.Errorf("instr 0 = %v", in)
+	}
+	if in := decodeAt(t, p, 4); in != (Instr{Op: ADD, Rd: 2, Rs1: 1, Rs2: 1}) {
+		t.Errorf("instr 1 = %v", in)
+	}
+	if in := decodeAt(t, p, 8); in.Op != HALT {
+		t.Errorf("instr 2 = %v", in)
+	}
+}
+
+func TestAssembleLabelsAndBranches(t *testing.T) {
+	p, err := Assemble(`
+_start:
+		movi r1, 3
+loop:	addi r1, r1, -1
+		bne  r1, r0, loop
+		jmp  done
+		halt           ; skipped
+done:	halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 0 {
+		t.Fatalf("entry = %#x", p.Entry)
+	}
+	// bne at offset 8: target loop=4, next pc=12, offset=(4-12)/4=-2.
+	if in := decodeAt(t, p, 8); in.Imm != -2 {
+		t.Errorf("bne offset = %d, want -2", in.Imm)
+	}
+	// jmp at offset 12: target done=20, next=16, offset=1.
+	if in := decodeAt(t, p, 12); in.Imm != 1 {
+		t.Errorf("jmp offset = %d, want 1", in.Imm)
+	}
+	if p.Labels["done"] != 20 {
+		t.Errorf("done = %d", p.Labels["done"])
+	}
+}
+
+func TestAssembleMemOperands(t *testing.T) {
+	p := MustAssemble(`
+		ldw r1, [r2]
+		ldw r1, [r2+8]
+		stb r3, [sp-4]
+	`)
+	if in := decodeAt(t, p, 0); in.Imm != 0 || in.Rs1 != 2 {
+		t.Errorf("ldw [r2] = %v", in)
+	}
+	if in := decodeAt(t, p, 4); in.Imm != 8 {
+		t.Errorf("ldw [r2+8] = %v", in)
+	}
+	if in := decodeAt(t, p, 8); in.Imm != -4 || in.Rs1 != RegSP || in.Rd != 3 {
+		t.Errorf("stb [sp-4] = %v", in)
+	}
+}
+
+func TestAssembleLiSmallAndLarge(t *testing.T) {
+	p := MustAssemble(`
+		li r1, 100
+		li r2, 0x12345678
+		halt
+	`)
+	// li small -> 1 instruction; li large -> 2.
+	if in := decodeAt(t, p, 0); in.Op != MOVI || in.Imm != 100 {
+		t.Errorf("small li = %v", in)
+	}
+	if in := decodeAt(t, p, 4); in.Op != LUI || uint16(in.Imm) != 0x1234 {
+		t.Errorf("large li hi = %v", in)
+	}
+	if in := decodeAt(t, p, 8); in.Op != ORI || uint16(in.Imm) != 0x5678 {
+		t.Errorf("large li lo = %v", in)
+	}
+	if in := decodeAt(t, p, 12); in.Op != HALT {
+		t.Errorf("expected halt, got %v", in)
+	}
+}
+
+func TestAssembleLiLabelAddress(t *testing.T) {
+	p := MustAssemble(`
+		li r1, =data
+		halt
+data:	.word 0xCAFEBABE
+	`)
+	// li =label is always 2 instructions; data at 12.
+	if p.Labels["data"] != 12 {
+		t.Fatalf("data = %d", p.Labels["data"])
+	}
+	hi := decodeAt(t, p, 0)
+	lo := decodeAt(t, p, 4)
+	addr := uint32(uint16(hi.Imm))<<16 | uint32(uint16(lo.Imm))
+	if addr != 12 {
+		t.Errorf("li =data resolved to %d", addr)
+	}
+}
+
+func TestAssembleDirectives(t *testing.T) {
+	p := MustAssemble(`
+		.org 0x1000
+		.word 1, 2, 3
+		.byte 0xFF, 'A'
+		.space 2
+		.ascii "hi"
+	`)
+	if p.Origin != 0x1000 {
+		t.Fatalf("origin = %#x", p.Origin)
+	}
+	want := []byte{
+		1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0,
+		0xFF, 'A',
+		0, 0,
+		'h', 'i',
+	}
+	if len(p.Image) != len(want) {
+		t.Fatalf("image len = %d, want %d", len(p.Image), len(want))
+	}
+	for i := range want {
+		if p.Image[i] != want[i] {
+			t.Fatalf("image[%d] = %#x, want %#x", i, p.Image[i], want[i])
+		}
+	}
+}
+
+func TestAssembleWordWithLabel(t *testing.T) {
+	p := MustAssemble(`
+		jmp over
+table:	.word table, over
+over:	halt
+	`)
+	tableAddr := p.Labels["table"]
+	got := binary.LittleEndian.Uint32(p.Image[tableAddr : tableAddr+4])
+	if got != tableAddr {
+		t.Errorf(".word table = %d, want %d", got, tableAddr)
+	}
+	got2 := binary.LittleEndian.Uint32(p.Image[tableAddr+4 : tableAddr+8])
+	if got2 != p.Labels["over"] {
+		t.Errorf(".word over = %d, want %d", got2, p.Labels["over"])
+	}
+}
+
+func TestAssembleRetPseudo(t *testing.T) {
+	p := MustAssemble("ret")
+	if in := decodeAt(t, p, 0); in.Op != JR || in.Rs1 != RegLR {
+		t.Errorf("ret = %v", in)
+	}
+}
+
+func TestAssembleLatchInstrs(t *testing.T) {
+	p := MustAssemble(`
+		strf r1
+		stnt r2, r3
+		ltnt r4
+	`)
+	if in := decodeAt(t, p, 0); in.Op != STRF || in.Rd != 1 {
+		t.Errorf("strf = %v", in)
+	}
+	if in := decodeAt(t, p, 4); in.Op != STNT || in.Rs1 != 2 || in.Rd != 3 {
+		t.Errorf("stnt = %v", in)
+	}
+	if in := decodeAt(t, p, 8); in.Op != LTNT || in.Rd != 4 {
+		t.Errorf("ltnt = %v", in)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src, wantErr string
+	}{
+		{"bogus r1", "unknown mnemonic"},
+		{"add r1, r2", "needs 3 operands"},
+		{"movi r99, 1", "invalid register"},
+		{"jmp nowhere", "undefined label"},
+		{"ldw r1, r2", "invalid memory operand"},
+		{"x: \n x: nop", "duplicate label"},
+		{".org 8\n.org 4", "moves backwards"},
+		{".byte 300", "out of range"},
+		{"9bad: nop", "invalid label"},
+		{"movi r1, zzz", "invalid immediate"},
+		{".bogus 1", "unknown directive"},
+		{"li r1", "needs 2 operands"},
+		{"li r1, =nowhere", "undefined label"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("Assemble(%q) err = %v, want containing %q", c.src, err, c.wantErr)
+		}
+	}
+}
+
+func TestAssembleBranchOffsetNumeric(t *testing.T) {
+	p := MustAssemble("jmp -1") // tight infinite loop
+	if in := decodeAt(t, p, 0); in.Imm != -1 {
+		t.Errorf("jmp -1 = %v", in)
+	}
+}
+
+func TestAssembleCommentsAndBlankLines(t *testing.T) {
+	p := MustAssemble(`
+	; full line comment
+	# hash comment
+
+	nop ; trailing
+	nop # trailing hash
+	`)
+	if len(p.Image) != 8 {
+		t.Fatalf("image len = %d, want 8", len(p.Image))
+	}
+}
+
+func TestAssembleCharImmediate(t *testing.T) {
+	p := MustAssemble("movi r1, 'Z'")
+	if in := decodeAt(t, p, 0); in.Imm != 'Z' {
+		t.Errorf("char imm = %d", in.Imm)
+	}
+}
+
+func TestMultipleLabelsSameLine(t *testing.T) {
+	p := MustAssemble("a: b: nop")
+	if p.Labels["a"] != 0 || p.Labels["b"] != 0 {
+		t.Errorf("labels = %v", p.Labels)
+	}
+}

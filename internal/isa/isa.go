@@ -1,0 +1,313 @@
+// Package isa defines LA32, the small 32-bit load/store instruction set
+// executed by the LATCH virtual machine. LA32 stands in for the x86 ISA the
+// paper instruments with Intel Pin: it has the properties LATCH cares about
+// (register/memory operands extracted at commit, loads/stores of 1/2/4
+// bytes, indirect control transfers, and OS entry points that act as taint
+// sources), while staying simple enough to interpret deterministically.
+//
+// The package also defines the three LATCH ISA extensions from Table 5 of
+// the paper: STRF (set taint register file), STNT (store taint directly to
+// the coarse taint table), and LTNT (load the faulting address of the most
+// recent LATCH exception).
+package isa
+
+import "fmt"
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 16
+
+// Register aliases used by the assembler and calling convention.
+const (
+	RegZero = 0  // by convention holds 0 at program start; not hardwired
+	RegSP   = 13 // stack pointer
+	RegLR   = 14 // link register (CALL writes return address here)
+	RegTMP  = 15 // assembler scratch register for pseudo-instructions
+)
+
+// WordSize is the size in bytes of a machine word and of an instruction.
+const WordSize = 4
+
+// Op is an LA32 opcode.
+type Op uint8
+
+// Opcodes. The numeric values are part of the binary encoding and must not
+// be reordered.
+const (
+	NOP Op = iota
+	// Data movement.
+	MOV  // rd = rs1
+	MOVI // rd = signext(imm16)
+	LUI  // rd = imm16 << 16
+	ORI  // rd = rs1 | zeroext(imm16)
+	// ALU, register-register.
+	ADD // rd = rs1 + rs2
+	SUB
+	AND
+	OR
+	XOR
+	SHL
+	SHR // logical
+	SAR // arithmetic
+	MUL
+	DIVU // unsigned; divide by zero yields all-ones, as on many cores
+	SLT  // rd = (rs1 < rs2) signed ? 1 : 0
+	SLTU
+	// ALU, register-immediate.
+	ADDI // rd = rs1 + signext(imm16)
+	ANDI
+	XORI
+	// Loads: rd = mem[rs1 + signext(imm16)].
+	LDB // zero-extends
+	LDH
+	LDW
+	// Stores: mem[rs1 + signext(imm16)] = rd (rd is the data register).
+	STB
+	STH
+	STW
+	// Control flow. Branch/jump offsets are in instructions, PC-relative to
+	// the following instruction.
+	BEQ // if rd == rs1: pc += offset
+	BNE
+	BLT // signed
+	BGE
+	JMP   // pc += offset
+	JR    // pc = rs1 (indirect: DIFT checks the target's taint)
+	CALL  // lr = pc+4; pc += offset
+	CALLR // lr = pc+4; pc = rs1
+	// System.
+	SYS  // syscall; number in imm16, args in r1..r4, result in r1
+	HALT // stop the machine
+	// LATCH extensions (Table 5).
+	STRF // set the taint register file from the value in rd
+	STNT // update taint of address in rs1 to the tag value in rd, via CTT
+	LTNT // rd = address operand that caused the last LATCH exception
+	opCount
+)
+
+var opNames = [...]string{
+	NOP: "nop", MOV: "mov", MOVI: "movi", LUI: "lui", ORI: "ori",
+	ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SHL: "shl", SHR: "shr", SAR: "sar", MUL: "mul", DIVU: "divu",
+	SLT: "slt", SLTU: "sltu",
+	ADDI: "addi", ANDI: "andi", XORI: "xori",
+	LDB: "ldb", LDH: "ldh", LDW: "ldw",
+	STB: "stb", STH: "sth", STW: "stw",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge",
+	JMP: "jmp", JR: "jr", CALL: "call", CALLR: "callr",
+	SYS: "sys", HALT: "halt",
+	STRF: "strf", STNT: "stnt", LTNT: "ltnt",
+}
+
+// String returns the assembler mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < opCount }
+
+// Class groups opcodes by their operand/taint semantics; the DIFT engine
+// dispatches propagation rules on it.
+type Class uint8
+
+// Operand classes.
+const (
+	ClassNop Class = iota
+	ClassMove
+	ClassImm    // result depends only on an immediate: clears taint
+	ClassALU2   // two register sources: taint union
+	ClassALUImm // one register source + immediate
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump    // direct jump/call
+	ClassJumpInd // indirect jump/call: tainted target is a violation
+	ClassSys
+	ClassHalt
+	ClassLatch // LATCH extension instructions
+)
+
+var opClasses = [...]Class{
+	NOP: ClassNop, MOV: ClassMove, MOVI: ClassImm, LUI: ClassImm, ORI: ClassALUImm,
+	ADD: ClassALU2, SUB: ClassALU2, AND: ClassALU2, OR: ClassALU2, XOR: ClassALU2,
+	SHL: ClassALU2, SHR: ClassALU2, SAR: ClassALU2, MUL: ClassALU2, DIVU: ClassALU2,
+	SLT: ClassALU2, SLTU: ClassALU2,
+	ADDI: ClassALUImm, ANDI: ClassALUImm, XORI: ClassALUImm,
+	LDB: ClassLoad, LDH: ClassLoad, LDW: ClassLoad,
+	STB: ClassStore, STH: ClassStore, STW: ClassStore,
+	BEQ: ClassBranch, BNE: ClassBranch, BLT: ClassBranch, BGE: ClassBranch,
+	JMP: ClassJump, JR: ClassJumpInd, CALL: ClassJump, CALLR: ClassJumpInd,
+	SYS: ClassSys, HALT: ClassHalt,
+	STRF: ClassLatch, STNT: ClassLatch, LTNT: ClassLatch,
+}
+
+// Class returns the operand class of o.
+func (o Op) Class() Class {
+	if int(o) < len(opClasses) {
+		return opClasses[o]
+	}
+	return ClassNop
+}
+
+// MemSize returns the access width in bytes for load/store opcodes, 0
+// otherwise.
+func (o Op) MemSize() int {
+	switch o {
+	case LDB, STB:
+		return 1
+	case LDH, STH:
+		return 2
+	case LDW, STW:
+		return 4
+	}
+	return 0
+}
+
+// Instr is a decoded LA32 instruction.
+//
+// Field use by format:
+//   - R-type (ALU): Rd = dest, Rs1/Rs2 = sources.
+//   - I-type (ALU-imm, loads): Rd = dest, Rs1 = source/base, Imm = immediate.
+//   - Stores: Rd = data register, Rs1 = base, Imm = displacement.
+//   - Branches: Rd and Rs1 are compared, Imm = instruction offset.
+//   - JMP/CALL: Imm = instruction offset. JR/CALLR: Rs1 = target register.
+//   - SYS: Imm = syscall number.
+type Instr struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32 // sign-extended 16-bit immediate
+}
+
+// Encoding layout (little-endian word):
+//
+//	bits 31..24  opcode
+//	bits 23..20  rd
+//	bits 19..16  rs1
+//	bits 15..0   imm16 (I-type)  -- or --  bits 15..12 rs2 (R-type)
+//
+// R-type and I-type share the word; rs2 and imm overlap, which is harmless
+// because no opcode uses both.
+
+// Encode packs i into its 32-bit binary form. Immediates outside the signed
+// 16-bit range are rejected.
+func Encode(i Instr) (uint32, error) {
+	if !i.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", i.Op)
+	}
+	if i.Rd >= NumRegs || i.Rs1 >= NumRegs || i.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("isa: encode %s: register out of range", i.Op)
+	}
+	if i.Imm < -32768 || i.Imm > 32767 {
+		return 0, fmt.Errorf("isa: encode %s: immediate %d out of 16-bit range", i.Op, i.Imm)
+	}
+	w := uint32(i.Op)<<24 | uint32(i.Rd&0xF)<<20 | uint32(i.Rs1&0xF)<<16
+	if useRs2(i.Op) {
+		w |= uint32(i.Rs2&0xF) << 12
+	} else {
+		w |= uint32(uint16(i.Imm))
+	}
+	return w, nil
+}
+
+// MustEncode is Encode for statically known-good instructions; it panics on
+// error and is intended for tests and generated code.
+func MustEncode(i Instr) uint32 {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit word into an instruction. Unknown opcodes yield an
+// error so the VM can raise an illegal-instruction fault.
+func Decode(w uint32) (Instr, error) {
+	op := Op(w >> 24)
+	if !op.Valid() {
+		return Instr{}, fmt.Errorf("isa: decode: invalid opcode %d in %#08x", uint8(op), w)
+	}
+	i := Instr{
+		Op:  op,
+		Rd:  uint8(w >> 20 & 0xF),
+		Rs1: uint8(w >> 16 & 0xF),
+	}
+	if useRs2(op) {
+		i.Rs2 = uint8(w >> 12 & 0xF)
+	} else {
+		i.Imm = int32(int16(uint16(w)))
+	}
+	return i, nil
+}
+
+// useRs2 reports whether op encodes a second source register (R-type).
+func useRs2(op Op) bool {
+	switch op.Class() {
+	case ClassALU2:
+		return true
+	}
+	return false
+}
+
+// ReadsMem reports whether the instruction reads memory.
+func (i Instr) ReadsMem() bool { return i.Op.Class() == ClassLoad }
+
+// WritesMem reports whether the instruction writes memory.
+func (i Instr) WritesMem() bool { return i.Op.Class() == ClassStore }
+
+// String disassembles the instruction.
+func (i Instr) String() string {
+	switch i.Op.Class() {
+	case ClassNop, ClassHalt:
+		return i.Op.String()
+	case ClassMove:
+		return fmt.Sprintf("%s r%d, r%d", i.Op, i.Rd, i.Rs1)
+	case ClassImm:
+		return fmt.Sprintf("%s r%d, %d", i.Op, i.Rd, i.Imm)
+	case ClassALU2:
+		return fmt.Sprintf("%s r%d, r%d, r%d", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case ClassALUImm:
+		if i.Op == ORI || i.Op == ANDI || i.Op == XORI {
+			// These zero-extend their immediate; print the value the
+			// hardware uses.
+			return fmt.Sprintf("%s r%d, r%d, %#x", i.Op, i.Rd, i.Rs1, uint16(i.Imm))
+		}
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case ClassLoad:
+		return fmt.Sprintf("%s r%d, [r%d%+d]", i.Op, i.Rd, i.Rs1, i.Imm)
+	case ClassStore:
+		return fmt.Sprintf("%s r%d, [r%d%+d]", i.Op, i.Rd, i.Rs1, i.Imm)
+	case ClassBranch:
+		return fmt.Sprintf("%s r%d, r%d, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case ClassJump:
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	case ClassJumpInd:
+		return fmt.Sprintf("%s r%d", i.Op, i.Rs1)
+	case ClassSys:
+		return fmt.Sprintf("sys %d", i.Imm)
+	case ClassLatch:
+		switch i.Op {
+		case STNT:
+			return fmt.Sprintf("stnt r%d, r%d", i.Rs1, i.Rd)
+		default:
+			return fmt.Sprintf("%s r%d", i.Op, i.Rd)
+		}
+	}
+	return i.Op.String()
+}
+
+// Syscall numbers understood by the VM. These model the taint sources and
+// sinks the paper uses: file reads for SPEC workloads, socket operations for
+// the network applications, and a write sink for leak detection.
+const (
+	SysExit   = 1 // r1 = exit code
+	SysRead   = 2 // read from file source:  r1=buf, r2=len; returns n in r1
+	SysRecv   = 3 // read from socket source: r1=buf, r2=len; returns n in r1
+	SysAccept = 4 // accept a connection; returns conn id in r1 (taint policy applies per connection)
+	SysWrite  = 5 // write to output sink: r1=buf, r2=len (leak checks apply)
+	SysTime   = 6 // returns a deterministic virtual clock in r1
+)

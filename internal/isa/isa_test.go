@@ -1,0 +1,155 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		{Op: NOP},
+		{Op: MOV, Rd: 1, Rs1: 2},
+		{Op: MOVI, Rd: 3, Imm: -5},
+		{Op: LUI, Rd: 4, Imm: 0x1234},
+		{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: XOR, Rd: 15, Rs1: 15, Rs2: 15},
+		{Op: ADDI, Rd: 5, Rs1: 6, Imm: 32767},
+		{Op: LDW, Rd: 7, Rs1: 8, Imm: -32768},
+		{Op: STB, Rd: 9, Rs1: 10, Imm: 100},
+		{Op: BEQ, Rd: 1, Rs1: 2, Imm: -12},
+		{Op: JMP, Imm: 1000},
+		{Op: JR, Rs1: 14},
+		{Op: CALL, Imm: -7},
+		{Op: CALLR, Rs1: 3},
+		{Op: SYS, Imm: 5},
+		{Op: HALT},
+		{Op: STRF, Rd: 2},
+		{Op: STNT, Rd: 3, Rs1: 4},
+		{Op: LTNT, Rd: 5},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", in, err)
+		}
+		if out != in {
+			t.Errorf("round trip %v -> %#08x -> %v", in, w, out)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(Instr{Op: opCount}); err == nil {
+		t.Error("invalid opcode accepted")
+	}
+	if _, err := Encode(Instr{Op: ADD, Rd: 16}); err == nil {
+		t.Error("register 16 accepted")
+	}
+	if _, err := Encode(Instr{Op: MOVI, Imm: 40000}); err == nil {
+		t.Error("oversized immediate accepted")
+	}
+	if _, err := Encode(Instr{Op: MOVI, Imm: -40000}); err == nil {
+		t.Error("undersized immediate accepted")
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	if _, err := Decode(0xFF000000); err == nil {
+		t.Error("invalid opcode word accepted")
+	}
+}
+
+func TestDecodeEncodeProperty(t *testing.T) {
+	// Any valid instruction survives encode→decode unchanged.
+	f := func(op uint8, rd, rs1, rs2 uint8, imm int16) bool {
+		in := Instr{
+			Op:  Op(op % uint8(opCount)),
+			Rd:  rd % NumRegs,
+			Rs1: rs1 % NumRegs,
+			Imm: int32(imm),
+		}
+		if useRs2(in.Op) {
+			in.Rs2 = rs2 % NumRegs
+			in.Imm = 0
+		}
+		w, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(w)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpClasses(t *testing.T) {
+	cases := map[Op]Class{
+		NOP: ClassNop, MOV: ClassMove, MOVI: ClassImm, LUI: ClassImm,
+		ADD: ClassALU2, ADDI: ClassALUImm, ORI: ClassALUImm,
+		LDB: ClassLoad, STW: ClassStore, BEQ: ClassBranch,
+		JMP: ClassJump, JR: ClassJumpInd, CALL: ClassJump, CALLR: ClassJumpInd,
+		SYS: ClassSys, HALT: ClassHalt, STRF: ClassLatch, STNT: ClassLatch, LTNT: ClassLatch,
+	}
+	for op, want := range cases {
+		if got := op.Class(); got != want {
+			t.Errorf("%s.Class() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestMemSize(t *testing.T) {
+	cases := map[Op]int{LDB: 1, LDH: 2, LDW: 4, STB: 1, STH: 2, STW: 4, ADD: 0, JMP: 0}
+	for op, want := range cases {
+		if got := op.MemSize(); got != want {
+			t.Errorf("%s.MemSize() = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if ADD.String() != "add" || STNT.String() != "stnt" {
+		t.Error("bad mnemonic")
+	}
+	if !strings.Contains(Op(200).String(), "200") {
+		t.Error("unknown op should show number")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Instr{Op: LDW, Rd: 1, Rs1: 2, Imm: 8}, "ldw r1, [r2+8]"},
+		{Instr{Op: STB, Rd: 4, Rs1: 5, Imm: -4}, "stb r4, [r5-4]"},
+		{Instr{Op: JR, Rs1: 14}, "jr r14"},
+		{Instr{Op: SYS, Imm: 2}, "sys 2"},
+		{Instr{Op: HALT}, "halt"},
+		{Instr{Op: STNT, Rs1: 1, Rd: 2}, "stnt r1, r2"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestReadsWritesMem(t *testing.T) {
+	if !(Instr{Op: LDW}).ReadsMem() || (Instr{Op: LDW}).WritesMem() {
+		t.Error("LDW mem flags wrong")
+	}
+	if (Instr{Op: STW}).ReadsMem() || !(Instr{Op: STW}).WritesMem() {
+		t.Error("STW mem flags wrong")
+	}
+	if (Instr{Op: ADD}).ReadsMem() || (Instr{Op: ADD}).WritesMem() {
+		t.Error("ADD mem flags wrong")
+	}
+}

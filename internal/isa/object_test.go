@@ -1,0 +1,94 @@
+package isa
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestObjectRoundTrip(t *testing.T) {
+	p := MustAssemble(`
+_start:
+	movi r1, 1
+loop:
+	addi r1, r1, -1
+	bne  r1, r0, loop
+	halt
+data:
+	.word 0xCAFEBABE
+`)
+	var buf bytes.Buffer
+	if err := WriteObject(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadObject(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Origin != p.Origin || q.Entry != p.Entry {
+		t.Fatalf("header mismatch: %+v vs %+v", q, p)
+	}
+	if !bytes.Equal(q.Image, p.Image) {
+		t.Fatal("image mismatch")
+	}
+	if len(q.Labels) != len(p.Labels) {
+		t.Fatalf("label counts: %d vs %d", len(q.Labels), len(p.Labels))
+	}
+	for name, addr := range p.Labels {
+		if q.Labels[name] != addr {
+			t.Fatalf("label %q: %d vs %d", name, q.Labels[name], addr)
+		}
+	}
+}
+
+func TestObjectWithOrigin(t *testing.T) {
+	p := MustAssemble(".org 0x4000\n_start: halt")
+	var buf bytes.Buffer
+	if err := WriteObject(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadObject(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Origin != 0x4000 || q.Entry != 0x4000 {
+		t.Fatalf("origin/entry = %#x/%#x", q.Origin, q.Entry)
+	}
+}
+
+func TestObjectErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("NOPE"),
+		[]byte("LOBJ"), // truncated header
+		append([]byte("LOBJ"), 9, 0, 0, 0, 0, 0, 0, 0), // bad version + short
+	}
+	for i, data := range cases {
+		if _, err := ReadObject(bytes.NewReader(data)); !errors.Is(err, ErrBadObject) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+	// Truncated image.
+	p := MustAssemble("halt")
+	var buf bytes.Buffer
+	if err := WriteObject(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadObject(bytes.NewReader(trunc)); !errors.Is(err, ErrBadObject) {
+		t.Errorf("truncated object: err = %v", err)
+	}
+}
+
+func TestObjectUnreasonableSizes(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("LOBJ")
+	buf.Write([]byte{1, 0, 0, 0})             // version
+	buf.Write([]byte{0, 0, 0, 0})             // origin
+	buf.Write([]byte{0, 0, 0, 0})             // entry
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0x7F}) // absurd image length
+	buf.Write([]byte{0, 0, 0, 0})             // labels
+	if _, err := ReadObject(&buf); !errors.Is(err, ErrBadObject) {
+		t.Fatalf("absurd image accepted: %v", err)
+	}
+}

@@ -1,0 +1,90 @@
+package latch
+
+import "sort"
+
+// CTT is the Coarse Taint Table: the sparse in-memory structure holding one
+// taint bit per taint domain, packed 32 domains to a word (§4.1). Word w
+// covers domains [32w, 32w+32).
+type CTT struct {
+	words map[uint32]uint32
+}
+
+// NewCTT returns an empty table.
+func NewCTT() *CTT {
+	return &CTT{words: make(map[uint32]uint32)}
+}
+
+// WordIndex returns the CTT word index holding the bit for domain d.
+func WordIndex(d uint32) uint32 { return d / CTTWordBits }
+
+// bitOf returns the bit position of domain d within its word.
+func bitOf(d uint32) uint32 { return d % CTTWordBits }
+
+// Word returns the 32-domain bit vector of word w.
+func (t *CTT) Word(w uint32) uint32 { return t.words[w] }
+
+// Bit reports whether domain d is marked tainted.
+func (t *CTT) Bit(d uint32) bool {
+	return t.words[WordIndex(d)]&(1<<bitOf(d)) != 0
+}
+
+// SetBit marks domain d and reports whether the bit changed.
+func (t *CTT) SetBit(d uint32) bool {
+	w := WordIndex(d)
+	old := t.words[w]
+	nw := old | 1<<bitOf(d)
+	if nw == old {
+		return false
+	}
+	t.words[w] = nw
+	return true
+}
+
+// ClearBit unmarks domain d and reports whether the bit changed. Fully
+// cleared words are dropped so sparse occupancy stays proportional to taint.
+func (t *CTT) ClearBit(d uint32) bool {
+	w := WordIndex(d)
+	old, ok := t.words[w]
+	if !ok {
+		return false
+	}
+	nw := old &^ (1 << bitOf(d))
+	if nw == old {
+		return false
+	}
+	if nw == 0 {
+		delete(t.words, w)
+	} else {
+		t.words[w] = nw
+	}
+	return true
+}
+
+// WordsAllocated returns the number of nonzero words — the CTT's actual
+// memory footprint, which the paper notes stays small because of the high
+// compression of coarse tags.
+func (t *CTT) WordsAllocated() int { return len(t.words) }
+
+// TaintedDomains returns the total number of set bits.
+func (t *CTT) TaintedDomains() int {
+	n := 0
+	for _, w := range t.words {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// WordIndices returns the sorted indices of nonzero words.
+func (t *CTT) WordIndices() []uint32 {
+	out := make([]uint32, 0, len(t.words))
+	for w := range t.words {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reset empties the table.
+func (t *CTT) Reset() { t.words = make(map[uint32]uint32) }

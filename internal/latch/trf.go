@@ -1,0 +1,60 @@
+package latch
+
+import (
+	"latch/internal/isa"
+	"latch/internal/shadow"
+)
+
+// TRF is the taint register file (Figure 7, component B): one taint tag per
+// architectural register, checked by the LATCH hardware for register
+// operands during accelerated execution and rewritten wholesale by the strf
+// instruction when the software layer hands control back (Table 5).
+type TRF struct {
+	tags [isa.NumRegs]shadow.Tag
+}
+
+// Get returns the tag of register r.
+func (t *TRF) Get(r int) shadow.Tag { return t.tags[r] }
+
+// Set assigns the tag of register r.
+func (t *TRF) Set(r int, tag shadow.Tag) { t.tags[r] = tag }
+
+// Tainted reports whether register r carries taint.
+func (t *TRF) Tainted(r int) bool { return t.tags[r] != shadow.TagClean }
+
+// AnyTainted reports whether any register carries taint.
+func (t *TRF) AnyTainted() bool {
+	for _, tag := range t.tags {
+		if tag != shadow.TagClean {
+			return true
+		}
+	}
+	return false
+}
+
+// Mask returns a bit vector with bit i set when register i is tainted —
+// the value format strf consumes.
+func (t *TRF) Mask() uint32 {
+	var m uint32
+	for r, tag := range t.tags {
+		if tag != shadow.TagClean {
+			m |= 1 << r
+		}
+	}
+	return m
+}
+
+// SetMask rewrites the whole file from a bit vector: registers with their
+// bit set receive tag, the rest are cleared (strf semantics).
+func (t *TRF) SetMask(mask uint32, tag shadow.Tag) {
+	for r := range t.tags {
+		if mask&(1<<r) != 0 {
+			t.tags[r] = tag
+		} else {
+			t.tags[r] = shadow.TagClean
+		}
+	}
+}
+
+// Reset clears every register tag.
+func (t *TRF) Reset() { t.tags = [isa.NumRegs]shadow.Tag{} }

@@ -1,0 +1,193 @@
+// Package mem implements the sparse, paged 32-bit memory used by the LA32
+// virtual machine and by the LATCH taint-state machinery. Pages are allocated
+// lazily on first write; reads of unallocated memory return zeros without
+// allocating. The memory tracks which pages have ever been touched, which is
+// the raw input to the paper's page-granularity taint-distribution analysis
+// (Tables 3 and 4).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PageSize is the size of a memory page in bytes, matching the 4 KiB pages
+// the paper's page-level analysis uses.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// PageNumber returns the page number containing addr.
+func PageNumber(addr uint32) uint32 { return addr >> PageShift }
+
+// PageBase returns the first address of the page containing addr.
+func PageBase(addr uint32) uint32 { return addr &^ (PageSize - 1) }
+
+// Memory is a sparse 32-bit byte-addressable memory.
+//
+// The zero value is not usable; call New.
+type Memory struct {
+	pages map[uint32]*[PageSize]byte
+	// accessed records every page ever read or written, including reads of
+	// unallocated pages (the paper counts "pages accessed", not "pages
+	// allocated").
+	accessed map[uint32]bool
+	// trackAccess can be disabled for raw speed when page statistics are not
+	// needed.
+	trackAccess bool
+}
+
+// New returns an empty memory with page-access tracking enabled.
+func New() *Memory {
+	return &Memory{
+		pages:       make(map[uint32]*[PageSize]byte),
+		accessed:    make(map[uint32]bool),
+		trackAccess: true,
+	}
+}
+
+// SetAccessTracking enables or disables the pages-accessed bookkeeping.
+func (m *Memory) SetAccessTracking(on bool) { m.trackAccess = on }
+
+func (m *Memory) note(addr uint32) {
+	if m.trackAccess {
+		m.accessed[PageNumber(addr)] = true
+	}
+}
+
+func (m *Memory) notePageRange(addr uint32, n int) {
+	if !m.trackAccess || n <= 0 {
+		return
+	}
+	first := PageNumber(addr)
+	last := PageNumber(addr + uint32(n-1))
+	for p := first; ; p++ {
+		m.accessed[p] = true
+		if p == last {
+			break
+		}
+	}
+}
+
+// page returns the page for addr, allocating it if create is set.
+func (m *Memory) page(addr uint32, create bool) *[PageSize]byte {
+	pn := PageNumber(addr)
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint32) byte {
+	m.note(addr)
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr%PageSize]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint32, b byte) {
+	m.note(addr)
+	m.page(addr, true)[addr%PageSize] = b
+}
+
+// Read fills buf with the bytes starting at addr, wrapping at the 4 GiB
+// boundary like the hardware would.
+func (m *Memory) Read(addr uint32, buf []byte) {
+	m.notePageRange(addr, len(buf))
+	for len(buf) > 0 {
+		off := addr % PageSize
+		n := PageSize - off
+		if int(n) > len(buf) {
+			n = uint32(len(buf))
+		}
+		p := m.page(addr, false)
+		if p == nil {
+			for i := uint32(0); i < n; i++ {
+				buf[i] = 0
+			}
+		} else {
+			copy(buf[:n], p[off:off+n])
+		}
+		buf = buf[n:]
+		addr += n
+	}
+}
+
+// Write stores buf at addr, wrapping at the 4 GiB boundary.
+func (m *Memory) Write(addr uint32, buf []byte) {
+	m.notePageRange(addr, len(buf))
+	for len(buf) > 0 {
+		off := addr % PageSize
+		n := PageSize - off
+		if int(n) > len(buf) {
+			n = uint32(len(buf))
+		}
+		copy(m.page(addr, true)[off:off+n], buf[:n])
+		buf = buf[n:]
+		addr += n
+	}
+}
+
+// LoadWord returns the little-endian 32-bit word at addr. Unaligned access
+// is permitted, as on x86 (the paper's evaluation ISA).
+func (m *Memory) LoadWord(addr uint32) uint32 {
+	var b [4]byte
+	m.Read(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// StoreWord stores v little-endian at addr.
+func (m *Memory) StoreWord(addr uint32, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	m.Write(addr, b[:])
+}
+
+// LoadHalf returns the little-endian 16-bit value at addr.
+func (m *Memory) LoadHalf(addr uint32) uint16 {
+	var b [2]byte
+	m.Read(addr, b[:])
+	return binary.LittleEndian.Uint16(b[:])
+}
+
+// StoreHalf stores v little-endian at addr.
+func (m *Memory) StoreHalf(addr uint32, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	m.Write(addr, b[:])
+}
+
+// PagesAccessed returns the number of distinct pages ever read or written.
+func (m *Memory) PagesAccessed() int { return len(m.accessed) }
+
+// AccessedPages returns the sorted page numbers ever read or written.
+func (m *Memory) AccessedPages() []uint32 {
+	out := make([]uint32, 0, len(m.accessed))
+	for p := range m.accessed {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PagesAllocated returns the number of pages backed by storage.
+func (m *Memory) PagesAllocated() int { return len(m.pages) }
+
+// Reset discards all contents and statistics.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint32]*[PageSize]byte)
+	m.accessed = make(map[uint32]bool)
+}
+
+// String summarizes the memory for debugging.
+func (m *Memory) String() string {
+	return fmt.Sprintf("mem{allocated=%d pages, accessed=%d pages}", len(m.pages), len(m.accessed))
+}

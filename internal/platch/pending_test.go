@@ -1,0 +1,74 @@
+package platch
+
+import (
+	"testing"
+
+	"latch/internal/workload"
+)
+
+func TestPendingFIFOBasics(t *testing.T) {
+	f := newPendingFIFO(2)
+	f.push(10, 100)
+	f.push(20, 200)
+	if !f.pending(10) || !f.pending(20) || f.pending(30) {
+		t.Fatal("membership wrong")
+	}
+	// Overflow retires the oldest.
+	f.push(30, 300)
+	if f.pending(10) || !f.pending(20) || !f.pending(30) {
+		t.Fatal("overflow did not retire oldest")
+	}
+	// Expiry retires in order.
+	f.retire(250)
+	if f.pending(20) || !f.pending(30) {
+		t.Fatal("retire wrong")
+	}
+	f.retire(1000)
+	if f.pending(30) || f.count != 0 {
+		t.Fatal("final retire wrong")
+	}
+}
+
+func TestPendingFIFODuplicateDomains(t *testing.T) {
+	f := newPendingFIFO(4)
+	f.push(7, 100)
+	f.push(7, 200)
+	f.retire(150) // first entry expires, second still live
+	if !f.pending(7) {
+		t.Fatal("duplicate domain retired too early")
+	}
+	f.retire(250)
+	if f.pending(7) {
+		t.Fatal("domain still pending after both expired")
+	}
+}
+
+func TestPendingFIFODisabled(t *testing.T) {
+	if newPendingFIFO(0) != nil {
+		t.Fatal("zero capacity should disable the structure")
+	}
+}
+
+func TestPendingExtraPositivesAreRare(t *testing.T) {
+	// The paper's claim: taint locality makes CTT changes rare, so the
+	// conservative pending-destination protection costs almost nothing.
+	cfg := DefaultConfig()
+	cfg.Events = 300_000
+	r, err := Run(workload.MustGet("apache"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extraRate := float64(r.PendingExtraPositives) / float64(r.Events)
+	if extraRate > 0.001 {
+		t.Fatalf("pending protection caused %.4f%% extra enqueues, want < 0.1%%", 100*extraRate)
+	}
+	// Disabled structure yields zero extras.
+	cfg.PendingEntries = 0
+	r2, err := Run(workload.MustGet("apache"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.PendingExtraPositives != 0 {
+		t.Fatal("disabled FIFO still produced extras")
+	}
+}

@@ -1,0 +1,339 @@
+// Package shadow implements the byte-precise shadow taint memory that backs
+// the precise DIFT engine (the role libdft's tagmap plays in the paper).
+//
+// Beyond byte-granular tags, the shadow maintains two derived summaries that
+// LATCH's coarse state is defined over:
+//
+//   - per-domain tainted-byte counts, where a domain is a fixed power-of-two
+//     span of tens of bytes (§4.1 of the paper) — the ground truth for CTT
+//     bits and for the clear-bit machinery of §5.1.4/§5.3.1, and
+//   - per-page tainted-byte counts — the ground truth for the TLB taint bits
+//     of §4.2 and for the page-distribution analysis of Tables 3 and 4.
+//
+// Domain and page transitions (clean→tainted and tainted→clean) are reported
+// through watcher callbacks so the coarse taint table can stay synchronized
+// incrementally, exactly as the hardware update logic in Figure 12 does.
+package shadow
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"latch/internal/mem"
+)
+
+// Tag is a byte-sized taint tag: a bitmask of up to eight taint labels,
+// matching libdft's one-byte tags. Zero means untainted.
+type Tag uint8
+
+// TagClean is the zero tag.
+const TagClean Tag = 0
+
+// Label returns the tag with only label n (0..7) set.
+func Label(n int) Tag {
+	if n < 0 || n > 7 {
+		panic(fmt.Sprintf("shadow: label %d out of range", n))
+	}
+	return Tag(1) << n
+}
+
+// Union returns the combined tag, the propagation rule for multi-source
+// operations.
+func (t Tag) Union(o Tag) Tag { return t | o }
+
+// Tainted reports whether any label is set.
+func (t Tag) Tainted() bool { return t != 0 }
+
+// DefaultDomainSize is the taint-domain granularity used throughout the
+// paper's main evaluation (64-byte domains; §6.4).
+const DefaultDomainSize = 64
+
+// MinDomainSize and MaxDomainSize bound the configurable granularity; the
+// paper's Figure 6 sweeps 8..256 bytes.
+const (
+	MinDomainSize = 8
+	MaxDomainSize = mem.PageSize
+)
+
+type page struct {
+	tags         [mem.PageSize]Tag
+	taintedBytes uint16
+	domainBytes  []uint16 // tainted bytes per domain within this page
+}
+
+// Watcher observes transitions of a coarse unit (domain or page) between the
+// clean and tainted states. Units are identified by their global index
+// (address >> log2(unit size)).
+type Watcher func(unit uint32, tainted bool)
+
+// ByteWatcher observes every byte-level taint-status transition (an address
+// changing between clean and tainted). The S-LATCH clear-bit machinery
+// subscribes to it: every zero-write to a previously tainted byte asserts
+// the domain's clear bit, every taint re-assertion retires it (§5.1.4).
+type ByteWatcher func(addr uint32, tainted bool)
+
+// Shadow is a sparse byte-precise taint map over the 32-bit address space.
+type Shadow struct {
+	pages      map[uint32]*page
+	domainSize uint32
+	domShift   uint
+	domPerPage uint32
+
+	taintedBytes uint64 // global count
+
+	onDomain Watcher
+	onPage   Watcher
+	onByte   ByteWatcher
+
+	// everTaintedPages records pages that have held taint at any point; the
+	// paper's Tables 3/4 count pages that *received* tainted data during the
+	// run, not pages tainted at exit.
+	everTaintedPages map[uint32]bool
+}
+
+// New creates a shadow with the given domain size, which must be a power of
+// two in [MinDomainSize, MaxDomainSize].
+func New(domainSize uint32) (*Shadow, error) {
+	if domainSize < MinDomainSize || domainSize > MaxDomainSize || domainSize&(domainSize-1) != 0 {
+		return nil, fmt.Errorf("shadow: invalid domain size %d", domainSize)
+	}
+	return &Shadow{
+		pages:            make(map[uint32]*page),
+		domainSize:       domainSize,
+		domShift:         uint(bits.TrailingZeros32(domainSize)),
+		domPerPage:       mem.PageSize / domainSize,
+		everTaintedPages: make(map[uint32]bool),
+	}, nil
+}
+
+// MustNew is New panicking on error, for configurations validated elsewhere.
+func MustNew(domainSize uint32) *Shadow {
+	s, err := New(domainSize)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// DomainSize returns the configured taint-domain granularity in bytes.
+func (s *Shadow) DomainSize() uint32 { return s.domainSize }
+
+// DomainIndex returns the global index of the domain containing addr.
+func (s *Shadow) DomainIndex(addr uint32) uint32 { return addr >> s.domShift }
+
+// DomainBase returns the first address of domain d.
+func (s *Shadow) DomainBase(d uint32) uint32 { return d << s.domShift }
+
+// OnDomainTransition registers the watcher called when a domain changes
+// between clean and tainted. Passing nil removes the watcher.
+func (s *Shadow) OnDomainTransition(w Watcher) { s.onDomain = w }
+
+// OnPageTransition registers the watcher called when a page changes between
+// clean and tainted. Passing nil removes the watcher.
+func (s *Shadow) OnPageTransition(w Watcher) { s.onPage = w }
+
+// OnByteTransition registers the watcher called on every byte-level taint
+// status change. Passing nil removes the watcher.
+func (s *Shadow) OnByteTransition(w ByteWatcher) { s.onByte = w }
+
+func (s *Shadow) getPage(pn uint32, create bool) *page {
+	p := s.pages[pn]
+	if p == nil && create {
+		p = &page{domainBytes: make([]uint16, s.domPerPage)}
+		s.pages[pn] = p
+	}
+	return p
+}
+
+// Get returns the tag of the byte at addr.
+func (s *Shadow) Get(addr uint32) Tag {
+	p := s.pages[mem.PageNumber(addr)]
+	if p == nil {
+		return TagClean
+	}
+	return p.tags[addr%mem.PageSize]
+}
+
+// Set assigns tag to the byte at addr and returns the previous tag.
+func (s *Shadow) Set(addr uint32, tag Tag) Tag {
+	pn := mem.PageNumber(addr)
+	p := s.getPage(pn, tag != TagClean)
+	if p == nil {
+		return TagClean // clearing an untracked byte: nothing to do
+	}
+	off := addr % mem.PageSize
+	old := p.tags[off]
+	if old == tag {
+		return old
+	}
+	p.tags[off] = tag
+	di := off / s.domainSize
+	switch {
+	case old == TagClean && tag != TagClean:
+		p.taintedBytes++
+		s.taintedBytes++
+		p.domainBytes[di]++
+		if p.domainBytes[di] == 1 && s.onDomain != nil {
+			s.onDomain(s.DomainIndex(addr), true)
+		}
+		if p.taintedBytes == 1 {
+			s.everTaintedPages[pn] = true
+			if s.onPage != nil {
+				s.onPage(pn, true)
+			}
+		}
+		if s.onByte != nil {
+			s.onByte(addr, true)
+		}
+	case old != TagClean && tag == TagClean:
+		p.taintedBytes--
+		s.taintedBytes--
+		p.domainBytes[di]--
+		if p.domainBytes[di] == 0 && s.onDomain != nil {
+			s.onDomain(s.DomainIndex(addr), false)
+		}
+		if p.taintedBytes == 0 && s.onPage != nil {
+			s.onPage(pn, false)
+		}
+		if s.onByte != nil {
+			s.onByte(addr, false)
+		}
+	}
+	return old
+}
+
+// SetRange assigns tag to n bytes starting at addr.
+func (s *Shadow) SetRange(addr uint32, n int, tag Tag) {
+	for i := 0; i < n; i++ {
+		s.Set(addr+uint32(i), tag)
+	}
+}
+
+// RangeTag returns the union of tags over [addr, addr+n).
+func (s *Shadow) RangeTag(addr uint32, n int) Tag {
+	var t Tag
+	for i := 0; i < n; i++ {
+		t |= s.Get(addr + uint32(i))
+		if t == 0xFF {
+			break
+		}
+	}
+	return t
+}
+
+// RangeTainted reports whether any byte in [addr, addr+n) is tainted.
+func (s *Shadow) RangeTainted(addr uint32, n int) bool {
+	return s.RangeTag(addr, n) != TagClean
+}
+
+// DomainTainted reports whether any byte of domain d is tainted.
+func (s *Shadow) DomainTainted(d uint32) bool {
+	return s.DomainTaintedBytes(d) > 0
+}
+
+// DomainTaintedBytes returns the number of tainted bytes in domain d. This
+// is what the clear-bit scan of §5.1.4 consults to decide whether a domain
+// has been fully cleared.
+func (s *Shadow) DomainTaintedBytes(d uint32) int {
+	addr := s.DomainBase(d)
+	p := s.pages[mem.PageNumber(addr)]
+	if p == nil {
+		return 0
+	}
+	return int(p.domainBytes[(addr%mem.PageSize)/s.domainSize])
+}
+
+// TaintedAt reports whether the aligned unit of the given power-of-two size
+// containing addr holds any tainted byte. It works at any granularity,
+// independent of the configured domain size; Figure 6 uses it to measure
+// false-positive rates across granularities from one byte-precise state.
+func (s *Shadow) TaintedAt(addr uint32, unitSize uint32) bool {
+	if unitSize == 0 || unitSize&(unitSize-1) != 0 {
+		panic(fmt.Sprintf("shadow: unit size %d not a power of two", unitSize))
+	}
+	base := addr &^ (unitSize - 1)
+	if unitSize >= mem.PageSize {
+		// Whole pages (or runs of pages).
+		for b := base; b < base+unitSize; b += mem.PageSize {
+			if p := s.pages[mem.PageNumber(b)]; p != nil && p.taintedBytes > 0 {
+				return true
+			}
+			if b+mem.PageSize < b { // wrapped
+				break
+			}
+		}
+		return false
+	}
+	p := s.pages[mem.PageNumber(base)]
+	if p == nil || p.taintedBytes == 0 {
+		return false
+	}
+	off := base % mem.PageSize
+	if unitSize >= s.domainSize {
+		// Aggregate whole domain counters.
+		for d := off / s.domainSize; d < (off+unitSize)/s.domainSize; d++ {
+			if p.domainBytes[d] > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for i := uint32(0); i < unitSize; i++ {
+		if p.tags[off+i] != TagClean {
+			return true
+		}
+	}
+	return false
+}
+
+// PageTainted reports whether the page currently holds any tainted byte.
+func (s *Shadow) PageTainted(pn uint32) bool {
+	p := s.pages[pn]
+	return p != nil && p.taintedBytes > 0
+}
+
+// PageTaintedBytes returns the number of tainted bytes currently in page pn.
+func (s *Shadow) PageTaintedBytes(pn uint32) int {
+	p := s.pages[pn]
+	if p == nil {
+		return 0
+	}
+	return int(p.taintedBytes)
+}
+
+// TaintedBytes returns the total number of currently tainted bytes.
+func (s *Shadow) TaintedBytes() uint64 { return s.taintedBytes }
+
+// EverTaintedPages returns the number of distinct pages that have held taint
+// at any point during execution (the "pages tainted" metric of Tables 3/4).
+func (s *Shadow) EverTaintedPages() int { return len(s.everTaintedPages) }
+
+// EverTaintedPageNumbers returns the sorted page numbers that ever held taint.
+func (s *Shadow) EverTaintedPageNumbers() []uint32 {
+	out := make([]uint32, 0, len(s.everTaintedPages))
+	for pn := range s.everTaintedPages {
+		out = append(out, pn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CurrentTaintedPages returns the number of pages holding taint right now.
+func (s *Shadow) CurrentTaintedPages() int {
+	n := 0
+	for _, p := range s.pages {
+		if p.taintedBytes > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears all taint and statistics. Watchers are retained but not
+// invoked for the wholesale clear.
+func (s *Shadow) Reset() {
+	s.pages = make(map[uint32]*page)
+	s.taintedBytes = 0
+	s.everTaintedPages = make(map[uint32]bool)
+}

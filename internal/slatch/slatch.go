@@ -1,0 +1,260 @@
+// Package slatch implements S-LATCH (§5.1): single-core software DIFT
+// accelerated by the LATCH hardware module. Execution alternates between two
+// modes:
+//
+//   - hardware mode: the native image runs at full speed while the LATCH
+//     module checks every memory operand against the coarse taint state (and
+//     register operands against the TRF). A coarse positive traps to the
+//     exception handler, which filters false positives against the precise
+//     state (via ltnt) and, on a true positive, transfers control to the
+//     DBI-instrumented image;
+//
+//   - software mode: the instrumented image executes with the benchmark's
+//     full libdft slowdown, returning to hardware after 1000 instructions
+//     without taint manipulation (§5.1.3), after scanning the CTC clear bits
+//     (§5.1.4).
+//
+// The simulator consumes a benchmark's event stream, drives the real
+// latch.Module in lazy-clear mode, and accounts cycles into the Figure 14
+// categories: libdft instrumentation, hardware/software control transfers,
+// false-positive checks, CTC misses, and coarse-state resets.
+package slatch
+
+import (
+	"fmt"
+	"sync"
+
+	"latch/internal/latch"
+	"latch/internal/shadow"
+	"latch/internal/trace"
+	"latch/internal/workload"
+)
+
+// Mode is the current execution layer.
+type Mode int
+
+// Modes.
+const (
+	ModeHardware Mode = iota
+	ModeSoftware
+)
+
+// Config parameterizes the S-LATCH cost model. Cycle constants follow §6.1:
+// the CTC miss penalty is 150 cycles; control-transfer costs combine the
+// getcontext/setcontext pair with the per-benchmark Pin code-cache latency.
+type Config struct {
+	Latch latch.Config
+
+	// TimeoutInstrs is the software-mode timeout: after this many
+	// instructions without touching taint, control returns to hardware
+	// (1000 in the paper, §5.1.3).
+	TimeoutInstrs uint64
+
+	// CtxSwitchCycles is the cost of saving/restoring the native context on
+	// each direction of a mode switch (getcontext/setcontext, §6.1).
+	CtxSwitchCycles uint64
+
+	// FPCheckCycles is the exception-handler cost of validating one coarse
+	// positive against the precise state (ltnt + tagmap lookup, §5.1.2).
+	FPCheckCycles uint64
+
+	// ScanCyclesPerDomain is the cost of checking one clear-bit-flagged
+	// domain during the return-to-hardware scan.
+	ScanCyclesPerDomain uint64
+
+	Events uint64 // stream length
+}
+
+// DefaultConfig returns the paper's S-LATCH configuration: lazy clear bits,
+// no hardware t-cache baseline, 1000-instruction timeout, 150-cycle CTC
+// miss penalty.
+func DefaultConfig() Config {
+	lc := latch.DefaultConfig()
+	lc.Clear = latch.LazyClear
+	lc.BaselineTCache = false
+	return Config{
+		Latch:               lc,
+		TimeoutInstrs:       1000,
+		CtxSwitchCycles:     400,
+		FPCheckCycles:       120,
+		ScanCyclesPerDomain: 20,
+		Events:              2_000_000,
+	}
+}
+
+// Result is the outcome of one benchmark under S-LATCH, with the Figure 14
+// cycle breakdown.
+type Result struct {
+	Benchmark string
+	Events    uint64
+
+	HWInstrs uint64 // instructions executed under hardware monitoring
+	SWInstrs uint64 // instructions executed under software DIFT
+	Switches uint64 // hardware->software transitions
+
+	// Cycle accounting (Figure 14 categories).
+	BaseCycles     uint64 // native execution: one per instruction
+	LibdftCycles   uint64 // extra cycles from instrumented execution
+	XferCycles     uint64 // context save/restore + code-cache loads
+	FPCheckCycles  uint64 // exception-handler false-positive filtering
+	CTCMissCycles  uint64 // coarse-check miss penalties
+	ResetCycles    uint64 // clear-bit scans on return to hardware
+	FalsePositives uint64
+
+	LibdftSlowdown float64 // the benchmark's software-only slowdown
+
+	Latch latch.Stats
+}
+
+// TotalCycles returns the modeled S-LATCH runtime.
+func (r Result) TotalCycles() uint64 {
+	return r.BaseCycles + r.LibdftCycles + r.XferCycles + r.FPCheckCycles +
+		r.CTCMissCycles + r.ResetCycles
+}
+
+// Overhead returns the fractional overhead over native execution
+// (Figure 13's y-axis; 0.6 means 60%).
+func (r Result) Overhead() float64 {
+	if r.BaseCycles == 0 {
+		return 0
+	}
+	return float64(r.TotalCycles())/float64(r.BaseCycles) - 1
+}
+
+// LibdftOverhead returns the software-only baseline overhead.
+func (r Result) LibdftOverhead() float64 { return r.LibdftSlowdown - 1 }
+
+// SpeedupVsLibdft returns how much faster S-LATCH is than continuous
+// software DIFT.
+func (r Result) SpeedupVsLibdft() float64 {
+	t := r.TotalCycles()
+	if t == 0 {
+		return 0
+	}
+	return r.LibdftSlowdown * float64(r.BaseCycles) / float64(t)
+}
+
+// Run simulates one benchmark under S-LATCH.
+func Run(p workload.Profile, cfg Config) (Result, error) {
+	if cfg.Latch.Clear == latch.EagerClear {
+		// S-LATCH has no hardware taint cache to drive the eager AND-chain;
+		// it uses lazy clear bits (§5.1.4), or NoClear for the ablation.
+		return Result{}, fmt.Errorf("slatch: S-LATCH requires the lazy or disabled clear policy")
+	}
+	sh, err := shadow.New(cfg.Latch.DomainSize)
+	if err != nil {
+		return Result{}, err
+	}
+	m, err := latch.New(cfg.Latch, sh)
+	if err != nil {
+		return Result{}, err
+	}
+	g, err := workload.NewGeneratorOn(p, sh)
+	if err != nil {
+		return Result{}, err
+	}
+	m.ResetStats()
+
+	res := Result{
+		Benchmark:      p.Name,
+		LibdftSlowdown: p.LibdftSlowdown,
+	}
+	perInstrExtra := p.LibdftSlowdown - 1
+
+	mode := ModeHardware
+	var sinceTaint uint64
+	var libdftFrac float64 // fractional cycle accumulator for SW instructions
+
+	prevMisses := func() uint64 { return m.Stats().CTCCheckMisses }
+	missesBefore := prevMisses()
+
+	g.Run(cfg.Events, trace.SinkFunc(func(ev trace.Event) {
+		res.Events++
+		res.BaseCycles++
+		switch mode {
+		case ModeHardware:
+			res.HWInstrs++
+			if !ev.IsMem {
+				return
+			}
+			check := m.CheckMem(ev.Addr, int(ev.Size))
+			if missesNow := prevMisses(); missesNow != missesBefore {
+				res.CTCMissCycles += (missesNow - missesBefore) * cfg.Latch.CTCMissPenalty
+				missesBefore = missesNow
+			}
+			if !check.CoarsePositive {
+				return
+			}
+			// Trap to the exception handler, which validates against the
+			// precise state.
+			res.FPCheckCycles += cfg.FPCheckCycles
+			if !check.TrulyTainted {
+				res.FalsePositives++
+				return // dismissed; hardware mode continues
+			}
+			// True positive: transfer control to the instrumented image.
+			res.Switches++
+			res.XferCycles += 2*cfg.CtxSwitchCycles + p.CodeCacheLat
+			mode = ModeSoftware
+			sinceTaint = 0
+			// The trapping instruction re-executes under instrumentation.
+			libdftFrac += perInstrExtra
+		case ModeSoftware:
+			res.SWInstrs++
+			libdftFrac += perInstrExtra
+			if ev.Tainted {
+				sinceTaint = 0
+				return
+			}
+			sinceTaint++
+			if sinceTaint < cfg.TimeoutInstrs {
+				return
+			}
+			// Timeout: scan clear bits, restore the native context, resume
+			// hardware monitoring.
+			scanned := m.ScanResidentClears()
+			res.ResetCycles += scanned * cfg.ScanCyclesPerDomain
+			res.XferCycles += cfg.CtxSwitchCycles
+			mode = ModeHardware
+			sinceTaint = 0
+		}
+	}))
+
+	res.LibdftCycles = uint64(libdftFrac)
+	res.Latch = m.Stats()
+	return res, nil
+}
+
+// RunSuite simulates every benchmark of a suite, in registry order. The
+// benchmarks are independent (each stream has its own deterministic
+// generator), so they run concurrently.
+func RunSuite(s workload.Suite, cfg Config) ([]Result, error) {
+	names := workload.BySuite(s)
+	out := make([]Result, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			p, err := workload.Get(name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			r, err := Run(p, cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("slatch %s: %w", name, err)
+				return
+			}
+			out[i] = r
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

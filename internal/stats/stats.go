@@ -1,0 +1,326 @@
+// Package stats provides the small statistical and table-rendering toolkit
+// shared by the LATCH experiment harness: means over benchmark suites,
+// histograms for epoch analysis, and fixed-width text tables that mirror the
+// layout of the tables in the MICRO 2019 paper.
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// HarmonicMean returns the harmonic mean of xs. The paper reports S-LATCH
+// overheads as harmonic means across benchmarks. Non-positive values make a
+// harmonic mean undefined; they are rejected with an error.
+func HarmonicMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: harmonic mean of empty slice")
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: harmonic mean requires positive values, got %g", x)
+		}
+		sum += 1 / x
+	}
+	return float64(len(xs)) / sum, nil
+}
+
+// GeoMean returns the geometric mean of xs. Non-positive values are rejected.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geometric mean of empty slice")
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geometric mean requires positive values, got %g", x)
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs))), nil
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. xs need not be sorted.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %g out of range [0,100]", p)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Histogram is a fixed-bucket histogram over non-negative integer samples,
+// used by the epoch analyzer to bucket taint-free epoch lengths the way
+// Figure 5 of the paper does (epochs of >100, >1K, ... instructions).
+type Histogram struct {
+	// Bounds holds ascending bucket lower bounds. A sample s is counted in
+	// every bucket whose bound b satisfies s >= b (the paper's buckets
+	// overlap: an epoch of 2M instructions belongs to all five sets).
+	Bounds []uint64
+	counts []uint64
+	// WeightBySample accumulates, per bucket, the sum of the samples rather
+	// than their count; Figure 5 weights epochs by their instruction count.
+	weights []uint64
+	total   uint64
+	samples uint64
+}
+
+// NewHistogram returns a histogram with the given ascending bucket bounds.
+func NewHistogram(bounds ...uint64) *Histogram {
+	b := append([]uint64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{
+		Bounds:  b,
+		counts:  make([]uint64, len(b)),
+		weights: make([]uint64, len(b)),
+	}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(sample uint64) {
+	h.samples++
+	h.total += sample
+	for i, b := range h.Bounds {
+		if sample >= b {
+			h.counts[i]++
+			h.weights[i] += sample
+		}
+	}
+}
+
+// Count returns the number of samples >= the i-th bound.
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// Weight returns the sum of samples >= the i-th bound.
+func (h *Histogram) Weight(i int) uint64 { return h.weights[i] }
+
+// Samples returns the number of samples added.
+func (h *Histogram) Samples() uint64 { return h.samples }
+
+// Total returns the sum of all samples added.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// WeightShare returns Weight(i) divided by a caller-supplied denominator
+// (Figure 5 uses total executed instructions, which exceeds the sum of
+// taint-free epoch lengths). Returns 0 when denom is 0.
+func (h *Histogram) WeightShare(i int, denom uint64) float64 {
+	if denom == 0 {
+		return 0
+	}
+	return float64(h.weights[i]) / float64(denom)
+}
+
+// Table renders paper-style fixed-width text tables.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: append([]string(nil), header...)}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped, missing
+// cells are rendered empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row formatting each value with the verb chosen by type:
+// strings verbatim, float64 with %.4g, integers with %d.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, FormatFloat(v))
+		case int:
+			row = append(row, fmt.Sprintf("%d", v))
+		case int64:
+			row = append(row, fmt.Sprintf("%d", v))
+		case uint64:
+			row = append(row, fmt.Sprintf("%d", v))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// FormatFloat renders a float the way the paper's tables do: up to four
+// decimal places, trimming trailing zeros, keeping very small values visible.
+func FormatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "0" || s == "-0" {
+		// Preserve the fact that the value is nonzero but tiny.
+		return fmt.Sprintf("%.2g", v)
+	}
+	return s
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// MarshalJSON renders the table as {"title", "header", "rows"} for
+// machine-readable experiment output.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.Title, t.header, rows})
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Markdown renders the table as a GitHub-flavored markdown table, used by
+// the experiment CLI's -format markdown for pasting into reports.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "**%s**\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		sb.WriteString("|")
+		for _, c := range cells {
+			sb.WriteString(" ")
+			sb.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			sb.WriteString(" |")
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	rule := make([]string, len(t.header))
+	for i := range rule {
+		rule[i] = "---"
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// BarChart renders labeled horizontal bars scaled to the maximum value —
+// the terminal rendering of the paper's bar figures. Negative values are
+// clamped to zero; width is the bar area in characters.
+func BarChart(title string, labels []string, values []float64, width int) string {
+	if width < 1 {
+		width = 40
+	}
+	var maxV float64
+	labelW := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 && v > 0 {
+			n = int(v / maxV * float64(width))
+			if n == 0 {
+				n = 1 // nonzero values stay visible
+			}
+		}
+		fmt.Fprintf(&sb, "%-*s |%s%s| %s\n",
+			labelW, labels[i],
+			strings.Repeat("#", n), strings.Repeat(" ", width-n),
+			FormatFloat(v))
+	}
+	return sb.String()
+}
+
+// Cell returns the cell at row r, column c (both zero-based).
+func (t *Table) Cell(r, c int) string { return t.rows[r][c] }

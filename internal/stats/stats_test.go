@@ -1,0 +1,295 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %g, want 0", got)
+	}
+	if got := Mean([]float64{2, 4, 6}); !almostEqual(got, 4) {
+		t.Fatalf("Mean = %g, want 4", got)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	got, err := HarmonicMean([]float64{1, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2.0; !almostEqual(got, want) {
+		t.Fatalf("HarmonicMean = %g, want %g", got, want)
+	}
+	if _, err := HarmonicMean(nil); err == nil {
+		t.Fatal("HarmonicMean(nil) should fail")
+	}
+	if _, err := HarmonicMean([]float64{1, 0}); err == nil {
+		t.Fatal("HarmonicMean with zero should fail")
+	}
+	if _, err := HarmonicMean([]float64{1, -2}); err == nil {
+		t.Fatal("HarmonicMean with negative should fail")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4.0; !almostEqual(got, want) {
+		t.Fatalf("GeoMean = %g, want %g", got, want)
+	}
+	if _, err := GeoMean([]float64{0}); err == nil {
+		t.Fatal("GeoMean with zero should fail")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Fatal("GeoMean(nil) should fail")
+	}
+}
+
+func TestHarmonicLeGeoLeArith(t *testing.T) {
+	// Classical inequality HM <= GM <= AM for positive values.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Strictly positive and bounded: at float64 extremes
+			// exp(log(x)) itself overflows and the inequality is vacuous.
+			xs = append(xs, math.Mod(math.Abs(x), 1e9)+0.5)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		hm, err1 := HarmonicMean(xs)
+		gm, err2 := GeoMean(xs)
+		am := Mean(xs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		const slack = 1e-9
+		return hm <= gm*(1+slack) && gm <= am*(1+slack)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {62.5, 3.5},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Fatal("Percentile(nil) should fail")
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Fatal("Percentile(-1) should fail")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Fatal("Percentile(101) should fail")
+	}
+	one, err := Percentile([]float64{7}, 99)
+	if err != nil || one != 7 {
+		t.Fatalf("Percentile single = %g,%v want 7,nil", one, err)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestHistogramOverlappingBuckets(t *testing.T) {
+	h := NewHistogram(100, 1000, 10000)
+	h.Add(50)    // no bucket
+	h.Add(100)   // bucket 0
+	h.Add(1500)  // buckets 0,1
+	h.Add(20000) // buckets 0,1,2
+	if h.Samples() != 4 {
+		t.Fatalf("Samples = %d, want 4", h.Samples())
+	}
+	if h.Total() != 50+100+1500+20000 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	wantCounts := []uint64{3, 2, 1}
+	wantWeights := []uint64{100 + 1500 + 20000, 1500 + 20000, 20000}
+	for i := range wantCounts {
+		if h.Count(i) != wantCounts[i] {
+			t.Errorf("Count(%d) = %d, want %d", i, h.Count(i), wantCounts[i])
+		}
+		if h.Weight(i) != wantWeights[i] {
+			t.Errorf("Weight(%d) = %d, want %d", i, h.Weight(i), wantWeights[i])
+		}
+	}
+	if got := h.WeightShare(0, 100000); !almostEqual(got, 0.216) {
+		t.Errorf("WeightShare = %g, want 0.216", got)
+	}
+	if got := h.WeightShare(0, 0); got != 0 {
+		t.Errorf("WeightShare with zero denom = %g, want 0", got)
+	}
+}
+
+func TestHistogramBoundsSorted(t *testing.T) {
+	h := NewHistogram(1000, 10, 100)
+	for i := 1; i < len(h.Bounds); i++ {
+		if h.Bounds[i-1] > h.Bounds[i] {
+			t.Fatalf("bounds not sorted: %v", h.Bounds)
+		}
+	}
+}
+
+func TestHistogramMonotoneCounts(t *testing.T) {
+	// Counts for higher bounds can never exceed counts for lower bounds.
+	f := func(samples []uint32) bool {
+		h := NewHistogram(10, 100, 1000, 10000)
+		for _, s := range samples {
+			h.Add(uint64(s))
+		}
+		for i := 1; i < len(h.Bounds); i++ {
+			if h.Count(i) > h.Count(i-1) {
+				return false
+			}
+			if h.Weight(i) > h.Weight(i-1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X", "bench", "value")
+	tb.AddRowf("astar", 21.73)
+	tb.AddRowf("bzip2", 0.01)
+	out := tb.String()
+	for _, want := range []string{"Table X", "bench", "astar", "21.73", "bzip2", "0.01"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d, want 2", tb.Rows())
+	}
+	if tb.Cell(0, 0) != "astar" {
+		t.Fatalf("Cell(0,0) = %q", tb.Cell(0, 0))
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "z", "dropped")
+	if tb.Cell(0, 1) != "" || tb.Cell(0, 2) != "" {
+		t.Fatal("missing cells should be empty")
+	}
+	if tb.Cell(1, 2) != "z" {
+		t.Fatal("extra cells should be dropped, keeping first 3")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{21.73, "21.73"},
+		{0.01, "0.01"},
+		{1, "1"},
+		{0.0001, "0.0001"},
+		{3.38, "3.38"},
+		{0.00001, "1e-05"},
+		{0, "0"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAddRowfTypes(t *testing.T) {
+	tb := NewTable("", "a", "b", "c", "d", "e")
+	tb.AddRowf("s", 1, int64(2), uint64(3), 4.5)
+	want := []string{"s", "1", "2", "3", "4.5"}
+	for i, w := range want {
+		if tb.Cell(0, i) != w {
+			t.Errorf("cell %d = %q, want %q", i, tb.Cell(0, i), w)
+		}
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("title", []string{"aa", "b"}, []float64{4, 1}, 8)
+	if !strings.Contains(out, "title") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "aa |########| 4") {
+		t.Fatalf("max bar wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "b  |##      | 1") {
+		t.Fatalf("scaled bar wrong:\n%s", out)
+	}
+	// Tiny nonzero values stay visible; zeros render empty.
+	out = BarChart("", []string{"x", "y"}, []float64{1000, 0.001}, 10)
+	if !strings.Contains(out, "y |#         | 0.001") {
+		t.Fatalf("tiny bar invisible:\n%s", out)
+	}
+	out = BarChart("", []string{"z"}, []float64{0}, 5)
+	if !strings.Contains(out, "z |     | 0") {
+		t.Fatalf("zero bar wrong:\n%s", out)
+	}
+	// Degenerate width defaults sanely.
+	if BarChart("", []string{"w"}, []float64{1}, 0) == "" {
+		t.Fatal("zero width produced nothing")
+	}
+}
+
+func TestTableMarshalJSON(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.AddRowf("x", 1.5)
+	data, err := tb.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"title":"T"`, `"header":["a","b"]`, `"rows":[["x","1.5"]]`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %q: %s", want, s)
+		}
+	}
+	empty := NewTable("", "h")
+	data, err = empty.MarshalJSON()
+	if err != nil || !strings.Contains(string(data), `"rows":[]`) {
+		t.Fatalf("empty table JSON: %s %v", data, err)
+	}
+}

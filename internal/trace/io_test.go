@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	events := []Event{
+		{Seq: 1, PC: 0x1000},
+		{Seq: 2, PC: 0x1004, IsMem: true, Addr: 0x8000, Size: 4},
+		{Seq: 3, PC: 0x1008, IsMem: true, IsWrite: true, Addr: 0x8004, Size: 1, Tainted: true},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		w.Consume(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range events {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("event %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	if r.Count() != 3 {
+		t.Fatalf("reader Count = %d", r.Count())
+	}
+}
+
+func TestTraceRoundTripProperty(t *testing.T) {
+	f := func(seq uint64, pc, addr uint32, size uint8, isMem, isWrite, tainted bool) bool {
+		in := Event{Seq: seq, PC: pc, Addr: addr, Size: size,
+			IsMem: isMem, IsWrite: isWrite, Tainted: tainted}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		w.Consume(in)
+		if w.Flush() != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		out, err := r.Next()
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplay(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := uint64(1); i <= 100; i++ {
+		w.Consume(Event{Seq: i, Tainted: i%10 == 0})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewEpochAnalyzer()
+	n, err := r.Replay(a)
+	if err != nil || n != 100 {
+		t.Fatalf("Replay = %d, %v", n, err)
+	}
+	a.Finish()
+	if a.TaintedInstructions() != 10 {
+		t.Fatalf("replayed taint count = %d", a.TaintedInstructions())
+	}
+}
+
+func TestBadTraces(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(nil)); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("empty stream: %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE0000"))); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	// Wrong version.
+	bad := append([]byte(traceMagic), 0xFF, 0x00, 0, 0)
+	if _, err := NewReader(bytes.NewReader(bad)); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("bad version: %v", err)
+	}
+	// Truncated record.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Consume(Event{Seq: 1})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("truncated record: %v", err)
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriterStickyError(t *testing.T) {
+	fw := &failingWriter{n: 8} // room for the header only
+	w, err := NewWriter(fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the bufio buffer past capacity to force the underlying error.
+	for i := 0; i < 10_000; i++ {
+		w.Consume(Event{Seq: uint64(i)})
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+func BenchmarkTraceWrite(b *testing.B) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := Event{Seq: 1, PC: 0x1000, IsMem: true, Addr: 0x8000, Size: 4, Tainted: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Seq = uint64(i)
+		w.Consume(ev)
+		if buf.Len() > 1<<24 {
+			buf.Reset()
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTraceRead(b *testing.B) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	for i := 0; i < 100_000; i++ {
+		w.Consume(Event{Seq: uint64(i), IsMem: true, Addr: uint32(i)})
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	r, _ := NewReader(bytes.NewReader(data))
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Next(); err == io.EOF {
+			r, _ = NewReader(bytes.NewReader(data))
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

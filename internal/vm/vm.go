@@ -1,0 +1,431 @@
+// Package vm implements the LA32 virtual machine: the deterministic
+// interpreter that stands in for the paper's Pin-instrumented x86 host. It
+// executes assembled programs over sparse memory, exposes the per-committed-
+// instruction operand stream that LATCH's extraction logic consumes, routes
+// external input through syscall-level taint sources (file reads, socket
+// receives, per-connection accepts), and lets an attached Tracker — normally
+// the precise DIFT engine — propagate taint and enforce data-use policies.
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"latch/internal/dift"
+	"latch/internal/isa"
+	"latch/internal/mem"
+	"latch/internal/shadow"
+	"latch/internal/trace"
+)
+
+// Tracker receives the DIFT-relevant events of execution. *dift.Engine
+// implements it; tests may substitute lighter fakes.
+type Tracker interface {
+	// Touches reports whether the instruction about to execute manipulates
+	// tainted data (consulted before execution, for the event stream).
+	Touches(in isa.Instr, addr uint32) bool
+	// Commit propagates taint after the instruction's semantics executed.
+	Commit(pc uint32, in isa.Instr, addr uint32) error
+	// IndirectTarget validates an indirect control transfer before it is
+	// taken.
+	IndirectTarget(pc uint32, reg int, target uint32) error
+	// Input records external data written into memory by a syscall.
+	Input(addr uint32, n int, source dift.InputSource, conn int)
+	// Output validates data leaving through a syscall sink.
+	Output(pc uint32, addr uint32, n int) error
+	// Accept registers an inbound connection, returning its id.
+	Accept() int
+	// SetTaintByte implements stnt (Table 5).
+	SetTaintByte(addr uint32, tag shadow.Tag)
+	// SetRegTaintMask implements strf (Table 5).
+	SetRegTaintMask(mask uint32, tag shadow.Tag)
+}
+
+var _ Tracker = (*dift.Engine)(nil)
+
+// Env supplies the deterministic external world: file bytes for SysRead,
+// one buffer per inbound request for SysAccept/SysRecv, and an output sink.
+type Env struct {
+	FileData []byte   // consumed sequentially by SysRead
+	Requests [][]byte // SysAccept opens the next one; SysRecv reads from it
+
+	fileOff int
+	reqIdx  int // next request to accept
+	curReq  int // index of the currently accepted request, -1 if none
+	curOff  int
+	curConn int
+
+	Output bytes.Buffer
+}
+
+// NewEnv builds an environment.
+func NewEnv() *Env { return &Env{curReq: -1, curConn: -1} }
+
+// Fault describes a machine fault (bad instruction, step limit, ...).
+type Fault struct {
+	PC     uint32
+	Reason string
+}
+
+// Error implements error.
+func (f Fault) Error() string { return fmt.Sprintf("vm: fault at pc=%#x: %s", f.PC, f.Reason) }
+
+// ErrStepLimit is wrapped in the fault returned when Run exhausts its
+// instruction budget.
+var ErrStepLimit = errors.New("step limit reached")
+
+// CPU is the LA32 machine state.
+type CPU struct {
+	Regs [isa.NumRegs]uint32
+	PC   uint32
+	Mem  *mem.Memory
+	Env  *Env
+
+	tracker Tracker
+	hook    trace.Sink
+
+	halted   bool
+	exitCode uint32
+	instret  uint64
+	cycles   uint64
+
+	// lastExceptionAddr backs the ltnt instruction: the S-LATCH exception
+	// handler loads the address that triggered the most recent coarse-taint
+	// exception (Table 5). The LATCH frontend stores it here.
+	lastExceptionAddr uint32
+}
+
+// New builds a CPU over fresh memory and environment.
+func New() *CPU {
+	return &CPU{Mem: mem.New(), Env: NewEnv()}
+}
+
+// SetTracker attaches the DIFT tracker (nil detaches).
+func (c *CPU) SetTracker(t Tracker) { c.tracker = t }
+
+// SetHook attaches a per-commit event sink (nil detaches). The events carry
+// the extraction-logic view: PC, memory operand, and — when a tracker is
+// attached — the ground-truth tainted flag.
+func (c *CPU) SetHook(h trace.Sink) { c.hook = h }
+
+// SetLastExceptionAddr records the address ltnt will return.
+func (c *CPU) SetLastExceptionAddr(addr uint32) { c.lastExceptionAddr = addr }
+
+// Load copies a program image into memory and points the PC at its entry.
+func (c *CPU) Load(p *isa.Program) {
+	c.Mem.Write(p.Origin, p.Image)
+	c.PC = p.Entry
+}
+
+// Halted reports whether the machine has stopped.
+func (c *CPU) Halted() bool { return c.halted }
+
+// ExitCode returns the code passed to SysExit (0 for HALT).
+func (c *CPU) ExitCode() uint32 { return c.exitCode }
+
+// Instret returns the number of instructions committed.
+func (c *CPU) Instret() uint64 { return c.instret }
+
+// Cycles returns the modeled cycle count: a simple in-order timing model
+// (single-issue; loads 2 cycles, multiplies 3, divides 20, taken control
+// transfers 2, syscalls 50, everything else 1). It gives the examples and
+// co-simulations a native-time denominator that is not just instruction
+// count.
+func (c *CPU) Cycles() uint64 { return c.cycles }
+
+// cycleCost returns the cost of the instruction just executed; taken
+// reports whether a control transfer redirected the PC.
+func cycleCost(in isa.Instr, taken bool) uint64 {
+	switch in.Op {
+	case isa.MUL:
+		return 3
+	case isa.DIVU:
+		return 20
+	case isa.SYS:
+		return 50
+	}
+	switch in.Op.Class() {
+	case isa.ClassLoad:
+		return 2
+	case isa.ClassBranch:
+		if taken {
+			return 2
+		}
+		return 1
+	case isa.ClassJump, isa.ClassJumpInd:
+		return 2
+	}
+	return 1
+}
+
+// Run executes until HALT/SysExit, a fault, a tracker violation, or
+// maxSteps instructions. It returns the number of instructions committed by
+// this call.
+func (c *CPU) Run(maxSteps uint64) (uint64, error) {
+	var steps uint64
+	for !c.halted {
+		if steps >= maxSteps {
+			return steps, Fault{PC: c.PC, Reason: ErrStepLimit.Error()}
+		}
+		if err := c.Step(); err != nil {
+			return steps, err
+		}
+		steps++
+	}
+	return steps, nil
+}
+
+// Step executes one instruction.
+func (c *CPU) Step() error {
+	if c.halted {
+		return Fault{PC: c.PC, Reason: "machine halted"}
+	}
+	pc := c.PC
+	word := c.Mem.LoadWord(pc)
+	in, err := isa.Decode(word)
+	if err != nil {
+		return Fault{PC: pc, Reason: err.Error()}
+	}
+
+	// Effective address for memory operands, known before execution.
+	var addr uint32
+	var size uint8
+	isMem := in.ReadsMem() || in.WritesMem()
+	if isMem {
+		addr = c.Regs[in.Rs1] + uint32(in.Imm)
+		size = uint8(in.Op.MemSize())
+	}
+
+	touches := false
+	if c.tracker != nil {
+		touches = c.tracker.Touches(in, addr)
+	}
+
+	// Pre-execution check: tainted indirect control transfers must be
+	// caught before the PC is corrupted.
+	if in.Op.Class() == isa.ClassJumpInd && c.tracker != nil {
+		if err := c.tracker.IndirectTarget(pc, int(in.Rs1), c.Regs[in.Rs1]); err != nil {
+			return err
+		}
+	}
+
+	if err := c.exec(pc, in); err != nil {
+		return err
+	}
+	c.cycles += cycleCost(in, c.PC != pc+isa.WordSize)
+
+	if c.tracker != nil {
+		if err := c.tracker.Commit(pc, in, addr); err != nil {
+			return err
+		}
+	}
+	c.instret++
+	if c.hook != nil {
+		c.hook.Consume(trace.Event{
+			Seq:     c.instret,
+			PC:      pc,
+			IsMem:   isMem,
+			IsWrite: in.WritesMem(),
+			Addr:    addr,
+			Size:    size,
+			Tainted: touches,
+		})
+	}
+	return nil
+}
+
+// exec applies the architectural semantics of in and advances the PC.
+func (c *CPU) exec(pc uint32, in isa.Instr) error {
+	next := pc + isa.WordSize
+	r := &c.Regs
+	switch in.Op {
+	case isa.NOP:
+	case isa.MOV:
+		r[in.Rd] = r[in.Rs1]
+	case isa.MOVI:
+		r[in.Rd] = uint32(in.Imm)
+	case isa.LUI:
+		r[in.Rd] = uint32(uint16(in.Imm)) << 16
+	case isa.ORI:
+		r[in.Rd] = r[in.Rs1] | uint32(uint16(in.Imm))
+	case isa.ADD:
+		r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+	case isa.SUB:
+		r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+	case isa.AND:
+		r[in.Rd] = r[in.Rs1] & r[in.Rs2]
+	case isa.OR:
+		r[in.Rd] = r[in.Rs1] | r[in.Rs2]
+	case isa.XOR:
+		r[in.Rd] = r[in.Rs1] ^ r[in.Rs2]
+	case isa.SHL:
+		r[in.Rd] = r[in.Rs1] << (r[in.Rs2] & 31)
+	case isa.SHR:
+		r[in.Rd] = r[in.Rs1] >> (r[in.Rs2] & 31)
+	case isa.SAR:
+		r[in.Rd] = uint32(int32(r[in.Rs1]) >> (r[in.Rs2] & 31))
+	case isa.MUL:
+		r[in.Rd] = r[in.Rs1] * r[in.Rs2]
+	case isa.DIVU:
+		if r[in.Rs2] == 0 {
+			r[in.Rd] = ^uint32(0)
+		} else {
+			r[in.Rd] = r[in.Rs1] / r[in.Rs2]
+		}
+	case isa.SLT:
+		if int32(r[in.Rs1]) < int32(r[in.Rs2]) {
+			r[in.Rd] = 1
+		} else {
+			r[in.Rd] = 0
+		}
+	case isa.SLTU:
+		if r[in.Rs1] < r[in.Rs2] {
+			r[in.Rd] = 1
+		} else {
+			r[in.Rd] = 0
+		}
+	case isa.ADDI:
+		r[in.Rd] = r[in.Rs1] + uint32(in.Imm)
+	case isa.ANDI:
+		r[in.Rd] = r[in.Rs1] & uint32(uint16(in.Imm))
+	case isa.XORI:
+		r[in.Rd] = r[in.Rs1] ^ uint32(uint16(in.Imm))
+	case isa.LDB:
+		r[in.Rd] = uint32(c.Mem.LoadByte(r[in.Rs1] + uint32(in.Imm)))
+	case isa.LDH:
+		r[in.Rd] = uint32(c.Mem.LoadHalf(r[in.Rs1] + uint32(in.Imm)))
+	case isa.LDW:
+		r[in.Rd] = c.Mem.LoadWord(r[in.Rs1] + uint32(in.Imm))
+	case isa.STB:
+		c.Mem.StoreByte(r[in.Rs1]+uint32(in.Imm), byte(r[in.Rd]))
+	case isa.STH:
+		c.Mem.StoreHalf(r[in.Rs1]+uint32(in.Imm), uint16(r[in.Rd]))
+	case isa.STW:
+		c.Mem.StoreWord(r[in.Rs1]+uint32(in.Imm), r[in.Rd])
+	case isa.BEQ:
+		if r[in.Rd] == r[in.Rs1] {
+			next = branchTarget(pc, in.Imm)
+		}
+	case isa.BNE:
+		if r[in.Rd] != r[in.Rs1] {
+			next = branchTarget(pc, in.Imm)
+		}
+	case isa.BLT:
+		if int32(r[in.Rd]) < int32(r[in.Rs1]) {
+			next = branchTarget(pc, in.Imm)
+		}
+	case isa.BGE:
+		if int32(r[in.Rd]) >= int32(r[in.Rs1]) {
+			next = branchTarget(pc, in.Imm)
+		}
+	case isa.JMP:
+		next = branchTarget(pc, in.Imm)
+	case isa.JR:
+		next = r[in.Rs1]
+	case isa.CALL:
+		r[isa.RegLR] = next
+		next = branchTarget(pc, in.Imm)
+	case isa.CALLR:
+		r[isa.RegLR] = next
+		next = r[in.Rs1]
+	case isa.SYS:
+		if err := c.syscall(pc, in.Imm); err != nil {
+			return err
+		}
+	case isa.HALT:
+		c.halted = true
+	case isa.STRF:
+		if c.tracker != nil {
+			c.tracker.SetRegTaintMask(r[in.Rd], shadow.Label(0))
+		}
+	case isa.STNT:
+		if c.tracker != nil {
+			c.tracker.SetTaintByte(r[in.Rs1], shadow.Tag(r[in.Rd]))
+		}
+	case isa.LTNT:
+		r[in.Rd] = c.lastExceptionAddr
+	default:
+		return Fault{PC: pc, Reason: fmt.Sprintf("unimplemented opcode %s", in.Op)}
+	}
+	c.PC = next
+	return nil
+}
+
+func branchTarget(pc uint32, offInstrs int32) uint32 {
+	return pc + isa.WordSize + uint32(offInstrs)*isa.WordSize
+}
+
+// syscall implements the OS model. Arguments are in r1..r4; the result is
+// returned in r1.
+func (c *CPU) syscall(pc uint32, num int32) error {
+	r := &c.Regs
+	switch num {
+	case isa.SysExit:
+		c.exitCode = r[1]
+		c.halted = true
+	case isa.SysRead:
+		buf, n := r[1], int(r[2])
+		avail := len(c.Env.FileData) - c.Env.fileOff
+		if n > avail {
+			n = avail
+		}
+		if n > 0 {
+			c.Mem.Write(buf, c.Env.FileData[c.Env.fileOff:c.Env.fileOff+n])
+			c.Env.fileOff += n
+			if c.tracker != nil {
+				c.tracker.Input(buf, n, dift.SourceFile, -1)
+			}
+		}
+		r[1] = uint32(n)
+	case isa.SysRecv:
+		buf, n := r[1], int(r[2])
+		if c.Env.curReq < 0 {
+			r[1] = 0
+			break
+		}
+		req := c.Env.Requests[c.Env.curReq]
+		avail := len(req) - c.Env.curOff
+		if n > avail {
+			n = avail
+		}
+		if n > 0 {
+			c.Mem.Write(buf, req[c.Env.curOff:c.Env.curOff+n])
+			c.Env.curOff += n
+			if c.tracker != nil {
+				c.tracker.Input(buf, n, dift.SourceNet, c.Env.curConn)
+			}
+		}
+		r[1] = uint32(n)
+	case isa.SysAccept:
+		if c.Env.reqIdx >= len(c.Env.Requests) {
+			r[1] = ^uint32(0) // no more connections
+			break
+		}
+		c.Env.curReq = c.Env.reqIdx
+		c.Env.reqIdx++
+		c.Env.curOff = 0
+		if c.tracker != nil {
+			c.Env.curConn = c.tracker.Accept()
+		} else {
+			c.Env.curConn++
+		}
+		r[1] = uint32(c.Env.curConn)
+	case isa.SysWrite:
+		buf, n := r[1], int(r[2])
+		if c.tracker != nil {
+			if err := c.tracker.Output(pc, buf, n); err != nil {
+				return err
+			}
+		}
+		data := make([]byte, n)
+		c.Mem.Read(buf, data)
+		c.Env.Output.Write(data)
+		r[1] = uint32(n)
+	case isa.SysTime:
+		r[1] = uint32(c.instret)
+	default:
+		return Fault{PC: pc, Reason: fmt.Sprintf("unknown syscall %d", num)}
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package vm
+
+import (
+	"testing"
+
+	"latch/internal/isa"
+)
+
+func TestAluImmediates(t *testing.T) {
+	c, err := run(t, `
+		li   r1, 0xF0F0
+		andi r2, r1, 0xFF00   ; zero-extended mask
+		xori r3, r1, 0xFFFF
+		ori  r4, r1, 0x0F0F
+		halt
+	`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[2] != 0xF000 {
+		t.Errorf("andi = %#x", c.Regs[2])
+	}
+	if c.Regs[3] != 0x0F0F {
+		t.Errorf("xori = %#x", c.Regs[3])
+	}
+	if c.Regs[4] != 0xFFFF {
+		t.Errorf("ori = %#x", c.Regs[4])
+	}
+}
+
+func TestShiftAmountMasking(t *testing.T) {
+	// Shift amounts use only the low 5 bits, as on x86/RISC cores.
+	c, err := run(t, `
+		movi r1, 1
+		movi r2, 33        ; 33 & 31 == 1
+		shl  r3, r1, r2
+		movi r4, -1
+		movi r5, 32        ; 32 & 31 == 0
+		shr  r6, r4, r5
+		halt
+	`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[3] != 2 {
+		t.Errorf("shl by 33 = %d, want 2", c.Regs[3])
+	}
+	if c.Regs[6] != ^uint32(0) {
+		t.Errorf("shr by 32 = %#x, want unchanged", c.Regs[6])
+	}
+}
+
+func TestSignedUnsignedCompares(t *testing.T) {
+	c, err := run(t, `
+		movi r1, -1        ; 0xFFFFFFFF
+		movi r2, 1
+		slt  r3, r1, r2    ; -1 < 1 signed: 1
+		sltu r4, r1, r2    ; max > 1 unsigned: 0
+		slt  r5, r2, r1    ; 0
+		sltu r6, r2, r1    ; 1
+		blt  r1, r2, less
+		movi r7, 0
+		halt
+	less:
+		movi r7, 1
+		bge  r2, r1, geu   ; 1 >= -1 signed: taken
+		halt
+	geu:
+		movi r8, 1
+		halt
+	`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]uint32{3: 1, 4: 0, 5: 0, 6: 1, 7: 1, 8: 1}
+	for r, v := range want {
+		if c.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, c.Regs[r], v)
+		}
+	}
+}
+
+func TestUnalignedMemoryAccess(t *testing.T) {
+	c, err := run(t, `
+		li   r1, 0x2001      ; deliberately unaligned
+		li   r2, 0xAABBCCDD
+		stw  r2, [r1]
+		ldw  r3, [r1]
+		ldh  r4, [r1+1]      ; 0xBBCC
+		halt
+	`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[3] != 0xAABBCCDD {
+		t.Errorf("unaligned word = %#x", c.Regs[3])
+	}
+	if c.Regs[4] != 0xBBCC {
+		t.Errorf("unaligned half = %#x", c.Regs[4])
+	}
+}
+
+func TestNegativeDisplacement(t *testing.T) {
+	c, err := run(t, `
+		li   r1, 0x3010
+		movi r2, 77
+		stw  r2, [r1-16]
+		li   r3, 0x3000
+		ldw  r4, [r3]
+		halt
+	`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[4] != 77 {
+		t.Errorf("negative displacement store missed: %d", c.Regs[4])
+	}
+}
+
+func TestNestedCalls(t *testing.T) {
+	// lr is caller-saved by convention; the test program saves it manually.
+	c, err := run(t, `
+		li   sp, 0x7000
+		call outer
+		movi r9, 99
+		halt
+	outer:
+		addi sp, sp, -4
+		stw  lr, [sp]
+		call inner
+		ldw  lr, [sp]
+		addi sp, sp, 4
+		movi r1, 1
+		ret
+	inner:
+		movi r2, 2
+		ret
+	`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[1] != 1 || c.Regs[2] != 2 || c.Regs[9] != 99 {
+		t.Errorf("nested calls: r1=%d r2=%d r9=%d", c.Regs[1], c.Regs[2], c.Regs[9])
+	}
+}
+
+func TestCallrIndirectDispatch(t *testing.T) {
+	c, err := run(t, `
+		li   r1, =table
+		ldw  r2, [r1+4]     ; pick the second handler
+		callr r2
+		halt
+	table:
+		.word handler0, handler1
+	handler0:
+		movi r3, 10
+		ret
+	handler1:
+		movi r3, 20
+		ret
+	`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[3] != 20 {
+		t.Errorf("dispatch chose %d", c.Regs[3])
+	}
+}
+
+func TestRunReturnsStepsCommitted(t *testing.T) {
+	p := isa.MustAssemble(`
+		movi r1, 5
+	loop:
+		addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`)
+	c := New()
+	c.Load(p)
+	steps, err := c.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 movi + 5*(addi+bne) + halt = 12.
+	if steps != 12 || c.Instret() != 12 {
+		t.Errorf("steps = %d, instret = %d", steps, c.Instret())
+	}
+}
+
+func TestSelfModifyingCodeExecutes(t *testing.T) {
+	// The interpreter fetches from memory each step, so stores to the
+	// instruction stream take effect (no icache model).
+	c, err := run(t, `
+		li   r1, =patchme
+		li   r2, 0x02300007   ; movi r3, 7
+		stw  r2, [r1]
+	patchme:
+		movi r3, 1            ; overwritten before execution reaches it
+		halt
+	`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[3] != 7 {
+		t.Errorf("patched instruction not executed: r3 = %d", c.Regs[3])
+	}
+}
+
+func TestZeroLengthReadAndWrite(t *testing.T) {
+	c, err := run(t, `
+		li   r1, 0x3000
+		movi r2, 0
+		sys  2            ; zero-length read
+		mov  r3, r1
+		li   r1, 0x3000
+		movi r2, 0
+		sys  5            ; zero-length write
+		halt
+	`, nil, func(env *Env) { env.FileData = []byte("data") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[3] != 0 {
+		t.Errorf("zero read returned %d", c.Regs[3])
+	}
+	if c.Env.Output.Len() != 0 {
+		t.Errorf("zero write emitted %d bytes", c.Env.Output.Len())
+	}
+}
+
+func TestCycleModel(t *testing.T) {
+	c, err := run(t, `
+		movi r1, 2        ; 1
+		movi r2, 3        ; 1
+		mul  r3, r1, r2   ; 3
+		divu r4, r3, r2   ; 20
+		li   r5, 0x2000   ; movi: 1
+		ldw  r6, [r5]     ; 2
+		stw  r6, [r5+4]   ; 1
+		beq  r0, r1, skip ; not taken: 1
+		jmp  next         ; 2
+	skip:
+		nop
+	next:
+		halt              ; 1
+	`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(1 + 1 + 3 + 20 + 1 + 2 + 1 + 1 + 2 + 1); c.Cycles() != want {
+		t.Fatalf("Cycles = %d, want %d", c.Cycles(), want)
+	}
+	if c.Cycles() <= c.Instret() {
+		t.Fatal("cycle model should exceed instruction count here")
+	}
+}
+
+func TestCycleModelTakenBranch(t *testing.T) {
+	c, err := run(t, `
+		movi r1, 1        ; 1
+		beq  r1, r1, over ; taken: 2
+		nop
+	over:
+		halt              ; 1
+	`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles() != 4 {
+		t.Fatalf("Cycles = %d, want 4", c.Cycles())
+	}
+}

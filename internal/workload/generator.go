@@ -1,0 +1,443 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"latch/internal/mem"
+	"latch/internal/shadow"
+	"latch/internal/trace"
+)
+
+// Generator produces the deterministic event stream for one benchmark
+// profile and materializes the profile's taint layout into a shadow memory.
+// The stream interleaves taint-free epochs (drawn from the profile's epoch
+// classes) with taint-handling bursts whose internal density reproduces the
+// benchmark's Table 1/2 taint percentage by construction.
+type Generator struct {
+	p   Profile
+	rng *rand.Rand
+	sh  *shadow.Shadow
+
+	// Layout: the footprint occupies contiguous pages starting at base,
+	// with the tainted block in the middle (taintStart..taintStart+tainted).
+	base       uint32 // first page number of the footprint
+	taintStart int    // index of first tainted page within the footprint
+	period     int    // RunLen+GapLen
+	tbpp       int    // tainted bytes per tainted page
+	gbpp       int    // gap (clean) bytes per tainted page
+
+	density float64 // P(burst instruction touches a tainted byte)
+
+	// Cursors.
+	cleanPage, cleanOff int
+	taintIdx            int // global tainted-byte index
+	reuseLeft           int
+	mixIdx              int // global gap-byte index
+
+	hotWords [16]uint32
+
+	// pending holds churned runs awaiting re-taint; freed holds runs whose
+	// buffers were released for clean reuse and stay clean until the taint
+	// cursor wraps (when the layout is re-materialized for consistency).
+	pending []retaint
+	freed   []retaint
+
+	// Epoch schedule state.
+	emittedClean []float64
+	activeCarry  float64
+	seq          uint64
+}
+
+// basePage is the page number where generated footprints start
+// (0x10000000 >> 12).
+const basePage = 0x10000
+
+// NewGenerator builds a generator for profile p over a fresh shadow with the
+// given taint-domain size.
+func NewGenerator(p Profile, domainSize uint32) (*Generator, error) {
+	sh, err := shadow.New(domainSize)
+	if err != nil {
+		return nil, err
+	}
+	return NewGeneratorOn(p, sh)
+}
+
+// NewGeneratorOn builds a generator for profile p over an existing shadow —
+// typically one already watched by a LATCH module, so the module's coarse
+// state is built up by the layout materialization exactly as hardware would
+// observe the taint being written. The shadow must be empty.
+func NewGeneratorOn(p Profile, sh *shadow.Shadow) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if sh.TaintedBytes() != 0 {
+		return nil, fmt.Errorf("workload %s: shadow already holds taint", p.Name)
+	}
+	g := &Generator{
+		p:            p,
+		rng:          rand.New(rand.NewSource(p.Seed)),
+		sh:           sh,
+		base:         basePage,
+		taintStart:   (p.PagesAccessed - p.PagesTainted) / 2,
+		period:       p.RunLen + p.GapLen,
+		density:      p.TaintPct / 100 / p.ActiveShare,
+		reuseLeft:    p.TaintReuse,
+		emittedClean: make([]float64, len(p.Epochs)),
+	}
+	if p.RunLen >= mem.PageSize {
+		g.tbpp, g.gbpp = mem.PageSize, 0
+	} else {
+		full := mem.PageSize / g.period
+		rem := mem.PageSize % g.period
+		g.tbpp = full * p.RunLen
+		if rem > p.RunLen {
+			g.tbpp += p.RunLen
+		} else {
+			g.tbpp += rem
+		}
+		g.gbpp = mem.PageSize - g.tbpp
+	}
+	if g.gbpp == 0 && (p.CleanNearTaint > 0 || p.BurstNearTaint > 0) {
+		return nil, fmt.Errorf("workload %s: near-taint accesses configured but layout has no clean bytes in tainted pages", p.Name)
+	}
+	g.materialize()
+	// Hot words live at the start of the first (clean) footprint page.
+	for i := range g.hotWords {
+		g.hotWords[i] = g.pageAddr(g.cleanPageNumber(0)) + uint32(i*4)
+	}
+	return g, nil
+}
+
+// MustNewGenerator is NewGenerator panicking on error.
+func MustNewGenerator(p Profile, domainSize uint32) *Generator {
+	g, err := NewGenerator(p, domainSize)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Shadow returns the materialized byte-precise taint state.
+func (g *Generator) Shadow() *shadow.Shadow { return g.sh }
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.p }
+
+// pageAddr converts a footprint page index to its base address.
+func (g *Generator) pageAddr(pageIdx int) uint32 {
+	return (g.base + uint32(pageIdx)) << mem.PageShift
+}
+
+// cleanPageNumber maps the i-th clean page (0-based) to its footprint page
+// index, skipping the tainted block.
+func (g *Generator) cleanPageNumber(i int) int {
+	if i < g.taintStart {
+		return i
+	}
+	return i + g.p.PagesTainted
+}
+
+// cleanPageCount returns the number of taint-free footprint pages.
+func (g *Generator) cleanPageCount() int { return g.p.PagesAccessed - g.p.PagesTainted }
+
+// pagePhase returns the per-page rotation of the run/gap pattern. Real
+// input buffers are not aligned to taint-domain boundaries; rotating each
+// page's pattern by a different phase makes coarse units straddle runs the
+// way Figure 6's false-positive analysis requires.
+func (g *Generator) pagePhase(pageIdx int) int {
+	if g.gbpp == 0 {
+		return 0
+	}
+	return (pageIdx * 17) % g.period
+}
+
+// rotate applies the page phase to an intra-page offset.
+func (g *Generator) rotate(pageIdx, off int) int {
+	return (off + g.pagePhase(pageIdx)) % mem.PageSize
+}
+
+// taintAddr returns the address of the i-th tainted byte (wrapping).
+func (g *Generator) taintAddr(i int) uint32 {
+	total := g.tbpp * g.p.PagesTainted
+	i %= total
+	page := g.taintStart + i/g.tbpp
+	j := i % g.tbpp
+	var off int
+	if g.gbpp == 0 {
+		off = j
+	} else {
+		off = g.rotate(page, (j/g.p.RunLen)*g.period+j%g.p.RunLen)
+	}
+	return g.pageAddr(page) + uint32(off)
+}
+
+// gapAddr returns the address of the i-th clean ("gap") byte inside the
+// tainted block (wrapping). Only valid when gbpp > 0.
+func (g *Generator) gapAddr(i int) uint32 {
+	total := g.gbpp * g.p.PagesTainted
+	i %= total
+	page := g.taintStart + i/g.gbpp
+	j := i % g.gbpp
+	gapPerPeriod := g.period - g.p.RunLen
+	fullGaps := (mem.PageSize / g.period) * gapPerPeriod
+	var off int
+	if j < fullGaps {
+		off = (j/gapPerPeriod)*g.period + g.p.RunLen + j%gapPerPeriod
+	} else {
+		// Tail gap bytes beyond the last full period occupy the end of the
+		// page (only when the period does not divide the page size).
+		off = mem.PageSize - (g.gbpp - j)
+	}
+	return g.pageAddr(page) + uint32(g.rotate(page, off))
+}
+
+// materialize writes the static taint layout into the shadow.
+func (g *Generator) materialize() {
+	tag := shadow.Label(0)
+	for pi := 0; pi < g.p.PagesTainted; pi++ {
+		page := g.taintStart + pi
+		pageBase := g.pageAddr(page)
+		if g.gbpp == 0 {
+			g.sh.SetRange(pageBase, mem.PageSize, tag)
+			continue
+		}
+		for off := 0; off < mem.PageSize; off += g.period {
+			n := g.p.RunLen
+			if off+n > mem.PageSize {
+				n = mem.PageSize - off
+			}
+			// Byte-wise because the page phase may wrap a run across the
+			// page-offset space.
+			for b := 0; b < n; b++ {
+				g.sh.Set(pageBase+uint32(g.rotate(page, off+b)), tag)
+			}
+		}
+	}
+}
+
+// nextCleanAddr advances the sequential clean-walk cursor.
+func (g *Generator) nextCleanAddr() uint32 {
+	if g.rng.Float64() < g.p.JumpProb {
+		g.cleanPage = g.rng.Intn(g.cleanPageCount())
+		g.cleanOff = 4 * g.rng.Intn(mem.PageSize/4)
+	}
+	addr := g.pageAddr(g.cleanPageNumber(g.cleanPage)) + uint32(g.cleanOff)
+	g.cleanOff += 4
+	if g.cleanOff >= mem.PageSize {
+		g.cleanOff = 0
+		g.cleanPage++
+		if g.cleanPage >= g.cleanPageCount() {
+			g.cleanPage = 0
+		}
+	}
+	return addr
+}
+
+// nearTaintAddr produces a clean-byte address inside the tainted block:
+// random across tainted pages with probability NearTaintRandom, else the
+// sequential mix cursor. The cursor models orderly traversal of the clean
+// regions between taint (it prefers bytes whose taint domain is clean, so
+// these checks resolve at the CTC); the random mode models pointer-chasing
+// that lands anywhere in the tainted block, including clean bytes inside
+// tainted domains — LATCH's false positives.
+func (g *Generator) nearTaintAddr() uint32 {
+	if g.rng.Float64() < g.p.NearTaintRandom {
+		return g.gapAddr(g.rng.Intn(g.gbpp * g.p.PagesTainted))
+	}
+	domain := g.sh.DomainSize()
+	for tries := 0; tries < 64; tries++ {
+		addr := g.gapAddr(g.mixIdx)
+		g.mixIdx++ // byte-wise walk: adjacent probes share cache lines
+		if !g.sh.TaintedAt(addr, domain) {
+			return addr
+		}
+	}
+	return g.gapAddr(g.mixIdx)
+}
+
+// nextTaintAddr walks the tainted bytes with the profile's reuse factor.
+// finishedRun is the index of the taint run the cursor just moved past
+// (-1 otherwise) — the unit the workload may churn.
+func (g *Generator) nextTaintAddr() (addr uint32, finishedRun int) {
+	finishedRun = -1
+	addr = g.taintAddr(g.taintIdx)
+	g.reuseLeft--
+	if g.reuseLeft <= 0 {
+		g.reuseLeft = g.p.TaintReuse
+		prev := g.taintIdx
+		g.taintIdx += 4
+		if prev/g.p.RunLen != g.taintIdx/g.p.RunLen {
+			finishedRun = prev / g.p.RunLen
+		}
+		if g.taintIdx >= g.tbpp*g.p.PagesTainted {
+			// Cursor wrap: restore every freed run so the enumeration stays
+			// consistent with the byte-precise state.
+			g.taintIdx = 0
+			for _, f := range g.freed {
+				g.setRunTaint(f.idx, f.n, shadow.Label(0))
+			}
+			g.freed = g.freed[:0]
+			g.flushRetaints()
+		}
+	}
+	return addr, finishedRun
+}
+
+// retaint is a deferred re-assertion of taint over a churned run,
+// identified by its tainted-byte index range.
+type retaint struct {
+	idx int    // first tainted-byte index of the run
+	n   int    // run length in bytes
+	due uint64 // seq at which the run is re-tainted
+}
+
+// setRunTaint writes the taint status of one whole run.
+func (g *Generator) setRunTaint(idx, n int, tag shadow.Tag) {
+	for b := 0; b < n; b++ {
+		g.sh.Set(g.taintAddr(idx+b), tag)
+	}
+}
+
+// applyRetaints re-taints every churned run whose deadline has passed.
+func (g *Generator) applyRetaints() {
+	n := 0
+	for _, r := range g.pending {
+		if r.due > g.seq {
+			g.pending[n] = r
+			n++
+			continue
+		}
+		g.setRunTaint(r.idx, r.n, shadow.Label(0))
+	}
+	g.pending = g.pending[:n]
+}
+
+// flushRetaints re-taints every outstanding churned run immediately.
+func (g *Generator) flushRetaints() {
+	for _, r := range g.pending {
+		g.setRunTaint(r.idx, r.n, shadow.Label(0))
+	}
+	g.pending = g.pending[:0]
+}
+
+// emit sends one event.
+func (g *Generator) emit(sink trace.Sink, isMem bool, addr uint32, size uint8, tainted bool) {
+	g.seq++
+	ev := trace.Event{Seq: g.seq, PC: 0x1000 + uint32(g.seq%4096)*4, Tainted: tainted}
+	if isMem {
+		ev.IsMem = true
+		ev.Addr = addr
+		ev.Size = size
+		ev.IsWrite = g.rng.Float64() < 0.3
+	}
+	sink.Consume(ev)
+}
+
+// cleanInstr emits one taint-free instruction; nearProb is the probability
+// that a memory access wanders into the tainted block's clean bytes.
+func (g *Generator) cleanInstr(sink trace.Sink, nearProb float64) {
+	if g.rng.Float64() >= g.p.MemFraction {
+		g.emit(sink, false, 0, 0, false)
+		return
+	}
+	u := g.rng.Float64()
+	switch {
+	case u < nearProb:
+		g.emit(sink, true, g.nearTaintAddr(), 1, false)
+	case u < nearProb+(1-nearProb)*g.p.HotFraction:
+		g.emit(sink, true, g.hotWords[g.rng.Intn(len(g.hotWords))], 4, false)
+	default:
+		g.emit(sink, true, g.nextCleanAddr(), 4, false)
+	}
+}
+
+// activeInstr emits one instruction inside a taint-handling burst.
+func (g *Generator) activeInstr(sink trace.Sink) {
+	g.applyRetaints()
+	if g.rng.Float64() < g.density {
+		addr, finishedRun := g.nextTaintAddr()
+		g.emit(sink, true, addr, 1, true)
+		// Churn: once the cursor moves past a run, the workload may
+		// overwrite the whole run with clean data (the event above observed
+		// the pre-write state) and re-taint it later in the phase. Clearing
+		// complete runs is what retires whole taint domains and gives the
+		// clear-bit scan real work (§5.1.4).
+		if finishedRun >= 0 && g.p.ChurnProb > 0 && g.rng.Float64() < g.p.ChurnProb {
+			g.setRunTaint(finishedRun*g.p.RunLen, g.p.RunLen, shadow.TagClean)
+			r := retaint{idx: finishedRun * g.p.RunLen, n: g.p.RunLen, due: g.seq + 64}
+			if g.rng.Float64() < 0.5 {
+				// The buffer is reused for tainted data shortly.
+				g.pending = append(g.pending, r)
+			} else {
+				// The buffer is released: it stays clean. Without the
+				// clear-bit scan these domains would remain marked forever —
+				// the staleness the §5.1.4 machinery exists to retire.
+				g.freed = append(g.freed, r)
+			}
+		}
+		return
+	}
+	g.cleanInstr(sink, g.p.BurstNearTaint)
+}
+
+// Run generates n events into sink. Repeated calls continue the stream.
+func (g *Generator) Run(n uint64, sink trace.Sink) {
+	var emitted uint64
+	r := g.p.ActiveShare / (1 - g.p.ActiveShare)
+	for emitted < n {
+		// Pick the epoch class furthest behind its share; before anything
+		// has been emitted, start with the shortest class so taint-handling
+		// bursts appear early even in short runs.
+		best, bestLag := 0, 0.0
+		var total float64
+		for _, e := range g.emittedClean {
+			total += e
+		}
+		if total == 0 {
+			for i, c := range g.p.Epochs {
+				if c.Share > 0 && c.Len < g.p.Epochs[best].Len {
+					best = i
+				}
+			}
+		} else {
+			for i, c := range g.p.Epochs {
+				if c.Share == 0 {
+					continue
+				}
+				if lag := c.Share*total - g.emittedClean[i]; lag > bestLag {
+					best, bestLag = i, lag
+				}
+			}
+		}
+		cls := g.p.Epochs[best]
+
+		cleanLen := cls.Len
+		if emitted+cleanLen > n {
+			cleanLen = n - emitted
+		}
+		for i := uint64(0); i < cleanLen; i++ {
+			g.cleanInstr(sink, g.p.CleanNearTaint)
+		}
+		emitted += cleanLen
+		g.emittedClean[best] += float64(cleanLen)
+
+		g.activeCarry += float64(cls.Len) * r
+		burst := uint64(g.activeCarry)
+		g.activeCarry -= float64(burst)
+		if emitted+burst > n {
+			burst = n - emitted
+		}
+		for i := uint64(0); i < burst; i++ {
+			g.activeInstr(sink)
+		}
+		emitted += burst
+		// Half the time the phase finishes its buffer reuse before control
+		// leaves the burst; the other half leaves clear bits outstanding
+		// for the S-LATCH timeout scan to examine.
+		if burst > 0 && len(g.pending) > 0 && g.rng.Float64() < 0.5 {
+			g.flushRetaints()
+		}
+	}
+	g.flushRetaints()
+}

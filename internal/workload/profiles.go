@@ -1,0 +1,369 @@
+package workload
+
+// The profile constants below are calibrated to the paper's published
+// characterization of each benchmark:
+//
+//   - TaintPct            from Tables 1 and 2,
+//   - Epochs               shaped to the Figure 5 epoch-length description,
+//   - PagesAccessed/Tainted from Tables 3 and 4,
+//   - RunLen/GapLen         from the Figure 6 discussion (page-aligned taint
+//     for bzip2/gobmk/lbm, fine-grained interleaving for astar/sphinx),
+//   - HotFraction           set to 1 - (baseline t-cache miss% / 100) from
+//     Table 6/7's "without LATCH" row, since sequential walk accesses miss a
+//     4-byte-line cache while hot-set accesses hit,
+//   - LibdftSlowdown        assigned in the 2x-10x range libdft reports
+//     (the paper does not itemize per-benchmark baselines),
+//   - remaining locality knobs tuned so the *computed* H-LATCH and S-LATCH
+//     results land near the paper's (see EXPERIMENTS.md).
+
+// epochs is shorthand for building epoch class lists.
+func epochs(classes ...EpochClass) []EpochClass { return classes }
+
+func ec(l uint64, s float64) EpochClass { return EpochClass{Len: l, Share: s} }
+
+// Epoch shapes shared by benchmarks with similar Figure 5 profiles.
+var (
+	// epochsVeryLong: programs executing almost entirely in million-
+	// instruction taint-free epochs (the 13-of-20 group).
+	epochsVeryLong = epochs(ec(1_000_000, 0.70), ec(100_000, 0.20), ec(10_000, 0.10))
+	// epochsLong: >80% in >=10K epochs.
+	epochsLong = epochs(ec(1_000_000, 0.30), ec(100_000, 0.40), ec(10_000, 0.25), ec(1_000, 0.05))
+	// epochsMedium: lbm/mcf/gromacs-style — fewer long epochs but enough to
+	// accelerate.
+	epochsMedium = epochs(ec(500_000, 0.10), ec(50_000, 0.30), ec(5_000, 0.40), ec(500, 0.20))
+	// epochsFragmented: astar-style program B of Figure 4.
+	epochsFragmented = epochs(ec(20_000, 0.15), ec(2_000, 0.25), ec(300, 0.30), ec(50, 0.30))
+)
+
+func init() {
+	// --- SPEC CPU 2006 (file-input tainting, Tables 1/3/6) ---
+
+	register(Profile{
+		Name: "astar", Suite: SuiteSPEC,
+		TaintPct: 21.73, ActiveShare: 0.45,
+		Epochs:        epochsFragmented,
+		PagesAccessed: 2344, PagesTainted: 2001,
+		RunLen: 8, GapLen: 120,
+		MemFraction: 0.38, HotFraction: 0.920,
+		CleanNearTaint: 0.040, NearTaintRandom: 0.85, BurstNearTaint: 0.10,
+		JumpProb: 0.002, TaintReuse: 48,
+		ChurnProb:      0.10,
+		LibdftSlowdown: 6.0, CodeCacheLat: 800, Seed: 101,
+	})
+	register(Profile{
+		Name: "bzip2", Suite: SuiteSPEC,
+		TaintPct: 0.01, ActiveShare: 0.0004,
+		Epochs:        epochsVeryLong,
+		PagesAccessed: 52110, PagesTainted: 70,
+		RunLen: 4096, GapLen: 0,
+		MemFraction: 0.35, HotFraction: 0.947,
+		CleanNearTaint: 0, NearTaintRandom: 0, BurstNearTaint: 0,
+		JumpProb: 0.002, TaintReuse: 512,
+		ChurnProb:      0.00,
+		LibdftSlowdown: 5.5, CodeCacheLat: 600, Seed: 102,
+	})
+	register(Profile{
+		Name: "cactusADM", Suite: SuiteSPEC,
+		TaintPct: 0.01, ActiveShare: 0.0004,
+		Epochs:        epochsVeryLong,
+		PagesAccessed: 6199, PagesTainted: 1,
+		RunLen: 4096, GapLen: 0,
+		MemFraction: 0.40, HotFraction: 0.771,
+		CleanNearTaint: 0, NearTaintRandom: 0, BurstNearTaint: 0,
+		JumpProb: 0.002, TaintReuse: 512,
+		ChurnProb:      0.00,
+		LibdftSlowdown: 3.5, CodeCacheLat: 600, Seed: 103,
+	})
+	register(Profile{
+		Name: "calculix", Suite: SuiteSPEC,
+		TaintPct: 0.28, ActiveShare: 0.006,
+		Epochs:        epochsLong,
+		PagesAccessed: 806, PagesTainted: 9,
+		RunLen: 256, GapLen: 256,
+		MemFraction: 0.38, HotFraction: 0.897,
+		CleanNearTaint: 0.0006, NearTaintRandom: 0.10, BurstNearTaint: 0.15,
+		JumpProb: 0.002, TaintReuse: 256,
+		ChurnProb:      0.10,
+		LibdftSlowdown: 4.0, CodeCacheLat: 600, Seed: 104,
+	})
+	register(Profile{
+		Name: "gcc", Suite: SuiteSPEC,
+		TaintPct: 0.08, ActiveShare: 0.002,
+		Epochs:        epochsLong,
+		PagesAccessed: 2590, PagesTainted: 213,
+		RunLen: 64, GapLen: 192,
+		MemFraction: 0.40, HotFraction: 0.887,
+		CleanNearTaint: 0.0004, NearTaintRandom: 0.03, BurstNearTaint: 0.20,
+		JumpProb: 0.003, TaintReuse: 48,
+		ChurnProb:      0.15,
+		LibdftSlowdown: 7.0, CodeCacheLat: 1500, Seed: 105,
+	})
+	register(Profile{
+		Name: "gobmk", Suite: SuiteSPEC,
+		TaintPct: 0.01, ActiveShare: 0.0004,
+		Epochs:        epochsVeryLong,
+		PagesAccessed: 3981, PagesTainted: 1,
+		RunLen: 4096, GapLen: 0,
+		MemFraction: 0.36, HotFraction: 0.887,
+		CleanNearTaint: 0, NearTaintRandom: 0, BurstNearTaint: 0,
+		JumpProb: 0.002, TaintReuse: 512,
+		ChurnProb:      0.00,
+		LibdftSlowdown: 6.0, CodeCacheLat: 800, Seed: 106,
+	})
+	register(Profile{
+		Name: "gromacs", Suite: SuiteSPEC,
+		TaintPct: 0.19, ActiveShare: 0.004,
+		Epochs:        epochsMedium,
+		PagesAccessed: 3604, PagesTainted: 17,
+		RunLen: 64, GapLen: 448,
+		MemFraction: 0.38, HotFraction: 0.949,
+		CleanNearTaint: 0.080, NearTaintRandom: 0.01, BurstNearTaint: 0.20,
+		JumpProb: 0.002, TaintReuse: 96,
+		ChurnProb:      0.10,
+		LibdftSlowdown: 5.0, CodeCacheLat: 600, Seed: 107,
+	})
+	register(Profile{
+		Name: "h264ref", Suite: SuiteSPEC,
+		TaintPct: 0.01, ActiveShare: 0.0004,
+		Epochs:        epochsVeryLong,
+		PagesAccessed: 6861, PagesTainted: 183,
+		RunLen: 128, GapLen: 384,
+		MemFraction: 0.37, HotFraction: 0.930,
+		CleanNearTaint: 0.0001, NearTaintRandom: 0.01, BurstNearTaint: 0.10,
+		JumpProb: 0.002, TaintReuse: 128,
+		ChurnProb:      0.05,
+		LibdftSlowdown: 6.5, CodeCacheLat: 800, Seed: 108,
+	})
+	register(Profile{
+		Name: "hmmer", Suite: SuiteSPEC,
+		TaintPct: 0.01, ActiveShare: 0.0004,
+		Epochs:        epochsVeryLong,
+		PagesAccessed: 182, PagesTainted: 5,
+		RunLen: 256, GapLen: 256,
+		MemFraction: 0.36, HotFraction: 0.926,
+		CleanNearTaint: 0.0002, NearTaintRandom: 0.10, BurstNearTaint: 0.10,
+		JumpProb: 0.002, TaintReuse: 128,
+		ChurnProb:      0.05,
+		LibdftSlowdown: 6.0, CodeCacheLat: 600, Seed: 109,
+	})
+	register(Profile{
+		Name: "lbm", Suite: SuiteSPEC,
+		TaintPct: 0.14, ActiveShare: 0.003,
+		Epochs:        epochsMedium,
+		PagesAccessed: 104766, PagesTainted: 2,
+		RunLen: 4096, GapLen: 0,
+		MemFraction: 0.42, HotFraction: 0.778,
+		CleanNearTaint: 0, NearTaintRandom: 0, BurstNearTaint: 0,
+		JumpProb: 0.004, TaintReuse: 128,
+		ChurnProb:      0.00,
+		LibdftSlowdown: 4.0, CodeCacheLat: 500, Seed: 110,
+	})
+	register(Profile{
+		Name: "mcf", Suite: SuiteSPEC,
+		TaintPct: 0.29, ActiveShare: 0.006,
+		Epochs:        epochsMedium,
+		PagesAccessed: 21481, PagesTainted: 2,
+		RunLen: 2048, GapLen: 2048,
+		MemFraction: 0.42, HotFraction: 0.684,
+		CleanNearTaint: 0.0004, NearTaintRandom: 0.05, BurstNearTaint: 0.10,
+		JumpProb: 0.006, TaintReuse: 256,
+		ChurnProb:      0.05,
+		LibdftSlowdown: 6.0, CodeCacheLat: 600, Seed: 111,
+	})
+	register(Profile{
+		Name: "namd", Suite: SuiteSPEC,
+		TaintPct: 0.17, ActiveShare: 0.004,
+		Epochs:        epochsVeryLong,
+		PagesAccessed: 11575, PagesTainted: 3,
+		RunLen: 512, GapLen: 512,
+		MemFraction: 0.39, HotFraction: 0.878,
+		CleanNearTaint: 0.0002, NearTaintRandom: 0.10, BurstNearTaint: 0.10,
+		JumpProb: 0.002, TaintReuse: 256,
+		ChurnProb:      0.05,
+		LibdftSlowdown: 3.5, CodeCacheLat: 500, Seed: 112,
+	})
+	register(Profile{
+		Name: "omnetpp", Suite: SuiteSPEC,
+		TaintPct: 0.01, ActiveShare: 0.0004,
+		Epochs:        epochsLong,
+		PagesAccessed: 1786, PagesTainted: 14,
+		RunLen: 32, GapLen: 480,
+		MemFraction: 0.40, HotFraction: 0.876,
+		CleanNearTaint: 0.030, NearTaintRandom: 0.01, BurstNearTaint: 0.20,
+		JumpProb: 0.003, TaintReuse: 128,
+		ChurnProb:      0.10,
+		LibdftSlowdown: 6.5, CodeCacheLat: 900, Seed: 113,
+	})
+	register(Profile{
+		Name: "perlbench", Suite: SuiteSPEC,
+		TaintPct: 2.67, ActiveShare: 0.06,
+		Epochs:        epochs(ec(200_000, 0.15), ec(20_000, 0.25), ec(2_000, 0.30), ec(200, 0.30)),
+		PagesAccessed: 203, PagesTainted: 22,
+		RunLen: 32, GapLen: 96,
+		MemFraction: 0.40, HotFraction: 0.836,
+		CleanNearTaint: 0.001, NearTaintRandom: 0.02, BurstNearTaint: 0.02,
+		JumpProb: 0.002, TaintReuse: 256,
+		ChurnProb:      0.20,
+		LibdftSlowdown: 8.0, CodeCacheLat: 2000, Seed: 114,
+	})
+	register(Profile{
+		Name: "povray", Suite: SuiteSPEC,
+		TaintPct: 0.21, ActiveShare: 0.005,
+		Epochs:        epochsVeryLong,
+		PagesAccessed: 725, PagesTainted: 24,
+		RunLen: 128, GapLen: 384,
+		MemFraction: 0.37, HotFraction: 0.900,
+		CleanNearTaint: 0.0003, NearTaintRandom: 0.01, BurstNearTaint: 0.10,
+		JumpProb: 0.002, TaintReuse: 64,
+		ChurnProb:      0.05,
+		LibdftSlowdown: 4.5, CodeCacheLat: 700, Seed: 115,
+	})
+	register(Profile{
+		Name: "sjeng", Suite: SuiteSPEC,
+		TaintPct: 0.01, ActiveShare: 0.0004,
+		Epochs:        epochsVeryLong,
+		PagesAccessed: 44713, PagesTainted: 3,
+		RunLen: 4096, GapLen: 0,
+		MemFraction: 0.36, HotFraction: 0.849,
+		CleanNearTaint: 0, NearTaintRandom: 0, BurstNearTaint: 0,
+		JumpProb: 0.003, TaintReuse: 512,
+		ChurnProb:      0.00,
+		LibdftSlowdown: 6.0, CodeCacheLat: 700, Seed: 116,
+	})
+	register(Profile{
+		Name: "soplex", Suite: SuiteSPEC,
+		TaintPct: 7.69, ActiveShare: 0.16,
+		Epochs:        epochs(ec(100_000, 0.15), ec(10_000, 0.25), ec(1_000, 0.30), ec(100, 0.30)),
+		PagesAccessed: 412, PagesTainted: 84,
+		RunLen: 16, GapLen: 48,
+		MemFraction: 0.40, HotFraction: 0.864,
+		CleanNearTaint: 0.0002, NearTaintRandom: 0.02, BurstNearTaint: 0.005,
+		JumpProb: 0.002, TaintReuse: 4096,
+		ChurnProb:      0.15,
+		LibdftSlowdown: 6.5, CodeCacheLat: 900, Seed: 117,
+	})
+	register(Profile{
+		Name: "sphinx3", Suite: SuiteSPEC,
+		TaintPct: 13.53, ActiveShare: 0.30,
+		Epochs:        epochs(ec(100_000, 0.15), ec(10_000, 0.25), ec(1_000, 0.35), ec(100, 0.25)),
+		PagesAccessed: 7133, PagesTainted: 4133,
+		RunLen: 16, GapLen: 48,
+		MemFraction: 0.38, HotFraction: 0.886,
+		CleanNearTaint: 0.012, NearTaintRandom: 0.06, BurstNearTaint: 0.12,
+		JumpProb: 0.002, TaintReuse: 32,
+		ChurnProb:      0.10,
+		LibdftSlowdown: 5.5, CodeCacheLat: 800, Seed: 118,
+	})
+	register(Profile{
+		Name: "wrf", Suite: SuiteSPEC,
+		TaintPct: 0.28, ActiveShare: 0.006,
+		Epochs:        epochsLong,
+		PagesAccessed: 25182, PagesTainted: 246,
+		RunLen: 256, GapLen: 768,
+		MemFraction: 0.39, HotFraction: 0.835,
+		CleanNearTaint: 0.0008, NearTaintRandom: 0.05, BurstNearTaint: 0.15,
+		JumpProb: 0.003, TaintReuse: 48,
+		ChurnProb:      0.05,
+		LibdftSlowdown: 3.5, CodeCacheLat: 600, Seed: 119,
+	})
+	register(Profile{
+		Name: "xalancbmk", Suite: SuiteSPEC,
+		TaintPct: 0.11, ActiveShare: 0.003,
+		Epochs:        epochsLong,
+		PagesAccessed: 1634, PagesTainted: 105,
+		RunLen: 64, GapLen: 192,
+		MemFraction: 0.40, HotFraction: 0.866,
+		CleanNearTaint: 0.0008, NearTaintRandom: 0.20, BurstNearTaint: 0.20,
+		JumpProb: 0.003, TaintReuse: 48,
+		ChurnProb:      0.15,
+		LibdftSlowdown: 7.0, CodeCacheLat: 1500, Seed: 120,
+	})
+
+	// --- Network applications (socket-input tainting, Tables 2/4/7) ---
+
+	register(Profile{
+		Name: "curl", Suite: SuiteNetwork,
+		TaintPct: 1.13, ActiveShare: 0.025,
+		Epochs:        epochs(ec(1_000_000, 0.30), ec(100_000, 0.50), ec(10_000, 0.20)),
+		PagesAccessed: 600, PagesTainted: 33,
+		RunLen: 64, GapLen: 192,
+		MemFraction: 0.38, HotFraction: 0.941,
+		CleanNearTaint: 0.001, NearTaintRandom: 0.02, BurstNearTaint: 0.20,
+		JumpProb: 0.002, TaintReuse: 24,
+		ChurnProb:      0.20,
+		LibdftSlowdown: 14.0, CodeCacheLat: 800, Seed: 201,
+	})
+	register(Profile{
+		Name: "wget", Suite: SuiteNetwork,
+		TaintPct: 0.15, ActiveShare: 0.004,
+		Epochs:        epochs(ec(1_000_000, 0.40), ec(100_000, 0.40), ec(10_000, 0.20)),
+		PagesAccessed: 1591, PagesTainted: 44,
+		RunLen: 128, GapLen: 384,
+		MemFraction: 0.37, HotFraction: 0.930,
+		CleanNearTaint: 0.0001, NearTaintRandom: 0.01, BurstNearTaint: 0.15,
+		JumpProb: 0.002, TaintReuse: 64,
+		ChurnProb:      0.15,
+		LibdftSlowdown: 14.0, CodeCacheLat: 800, Seed: 202,
+	})
+	register(Profile{
+		Name: "mysql", Suite: SuiteNetwork,
+		TaintPct: 0.19, ActiveShare: 0.005,
+		Epochs:        epochs(ec(100_000, 0.30), ec(10_000, 0.40), ec(1_000, 0.30)),
+		PagesAccessed: 10483, PagesTainted: 435,
+		RunLen: 64, GapLen: 192,
+		MemFraction: 0.40, HotFraction: 0.884,
+		CleanNearTaint: 0.0015, NearTaintRandom: 0.25, BurstNearTaint: 0.20,
+		JumpProb: 0.003, TaintReuse: 8,
+		ChurnProb:      0.30,
+		LibdftSlowdown: 5.0, CodeCacheLat: 1800, Seed: 203,
+	})
+
+	// The four apache policies differ in the fraction of trusted
+	// connections (§3.1): taint percentage declines linearly and epochs
+	// lengthen as more requests are trusted, while the page footprint stays
+	// nearly constant (the same buffer pages serve trusted and untrusted
+	// requests, §3.3.1).
+	apacheBase := Profile{
+		Suite:  SuiteNetwork,
+		RunLen: 32, GapLen: 96,
+		MemFraction: 0.40, HotFraction: 0.893,
+		NearTaintRandom: 0.08, JumpProb: 0.002, TaintReuse: 48,
+		ChurnProb:      0.30,
+		LibdftSlowdown: 5.0, CodeCacheLat: 1500,
+	}
+	apache := apacheBase
+	apache.Name = "apache"
+	apache.TaintPct, apache.ActiveShare = 1.94, 0.05
+	apache.Epochs = epochs(ec(30_000, 0.10), ec(5_000, 0.20), ec(800, 0.35), ec(150, 0.35))
+	apache.PagesAccessed, apache.PagesTainted = 1113, 238
+	apache.CleanNearTaint, apache.BurstNearTaint = 0.010, 0.15
+	apache.Seed = 204
+	register(apache)
+
+	apache25 := apacheBase
+	apache25.Name = "apache-25"
+	apache25.TaintPct, apache25.ActiveShare = 1.49, 0.04
+	apache25.Epochs = epochs(ec(100_000, 0.10), ec(15_000, 0.25), ec(2_000, 0.35), ec(300, 0.30))
+	apache25.PagesAccessed, apache25.PagesTainted = 1170, 260
+	apache25.CleanNearTaint, apache25.BurstNearTaint = 0.008, 0.15
+	apache25.Seed = 205
+	register(apache25)
+
+	apache50 := apacheBase
+	apache50.Name = "apache-50"
+	apache50.TaintPct, apache50.ActiveShare = 0.95, 0.025
+	apache50.Epochs = epochs(ec(300_000, 0.10), ec(50_000, 0.30), ec(5_000, 0.35), ec(600, 0.25))
+	apache50.PagesAccessed, apache50.PagesTainted = 1101, 231
+	apache50.CleanNearTaint, apache50.BurstNearTaint = 0.006, 0.12
+	apache50.Seed = 206
+	register(apache50)
+
+	apache75 := apacheBase
+	apache75.Name = "apache-75"
+	apache75.TaintPct, apache75.ActiveShare = 0.45, 0.012
+	apache75.Epochs = epochs(ec(1_000_000, 0.10), ec(150_000, 0.35), ec(15_000, 0.35), ec(1_500, 0.20))
+	apache75.PagesAccessed, apache75.PagesTainted = 1115, 238
+	apache75.CleanNearTaint, apache75.BurstNearTaint = 0.004, 0.12
+	apache75.Seed = 207
+	register(apache75)
+}

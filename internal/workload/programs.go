@@ -1,0 +1,415 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mini-programs written in LA32 assembly. Where the profile registry
+// reproduces the paper's benchmarks statistically, these programs validate
+// the whole stack end-to-end on the real VM + DIFT engine: taint enters
+// through syscalls, propagates through loads/stores/ALU ops, is laundered
+// by substitution tables (§3.3.2), and triggers control-flow checks.
+var programs = map[string]string{
+	// copyloop reads file input, copies it byte by byte to an output
+	// buffer, and writes it out: the whole buffer stays tainted.
+	"copyloop": `
+_start:
+	li   r1, 0x8000     ; input buffer
+	movi r2, 64
+	sys  2              ; r1 = read(buf, 64)
+	mov  r5, r1
+	beq  r5, r0, done
+	li   r6, 0x8000     ; src
+	li   r7, 0x9000     ; dst
+	movi r8, 0          ; i
+copy:
+	add  r9, r6, r8
+	ldb  r10, [r9]
+	add  r11, r7, r8
+	stb  r10, [r11]
+	addi r8, r8, 1
+	blt  r8, r5, copy
+	li   r1, 0x9000
+	mov  r2, r5
+	sys  5              ; write the copy out
+done:
+	movi r1, 0
+	sys  1
+`,
+
+	// substitution models bzip2's tables and the TLS S-boxes: every input
+	// byte indexes a precomputed table and the *table value* is stored.
+	// Classical DTA does not propagate taint through addresses, so the
+	// output is untainted — the taint-laundering effect the paper observes.
+	"substitution": `
+_start:
+	movi r2, 0
+	li   r3, 0xA000     ; table base
+tbl:                        ; table[i] = (i*7+3) & 0xFF
+	movi r4, 7
+	mul  r5, r2, r4
+	addi r5, r5, 3
+	movi r6, 0xFF
+	and  r5, r5, r6
+	add  r7, r3, r2
+	stb  r5, [r7]
+	addi r2, r2, 1
+	movi r8, 256
+	blt  r2, r8, tbl
+	li   r1, 0x8000
+	movi r2, 64
+	sys  2              ; read input (tainted)
+	mov  r9, r1
+	beq  r9, r0, done
+	movi r10, 0
+subst:
+	li   r11, 0x8000
+	add  r11, r11, r10
+	ldb  r12, [r11]     ; tainted byte
+	add  r13, r3, r12   ; address derived from tainted index
+	ldb  r14, [r13]     ; table value: clean
+	li   r11, 0x9000
+	add  r11, r11, r10
+	stb  r14, [r11]     ; output stays clean
+	addi r10, r10, 1
+	blt  r10, r9, subst
+	li   r1, 0x9000
+	mov  r2, r9
+	sys  5              ; passes even under a leak-checking policy
+done:
+	movi r1, 0
+	sys  1
+`,
+
+	// server is the apache-shaped loop: accept a connection, receive the
+	// request (tainted per connection policy), checksum it, answer with a
+	// canned clean banner.
+	"server": `
+_start:
+serve:
+	sys  4              ; accept -> conn id or -1
+	movi r5, -1
+	beq  r1, r5, done
+	li   r1, 0x8000
+	movi r2, 128
+	sys  3              ; recv
+	mov  r6, r1
+	beq  r6, r0, serve
+	movi r7, 0          ; i
+	movi r8, 0          ; checksum
+csum:
+	li   r9, 0x8000
+	add  r9, r9, r7
+	ldb  r10, [r9]
+	add  r8, r8, r10
+	addi r7, r7, 1
+	blt  r7, r6, csum
+	li   r1, =banner
+	movi r2, 4
+	sys  5              ; clean response
+	jmp  serve
+done:
+	movi r1, 0
+	sys  1
+banner:
+	.ascii "OK!\n"
+`,
+
+	// overflow is the vulnerable program of the exploit-detection example:
+	// a 16-byte message buffer sits directly below a function pointer, and
+	// the read accepts up to 32 bytes. Oversized input overwrites the
+	// pointer with tainted data and the indirect call faults.
+	"overflow": `
+_start:
+	li   r4, =handler
+	li   r5, 0xC010
+	stw  r4, [r5]       ; fnptr = &handler (buf+16)
+	li   r1, 0xC000     ; 16-byte buffer
+	movi r2, 32         ; BUG: reads up to 32 bytes
+	sys  2
+	li   r5, 0xC010
+	ldw  r6, [r5]
+	callr r6            ; checked indirect call
+	movi r1, 0
+	sys  1
+handler:
+	movi r3, 42
+	ret
+`,
+
+	// rle run-length-encodes the input: output alternates a count byte
+	// (derived through comparisons and increments of a clean counter —
+	// classical DTA leaves it clean) and a value byte copied from the
+	// input (tainted). The output is therefore *partially* tainted, a
+	// byte-interleaved pattern that exercises sub-domain precision.
+	"rle": `
+_start:
+	li   r1, 0x8000
+	movi r2, 128
+	sys  2              ; read input
+	mov  r5, r1         ; n
+	beq  r5, r0, done
+	movi r6, 0          ; in index
+	li   r7, 0x9000     ; out pointer
+outer:
+	li   r8, 0x8000
+	add  r8, r8, r6
+	ldb  r9, [r8]       ; current value (tainted)
+	movi r10, 1         ; run length (clean)
+inner:
+	addi r11, r6, 1
+	bge  r11, r5, flush ; end of input
+	li   r8, 0x8000
+	add  r8, r8, r11
+	ldb  r12, [r8]
+	bne  r12, r9, flush
+	addi r10, r10, 1
+	mov  r6, r11
+	jmp  inner
+flush:
+	stb  r10, [r7]      ; count byte: clean
+	stb  r9, [r7+1]     ; value byte: tainted
+	addi r7, r7, 2
+	addi r6, r6, 1
+	blt  r6, r5, outer
+	li   r2, 0x9000
+	sub  r2, r7, r2     ; output length
+	li   r1, 0x9000
+	sys  5
+done:
+	movi r1, 0
+	sys  1
+`,
+
+	// checksum computes a Fletcher-style checksum over the input and
+	// stores the (tainted) result: a compute-dense kernel where every
+	// iteration touches taint.
+	"checksum": `
+_start:
+	li   r1, 0x8000
+	movi r2, 128
+	sys  2
+	mov  r5, r1         ; n
+	movi r6, 0          ; i
+	movi r7, 0          ; sum1
+	movi r8, 0          ; sum2
+	li   r9, 0xFFFF
+	beq  r5, r0, store
+loop:
+	li   r10, 0x8000
+	add  r10, r10, r6
+	ldb  r11, [r10]
+	add  r7, r7, r11
+	and  r7, r7, r9     ; sum1 = (sum1 + b) & 0xFFFF
+	add  r8, r8, r7
+	and  r8, r8, r9     ; sum2 = (sum2 + sum1) & 0xFFFF
+	addi r6, r6, 1
+	blt  r6, r5, loop
+store:
+	movi r12, 16
+	shl  r8, r8, r12
+	or   r8, r8, r7     ; checksum = sum2<<16 | sum1 (tainted)
+	li   r13, 0xD000
+	stw  r8, [r13]
+	mov  r1, r8
+	sys  1              ; exit code = low bits of checksum
+`,
+
+	// caesar applies a fixed rotation to every input byte and writes the
+	// result: taint propagates one-to-one from input to output (contrast
+	// with substitution, where the table lookup launders it).
+	"caesar": `
+_start:
+	li   r1, 0x8000
+	movi r2, 128
+	sys  2
+	mov  r5, r1
+	beq  r5, r0, done
+	movi r6, 0
+rot:
+	li   r7, 0x8000
+	add  r7, r7, r6
+	ldb  r8, [r7]
+	addi r8, r8, 13     ; rotate
+	movi r9, 0xFF
+	and  r8, r8, r9
+	li   r7, 0x9000
+	add  r7, r7, r6
+	stb  r8, [r7]       ; output byte stays tainted
+	addi r6, r6, 1
+	blt  r6, r5, rot
+	li   r1, 0x9000
+	mov  r2, r5
+	sys  5
+done:
+	movi r1, 0
+	sys  1
+`,
+
+	// filter copies only the printable bytes of the input. The copy is a
+	// direct data flow (tainted); the *positions* are control-dependent,
+	// which classical DTA — and therefore LATCH — deliberately does not
+	// track (§2's scope discussion on implicit flows).
+	"filter": `
+_start:
+	li   r1, 0x8000
+	movi r2, 128
+	sys  2
+	mov  r5, r1
+	movi r6, 0          ; in index
+	li   r7, 0x9000     ; out pointer
+	beq  r5, r0, emit
+scan:
+	li   r8, 0x8000
+	add  r8, r8, r6
+	ldb  r9, [r8]
+	movi r10, 32
+	blt  r9, r10, skip  ; drop control chars
+	movi r10, 127
+	bge  r9, r10, skip
+	stb  r9, [r7]
+	addi r7, r7, 1
+skip:
+	addi r6, r6, 1
+	blt  r6, r5, scan
+emit:
+	li   r2, 0x9000
+	sub  r2, r7, r2
+	li   r1, 0x9000
+	sys  5
+	movi r1, 0
+	sys  1
+`,
+
+	// pipeline chains three kernels over the same data — caesar rotation
+	// (taint preserved), table substitution (taint laundered), then RLE
+	// (counts clean, values... of already-clean data) — demonstrating how
+	// taint provenance evolves through a staged computation. Only stage
+	// one's intermediate buffer ends up tainted.
+	"pipeline": `
+_start:
+	; stage 0: build the substitution table at 0xA000
+	movi r2, 0
+	li   r3, 0xA000
+tbl:
+	movi r4, 5
+	mul  r5, r2, r4
+	addi r5, r5, 1
+	movi r6, 0xFF
+	and  r5, r5, r6
+	add  r7, r3, r2
+	stb  r5, [r7]
+	addi r2, r2, 1
+	movi r8, 256
+	blt  r2, r8, tbl
+	; stage 1: read input, caesar-rotate into 0x9000 (tainted)
+	li   r1, 0x8000
+	movi r2, 64
+	sys  2
+	mov  r9, r1
+	beq  r9, r0, done
+	movi r10, 0
+rot:
+	li   r11, 0x8000
+	add  r11, r11, r10
+	ldb  r12, [r11]
+	addi r12, r12, 7
+	movi r6, 0xFF
+	and  r12, r12, r6
+	li   r11, 0x9000
+	add  r11, r11, r10
+	stb  r12, [r11]
+	addi r10, r10, 1
+	blt  r10, r9, rot
+	; stage 2: substitute through the table into 0xB000 (laundered)
+	movi r10, 0
+sub2:
+	li   r11, 0x9000
+	add  r11, r11, r10
+	ldb  r12, [r11]
+	add  r13, r3, r12
+	ldb  r14, [r13]
+	li   r11, 0xB000
+	add  r11, r11, r10
+	stb  r14, [r11]
+	addi r10, r10, 1
+	blt  r10, r9, sub2
+	; stage 3: RLE the clean stage-2 output into 0xC800
+	movi r10, 0
+	li   r7, 0xC800
+outer3:
+	li   r11, 0xB000
+	add  r11, r11, r10
+	ldb  r12, [r11]
+	movi r4, 1
+inner3:
+	addi r5, r10, 1
+	bge  r5, r9, flush3
+	li   r11, 0xB000
+	add  r11, r11, r5
+	ldb  r6, [r11]
+	bne  r6, r12, flush3
+	addi r4, r4, 1
+	mov  r10, r5
+	jmp  inner3
+flush3:
+	stb  r4, [r7]
+	stb  r12, [r7+1]
+	addi r7, r7, 2
+	addi r10, r10, 1
+	blt  r10, r9, outer3
+	li   r2, 0xC800
+	sub  r2, r7, r2
+	li   r1, 0xC800
+	sys  5
+done:
+	movi r1, 0
+	sys  1
+`,
+
+	// parser scans input for spaces and reports the count: heavy taint
+	// touching with a clean (comparison-derived) result.
+	"parser": `
+_start:
+	li   r1, 0x8000
+	movi r2, 128
+	sys  2
+	mov  r5, r1
+	movi r6, 0          ; i
+	movi r7, 0          ; spaces
+	beq  r5, r0, out
+scan:
+	li   r8, 0x8000
+	add  r8, r8, r6
+	ldb  r9, [r8]
+	movi r10, ' '
+	bne  r9, r10, skip
+	addi r7, r7, 1
+skip:
+	addi r6, r6, 1
+	blt  r6, r5, scan
+out:
+	mov  r1, r7
+	sys  1              ; exit code = space count
+`,
+}
+
+// ProgramSource returns the LA32 source of a named mini-program.
+func ProgramSource(name string) (string, error) {
+	src, ok := programs[name]
+	if !ok {
+		return "", fmt.Errorf("workload: unknown program %q", name)
+	}
+	return src, nil
+}
+
+// ProgramNames lists the available mini-programs, sorted.
+func ProgramNames() []string {
+	out := make([]string, 0, len(programs))
+	for name := range programs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

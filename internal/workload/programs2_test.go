@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"testing"
+
+	"latch/internal/dift"
+	"latch/internal/vm"
+)
+
+func TestRLEEncodesAndPartiallyTaints(t *testing.T) {
+	c, eng, err := runProgram(t, "rle", dift.DefaultPolicy(), func(e *vm.Env) {
+		e.FileData = []byte("aaabbc")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{3, 'a', 2, 'b', 1, 'c'}
+	if got := c.Env.Output.Bytes(); string(got) != string(want) {
+		t.Fatalf("rle output = %v, want %v", got, want)
+	}
+	// Byte-interleaved taint: counts clean, values tainted.
+	for i := 0; i < len(want); i += 2 {
+		if eng.Shadow.Get(uint32(0x9000 + i)).Tainted() {
+			t.Errorf("count byte %d is tainted", i)
+		}
+		if !eng.Shadow.Get(uint32(0x9000 + i + 1)).Tainted() {
+			t.Errorf("value byte %d is clean", i+1)
+		}
+	}
+}
+
+func TestRLESingleRun(t *testing.T) {
+	c, _, err := runProgram(t, "rle", dift.DefaultPolicy(), func(e *vm.Env) {
+		e.FileData = []byte("zzzzz")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Env.Output.Bytes(); string(got) != string([]byte{5, 'z'}) {
+		t.Fatalf("rle output = %v", got)
+	}
+}
+
+func TestChecksumMatchesReference(t *testing.T) {
+	input := []byte("fletcher checksum reference input")
+	c, eng, err := runProgram(t, "checksum", dift.DefaultPolicy(), func(e *vm.Env) {
+		e.FileData = input
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum1, sum2 uint32
+	for _, b := range input {
+		sum1 = (sum1 + uint32(b)) & 0xFFFF
+		sum2 = (sum2 + sum1) & 0xFFFF
+	}
+	want := sum2<<16 | sum1
+	if c.ExitCode() != want {
+		t.Fatalf("checksum = %#x, want %#x", c.ExitCode(), want)
+	}
+	// The stored checksum derives from tainted data.
+	if !eng.Shadow.RangeTainted(0xD000, 4) {
+		t.Fatal("checksum result not tainted")
+	}
+}
+
+func TestCaesarPropagatesTaintOneToOne(t *testing.T) {
+	c, eng, err := runProgram(t, "caesar", dift.DefaultPolicy(), func(e *vm.Env) {
+		e.FileData = []byte("abc")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Env.Output.String(); got != "nop" { // 'a'+13='n' ...
+		t.Fatalf("caesar output = %q", got)
+	}
+	for i := 0; i < 3; i++ {
+		if !eng.Shadow.Get(uint32(0x9000 + i)).Tainted() {
+			t.Errorf("output byte %d lost taint", i)
+		}
+	}
+}
+
+func TestFilterKeepsDirectFlowTaint(t *testing.T) {
+	c, eng, err := runProgram(t, "filter", dift.DefaultPolicy(), func(e *vm.Env) {
+		e.FileData = []byte("ok\x01\x02fine\x7f!")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Env.Output.String(); got != "okfine!" {
+		t.Fatalf("filter output = %q", got)
+	}
+	if !eng.Shadow.RangeTainted(0x9000, 7) {
+		t.Fatal("filtered copy lost taint")
+	}
+}
+
+func TestFilterLeakDetected(t *testing.T) {
+	pol := dift.DefaultPolicy()
+	pol.CheckLeak = true
+	_, _, err := runProgram(t, "filter", pol, func(e *vm.Env) {
+		e.FileData = []byte("secret")
+	})
+	if err == nil {
+		t.Fatal("filtered tainted output not flagged as a leak")
+	}
+}
+
+func TestNewProgramsRegistered(t *testing.T) {
+	names := ProgramNames()
+	want := map[string]bool{"rle": true, "checksum": true, "caesar": true, "filter": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing programs: %v", want)
+	}
+	if len(names) != 10 {
+		t.Fatalf("program count = %d", len(names))
+	}
+}
+
+func TestPipelineStagedTaint(t *testing.T) {
+	pol := dift.DefaultPolicy()
+	pol.CheckLeak = true // final output must be launderable
+	c, eng, err := runProgram(t, "pipeline", pol, func(e *vm.Env) {
+		e.FileData = []byte("aabb")
+	})
+	if err != nil {
+		t.Fatalf("pipeline flagged: %v", err)
+	}
+	// Stage 1 output (caesar) is tainted; stage 2 (substituted) and stage 3
+	// (RLE of clean data) are clean.
+	if !eng.Shadow.RangeTainted(0x9000, 4) {
+		t.Error("caesar stage lost taint")
+	}
+	if eng.Shadow.RangeTainted(0xB000, 4) {
+		t.Error("substitution stage did not launder")
+	}
+	if eng.Shadow.RangeTainted(0xC800, 8) {
+		t.Error("RLE stage output tainted")
+	}
+	// Functional check: caesar('a'+7)='h' -> table[h]=h*5+1; input "aabb"
+	// becomes two runs of two.
+	out := c.Env.Output.Bytes()
+	if len(out) != 4 || out[0] != 2 || out[2] != 2 {
+		t.Errorf("rle output = %v", out)
+	}
+	h := byte((('a'+7)*5 + 1) % 256)
+	b2 := byte((('b'+7)*5 + 1) % 256)
+	if out[1] != h || out[3] != b2 {
+		t.Errorf("pipeline values = %v, want [2 %d 2 %d]", out, h, b2)
+	}
+}

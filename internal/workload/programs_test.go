@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"latch/internal/dift"
+	"latch/internal/isa"
+	"latch/internal/shadow"
+	"latch/internal/vm"
+)
+
+func runProgram(t *testing.T, name string, pol dift.Policy, env func(*vm.Env)) (*vm.CPU, *dift.Engine, error) {
+	t.Helper()
+	src, err := ProgramSource(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatalf("%s does not assemble: %v", name, err)
+	}
+	eng := dift.NewEngine(shadow.MustNew(shadow.DefaultDomainSize), pol)
+	c := vm.New()
+	c.SetTracker(eng)
+	if env != nil {
+		env(c.Env)
+	}
+	c.Load(prog)
+	_, err = c.Run(1_000_000)
+	return c, eng, err
+}
+
+func TestProgramNames(t *testing.T) {
+	names := ProgramNames()
+	if len(names) != 10 {
+		t.Fatalf("programs = %v", names)
+	}
+	if _, err := ProgramSource("nope"); err == nil {
+		t.Fatal("unknown program accepted")
+	}
+}
+
+func TestAllProgramsAssemble(t *testing.T) {
+	for _, name := range ProgramNames() {
+		src, _ := ProgramSource(name)
+		if _, err := isa.Assemble(src); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCopyloopPropagatesTaint(t *testing.T) {
+	c, eng, err := runProgram(t, "copyloop", dift.DefaultPolicy(), func(e *vm.Env) {
+		e.FileData = []byte("hello world!")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Env.Output.String(); got != "hello world!" {
+		t.Fatalf("output = %q", got)
+	}
+	// Both source and destination buffers are tainted.
+	if !eng.Shadow.RangeTainted(0x8000, 12) || !eng.Shadow.RangeTainted(0x9000, 12) {
+		t.Fatal("copy did not propagate taint")
+	}
+}
+
+func TestCopyloopLeaksUnderLeakPolicy(t *testing.T) {
+	pol := dift.DefaultPolicy()
+	pol.CheckLeak = true
+	_, _, err := runProgram(t, "copyloop", pol, func(e *vm.Env) {
+		e.FileData = []byte("secret")
+	})
+	var v dift.Violation
+	if !errors.As(err, &v) || v.Kind != dift.ViolationLeak {
+		t.Fatalf("err = %v, want leak violation", err)
+	}
+}
+
+func TestSubstitutionLaundersTaint(t *testing.T) {
+	// Even under a leak-checking policy the substituted output is clean:
+	// classical DTA does not track address-based flows (§3.3.2).
+	pol := dift.DefaultPolicy()
+	pol.CheckLeak = true
+	c, eng, err := runProgram(t, "substitution", pol, func(e *vm.Env) {
+		e.FileData = []byte{1, 2, 3, 4}
+	})
+	if err != nil {
+		t.Fatalf("substitution flagged a leak: %v", err)
+	}
+	// Output bytes are table values (i*7+3)&0xFF of the input bytes.
+	want := []byte{10, 17, 24, 31}
+	got := c.Env.Output.Bytes()
+	if string(got) != string(want) {
+		t.Fatalf("output = %v, want %v", got, want)
+	}
+	if eng.Shadow.RangeTainted(0x9000, 4) {
+		t.Fatal("substituted output is tainted")
+	}
+	if !eng.Shadow.RangeTainted(0x8000, 4) {
+		t.Fatal("input lost taint")
+	}
+}
+
+func TestServerHandlesRequests(t *testing.T) {
+	c, eng, err := runProgram(t, "server", dift.DefaultPolicy(), func(e *vm.Env) {
+		e.Requests = [][]byte{[]byte("GET /index"), []byte("GET /about")}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Env.Output.String(); got != "OK!\nOK!\n" {
+		t.Fatalf("output = %q", got)
+	}
+	if !eng.Shadow.RangeTainted(0x8000, 8) {
+		t.Fatal("request buffer not tainted")
+	}
+}
+
+func TestServerTrustedConnectionsStayClean(t *testing.T) {
+	pol := dift.DefaultPolicy()
+	pol.TrustConn = func(int) bool { return true }
+	_, eng, err := runProgram(t, "server", pol, func(e *vm.Env) {
+		e.Requests = [][]byte{[]byte("GET /index")}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Shadow.TaintedBytes() != 0 {
+		t.Fatal("trusted request tainted memory")
+	}
+}
+
+func TestOverflowBenignInput(t *testing.T) {
+	c, _, err := runProgram(t, "overflow", dift.DefaultPolicy(), func(e *vm.Env) {
+		e.FileData = []byte("short msg") // fits the 16-byte buffer
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[3] != 42 {
+		t.Fatalf("handler did not run: r3 = %d", c.Regs[3])
+	}
+}
+
+func TestOverflowExploitDetected(t *testing.T) {
+	attack := make([]byte, 20) // 16 bytes fill the buffer, 4 smash the fnptr
+	copy(attack[16:], []byte{0x00, 0x10, 0x00, 0x00})
+	_, _, err := runProgram(t, "overflow", dift.DefaultPolicy(), func(e *vm.Env) {
+		e.FileData = attack
+	})
+	var v dift.Violation
+	if !errors.As(err, &v) || v.Kind != dift.ViolationControlFlow {
+		t.Fatalf("err = %v, want control-flow violation", err)
+	}
+}
+
+func TestParserCountsSpaces(t *testing.T) {
+	c, _, err := runProgram(t, "parser", dift.DefaultPolicy(), func(e *vm.Env) {
+		e.FileData = []byte("one two three four")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ExitCode() != 3 {
+		t.Fatalf("space count = %d, want 3", c.ExitCode())
+	}
+}

@@ -1,0 +1,150 @@
+// Package latch is a from-scratch reproduction of "LATCH: A Locality-Aware
+// Taint CHecker" (MICRO 2019): a two-tier dynamic information flow tracking
+// (DIFT) architecture that monitors execution with lightweight coarse-
+// grained taint checks and invokes byte-precise tracking only during the
+// phases of execution that actually manipulate sensitive data.
+//
+// The package is a facade over the full implementation:
+//
+//   - a 32-bit load/store ISA (LA32), assembler, and virtual machine that
+//     stand in for the paper's Pin-instrumented x86 host;
+//   - a byte-precise DIFT engine with classical Dynamic Taint Analysis
+//     propagation and control-flow/leak checking (the libdft role);
+//   - the core LATCH hardware model: taint domains, the Coarse Taint Table,
+//     the Coarse Taint Cache with clear bits, TLB page taint bits, and the
+//     taint register file;
+//   - the three integrations evaluated in the paper: S-LATCH (accelerated
+//     single-core software DIFT), P-LATCH (filtered two-core log-based
+//     DIFT), and H-LATCH (reduced-complexity hardware DIFT);
+//   - the calibrated benchmark workload registry (SPEC CPU 2006 and network
+//     application profiles) and the experiment harness that regenerates
+//     every table and figure of the paper's evaluation.
+//
+// Quick start: assemble a program, run it under precise DIFT with LATCH
+// coarse state attached, and observe a control-flow hijack being caught.
+//
+//	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+//	...
+//	prog, err := latch.Assemble(src)
+//	sys.Machine.Load(prog)
+//	_, err = sys.Machine.Run(1_000_000) // returns dift.Violation on attack
+package latch
+
+import (
+	"latch/internal/dift"
+	"latch/internal/isa"
+	latchcore "latch/internal/latch"
+	"latch/internal/shadow"
+	"latch/internal/vm"
+)
+
+// Re-exported core types. These aliases are the public names; the internal
+// packages are implementation layout, not API.
+type (
+	// Config is the LATCH hardware geometry (domain size, CTC/TLB entries,
+	// precise taint cache shape, clear policy).
+	Config = latchcore.Config
+	// Module is the core LATCH hardware module.
+	Module = latchcore.Module
+	// ModuleStats are the module's event counters.
+	ModuleStats = latchcore.Stats
+	// CheckResult is the outcome of one coarse memory check.
+	CheckResult = latchcore.CheckResult
+	// ClearPolicy selects eager (H-LATCH) or lazy (S-LATCH) coarse clears.
+	ClearPolicy = latchcore.ClearPolicy
+
+	// Policy is the DIFT taint policy (sources, checks).
+	Policy = dift.Policy
+	// Engine is the byte-precise DIFT engine.
+	Engine = dift.Engine
+	// Violation is a DIFT policy violation (control-flow hijack or leak).
+	Violation = dift.Violation
+
+	// Tag is a byte taint tag (bitmask of labels).
+	Tag = shadow.Tag
+	// Shadow is the byte-precise shadow taint memory.
+	Shadow = shadow.Shadow
+
+	// Program is an assembled LA32 image.
+	Program = isa.Program
+	// Instr is a decoded LA32 instruction.
+	Instr = isa.Instr
+	// Machine is the LA32 virtual machine.
+	Machine = vm.CPU
+	// Env is the machine's deterministic external world (file data,
+	// inbound requests, output sink).
+	Env = vm.Env
+)
+
+// Clear policies (see ClearPolicy).
+const (
+	EagerClear = latchcore.EagerClear
+	LazyClear  = latchcore.LazyClear
+)
+
+// Violation kinds.
+const (
+	ViolationControlFlow = dift.ViolationControlFlow
+	ViolationLeak        = dift.ViolationLeak
+)
+
+// TagClean is the zero (untainted) tag.
+const TagClean = shadow.TagClean
+
+// Label returns the tag with only taint label n (0..7) set.
+func Label(n int) Tag { return shadow.Label(n) }
+
+// DefaultConfig returns the paper's main LATCH configuration: 64-byte taint
+// domains, a 16-entry fully associative CTC, a 128-entry TLB with two page
+// taint bits, and the 128-byte 4-way precise taint cache.
+func DefaultConfig() Config { return latchcore.DefaultConfig() }
+
+// DefaultPolicy returns the paper's conservative DIFT policy: all file and
+// network input is tainted and tainted indirect control transfers fault.
+func DefaultPolicy() Policy { return dift.DefaultPolicy() }
+
+// Assemble translates LA32 assembly into a loadable program.
+func Assemble(src string) (*Program, error) { return isa.Assemble(src) }
+
+// System wires a complete single-machine DIFT stack: one shadow taint state
+// shared by the byte-precise engine and the LATCH module, attached to an
+// LA32 machine. This is the configuration S-LATCH runs on one core: the
+// module provides the coarse checks, the engine the precise semantics.
+type System struct {
+	Machine *Machine
+	Engine  *Engine
+	Module  *Module
+	Shadow  *Shadow
+}
+
+// NewSystem builds a System from a hardware configuration and a DIFT
+// policy.
+func NewSystem(cfg Config, pol Policy) (*System, error) {
+	sh, err := shadow.New(cfg.DomainSize)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := latchcore.New(cfg, sh)
+	if err != nil {
+		return nil, err
+	}
+	eng := dift.NewEngine(sh, pol)
+	m := vm.New()
+	m.SetTracker(eng)
+	return &System{Machine: m, Engine: eng, Module: mod, Shadow: sh}, nil
+}
+
+// Run assembles src, loads it, and executes up to maxSteps instructions.
+// It returns the machine's exit code; a DIFT violation surfaces as a
+// *Violation error.
+func (s *System) Run(src string, maxSteps uint64) (uint32, error) {
+	prog, err := Assemble(src)
+	if err != nil {
+		return 0, err
+	}
+	s.Machine.Load(prog)
+	if _, err := s.Machine.Run(maxSteps); err != nil {
+		return 0, err
+	}
+	return s.Machine.ExitCode(), nil
+}

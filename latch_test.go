@@ -1,0 +1,88 @@
+package latch_test
+
+import (
+	"errors"
+	"testing"
+
+	"latch"
+)
+
+func TestSystemRunsCleanProgram(t *testing.T) {
+	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := sys.Run(`
+		movi r1, 7
+		sys 1
+	`, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 7 {
+		t.Fatalf("exit code = %d", code)
+	}
+}
+
+func TestSystemCatchesHijack(t *testing.T) {
+	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Machine.Env.FileData = []byte{0x00, 0x20, 0x00, 0x00} // attacker-controlled address
+	_, err = sys.Run(`
+		li   r1, 0x3000
+		movi r2, 4
+		sys  2          ; read tainted input
+		li   r3, 0x3000
+		ldw  r4, [r3]
+		jr   r4         ; jump to attacker-controlled target
+		halt
+	`, 1000)
+	var v latch.Violation
+	if !errors.As(err, &v) || v.Kind != latch.ViolationControlFlow {
+		t.Fatalf("err = %v, want control-flow violation", err)
+	}
+}
+
+func TestCoarseStateTracksEngine(t *testing.T) {
+	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Machine.Env.FileData = []byte("secret")
+	if _, err := sys.Run(`
+		li   r1, 0x5000
+		movi r2, 6
+		sys  2
+		halt
+	`, 1000); err != nil {
+		t.Fatal(err)
+	}
+	// The module's coarse check must flag the tainted buffer...
+	res := sys.Module.CheckMem(0x5000, 4)
+	if !res.CoarsePositive || !res.TrulyTainted {
+		t.Fatalf("coarse state missed taint: %+v", res)
+	}
+	// ...and pass a far-away clean address at the TLB level.
+	res = sys.Module.CheckMem(0x9000, 4)
+	if res.CoarsePositive {
+		t.Fatalf("false coarse positive: %+v", res)
+	}
+}
+
+func TestAssembleErrorsSurface(t *testing.T) {
+	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run("bogus", 10); err == nil {
+		t.Fatal("assembler error not surfaced")
+	}
+}
+
+func TestLabelAndTags(t *testing.T) {
+	if latch.Label(2) == latch.TagClean {
+		t.Fatal("label is clean")
+	}
+}
