@@ -1,0 +1,35 @@
+# Verification entry points. `make verify` is the full pre-merge gate:
+# tier-1 build+test plus the race-detector pass over every package
+# (the worker-pool harness and the suite runners are exercised under
+# -race by their own tests).
+
+GO ?= go
+
+.PHONY: build test race verify bench fuzz golden
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Race/determinism tier: the whole tree under the race detector. The
+# parallel harness tests (TestParallelMatchesSerial, TestGoldenTables,
+# TestRunnerSafeForConcurrentCallers, pool tests) all fan work out across
+# goroutines, so this catches data races in the pool, the suite runners,
+# and the per-job simulation state.
+race:
+	$(GO) test -race ./...
+
+verify: test race
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Short fuzz pass over the LA32 assembler/decoder round-trip properties.
+fuzz:
+	$(GO) test ./internal/isa -run='^$$' -fuzz=FuzzAssembleDecode -fuzztime=10s
+
+# Regenerate the experiment golden tables after an intentional model change.
+golden:
+	$(GO) test ./internal/experiments -run TestGoldenTables -update

@@ -13,10 +13,14 @@ package latch_test
 //	go run ./cmd/latch-experiments
 
 import (
+	"flag"
+	"runtime"
 	"testing"
 
 	"latch/internal/experiments"
 )
+
+var benchWorkers = flag.Int("workers", 1, "worker-pool size for the per-experiment benchmarks (0 = one per CPU)")
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
@@ -24,7 +28,7 @@ func benchExperiment(b *testing.B, id string) {
 	if n < 20_000 {
 		n = 20_000
 	}
-	opts := experiments.Options{Events: n, EpochEvents: n, Fig6Events: n}
+	opts := experiments.Options{Events: n, EpochEvents: n, Fig6Events: n, Workers: *benchWorkers}
 	runner := experiments.NewRunner(opts)
 	e, err := experiments.Lookup(id)
 	if err != nil {
@@ -37,6 +41,46 @@ func benchExperiment(b *testing.B, id string) {
 	if table.Rows() == 0 {
 		b.Fatal("empty table")
 	}
+}
+
+// benchExperimentSet regenerates a representative experiment subset — the
+// heavy suite passes plus a composite table — from one fresh Runner with the
+// given pool size. Comparing the two benchmarks below measures the harness's
+// parallel speedup; their tables are byte-identical (TestParallelMatchesSerial),
+// only the wall clock moves.
+func benchExperimentSet(b *testing.B, workers int) {
+	b.Helper()
+	ids := []string{"table2", "table6", "table7", "figure6"}
+	for i := 0; i < b.N; i++ {
+		opts := experiments.Options{Events: 20_000, EpochEvents: 20_000, Fig6Events: 20_000, Workers: workers}
+		runner := experiments.NewRunner(opts)
+		for _, id := range ids {
+			e, err := experiments.Lookup(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			table, err := e.Run(runner)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if table.Rows() == 0 {
+				b.Fatalf("%s: empty table", id)
+			}
+		}
+	}
+}
+
+// BenchmarkExperimentsSerial is the Workers=1 reference schedule.
+func BenchmarkExperimentsSerial(b *testing.B) { benchExperimentSet(b, 1) }
+
+// BenchmarkExperimentsParallel runs the same subset with one worker per CPU;
+// on a multi-core machine the per-workload jobs overlap and this should beat
+// the serial benchmark roughly by min(NumCPU, workloads-per-pass).
+func BenchmarkExperimentsParallel(b *testing.B) {
+	if runtime.NumCPU() == 1 {
+		b.Log("single-CPU machine: parallel run degenerates to the serial schedule")
+	}
+	benchExperimentSet(b, 0)
 }
 
 func BenchmarkTable1(b *testing.B)   { benchExperiment(b, "table1") }

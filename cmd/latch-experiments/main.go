@@ -7,6 +7,14 @@
 //	latch-experiments -exp table6,figure16
 //	latch-experiments -list
 //	latch-experiments -events 5000000      # longer, lower-noise runs
+//	latch-experiments -workers 8           # bound the worker pool
+//	latch-experiments -workers 1 -stats    # serial reference + job table
+//
+// Experiments fan out one job per (experiment, benchmark) pair on a worker
+// pool sized by -workers (default: one worker per CPU). Every job derives
+// its RNG seed from its identity, so the output is bit-identical for every
+// worker count — only the elapsed time changes. -stats appends a per-pass
+// job summary so the achieved parallelism is observable.
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -29,6 +38,8 @@ func main() {
 		epochEvents = flag.Uint64("epoch-events", 0, "override stream length for temporal experiments")
 		format      = flag.String("format", "text", "output format: text, json, or markdown")
 		chart       = flag.Bool("chart", false, "also render bar charts for figure experiments")
+		workers     = flag.Int("workers", 0, "worker-pool size for per-benchmark jobs (0 = one per CPU)")
+		showStats   = flag.Bool("stats", false, "print the per-pass job statistics table after the run")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "json" && *format != "markdown" {
@@ -50,6 +61,7 @@ func main() {
 	if *epochEvents > 0 {
 		opts.EpochEvents = *epochEvents
 	}
+	opts.Workers = *workers
 	runner := experiments.NewRunner(opts)
 
 	selected := experiments.Catalog
@@ -66,6 +78,7 @@ func main() {
 	}
 
 	enc := json.NewEncoder(os.Stdout)
+	runStart := time.Now()
 	for _, e := range selected {
 		start := time.Now()
 		table, err := e.Run(runner)
@@ -94,5 +107,20 @@ func main() {
 			}
 		}
 		fmt.Printf("[%s regenerated in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *showStats {
+		// The job table is human-oriented; keep it off stdout when stdout
+		// carries machine-readable output.
+		out := os.Stdout
+		if *format != "text" {
+			out = os.Stderr
+		}
+		fmt.Fprintln(out, runner.StatsSummary().String())
+		nw := opts.Workers
+		if nw <= 0 {
+			nw = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(out, "[run elapsed %v with %d workers]\n",
+			time.Since(runStart).Round(time.Millisecond), nw)
 	}
 }

@@ -17,6 +17,10 @@ import (
 // beyond the paper's published evaluation: they vary one parameter of the
 // LATCH design at a time and measure its effect on a representative
 // benchmark mix (a well-behaved program, a fragmented one, and a server).
+//
+// Each benchmark's full parameter sweep is one pool job: the sweep shares
+// nothing across benchmarks, and the per-job derived seed keeps the row
+// independent of scheduling.
 
 // ablationBenchmarks is the mix used by all sweeps.
 var ablationBenchmarks = []string{"gcc", "sphinx3", "apache"}
@@ -28,10 +32,11 @@ var ablationBenchmarks = []string{"gcc", "sphinx3", "apache"}
 func (r *Runner) AblationDomainSize() (*stats.Table, error) {
 	t := stats.NewTable("Ablation: taint-domain size (H-LATCH, combined miss % | false positives per 1K checks)",
 		"benchmark", "8B", "16B", "32B", "64B", "128B", "256B")
-	for _, name := range ablationBenchmarks {
-		p, err := workload.Get(name)
+	rows := make([][]any, len(ablationBenchmarks))
+	err := r.runJobs("ablation-domain", ablationBenchmarks, func(i int, name string, js *JobStat) error {
+		p, err := jobProfile("ablation-domain", name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []any{name}
 		for _, ds := range Fig6Granularities {
@@ -40,12 +45,21 @@ func (r *Runner) AblationDomainSize() (*stats.Table, error) {
 			cfg.Latch.DomainSize = ds
 			res, err := hlatch.Run(p, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
+			js.Events += res.Events
+			js.Checks += res.Checks
 			fpPerK := 1000 * float64(res.Latch.FalsePositives) / float64(res.Checks)
 			row = append(row, fmt.Sprintf("%s|%s",
 				stats.FormatFloat(res.CombinedMissPct), stats.FormatFloat(fpPerK)))
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRowf(row...)
 	}
 	return t, nil
@@ -61,10 +75,11 @@ func (r *Runner) AblationTimeout() (*stats.Table, error) {
 		header = append(header, fmt.Sprintf("%d", to))
 	}
 	t := stats.NewTable("Ablation: S-LATCH timeout in instructions (overhead over native)", header...)
-	for _, name := range ablationBenchmarks {
-		p, err := workload.Get(name)
+	rows := make([][]any, len(ablationBenchmarks))
+	err := r.runJobs("ablation-timeout", ablationBenchmarks, func(i int, name string, js *JobStat) error {
+		p, err := jobProfile("ablation-timeout", name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []any{name}
 		for _, to := range timeouts {
@@ -73,10 +88,19 @@ func (r *Runner) AblationTimeout() (*stats.Table, error) {
 			cfg.TimeoutInstrs = to
 			res, err := slatch.Run(p, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
+			js.Events += res.Events
+			js.Checks += res.Latch.Checks
 			row = append(row, res.Overhead())
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRowf(row...)
 	}
 	return t, nil
@@ -92,10 +116,12 @@ func (r *Runner) AblationCTCSize() (*stats.Table, error) {
 		header = append(header, fmt.Sprintf("%d entries", n))
 	}
 	t := stats.NewTable("Ablation: CTC entries (H-LATCH CTC miss %)", header...)
-	for _, name := range append(ablationBenchmarks, "astar") {
-		p, err := workload.Get(name)
+	benchmarks := append(append([]string(nil), ablationBenchmarks...), "astar")
+	rows := make([][]any, len(benchmarks))
+	err := r.runJobs("ablation-ctc", benchmarks, func(i int, name string, js *JobStat) error {
+		p, err := jobProfile("ablation-ctc", name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []any{name}
 		for _, n := range sizes {
@@ -104,10 +130,19 @@ func (r *Runner) AblationCTCSize() (*stats.Table, error) {
 			cfg.Latch.CTCEntries = n
 			res, err := hlatch.Run(p, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
+			js.Events += res.Events
+			js.Checks += res.Checks
 			row = append(row, res.CTCMissPct)
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRowf(row...)
 	}
 	return t, nil
@@ -121,10 +156,11 @@ func (r *Runner) AblationCTCSize() (*stats.Table, error) {
 func (r *Runner) AblationClearBits() (*stats.Table, error) {
 	t := stats.NewTable("Ablation: clear-bit machinery (coarse domains marked vs truly tainted after a churning run)",
 		"benchmark", "truly tainted", "marked (eager)", "marked (lazy+scan)", "marked (no clear)", "stale % (no clear)")
-	for _, name := range ablationBenchmarks {
-		p, err := workload.Get(name)
+	rows := make([][]any, len(ablationBenchmarks))
+	err := r.runJobs("ablation-clear", ablationBenchmarks, func(i int, name string, js *JobStat) error {
+		p, err := jobProfile("ablation-clear", name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Boost churn so domain retirement is the dominant effect.
 		p.ChurnProb = 0.8
@@ -149,15 +185,16 @@ func (r *Runner) AblationClearBits() (*stats.Table, error) {
 			if err != nil {
 				return outcome{}, err
 			}
-			var i uint64
+			var n uint64
 			g.Run(r.opts.Events/4, trace.SinkFunc(func(ev trace.Event) {
-				i++
-				if clear == latch.LazyClear && i%10_000 == 0 {
+				n++
+				if clear == latch.LazyClear && n%10_000 == 0 {
 					// Model the periodic timeout returns that trigger the
 					// resident clear-bit scan.
 					m.ScanResidentClears()
 				}
 			}))
+			js.Events += n
 			if clear == latch.LazyClear {
 				m.ScanResidentClears()
 			}
@@ -176,21 +213,28 @@ func (r *Runner) AblationClearBits() (*stats.Table, error) {
 
 		eager, err := run(latch.EagerClear)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		lazy, err := run(latch.LazyClear)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		none, err := run(latch.NoClear)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		stale := 0.0
 		if none.marked > 0 {
 			stale = 100 * float64(none.marked-none.truth) / float64(none.marked)
 		}
-		t.AddRowf(name, eager.truth, eager.marked, lazy.marked, none.marked, stale)
+		rows[i] = []any{name, eager.truth, eager.marked, lazy.marked, none.marked, stale}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRowf(row...)
 	}
 	return t, nil
 }
@@ -205,10 +249,12 @@ func (r *Runner) AblationQueueDepth() (*stats.Table, error) {
 		header = append(header, fmt.Sprintf("depth %d", d))
 	}
 	t := stats.NewTable("Ablation: P-LATCH queue depth (queue-sim overhead, simple LBA)", header...)
-	for _, name := range append(ablationBenchmarks, "astar") {
-		p, err := workload.Get(name)
+	benchmarks := append(append([]string(nil), ablationBenchmarks...), "astar")
+	rows := make([][]any, len(benchmarks))
+	err := r.runJobs("ablation-queue", benchmarks, func(i int, name string, js *JobStat) error {
+		p, err := jobProfile("ablation-queue", name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := []any{name}
 		for _, d := range depths {
@@ -217,10 +263,18 @@ func (r *Runner) AblationQueueDepth() (*stats.Table, error) {
 			cfg.Events = r.opts.Events / 4
 			res, err := platch.Run(p, cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
+			js.Events += res.Events
 			row = append(row, res.QueueOverheadSimple)
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
 		t.AddRowf(row...)
 	}
 	return t, nil

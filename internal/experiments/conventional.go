@@ -30,30 +30,44 @@ func (r *Runner) Conventional() (*stats.Table, error) {
 
 	capacityRatio := capacityString(hlCfg.Latch)
 
-	var convSum, hlSum float64
-	var n int
+	var hlRows []hlatch.Result
 	for _, suite := range []workload.Suite{workload.SuiteSPEC, workload.SuiteNetwork} {
 		hlRes, err := r.HLatch(suite)
 		if err != nil {
 			return nil, err
 		}
-		for _, hr := range hlRes {
-			p, err := workload.Get(hr.Benchmark)
-			if err != nil {
-				return nil, err
-			}
-			// The conventional cache is the unfiltered baseline of a run
-			// with 4 KiB geometry.
-			conv, err := hlatch.Run(p, conventional)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRowf(hr.Benchmark, conv.BaselineMissPct, hr.CombinedMissPct, capacityRatio)
-			convSum += conv.BaselineMissPct
-			hlSum += hr.CombinedMissPct
-			n++
-		}
+		hlRows = append(hlRows, hlRes...)
 	}
+	names := make([]string, len(hlRows))
+	for i, hr := range hlRows {
+		names[i] = hr.Benchmark
+	}
+	// The conventional cache is the unfiltered baseline of a run with
+	// 4 KiB geometry; one pool job per benchmark.
+	convMiss := make([]float64, len(hlRows))
+	err := r.runJobs("conventional", names, func(i int, name string, js *JobStat) error {
+		p, err := jobProfile("conventional", name)
+		if err != nil {
+			return err
+		}
+		conv, err := hlatch.Run(p, conventional)
+		if err != nil {
+			return err
+		}
+		js.Events, js.Checks = conv.Events, conv.Checks
+		convMiss[i] = conv.BaselineMissPct
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var convSum, hlSum float64
+	for i, hr := range hlRows {
+		t.AddRowf(hr.Benchmark, convMiss[i], hr.CombinedMissPct, capacityRatio)
+		convSum += convMiss[i]
+		hlSum += hr.CombinedMissPct
+	}
+	n := len(hlRows)
 	t.AddRowf("mean", convSum/float64(n), hlSum/float64(n), capacityRatio)
 	t.AddRow("paper claim", "(conventional reference)", "< 0.02 mean (excl. astar/sphinx)", "< 8%")
 	return t, nil

@@ -54,15 +54,28 @@ var cosimCases = []cosimCase{
 	}},
 }
 
+// cosimCaseNames lists the scenario names, for pool fan-out.
+func cosimCaseNames() []string {
+	names := make([]string, len(cosimCases))
+	for i, c := range cosimCases {
+		names[i] = c.name
+	}
+	return names
+}
+
 // ParallelCoSim runs the scenarios on the two-core P-LATCH co-simulation:
 // the monitored core executes natively with the LATCH filter deciding which
 // committed instructions enter the shared log; a lagging monitor replays
 // the log through the byte-precise engine. The unfiltered LBA baseline runs
-// the same programs for comparison.
+// the same programs for comparison. Each scenario (filtered + baseline
+// pair) is one pool job; the VM runs are deterministic, so the fan-out
+// cannot change the table.
 func (r *Runner) ParallelCoSim() (*stats.Table, error) {
 	t := stats.NewTable("Two-core P-LATCH co-simulation (real LA32 programs, LBA service 3.38 cycles/entry)",
 		"program", "instructions", "logged % (filtered)", "overhead (filtered)", "overhead (baseline LBA)", "max queue")
-	for _, c := range cosimCases {
+	rows := make([][]any, len(cosimCases))
+	err := r.runJobs("platch-cosim", cosimCaseNames(), func(i int, name string, js *JobStat) error {
+		c := cosimCases[i]
 		run := func(filtered bool) (cosim.ParallelStats, error) {
 			cfg := cosim.DefaultParallelConfig()
 			cfg.Filtered = filtered
@@ -82,44 +95,63 @@ func (r *Runner) ParallelCoSim() (*stats.Table, error) {
 		}
 		filtered, err := run(true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		baseline, err := run(false)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRowf(c.name, filtered.Instructions,
-			100*float64(filtered.Enqueued)/float64(filtered.Instructions),
-			filtered.Overhead(), baseline.Overhead(), filtered.MaxQueueDepth)
+		js.Events = filtered.Instructions + baseline.Instructions
+		rows[i] = []any{c.name, filtered.Instructions,
+			100 * float64(filtered.Enqueued) / float64(filtered.Instructions),
+			filtered.Overhead(), baseline.Overhead(), filtered.MaxQueueDepth}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRowf(row...)
 	}
 	return t, nil
 }
 
 // CoSim runs every scenario under the end-to-end S-LATCH co-simulation and
 // tabulates the mode split and overhead against continuous software DIFT.
+// Each scenario is one pool job.
 func (r *Runner) CoSim() (*stats.Table, error) {
 	t := stats.NewTable("End-to-end S-LATCH co-simulation (real LA32 programs, 5x software DIFT)",
 		"program", "instructions", "hw %", "sw %", "switches", "false traps", "overhead %", "continuous %")
-	for _, c := range cosimCases {
+	rows := make([][]any, len(cosimCases))
+	err := r.runJobs("cosim", cosimCaseNames(), func(i int, name string, js *JobStat) error {
+		c := cosimCases[i]
 		cfg := cosim.DefaultConfig()
 		sys, err := cosim.New(cfg, dift.DefaultPolicy())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.setup(sys.Machine.Env)
 		src, err := workload.ProgramSource(c.program)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := sys.Run(src, 1_000_000); err != nil {
-			return nil, fmt.Errorf("cosim %s: %w", c.name, err)
+			return fmt.Errorf("cosim %s: %w", c.name, err)
 		}
 		st := sys.Stats()
 		n := float64(st.Instructions)
-		t.AddRowf(c.name, st.Instructions,
-			100*float64(st.HWInstrs)/n, 100*float64(st.SWInstrs)/n,
+		js.Events = st.Instructions
+		rows[i] = []any{c.name, st.Instructions,
+			100 * float64(st.HWInstrs) / n, 100 * float64(st.SWInstrs) / n,
 			st.Switches, st.FalseTraps,
-			100*st.Overhead(), 100*(cfg.SWSlowdown-1))
+			100 * st.Overhead(), 100 * (cfg.SWSlowdown - 1)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRowf(row...)
 	}
 	return t, nil
 }

@@ -7,10 +7,18 @@
 // Shared simulation passes (the temporal characterization, the H-LATCH
 // cache runs, the S-LATCH runs) are memoized on the Runner so regenerating
 // several related artifacts does not repeat work.
+//
+// Every experiment decomposes into independent per-workload jobs that run
+// on a bounded worker pool (Options.Workers, default one per CPU). Each job
+// derives its RNG seed from its identity — (experiment pass, workload
+// name), via workload.DeriveSeed — so the rendered tables are bit-identical
+// whatever the worker count or scheduling; TestParallelMatchesSerial and
+// the golden tables enforce this.
 package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"latch/internal/complexity"
 	"latch/internal/hlatch"
@@ -36,6 +44,12 @@ type Options struct {
 	EpochEvents uint64
 	// Fig6Events is the stream length for the granularity sweep.
 	Fig6Events uint64
+
+	// Workers bounds the worker pool that runs an experiment's independent
+	// per-workload jobs. Zero or negative selects one worker per available
+	// CPU; 1 forces the serial reference schedule. Results are identical
+	// for every value — only elapsed time changes.
+	Workers int
 }
 
 // DefaultOptions returns run lengths suitable for interactive use.
@@ -43,14 +57,20 @@ func DefaultOptions() Options {
 	return Options{Events: 2_000_000, EpochEvents: 8_000_000, Fig6Events: 4_000_000}
 }
 
-// Runner executes experiments with memoized simulation passes.
+// Runner executes experiments with memoized simulation passes. A Runner is
+// safe for concurrent use: the memoized passes are serialized by a mutex
+// and the per-workload jobs inside a pass run on the worker pool.
 type Runner struct {
 	opts Options
 
+	mu       sync.Mutex // guards the memoized passes below
 	temporal map[workload.Suite][]temporalResult
 	hl       map[workload.Suite][]hlatch.Result
 	sl       map[workload.Suite][]slatch.Result
 	pl       map[workload.Suite][]platch.Result
+
+	jobMu sync.Mutex // guards jobs
+	jobs  []JobStat
 }
 
 // NewRunner builds a Runner.
@@ -64,6 +84,19 @@ func NewRunner(o Options) *Runner {
 	}
 }
 
+// jobProfile returns the named profile reseeded for one parallel job: the
+// job's RNG stream depends only on (pass, workload) identity, never on
+// worker scheduling, which is what keeps parallel output bit-identical to
+// serial output.
+func jobProfile(pass, name string) (workload.Profile, error) {
+	p, err := workload.Get(name)
+	if err != nil {
+		return workload.Profile{}, err
+	}
+	p.Seed = workload.DeriveSeed(p.Seed, pass, name)
+	return p, nil
+}
+
 // temporalResult is one benchmark's temporal characterization.
 type temporalResult struct {
 	Name         string
@@ -74,75 +107,138 @@ type temporalResult struct {
 }
 
 // Temporal runs (or returns the memoized) temporal characterization pass.
+// Each benchmark is one pool job.
 func (r *Runner) Temporal(s workload.Suite) ([]temporalResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if res, ok := r.temporal[s]; ok {
 		return res, nil
 	}
-	var out []temporalResult
-	for _, name := range workload.BySuite(s) {
-		p := workload.MustGet(name)
+	names := workload.BySuite(s)
+	out := make([]temporalResult, len(names))
+	err := r.runJobs("temporal", names, func(i int, name string, js *JobStat) error {
+		p, err := jobProfile("temporal", name)
+		if err != nil {
+			return err
+		}
 		g, err := workload.NewGenerator(p, shadow.DefaultDomainSize)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		a := trace.NewEpochAnalyzer()
 		g.Run(r.opts.EpochEvents, a)
 		a.Finish()
-		out = append(out, temporalResult{
+		js.Events = a.TotalInstructions()
+		out[i] = temporalResult{
 			Name:         name,
 			TaintPct:     a.TaintedPercent(),
 			EpochShares:  a.EpochShares(),
 			PagesTainted: g.Shadow().EverTaintedPages(),
 			Events:       a.TotalInstructions(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	r.temporal[s] = out
 	return out, nil
 }
 
-// HLatch runs (or returns the memoized) H-LATCH cache pass.
+// HLatch runs (or returns the memoized) H-LATCH cache pass. Each benchmark
+// is one pool job.
 func (r *Runner) HLatch(s workload.Suite) ([]hlatch.Result, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if res, ok := r.hl[s]; ok {
 		return res, nil
 	}
 	cfg := hlatch.DefaultConfig()
 	cfg.Events = r.opts.Events
-	res, err := hlatch.RunSuite(s, cfg)
+	names := workload.BySuite(s)
+	out := make([]hlatch.Result, len(names))
+	err := r.runJobs("hlatch", names, func(i int, name string, js *JobStat) error {
+		p, err := jobProfile("hlatch", name)
+		if err != nil {
+			return err
+		}
+		res, err := hlatch.Run(p, cfg)
+		if err != nil {
+			return fmt.Errorf("hlatch %s: %w", name, err)
+		}
+		js.Events, js.Checks = res.Events, res.Checks
+		out[i] = res
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	r.hl[s] = res
-	return res, nil
+	r.hl[s] = out
+	return out, nil
 }
 
-// SLatch runs (or returns the memoized) S-LATCH pass.
+// SLatch runs (or returns the memoized) S-LATCH pass. Each benchmark is one
+// pool job.
 func (r *Runner) SLatch(s workload.Suite) ([]slatch.Result, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if res, ok := r.sl[s]; ok {
 		return res, nil
 	}
 	cfg := slatch.DefaultConfig()
 	cfg.Events = r.opts.Events
-	res, err := slatch.RunSuite(s, cfg)
+	names := workload.BySuite(s)
+	out := make([]slatch.Result, len(names))
+	err := r.runJobs("slatch", names, func(i int, name string, js *JobStat) error {
+		p, err := jobProfile("slatch", name)
+		if err != nil {
+			return err
+		}
+		res, err := slatch.Run(p, cfg)
+		if err != nil {
+			return fmt.Errorf("slatch %s: %w", name, err)
+		}
+		js.Events, js.Checks = res.Events, res.Latch.Checks
+		out[i] = res
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	r.sl[s] = res
-	return res, nil
+	r.sl[s] = out
+	return out, nil
 }
 
-// PLatch runs (or returns the memoized) P-LATCH pass.
+// PLatch runs (or returns the memoized) P-LATCH pass. Each benchmark is one
+// pool job.
 func (r *Runner) PLatch(s workload.Suite) ([]platch.Result, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if res, ok := r.pl[s]; ok {
 		return res, nil
 	}
 	cfg := platch.DefaultConfig()
 	cfg.Events = r.opts.Events
-	res, err := platch.RunSuite(s, cfg)
+	names := workload.BySuite(s)
+	out := make([]platch.Result, len(names))
+	err := r.runJobs("platch", names, func(i int, name string, js *JobStat) error {
+		p, err := jobProfile("platch", name)
+		if err != nil {
+			return err
+		}
+		res, err := platch.Run(p, cfg)
+		if err != nil {
+			return fmt.Errorf("platch %s: %w", name, err)
+		}
+		js.Events = res.Events
+		out[i] = res
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	r.pl[s] = res
-	return res, nil
+	r.pl[s] = out
+	return out, nil
 }
 
 // Table1 regenerates Table 1: percentage of instructions touching tainted
@@ -200,16 +296,28 @@ func (r *Runner) Table4() (*stats.Table, error) {
 func (r *Runner) pagesTable(s workload.Suite, title string) (*stats.Table, error) {
 	t := stats.NewTable(title+": distribution of taint at page granularity",
 		"benchmark", "pages accessed", "pages tainted", "tainted %", "paper %")
-	for _, name := range workload.BySuite(s) {
-		p := workload.MustGet(name)
+	names := workload.BySuite(s)
+	rows := make([][]any, len(names))
+	err := r.runJobs("pages", names, func(i int, name string, js *JobStat) error {
+		p, err := jobProfile("pages", name)
+		if err != nil {
+			return err
+		}
 		g, err := workload.NewGenerator(p, shadow.DefaultDomainSize)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tainted := g.Shadow().EverTaintedPages()
-		t.AddRowf(name, p.PagesAccessed, tainted,
-			100*float64(tainted)/float64(p.PagesAccessed),
-			100*float64(p.PagesTainted)/float64(p.PagesAccessed))
+		rows[i] = []any{name, p.PagesAccessed, tainted,
+			100 * float64(tainted) / float64(p.PagesAccessed),
+			100 * float64(p.PagesTainted) / float64(p.PagesAccessed)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRowf(row...)
 	}
 	return t, nil
 }
@@ -218,44 +326,57 @@ func (r *Runner) pagesTable(s workload.Suite, title string) (*stats.Table, error
 var Fig6Granularities = []uint32{8, 16, 32, 64, 128, 256}
 
 // Figure6 regenerates Figure 6: the taint-detection multiplier (coarse
-// detections over byte-precise detections) as domain size grows.
+// detections over byte-precise detections) as domain size grows. Each
+// benchmark's sweep is one pool job.
 func (r *Runner) Figure6() (*stats.Table, error) {
 	t := stats.NewTable("Figure 6: taint detection multiplier vs. domain size (1.0 = byte-precise)",
 		"benchmark", "8B", "16B", "32B", "64B", "128B", "256B")
-	for _, s := range []workload.Suite{workload.SuiteSPEC, workload.SuiteNetwork} {
-		for _, name := range workload.BySuite(s) {
-			p := workload.MustGet(name)
-			g, err := workload.NewGenerator(p, shadow.DefaultDomainSize)
-			if err != nil {
-				return nil, err
-			}
-			sh := g.Shadow()
-			coarse := make([]uint64, len(Fig6Granularities))
-			var precise uint64
-			g.Run(r.opts.Fig6Events, trace.SinkFunc(func(ev trace.Event) {
-				if !ev.IsMem {
-					return
-				}
-				if ev.Tainted {
-					precise++
-				}
-				for i, gsize := range Fig6Granularities {
-					if sh.TaintedAt(ev.Addr, gsize) {
-						coarse[i]++
-					}
-				}
-			}))
-			row := make([]any, 0, 7)
-			row = append(row, name)
-			for i := range Fig6Granularities {
-				if precise == 0 {
-					row = append(row, 0.0)
-					continue
-				}
-				row = append(row, float64(coarse[i])/float64(precise))
-			}
-			t.AddRowf(row...)
+	names := append(workload.BySuite(workload.SuiteSPEC), workload.BySuite(workload.SuiteNetwork)...)
+	rows := make([][]any, len(names))
+	err := r.runJobs("figure6", names, func(i int, name string, js *JobStat) error {
+		p, err := jobProfile("figure6", name)
+		if err != nil {
+			return err
 		}
+		g, err := workload.NewGenerator(p, shadow.DefaultDomainSize)
+		if err != nil {
+			return err
+		}
+		sh := g.Shadow()
+		coarse := make([]uint64, len(Fig6Granularities))
+		var precise uint64
+		g.Run(r.opts.Fig6Events, trace.SinkFunc(func(ev trace.Event) {
+			js.Events++
+			if !ev.IsMem {
+				return
+			}
+			js.Checks++
+			if ev.Tainted {
+				precise++
+			}
+			for gi, gsize := range Fig6Granularities {
+				if sh.TaintedAt(ev.Addr, gsize) {
+					coarse[gi]++
+				}
+			}
+		}))
+		row := make([]any, 0, 7)
+		row = append(row, name)
+		for gi := range Fig6Granularities {
+			if precise == 0 {
+				row = append(row, 0.0)
+				continue
+			}
+			row = append(row, float64(coarse[gi])/float64(precise))
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRowf(row...)
 	}
 	return t, nil
 }

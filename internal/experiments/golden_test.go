@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the experiment golden tables")
+
+// goldenOptions fixes the run lengths the snapshots were taken at. The
+// streams are deterministic, so any change to these sizes — or to the
+// generators, the models, or the seed derivation — invalidates the files;
+// regenerate with:
+//
+//	go test ./internal/experiments -run TestGoldenTables -update
+func goldenOptions(workers int) Options {
+	return Options{
+		Events:      60_000,
+		EpochEvents: 400_000,
+		Fig6Events:  80_000,
+		Workers:     workers,
+	}
+}
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", id+".golden")
+}
+
+// TestGoldenTables snapshots the serial output of every catalog experiment
+// and asserts both the serial and the parallel runner reproduce each table
+// cell for cell. This is the regression net under the worker-pool harness:
+// a scheduling-dependent result, a reordered row, or a drifted model shows
+// up as a cell diff against the committed snapshot.
+func TestGoldenTables(t *testing.T) {
+	serial := NewRunner(goldenOptions(1))
+	parallel := NewRunner(goldenOptions(manyWorkers()))
+	for _, e := range Catalog {
+		st, err := e.Run(serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v", e.ID, err)
+		}
+		got := st.String()
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(goldenPath(e.ID), []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(goldenPath(e.ID))
+		if err != nil {
+			t.Fatalf("%s: missing golden file (regenerate with -update): %v", e.ID, err)
+		}
+		compareTables(t, e.ID+" (serial)", string(want), got)
+
+		pt, err := e.Run(parallel)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", e.ID, err)
+		}
+		compareTables(t, e.ID+" (parallel)", string(want), pt.String())
+	}
+}
+
+// compareTables reports the first differing line (≈ table row) so a golden
+// mismatch names the offending cell row rather than dumping both tables.
+func compareTables(t *testing.T, label, want, got string) {
+	t.Helper()
+	if want == got {
+		return
+	}
+	wLines := strings.Split(want, "\n")
+	gLines := strings.Split(got, "\n")
+	n := len(wLines)
+	if len(gLines) > n {
+		n = len(gLines)
+	}
+	for i := 0; i < n; i++ {
+		var w, g string
+		if i < len(wLines) {
+			w = wLines[i]
+		}
+		if i < len(gLines) {
+			g = gLines[i]
+		}
+		if w != g {
+			t.Fatalf("%s: row %d differs\n  golden: %q\n  got:    %q", label, i, w, g)
+		}
+	}
+	t.Fatalf("%s: output differs from golden", label)
+}

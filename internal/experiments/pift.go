@@ -18,20 +18,29 @@ import (
 func (r *Runner) PIFT() (*stats.Table, error) {
 	t := stats.NewTable("Classical DTA vs PIFT-style propagation (tainted bytes at exit)",
 		"program", "classical", "pift", "under-tainted %")
-	for _, c := range cosimCases {
+	rows := make([][]any, len(cosimCases))
+	err := r.runJobs("pift", cosimCaseNames(), func(i int, name string, js *JobStat) error {
+		c := cosimCases[i]
 		classical, err := runWithMode(c, dift.PropagationClassical)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pift, err := runWithMode(c, dift.PropagationPIFT)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var under float64
 		if classical > 0 {
 			under = 100 * float64(classical-pift) / float64(classical)
 		}
-		t.AddRowf(c.name, classical, pift, under)
+		rows[i] = []any{c.name, classical, pift, under}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRowf(row...)
 	}
 	return t, nil
 }

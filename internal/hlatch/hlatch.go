@@ -13,10 +13,10 @@ package hlatch
 
 import (
 	"fmt"
-	"sync"
 
 	"latch/internal/cache"
 	"latch/internal/latch"
+	"latch/internal/pool"
 	"latch/internal/shadow"
 	"latch/internal/trace"
 	"latch/internal/workload"
@@ -48,6 +48,10 @@ type Result struct {
 type Config struct {
 	Latch  latch.Config
 	Events uint64 // stream length in instructions
+
+	// Workers bounds RunSuite's worker pool; <= 0 selects one worker per
+	// CPU. Results do not depend on it.
+	Workers int
 }
 
 // DefaultConfig returns the paper's H-LATCH configuration (§6.4): the
@@ -107,34 +111,19 @@ func Run(p workload.Profile, cfg Config) (Result, error) {
 
 // RunSuite simulates every benchmark of a suite, in registry order. The
 // benchmarks are independent (each stream has its own deterministic
-// generator), so they run concurrently.
+// generator), so they run concurrently on a pool of cfg.Workers goroutines;
+// results come back in suite order regardless of scheduling.
 func RunSuite(s workload.Suite, cfg Config) ([]Result, error) {
 	names := workload.BySuite(s)
-	out := make([]Result, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			p, err := workload.Get(name)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			r, err := Run(p, cfg)
-			if err != nil {
-				errs[i] = fmt.Errorf("hlatch %s: %w", name, err)
-				return
-			}
-			out[i] = r
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	return pool.Map(cfg.Workers, len(names), func(i int) (Result, error) {
+		p, err := workload.Get(names[i])
 		if err != nil {
-			return nil, err
+			return Result{}, err
 		}
-	}
-	return out, nil
+		r, err := Run(p, cfg)
+		if err != nil {
+			return Result{}, fmt.Errorf("hlatch %s: %w", names[i], err)
+		}
+		return r, nil
+	})
 }

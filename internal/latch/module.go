@@ -133,6 +133,13 @@ func (s Stats) ShareResolved() (tlb, ctc, precise float64) {
 // by taint sources — is reflected into the coarse state through shadow
 // transition watchers, implementing the multi-granular update chain of
 // Figure 12 (eager mode) or the clear-bit discipline of §5.1.4 (lazy mode).
+//
+// A Module models one core's checker and, like the hardware it models, is
+// not safe for concurrent use: CheckMem, StoreTaint, and the shadow
+// watchers mutate cache and counter state without locking. Independent
+// Module instances (each over its own Shadow) are fully isolated and may be
+// driven from separate goroutines — this one-module-per-worker rule is what
+// the parallel experiment harness in internal/experiments relies on.
 type Module struct {
 	cfg    Config
 	Shadow *shadow.Shadow

@@ -1,0 +1,103 @@
+package latch
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"latch/internal/shadow"
+)
+
+// driveModule replays a fixed deterministic event mix — taint stores, clean
+// stores, and checks over a small address space — and returns the final
+// stats. Everything depends only on seed, so two modules given the same
+// seed must agree exactly.
+func driveModule(m *Module, seed int64, events int) Stats {
+	rng := rand.New(rand.NewSource(seed))
+	const span = 1 << 16
+	for i := 0; i < events; i++ {
+		addr := uint32(rng.Intn(span))
+		switch rng.Intn(4) {
+		case 0:
+			m.StoreTaint(addr, shadow.Tag(1))
+		case 1:
+			m.StoreTaint(addr, 0)
+		default:
+			m.CheckMem(addr, 4)
+		}
+	}
+	return m.Stats()
+}
+
+// TestModulesIndependentAcrossGoroutines is the contract the worker pool
+// depends on: one Module per goroutine, each over its own Shadow, and the
+// results are exactly what a serial run produces. The table varies the
+// config so eager and lazy clear modes, and both default and small cache
+// geometries, are all exercised under the race detector.
+func TestModulesIndependentAcrossGoroutines(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"default", nil},
+		{"lazy-clear", func(c *Config) { c.Clear = LazyClear }},
+		{"small-caches", func(c *Config) {
+			c.CTCEntries = 4
+			c.TCache.Sets = 8
+			c.TCache.Ways = 2
+		}},
+		{"baseline-tcache", func(c *Config) { c.BaselineTCache = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const workers = 8
+			const events = 5_000
+
+			// Serial reference: one fresh module per seed, run in order.
+			want := make([]Stats, workers)
+			for i := range want {
+				m, _ := newConcModule(t, tc.mutate)
+				want[i] = driveModule(m, int64(100+i), events)
+			}
+
+			// Same seeds, all modules driven concurrently.
+			got := make([]Stats, workers)
+			var wg sync.WaitGroup
+			for i := 0; i < workers; i++ {
+				m, _ := newConcModule(t, tc.mutate)
+				wg.Add(1)
+				go func(i int, m *Module) {
+					defer wg.Done()
+					got[i] = driveModule(m, int64(100+i), events)
+				}(i, m)
+			}
+			wg.Wait()
+
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("worker %d diverged from serial reference\nserial:     %+v\nconcurrent: %+v",
+						i, want[i], got[i])
+				}
+				if got[i].Checks == 0 {
+					t.Errorf("worker %d did no work", i)
+				}
+			}
+		})
+	}
+}
+
+// newConcModule mirrors newModule but is safe to call from the test body
+// before goroutines start (module construction itself is not concurrent).
+func newConcModule(t *testing.T, mutate func(*Config)) (*Module, *shadow.Shadow) {
+	t.Helper()
+	cfg := DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sh := shadow.MustNew(cfg.DomainSize)
+	m, err := New(cfg, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, sh
+}

@@ -1,0 +1,96 @@
+// Package pool provides the bounded worker pool behind the experiment
+// harness's parallel fan-out. Jobs are independent, index-addressed units
+// of work (one benchmark of one experiment pass, typically); the pool runs
+// them on a fixed number of goroutines and the caller reassembles results
+// by index, so output order — and therefore every rendered table — is
+// identical no matter how many workers execute the jobs or how the
+// scheduler interleaves them.
+//
+// Determinism contract: jobs must not share mutable state (each owns its
+// generator, module, and RNG) and must write results only to their own
+// index. Under that contract Run(1, ...) and Run(n, ...) are
+// observationally identical on success, which TestParallelMatchesSerial in
+// internal/experiments enforces end to end.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Size normalizes a worker-count request: values <= 0 select one worker
+// per available CPU (runtime.GOMAXPROCS).
+func Size(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Run executes jobs 0..n-1 on at most Size(workers) goroutines and blocks
+// until all of them finish. Every job runs exactly once even if another
+// job fails; the returned error is the lowest-index failure, so error
+// reporting is as deterministic as the results. workers == 1 runs the jobs
+// inline on the calling goroutine in index order — the serial reference
+// path the parallel schedule must reproduce.
+func Run(workers, n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Size(workers)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = job(i)
+		}
+		return firstError(errs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return firstError(errs)
+}
+
+// Map runs n jobs through Run and collects their results in index order.
+func Map[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Run(workers, n, func(i int) error {
+		v, err := job(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// firstError returns the lowest-index non-nil error.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

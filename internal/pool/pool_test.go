@@ -1,0 +1,124 @@
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSerialRunsInIndexOrder(t *testing.T) {
+	var order []int
+	err := Run(1, 8, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestMapResultsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 32} {
+		out, err := Map(workers, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestAllJobsRunDespiteErrors(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := Run(workers, 10, func(i int) error {
+			ran.Add(1)
+			if i == 7 || i == 3 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("workers=%d: want lowest-index error, got %v", workers, err)
+		}
+		if ran.Load() != 10 {
+			t.Fatalf("workers=%d: only %d of 10 jobs ran", workers, ran.Load())
+		}
+	}
+}
+
+func TestConcurrencyIsBounded(t *testing.T) {
+	const workers, jobs = 3, 64
+	var inflight, peak atomic.Int64
+	var mu sync.Mutex
+	err := Run(workers, jobs, func(i int) error {
+		n := inflight.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		runtime.Gosched()
+		inflight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs with %d workers", p, workers)
+	}
+}
+
+func TestSize(t *testing.T) {
+	if got := Size(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Size(0) = %d", got)
+	}
+	if got := Size(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Size(-3) = %d", got)
+	}
+	if got := Size(5); got != 5 {
+		t.Fatalf("Size(5) = %d", got)
+	}
+}
+
+func TestEmptyAndSingleJob(t *testing.T) {
+	if err := Run(4, 0, func(int) error { t.Fatal("job ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	var ran int
+	if err := Run(8, 1, func(i int) error { ran++; return nil }); err != nil || ran != 1 {
+		t.Fatalf("single job: ran=%d err=%v", ran, err)
+	}
+}
+
+func TestParallelSumMatchesSerial(t *testing.T) {
+	// The same fold computed serially and in parallel over per-index slots
+	// must agree bit for bit — the pool's core determinism property.
+	sum := func(workers int) int64 {
+		out, err := Map(workers, 1000, func(i int) (int64, error) {
+			return int64(i)*7919 + 13, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s int64
+		for _, v := range out {
+			s += v
+		}
+		return s
+	}
+	if a, b := sum(1), sum(16); a != b {
+		t.Fatalf("serial %d != parallel %d", a, b)
+	}
+}

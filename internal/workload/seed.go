@@ -1,0 +1,25 @@
+package workload
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// DeriveSeed mixes a profile's base seed with a list of identity labels —
+// conventionally the experiment pass id and the workload name — into a new
+// deterministic seed. The parallel experiment harness gives every job a
+// private RNG seeded this way, so a job's stream depends only on what it is
+// (which experiment, which benchmark), never on which worker runs it or in
+// what order: parallel output is bit-identical to serial output by
+// construction.
+func DeriveSeed(base int64, labels ...string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	for _, l := range labels {
+		h.Write([]byte(l))
+		h.Write([]byte{0}) // unambiguous label boundaries
+	}
+	return int64(h.Sum64())
+}

@@ -1,0 +1,29 @@
+package workload
+
+import "testing"
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(42, "hlatch", "gcc")
+	b := DeriveSeed(42, "hlatch", "gcc")
+	if a != b {
+		t.Fatalf("same identity, different seeds: %d vs %d", a, b)
+	}
+}
+
+func TestDeriveSeedSeparatesIdentities(t *testing.T) {
+	base := int64(42)
+	seeds := map[int64]string{}
+	add := func(desc string, s int64) {
+		if prev, dup := seeds[s]; dup {
+			t.Fatalf("seed collision: %s and %s both map to %d", prev, desc, s)
+		}
+		seeds[s] = desc
+	}
+	add("hlatch/gcc", DeriveSeed(base, "hlatch", "gcc"))
+	add("hlatch/astar", DeriveSeed(base, "hlatch", "astar"))
+	add("slatch/gcc", DeriveSeed(base, "slatch", "gcc"))
+	add("base+1 hlatch/gcc", DeriveSeed(base+1, "hlatch", "gcc"))
+	// Label boundaries must be unambiguous: ("ab","c") != ("a","bc").
+	add("ab/c", DeriveSeed(base, "ab", "c"))
+	add("a/bc", DeriveSeed(base, "a", "bc"))
+}
