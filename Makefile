@@ -23,13 +23,19 @@ race:
 
 verify: test race
 
+# Root-package benchmarks, plus the observability-overhead artifact: the
+# coarse-check hot path timed with a nil observer and with a live metrics
+# registry attached (BENCH_observability.json, committed for comparison).
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+	$(GO) test ./internal/latch -run TestWriteObservabilityBench \
+		-observability-bench-out $(CURDIR)/BENCH_observability.json
 
 # Short fuzz pass over the LA32 assembler/decoder round-trip properties.
 fuzz:
 	$(GO) test ./internal/isa -run='^$$' -fuzz=FuzzAssembleDecode -fuzztime=10s
 
-# Regenerate the experiment golden tables after an intentional model change.
+# Regenerate the experiment golden tables (and the telemetry snapshot that
+# rides along with them) after an intentional model change.
 golden:
-	$(GO) test ./internal/experiments -run TestGoldenTables -update
+	$(GO) test ./internal/experiments -run 'TestGoldenTables|TestGoldenMetricsSnapshot' -update

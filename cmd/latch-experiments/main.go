@@ -9,12 +9,16 @@
 //	latch-experiments -events 5000000      # longer, lower-noise runs
 //	latch-experiments -workers 8           # bound the worker pool
 //	latch-experiments -workers 1 -stats    # serial reference + job table
+//	latch-experiments -metrics out.json    # dump the telemetry registry
 //
 // Experiments fan out one job per (experiment, benchmark) pair on a worker
 // pool sized by -workers (default: one worker per CPU). Every job derives
 // its RNG seed from its identity, so the output is bit-identical for every
 // worker count — only the elapsed time changes. -stats appends a per-pass
-// job summary so the achieved parallelism is observable.
+// job summary so the achieved parallelism is observable; with -format json
+// it is emitted as one more JSON object on stdout rather than loose text.
+// -metrics writes the per-pass telemetry counters (see internal/telemetry)
+// accumulated by every simulation pass the selected experiments ran.
 package main
 
 import (
@@ -40,6 +44,7 @@ func main() {
 		chart       = flag.Bool("chart", false, "also render bar charts for figure experiments")
 		workers     = flag.Int("workers", 0, "worker-pool size for per-benchmark jobs (0 = one per CPU)")
 		showStats   = flag.Bool("stats", false, "print the per-pass job statistics table after the run")
+		metricsOut  = flag.String("metrics", "", "write the per-pass telemetry registry to this file as JSON")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "json" && *format != "markdown" {
@@ -109,18 +114,43 @@ func main() {
 		fmt.Printf("[%s regenerated in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	if *showStats {
-		// The job table is human-oriented; keep it off stdout when stdout
-		// carries machine-readable output.
-		out := os.Stdout
-		if *format != "text" {
-			out = os.Stderr
-		}
-		fmt.Fprintln(out, runner.StatsSummary().String())
 		nw := opts.Workers
 		if nw <= 0 {
 			nw = runtime.GOMAXPROCS(0)
 		}
-		fmt.Fprintf(out, "[run elapsed %v with %d workers]\n",
-			time.Since(runStart).Round(time.Millisecond), nw)
+		elapsed := time.Since(runStart).Round(time.Millisecond)
+		table := runner.StatsSummary()
+		switch *format {
+		case "json":
+			// One more object on the same stream, shaped like the experiment
+			// records plus the run-level fields, so stdout stays a valid
+			// JSON-lines document.
+			if err := enc.Encode(struct {
+				ID        string       `json:"id"`
+				Table     *stats.Table `json:"table"`
+				ElapsedMS int64        `json:"elapsed_ms"`
+				Workers   int          `json:"workers"`
+			}{"jobstats", table, elapsed.Milliseconds(), nw}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		case "markdown":
+			fmt.Println(table.Markdown())
+			fmt.Printf("[run elapsed %v with %d workers]\n", elapsed, nw)
+		default:
+			fmt.Println(table.String())
+			fmt.Printf("[run elapsed %v with %d workers]\n", elapsed, nw)
+		}
+	}
+	if *metricsOut != "" {
+		data, err := json.MarshalIndent(runner.MetricsReport(), "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*metricsOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -7,23 +7,36 @@
 //	latch-run -prog overflow -file-hex 414141...   # built-in program
 //	latch-run -src prog.s -file "input data"       # program from a file
 //	latch-run -list                                # list built-in programs
+//	latch-run -prog pipeline -cpuprofile cpu.pb.gz # profile the simulator
 //
 // Taint sources: -file supplies SysRead data, -request (repeatable) supplies
 // one inbound connection each for SysAccept/SysRecv.
+//
+// Observability: -telemetry prints the telemetry registry (see
+// internal/telemetry) after the run; -cpuprofile and -memprofile write pprof
+// profiles of the simulator itself; -expvar serves /debug/vars (including
+// the live latch registry) and /debug/pprof on the given address for the
+// duration of the run.
 package main
 
 import (
 	"encoding/hex"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"latch"
 	"latch/internal/cosim"
 	"latch/internal/isa"
 	"latch/internal/trace"
 	"latch/internal/workload"
-	"strings"
 )
 
 type requestList [][]byte
@@ -34,21 +47,30 @@ func (r *requestList) Set(s string) error {
 	return nil
 }
 
+// main delegates to run so deferred profile writers execute before exit.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		list     = flag.Bool("list", false, "list built-in programs and exit")
-		progName = flag.String("prog", "", "built-in program name")
-		srcPath  = flag.String("src", "", "path to an LA32 assembly file")
-		fileData = flag.String("file", "", "file-source input data (string)")
-		fileHex  = flag.String("file-hex", "", "file-source input data (hex)")
-		disasm   = flag.Bool("disasm", false, "print the disassembly and exit")
-		noDift   = flag.Bool("no-dift", false, "run without DIFT tracking")
-		coSLatch = flag.Bool("slatch", false, "co-simulate the full S-LATCH two-mode protocol")
-		slowdown = flag.Float64("sw-slowdown", 5, "software DIFT slowdown for -slatch")
-		leak     = flag.Bool("check-leak", false, "enable the output-leak check")
-		saveTnt  = flag.String("save-taint", "", "write a taint snapshot after the run")
-		maxSteps = flag.Uint64("max-steps", 10_000_000, "instruction budget")
-		requests requestList
+		list       = flag.Bool("list", false, "list built-in programs and exit")
+		progName   = flag.String("prog", "", "built-in program name")
+		srcPath    = flag.String("src", "", "path to an LA32 assembly file")
+		fileData   = flag.String("file", "", "file-source input data (string)")
+		fileHex    = flag.String("file-hex", "", "file-source input data (hex)")
+		disasm     = flag.Bool("disasm", false, "print the disassembly and exit")
+		noDift     = flag.Bool("no-dift", false, "run without DIFT tracking")
+		coSLatch   = flag.Bool("slatch", false, "co-simulate the full S-LATCH two-mode protocol")
+		slowdown   = flag.Float64("sw-slowdown", 5, "software DIFT slowdown for -slatch")
+		leak       = flag.Bool("check-leak", false, "enable the output-leak check")
+		saveTnt    = flag.String("save-taint", "", "write a taint snapshot after the run")
+		maxSteps   = flag.Uint64("max-steps", 10_000_000, "instruction budget")
+		telemetry  = flag.Bool("telemetry", false, "print the telemetry registry after the run")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		expvarAddr = flag.String("expvar", "", "serve /debug/vars and /debug/pprof on this address during the run")
+		requests   requestList
 	)
 	flag.Var(&requests, "request", "inbound request data (repeatable)")
 	flag.Parse()
@@ -57,21 +79,57 @@ func main() {
 		for _, name := range workload.ProgramNames() {
 			fmt.Println(name)
 		}
-		return
+		return 0
 	}
 
 	src, err := loadSource(*progName, *srcPath)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
 	if *disasm {
 		prog, err := assembleOrLoad(src)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Print(isa.Disassemble(prog))
-		return
+		return 0
+	}
+
+	metrics := latch.NewMetrics()
+	if *expvarAddr != "" {
+		expvar.Publish("latch", expvar.Func(func() any { return metrics.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*expvarAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "expvar server: %v\n", err)
+			}
+		}()
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	pol := latch.DefaultPolicy()
@@ -81,18 +139,17 @@ func main() {
 	if *fileHex != "" {
 		var err error
 		if input, err = hex.DecodeString(*fileHex); err != nil {
-			fatal(fmt.Errorf("bad -file-hex: %w", err))
+			return fail(fmt.Errorf("bad -file-hex: %w", err))
 		}
 	}
 
 	if *coSLatch {
-		runCoSim(src, pol, input, requests, *slowdown, *maxSteps)
-		return
+		return runCoSim(src, pol, input, requests, *slowdown, *maxSteps, metrics, *telemetry)
 	}
 
-	sys, err := latch.NewSystem(latch.DefaultConfig(), pol)
+	sys, err := latch.New(latch.WithPolicy(pol), latch.WithObserver(metrics))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *noDift {
 		sys.Machine.SetTracker(nil)
@@ -105,7 +162,7 @@ func main() {
 
 	prog, err := assembleOrLoad(src)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	sys.Machine.Load(prog)
 	_, runErr := sys.Machine.Run(*maxSteps)
@@ -126,31 +183,37 @@ func main() {
 	}
 	if *saveTnt != "" && !*noDift {
 		if err := writeSnapshot(*saveTnt, sys.Shadow); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Printf("taint snapshot written to %s\n", *saveTnt)
 	}
+	if *telemetry {
+		printTelemetry(metrics)
+	}
 	if runErr != nil {
 		fmt.Printf("SECURITY EXCEPTION: %v\n", runErr)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("exit code: %d\n", code)
+	return 0
 }
 
 // runCoSim executes the program under the full S-LATCH two-mode protocol
 // and reports the mode split and cycle accounting.
-func runCoSim(src string, pol latch.Policy, input []byte, requests requestList, slowdown float64, maxSteps uint64) {
+func runCoSim(src string, pol latch.Policy, input []byte, requests requestList,
+	slowdown float64, maxSteps uint64, metrics *latch.Metrics, telemetry bool) int {
 	cfg := cosim.DefaultConfig()
 	cfg.SWSlowdown = slowdown
+	cfg.Observer = metrics
 	sys, err := cosim.New(cfg, pol)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	sys.Machine.Env.FileData = input
 	sys.Machine.Env.Requests = requests
 	prog, err := assembleOrLoad(src)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	sys.Machine.Load(prog)
 	_, runErr := sys.Machine.Run(maxSteps)
@@ -165,11 +228,26 @@ func runCoSim(src string, pol latch.Policy, input []byte, requests requestList, 
 	if out := sys.Machine.Env.Output.String(); out != "" {
 		fmt.Printf("output: %q\n", out)
 	}
+	if telemetry {
+		printTelemetry(metrics)
+	}
 	if runErr != nil {
 		fmt.Printf("SECURITY EXCEPTION: %v\n", runErr)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("exit code: %d\n", code)
+	return 0
+}
+
+// printTelemetry dumps the registry as indented JSON, matching the shape
+// latch-experiments -metrics writes.
+func printTelemetry(m *latch.Metrics) {
+	data, err := json.MarshalIndent(m.Snapshot(), "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Printf("telemetry: %s\n", data)
 }
 
 // writeSnapshot serializes the shadow taint state to path.
@@ -210,7 +288,8 @@ func loadSource(progName, srcPath string) (string, error) {
 	return "", fmt.Errorf("one of -prog or -src is required (see -list)")
 }
 
-func fatal(err error) {
+// fail prints err and returns latch-run's usage-error exit code.
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, err)
-	os.Exit(2)
+	return 2
 }

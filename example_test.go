@@ -7,11 +7,47 @@ import (
 	"latch"
 )
 
+// ExampleNew builds a System with functional options and an attached
+// metrics registry: every layer — the machine's taint-source syscalls, the
+// module's coarse checks, the engine's violations — reports into the same
+// snapshotable registry without changing execution results.
+func ExampleNew() {
+	metrics := latch.NewMetrics()
+	sys, err := latch.New(
+		latch.WithPolicy(latch.DefaultPolicy()),
+		latch.WithObserver(metrics),
+	)
+	if err != nil {
+		panic(err)
+	}
+	sys.Machine.Env.FileData = []byte("external")
+
+	if _, err := sys.Run(`
+		li   r1, 0x8000
+		movi r2, 8
+		sys  2          ; read 8 bytes: observed as file-source input
+		halt
+	`, 1000); err != nil {
+		panic(err)
+	}
+	sys.Module.CheckMem(0x8000, 4) // tainted: coarse positive
+	sys.Module.CheckMem(0x9000, 4) // clean page-domain: TLB-filtered
+
+	s := metrics.Snapshot()
+	fmt.Println("file bytes:", s.FileSourceBytes)
+	fmt.Println("coarse checks:", s.CoarseChecks)
+	fmt.Println("coarse positives:", s.CoarsePositives)
+	// Output:
+	// file bytes: 8
+	// coarse checks: 2
+	// coarse positives: 1
+}
+
 // Example demonstrates end-to-end taint tracking: external input is
 // tainted at the syscall boundary, propagates through program execution,
 // and shows up in both the byte-precise and the coarse LATCH state.
 func Example() {
-	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	sys, err := latch.New()
 	if err != nil {
 		panic(err)
 	}
@@ -45,7 +81,7 @@ func Example() {
 // jumping through a register that holds attacker-controlled (tainted) data
 // raises a security exception before the jump is taken.
 func ExampleSystem_Run_violation() {
-	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	sys, err := latch.New()
 	if err != nil {
 		panic(err)
 	}
@@ -75,7 +111,7 @@ func ExampleSystem_Run_violation() {
 // untainted domains inside tainted page regions by the CTC, and only
 // coarse positives reach the precise taint cache.
 func ExampleModule_CheckMem() {
-	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	sys, err := latch.New()
 	if err != nil {
 		panic(err)
 	}

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	sys, err := latch.New()
 	if err != nil {
 		log.Fatal(err)
 	}

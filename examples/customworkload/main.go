@@ -12,6 +12,7 @@ import (
 	"latch/internal/hlatch"
 	"latch/internal/platch"
 	"latch/internal/slatch"
+	"latch/internal/telemetry"
 	"latch/internal/workload"
 )
 
@@ -44,8 +45,13 @@ func main() {
 
 	const events = 1_500_000
 
+	// One telemetry registry observes all three integrations; the summary
+	// at the end aggregates everything the profile put through the module.
+	metrics := telemetry.NewMetrics()
+
 	hlCfg := hlatch.DefaultConfig()
 	hlCfg.Events = events
+	hlCfg.Observer = metrics
 	hl, err := hlatch.Run(profile, hlCfg)
 	if err != nil {
 		log.Fatal(err)
@@ -58,6 +64,7 @@ func main() {
 
 	slCfg := slatch.DefaultConfig()
 	slCfg.Events = events
+	slCfg.Observer = metrics
 	sl, err := slatch.Run(profile, slCfg)
 	if err != nil {
 		log.Fatal(err)
@@ -70,6 +77,7 @@ func main() {
 
 	plCfg := platch.DefaultConfig()
 	plCfg.Events = events
+	plCfg.Observer = metrics
 	pl, err := platch.Run(profile, plCfg)
 	if err != nil {
 		log.Fatal(err)
@@ -78,4 +86,14 @@ func main() {
 	fmt.Printf("active windows %.1f%%, overhead %.1f%% (unfiltered LBA: %.0f%%)\n",
 		100*pl.ActiveWindowFraction, 100*pl.OverheadSimple, 100*pl.QueueBaselineSimple)
 	fmt.Printf("log carries %.2f%% of instructions\n", 100*pl.EnqueuedFraction)
+
+	s := metrics.Snapshot()
+	fmt.Println("\n--- telemetry: one registry across all three integrations ---")
+	fmt.Printf("coarse checks %d: %.1f%% TLB, %.1f%% CTC, %.1f%% precise\n",
+		s.CoarseChecks,
+		100*float64(s.ResolvedTLB)/float64(s.CoarseChecks),
+		100*float64(s.ResolvedCTC)/float64(s.CoarseChecks),
+		100*float64(s.ResolvedPrecise)/float64(s.CoarseChecks))
+	fmt.Printf("%d CTC evictions (%d with pending clears), %d epoch transitions, %d queue stalls\n",
+		s.CTCEvictions, s.CTCEvictionsPendingClear, s.SwitchesToSoftware, s.QueueStalls)
 }

@@ -16,12 +16,17 @@ import (
 
 	"latch/internal/cosim"
 	"latch/internal/dift"
+	"latch/internal/telemetry"
 	"latch/internal/workload"
 )
 
-func run(filtered bool, input []byte) (*cosim.Parallel, error) {
+func run(filtered bool, input []byte, obs telemetry.Observer) (*cosim.Parallel, error) {
 	cfg := cosim.DefaultParallelConfig()
 	cfg.Filtered = filtered
+	cfg.Observer = obs
+	// A small FIFO makes backpressure visible on this short kernel: the
+	// baseline fills it and stalls the monitored core; the filter doesn't.
+	cfg.QueueDepth = 64
 	sys, err := cosim.NewParallel(cfg, dift.DefaultPolicy())
 	if err != nil {
 		return nil, err
@@ -42,7 +47,10 @@ func main() {
 
 	fmt.Println("--- checksum kernel on two cores ---")
 	for _, filtered := range []bool{false, true} {
-		sys, err := run(filtered, input)
+		// A per-run telemetry registry counts log-FIFO stalls — cycles the
+		// monitored core spends blocked on a full log.
+		metrics := telemetry.NewMetrics()
+		sys, err := run(filtered, input, metrics)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -51,9 +59,10 @@ func main() {
 		if filtered {
 			mode = "P-LATCH (coarse-filtered log)  "
 		}
-		fmt.Printf("%s: logged %4.1f%% of %d instructions, overhead %6.1f%%, max queue %d\n",
+		fmt.Printf("%s: logged %4.1f%% of %d instructions, overhead %6.1f%%, max queue %d, stalls %d\n",
 			mode, 100*float64(st.Enqueued)/float64(st.Instructions),
-			st.Instructions, 100*st.Overhead(), st.MaxQueueDepth)
+			st.Instructions, 100*st.Overhead(), st.MaxQueueDepth,
+			metrics.Snapshot().QueueStalls)
 	}
 
 	fmt.Println()

@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	sys, err := latch.New()
 	if err != nil {
 		log.Fatal(err)
 	}

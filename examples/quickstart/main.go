@@ -13,7 +13,7 @@ import (
 func main() {
 	// A System bundles the LA32 machine, the byte-precise DIFT engine, and
 	// the LATCH hardware module over one shared shadow taint state.
-	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	sys, err := latch.New()
 	if err != nil {
 		log.Fatal(err)
 	}

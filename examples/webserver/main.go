@@ -24,7 +24,7 @@ func main() {
 	pol := latch.DefaultPolicy()
 	// Even-numbered connections are "local" and trusted.
 	pol.TrustConn = func(conn int) bool { return conn%2 == 0 }
-	sys, err := latch.NewSystem(latch.DefaultConfig(), pol)
+	sys, err := latch.New(latch.WithPolicy(pol))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -28,6 +28,7 @@ import (
 	"latch/internal/isa"
 	"latch/internal/latch"
 	"latch/internal/shadow"
+	"latch/internal/telemetry"
 	"latch/internal/vm"
 )
 
@@ -61,6 +62,11 @@ type Config struct {
 	// SWSlowdown is the instrumented image's slowdown over native
 	// execution (libdft's per-program factor).
 	SWSlowdown float64
+
+	// Observer, when non-nil, receives the co-simulation's telemetry:
+	// module check-path events, DIFT violations, taint-source bytes, and
+	// an EpochTransition per mode switch. Observers never affect results.
+	Observer telemetry.Observer
 }
 
 // DefaultConfig mirrors the paper's parameters with a 5x software DIFT
@@ -154,8 +160,11 @@ func New(cfg Config, pol dift.Policy) (*System, error) {
 		Shadow: sh,
 		cfg:    cfg,
 	}
+	mod.SetObserver(cfg.Observer)
+	s.Engine.SetObserver(cfg.Observer)
 	s.Machine = vm.New()
 	s.Machine.SetTracker(s)
+	s.Machine.SetObserver(cfg.Observer)
 	return s, nil
 }
 
@@ -216,6 +225,9 @@ func (s *System) Commit(pc uint32, in isa.Instr, addr uint32) error {
 				s.stats.Switches++
 				s.stats.XferCycles += 2*s.cfg.CtxSwitchCycles + s.cfg.CodeCacheLat
 				s.mode = ModeSoftware
+				if s.cfg.Observer != nil {
+					s.cfg.Observer.EpochTransition(telemetry.ModeSoftware, s.stats.Instructions)
+				}
 				s.sinceTaint = 0
 				s.swFrac += s.cfg.SWSlowdown - 1 // trapping instr re-executes
 			} else {
@@ -341,6 +353,9 @@ func (s *System) returnToHardware() {
 	}
 	s.stats.Returns++
 	s.mode = ModeHardware
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.EpochTransition(telemetry.ModeHardware, s.stats.Instructions)
+	}
 	s.sinceTaint = 0
 }
 

@@ -7,6 +7,7 @@ import (
 	"latch/internal/isa"
 	"latch/internal/latch"
 	"latch/internal/shadow"
+	"latch/internal/telemetry"
 	"latch/internal/vm"
 )
 
@@ -28,6 +29,12 @@ type ParallelConfig struct {
 	// PendingEntries sizes the §5.2 pending-update FIFO protecting against
 	// outstanding-CTT-update false negatives.
 	PendingEntries int
+
+	// Observer, when non-nil, receives the co-simulation's telemetry:
+	// module check-path events, the monitor's deferred violations,
+	// taint-source bytes, and a QueueStall per full-FIFO stall of the
+	// monitored core. Observers never affect results.
+	Observer telemetry.Observer
 }
 
 // DefaultParallelConfig returns the paper's two-core parameters with
@@ -180,8 +187,11 @@ func NewParallel(cfg ParallelConfig, pol dift.Policy) (*Parallel, error) {
 		pend:   newPendingRing(cfg.PendingEntries),
 		queue:  make([]logEntry, 0, cfg.QueueDepth),
 	}
+	mod.SetObserver(cfg.Observer)
+	p.Engine.SetObserver(cfg.Observer)
 	p.Machine = vm.New()
 	p.Machine.SetTracker(p)
+	p.Machine.SetObserver(cfg.Observer)
 	return p, nil
 }
 
@@ -292,6 +302,9 @@ func (p *Parallel) Commit(pc uint32, in isa.Instr, addr uint32) error {
 	// stalls the monitored core at the monitor's service rate.
 	for len(p.queue) >= p.cfg.QueueDepth ||
 		(in.WritesMem() && p.pend != nil && p.pend.full() && len(p.queue) > 0) {
+		if p.cfg.Observer != nil {
+			p.cfg.Observer.QueueStall(len(p.queue))
+		}
 		p.stats.StallCycles += uint64(p.cfg.ServiceCycles)
 		p.stats.MonitoredCycle += uint64(p.cfg.ServiceCycles)
 		p.tick(p.cfg.ServiceCycles)

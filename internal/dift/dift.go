@@ -14,10 +14,12 @@
 package dift
 
 import (
+	"errors"
 	"fmt"
 
 	"latch/internal/isa"
 	"latch/internal/shadow"
+	"latch/internal/telemetry"
 )
 
 // InputSource identifies where external data entered the program; each
@@ -71,6 +73,31 @@ func (k ViolationKind) String() string {
 	return fmt.Sprintf("violation(%d)", int(k))
 }
 
+// Sentinel errors identifying the violation kinds. A Violation wraps the
+// sentinel matching its Kind, so callers classify failures with the
+// standard errors package instead of switching on struct fields:
+//
+//	var v dift.Violation
+//	if errors.As(err, &v) { ... }          // full detail (PC, Addr, Tag)
+//	if errors.Is(err, dift.ErrControlFlow) // kind only
+var (
+	// ErrControlFlow: an indirect control transfer used a tainted target.
+	ErrControlFlow = errors.New("dift: tainted control transfer")
+	// ErrLeak: tainted bytes reached an external output sink.
+	ErrLeak = errors.New("dift: tainted data leak")
+)
+
+// Err returns the sentinel error for the kind (nil for unknown kinds).
+func (k ViolationKind) Err() error {
+	switch k {
+	case ViolationControlFlow:
+		return ErrControlFlow
+	case ViolationLeak:
+		return ErrLeak
+	}
+	return nil
+}
+
 // Violation records one policy violation.
 type Violation struct {
 	Kind ViolationKind
@@ -83,6 +110,10 @@ type Violation struct {
 func (v Violation) Error() string {
 	return fmt.Sprintf("dift: %s violation at pc=%#x addr=%#x tag=%#02x", v.Kind, v.PC, v.Addr, v.Tag)
 }
+
+// Unwrap exposes the sentinel for the violation's kind, making Violation a
+// proper error chain: errors.Is(v, ErrControlFlow) and errors.As both work.
+func (v Violation) Unwrap() error { return v.Kind.Err() }
 
 // PropagationMode selects the taint propagation rules.
 type PropagationMode int
@@ -170,6 +201,7 @@ type Engine struct {
 	regs [isa.NumRegs]RegTaint
 
 	violations []Violation
+	obs        telemetry.Observer
 
 	// connCounter assigns ids to accepted connections.
 	connCounter int
@@ -186,6 +218,10 @@ func NewEngine(sh *shadow.Shadow, p Policy) *Engine {
 
 // Policy returns the engine's policy.
 func (e *Engine) Policy() Policy { return e.policy }
+
+// SetObserver attaches obs to the engine: policy violations are emitted
+// through it. Nil (the default) disables emission.
+func (e *Engine) SetObserver(obs telemetry.Observer) { e.obs = obs }
 
 // RegTaint returns the taint of register r.
 func (e *Engine) RegTaint(r int) RegTaint { return e.regs[r] }
@@ -215,6 +251,9 @@ func (e *Engine) InstructionsTainted() uint64 { return e.instrTainted }
 
 func (e *Engine) violate(v Violation) error {
 	e.violations = append(e.violations, v)
+	if e.obs != nil {
+		e.obs.Violation(telemetry.ViolationKind(v.Kind), v.PC, v.Addr)
+	}
 	if e.policy.FailFast {
 		return v
 	}

@@ -43,6 +43,7 @@ func (r *Runner) AblationDomainSize() (*stats.Table, error) {
 			cfg := hlatch.DefaultConfig()
 			cfg.Events = r.opts.Events / 4
 			cfg.Latch.DomainSize = ds
+			cfg.Observer = r.passObserver("ablation-domain")
 			res, err := hlatch.Run(p, cfg)
 			if err != nil {
 				return err
@@ -86,6 +87,7 @@ func (r *Runner) AblationTimeout() (*stats.Table, error) {
 			cfg := slatch.DefaultConfig()
 			cfg.Events = r.opts.Events / 4
 			cfg.TimeoutInstrs = to
+			cfg.Observer = r.passObserver("ablation-timeout")
 			res, err := slatch.Run(p, cfg)
 			if err != nil {
 				return err
@@ -128,6 +130,7 @@ func (r *Runner) AblationCTCSize() (*stats.Table, error) {
 			cfg := hlatch.DefaultConfig()
 			cfg.Events = r.opts.Events / 4
 			cfg.Latch.CTCEntries = n
+			cfg.Observer = r.passObserver("ablation-ctc")
 			res, err := hlatch.Run(p, cfg)
 			if err != nil {
 				return err
@@ -181,6 +184,7 @@ func (r *Runner) AblationClearBits() (*stats.Table, error) {
 			if err != nil {
 				return outcome{}, err
 			}
+			m.SetObserver(r.passObserver("ablation-clear"))
 			g, err := workload.NewGeneratorOn(p, sh)
 			if err != nil {
 				return outcome{}, err
@@ -261,6 +265,7 @@ func (r *Runner) AblationQueueDepth() (*stats.Table, error) {
 			cfg := platch.DefaultConfig()
 			cfg.QueueDepth = d
 			cfg.Events = r.opts.Events / 4
+			cfg.Observer = r.passObserver("ablation-queue")
 			res, err := platch.Run(p, cfg)
 			if err != nil {
 				return err

@@ -21,6 +21,7 @@ func (r *Runner) Conventional() (*stats.Table, error) {
 	conventional.Events = r.opts.Events
 	conventional.Latch.TCache = cache.Config{Name: "tcache-4k", Sets: 256, Ways: 4, LineSize: 4}
 	conventional.Latch.BaselineTCache = true
+	conventional.Observer = r.passObserver("conventional")
 
 	hlCfg := hlatch.DefaultConfig()
 	hlCfg.Events = r.opts.Events

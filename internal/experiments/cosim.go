@@ -79,6 +79,7 @@ func (r *Runner) ParallelCoSim() (*stats.Table, error) {
 		run := func(filtered bool) (cosim.ParallelStats, error) {
 			cfg := cosim.DefaultParallelConfig()
 			cfg.Filtered = filtered
+			cfg.Observer = r.passObserver("platch-cosim")
 			sys, err := cosim.NewParallel(cfg, dift.DefaultPolicy())
 			if err != nil {
 				return cosim.ParallelStats{}, err
@@ -126,6 +127,7 @@ func (r *Runner) CoSim() (*stats.Table, error) {
 	err := r.runJobs("cosim", cosimCaseNames(), func(i int, name string, js *JobStat) error {
 		c := cosimCases[i]
 		cfg := cosim.DefaultConfig()
+		cfg.Observer = r.passObserver("cosim")
 		sys, err := cosim.New(cfg, dift.DefaultPolicy())
 		if err != nil {
 			return err

@@ -27,6 +27,7 @@ import (
 	"latch/internal/shadow"
 	"latch/internal/slatch"
 	"latch/internal/stats"
+	"latch/internal/telemetry"
 	"latch/internal/trace"
 	"latch/internal/workload"
 )
@@ -50,6 +51,14 @@ type Options struct {
 	// CPU; 1 forces the serial reference schedule. Results are identical
 	// for every value — only elapsed time changes.
 	Workers int
+
+	// Observer, when non-nil, receives the telemetry events of every
+	// simulation pass that runs a LATCH module (hlatch, slatch, platch,
+	// the co-simulations, and the ablation sweeps). It must be safe for
+	// concurrent use: passes fan out across the worker pool. Observers are
+	// passive — attaching one cannot change any table (the golden tests
+	// enforce this).
+	Observer telemetry.Observer
 }
 
 // DefaultOptions returns run lengths suitable for interactive use.
@@ -71,6 +80,9 @@ type Runner struct {
 
 	jobMu sync.Mutex // guards jobs
 	jobs  []JobStat
+
+	metricsMu sync.Mutex // guards metrics
+	metrics   map[string]*telemetry.Metrics
 }
 
 // NewRunner builds a Runner.
@@ -81,7 +93,36 @@ func NewRunner(o Options) *Runner {
 		hl:       make(map[workload.Suite][]hlatch.Result),
 		sl:       make(map[workload.Suite][]slatch.Result),
 		pl:       make(map[workload.Suite][]platch.Result),
+		metrics:  make(map[string]*telemetry.Metrics),
 	}
+}
+
+// passObserver returns the observer to attach to one simulation pass: the
+// pass's own metrics registry, fanned out to the caller-supplied observer
+// when Options.Observer is set. Each pass gets a stable registry, so
+// memoized passes keep their counters across experiments that share them.
+func (r *Runner) passObserver(pass string) telemetry.Observer {
+	r.metricsMu.Lock()
+	m, ok := r.metrics[pass]
+	if !ok {
+		m = telemetry.NewMetrics()
+		r.metrics[pass] = m
+	}
+	r.metricsMu.Unlock()
+	return telemetry.Multi(m, r.opts.Observer)
+}
+
+// MetricsReport snapshots the per-pass telemetry registries accumulated so
+// far, keyed by pass name (hlatch, slatch, platch, cosim, platch-cosim).
+// Only passes that have run appear.
+func (r *Runner) MetricsReport() map[string]telemetry.Snapshot {
+	r.metricsMu.Lock()
+	defer r.metricsMu.Unlock()
+	out := make(map[string]telemetry.Snapshot, len(r.metrics))
+	for pass, m := range r.metrics {
+		out[pass] = m.Snapshot()
+	}
+	return out
 }
 
 // jobProfile returns the named profile reseeded for one parallel job: the
@@ -155,6 +196,7 @@ func (r *Runner) HLatch(s workload.Suite) ([]hlatch.Result, error) {
 	}
 	cfg := hlatch.DefaultConfig()
 	cfg.Events = r.opts.Events
+	cfg.Observer = r.passObserver("hlatch")
 	names := workload.BySuite(s)
 	out := make([]hlatch.Result, len(names))
 	err := r.runJobs("hlatch", names, func(i int, name string, js *JobStat) error {
@@ -187,6 +229,7 @@ func (r *Runner) SLatch(s workload.Suite) ([]slatch.Result, error) {
 	}
 	cfg := slatch.DefaultConfig()
 	cfg.Events = r.opts.Events
+	cfg.Observer = r.passObserver("slatch")
 	names := workload.BySuite(s)
 	out := make([]slatch.Result, len(names))
 	err := r.runJobs("slatch", names, func(i int, name string, js *JobStat) error {
@@ -219,6 +262,7 @@ func (r *Runner) PLatch(s workload.Suite) ([]platch.Result, error) {
 	}
 	cfg := platch.DefaultConfig()
 	cfg.Events = r.opts.Events
+	cfg.Observer = r.passObserver("platch")
 	names := workload.BySuite(s)
 	out := make([]platch.Result, len(names))
 	err := r.runJobs("platch", names, func(i int, name string, js *JobStat) error {

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"latch/internal/telemetry"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the experiment golden tables")
@@ -30,13 +33,17 @@ func goldenPath(id string) string {
 }
 
 // TestGoldenTables snapshots the serial output of every catalog experiment
-// and asserts both the serial and the parallel runner reproduce each table
-// cell for cell. This is the regression net under the worker-pool harness:
-// a scheduling-dependent result, a reordered row, or a drifted model shows
-// up as a cell diff against the committed snapshot.
+// and asserts the serial, the parallel, and an observer-attached runner all
+// reproduce each table cell for cell. This is the regression net under the
+// worker-pool harness and the observability layer: a scheduling-dependent
+// result, a reordered row, a drifted model, or an observer that perturbs a
+// simulation shows up as a cell diff against the committed snapshot.
 func TestGoldenTables(t *testing.T) {
 	serial := NewRunner(goldenOptions(1))
 	parallel := NewRunner(goldenOptions(manyWorkers()))
+	obsOpts := goldenOptions(manyWorkers())
+	obsOpts.Observer = telemetry.NewMetrics()
+	observed := NewRunner(obsOpts)
 	for _, e := range Catalog {
 		st, err := e.Run(serial)
 		if err != nil {
@@ -62,7 +69,51 @@ func TestGoldenTables(t *testing.T) {
 			t.Fatalf("%s parallel: %v", e.ID, err)
 		}
 		compareTables(t, e.ID+" (parallel)", string(want), pt.String())
+
+		ot, err := e.Run(observed)
+		if err != nil {
+			t.Fatalf("%s observed: %v", e.ID, err)
+		}
+		compareTables(t, e.ID+" (observed)", string(want), ot.String())
 	}
+	// The attached observer must actually have seen the runs it left intact.
+	if s := obsOpts.Observer.(*telemetry.Metrics).Snapshot(); s.CoarseChecks == 0 {
+		t.Error("observer attached to the full catalog saw no coarse checks")
+	}
+}
+
+// TestGoldenMetricsSnapshot pins the telemetry registry of the serial
+// Table 6 H-LATCH pass: the counters are derived from the same
+// deterministic streams as the tables, so they are as reproducible as the
+// tables themselves. Regenerate together with the tables via -update.
+func TestGoldenMetricsSnapshot(t *testing.T) {
+	r := NewRunner(goldenOptions(1))
+	if _, err := r.Table6(); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := r.MetricsReport()["hlatch"]
+	if !ok {
+		t.Fatal("Table6 did not record an hlatch pass registry")
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	path := goldenPath("metrics_hlatch")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	compareTables(t, "metrics_hlatch", string(want), string(data))
 }
 
 // compareTables reports the first differing line (≈ table row) so a golden

@@ -18,6 +18,7 @@ import (
 	"latch/internal/latch"
 	"latch/internal/pool"
 	"latch/internal/shadow"
+	"latch/internal/telemetry"
 	"latch/internal/trace"
 	"latch/internal/workload"
 )
@@ -52,6 +53,12 @@ type Config struct {
 	// Workers bounds RunSuite's worker pool; <= 0 selects one worker per
 	// CPU. Results do not depend on it.
 	Workers int
+
+	// Observer, when non-nil, receives the module's check-path telemetry
+	// (coarse-check resolves, cache misses, CTC evictions). It must be safe
+	// for concurrent use when RunSuite fans benchmarks out over workers
+	// (telemetry.Metrics is). Observers never affect results.
+	Observer telemetry.Observer
 }
 
 // DefaultConfig returns the paper's H-LATCH configuration (§6.4): the
@@ -79,8 +86,11 @@ func Run(p workload.Profile, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	// Layout materialization populated the coarse state through the shadow
-	// watchers; measure only the steady-state reference stream.
+	// watchers; measure only the steady-state reference stream. The observer
+	// attaches after the reset for the same reason: it sees exactly the
+	// measured stream.
 	m.ResetStats()
+	m.SetObserver(cfg.Observer)
 
 	var events uint64
 	g.Run(cfg.Events, trace.SinkFunc(func(ev trace.Event) {

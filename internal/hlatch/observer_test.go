@@ -1,0 +1,81 @@
+package hlatch
+
+import (
+	"testing"
+
+	"latch/internal/telemetry"
+	"latch/internal/workload"
+)
+
+func shortObsCfg(workers int, obs telemetry.Observer) Config {
+	cfg := DefaultConfig()
+	cfg.Events = 200_000
+	cfg.Workers = workers
+	cfg.Observer = obs
+	return cfg
+}
+
+func TestObserverMirrorsResult(t *testing.T) {
+	mx := telemetry.NewMetrics()
+	r, err := Run(workload.MustGet("gcc"), shortObsCfg(1, mx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mx.Snapshot()
+	if s.CoarseChecks != r.Checks {
+		t.Errorf("CoarseChecks = %d, result.Checks = %d", s.CoarseChecks, r.Checks)
+	}
+	if s.ResolvedTLB != r.Latch.ResolvedTLB || s.ResolvedCTC != r.Latch.ResolvedCTC ||
+		s.ResolvedPrecise != r.Latch.ResolvedPrecise {
+		t.Errorf("resolve levels diverge: snapshot %d/%d/%d, stats %d/%d/%d",
+			s.ResolvedTLB, s.ResolvedCTC, s.ResolvedPrecise,
+			r.Latch.ResolvedTLB, r.Latch.ResolvedCTC, r.Latch.ResolvedPrecise)
+	}
+	if s.FalsePositives != r.Latch.FalsePositives {
+		t.Errorf("FalsePositives = %d, stats %d", s.FalsePositives, r.Latch.FalsePositives)
+	}
+}
+
+// TestSharedObserverAcrossSuite attaches ONE Metrics registry to every
+// concurrently running module of a parallel suite run — the observability
+// layer's concurrency contract (exercised under -race by `make race`). The
+// aggregated counters must equal the sum of the per-benchmark results, and
+// the observed run must produce results identical to an unobserved one.
+func TestSharedObserverAcrossSuite(t *testing.T) {
+	plain, err := RunSuite(workload.SuiteSPEC, shortObsCfg(4, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mx := telemetry.NewMetrics()
+	observed, err := RunSuite(workload.SuiteSPEC, shortObsCfg(4, mx))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(plain) != len(observed) {
+		t.Fatalf("result count: %d vs %d", len(plain), len(observed))
+	}
+	for i := range plain {
+		if plain[i] != observed[i] {
+			t.Errorf("%s: observer changed results", plain[i].Benchmark)
+		}
+	}
+
+	var wantChecks, wantFP uint64
+	for _, r := range observed {
+		wantChecks += r.Latch.Checks
+		wantFP += r.Latch.FalsePositives
+	}
+	s := mx.Snapshot()
+	if s.CoarseChecks != wantChecks {
+		t.Errorf("shared CoarseChecks = %d, sum of results = %d", s.CoarseChecks, wantChecks)
+	}
+	if s.FalsePositives != wantFP {
+		t.Errorf("shared FalsePositives = %d, sum of results = %d", s.FalsePositives, wantFP)
+	}
+	if s.ResolvedTLB+s.ResolvedCTC+s.ResolvedPrecise != wantChecks {
+		t.Errorf("resolve levels %d+%d+%d do not partition %d checks",
+			s.ResolvedTLB, s.ResolvedCTC, s.ResolvedPrecise, wantChecks)
+	}
+}

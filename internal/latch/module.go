@@ -6,6 +6,7 @@ import (
 
 	"latch/internal/cache"
 	"latch/internal/shadow"
+	"latch/internal/telemetry"
 )
 
 // ResolveLevel identifies which element of the taint-checking stack resolved
@@ -154,6 +155,7 @@ type Module struct {
 	baseTcache *cache.Cache
 
 	stats Stats
+	obs   telemetry.Observer
 
 	lastException uint32
 }
@@ -208,6 +210,12 @@ func MustNew(cfg Config, sh *shadow.Shadow) *Module {
 
 // Config returns the module configuration.
 func (m *Module) Config() Config { return m.cfg }
+
+// SetObserver attaches obs to the module's check path: coarse-check
+// resolves, TLB/CTC/t-cache misses, and CTC evictions are emitted through
+// it. A nil observer (the default) reduces every emission site to a single
+// predictable branch; see BenchmarkCheckMemNilObserver.
+func (m *Module) SetObserver(obs telemetry.Observer) { m.obs = obs }
 
 // Stats returns a copy of the counters.
 func (m *Module) Stats() Stats { return m.stats }
@@ -327,6 +335,9 @@ func (m *Module) ctcWrite(addr uint32) *cache.Line {
 	line, hit, ev := m.ctc.Access(addr)
 	if !hit {
 		m.stats.CTCWriteMisses++
+		if m.obs != nil {
+			m.obs.CacheMiss(telemetry.CacheCTC)
+		}
 		m.handleEviction(ev)
 		line.Data = m.ctt.Word(WordIndex(m.Shadow.DomainIndex(addr)))
 	}
@@ -339,6 +350,9 @@ func (m *Module) ctcCheckAccess(addr uint32) *cache.Line {
 	line, hit, ev := m.ctc.Access(addr)
 	if !hit {
 		m.stats.CTCCheckMisses++
+		if m.obs != nil {
+			m.obs.CacheMiss(telemetry.CacheCTC)
+		}
 		m.handleEviction(ev)
 		line.Data = m.ctt.Word(WordIndex(m.Shadow.DomainIndex(addr)))
 	}
@@ -349,7 +363,13 @@ func (m *Module) ctcCheckAccess(addr uint32) *cache.Line {
 // "a check is also triggered whenever a CTC word with asserted clear bits is
 // evicted").
 func (m *Module) handleEviction(ev cache.Eviction) {
-	if !ev.Valid || ev.Aux == 0 {
+	if !ev.Valid {
+		return
+	}
+	if m.obs != nil {
+		m.obs.CacheEviction(telemetry.CacheCTC, ev.Aux != 0)
+	}
+	if ev.Aux == 0 {
 		return
 	}
 	m.scanWord(ev.Addr, ev.Aux, nil)
@@ -400,6 +420,9 @@ func (m *Module) checkPoint(addr uint32) (ResolveLevel, bool) {
 	pdTainted, hit := m.tlb.Access(addr, m.pageBits)
 	if !hit {
 		m.stats.TLBMisses++
+		if m.obs != nil {
+			m.obs.CacheMiss(telemetry.CacheTLB)
+		}
 	}
 	if !pdTainted {
 		return ResolvedTLB, false
@@ -446,6 +469,9 @@ func (m *Module) CheckMem(addr uint32, size int) CheckResult {
 		m.stats.TCacheAccesses++
 		if _, hit, _ := m.tcache.Access(addr); !hit {
 			m.stats.TCacheMisses++
+			if m.obs != nil {
+				m.obs.CacheMiss(telemetry.CacheTCache)
+			}
 		}
 		res.TrulyTainted = m.Shadow.RangeTainted(addr, size)
 	}
@@ -466,6 +492,9 @@ func (m *Module) CheckMem(addr uint32, size int) CheckResult {
 		if _, hit, _ := m.baseTcache.Access(addr); !hit {
 			m.stats.BaselineTCacheMisses++
 		}
+	}
+	if m.obs != nil {
+		m.obs.CoarseCheck(telemetry.Level(level), positive, res.FalsePositive)
 	}
 	return res
 }

@@ -1,0 +1,103 @@
+package latch
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+
+	"latch/internal/shadow"
+	"latch/internal/telemetry"
+)
+
+// benchOut is the destination for the BENCH_observability.json artifact;
+// empty (the default) skips the writer. Wired by `make bench`.
+var benchOut = flag.String("observability-bench-out", "", "write the observability benchmark JSON artifact to this path")
+
+// benchModule mirrors taintedModule without the testing.T plumbing.
+func benchModule(obs telemetry.Observer) *Module {
+	cfg := DefaultConfig()
+	sh := shadow.MustNew(cfg.DomainSize)
+	m := MustNew(cfg, sh)
+	pd := cfg.PageDomainSize()
+	for i := uint32(0); i < 16; i++ {
+		sh.Set(i*pd, shadow.Label(0))
+	}
+	m.ResetStats()
+	m.SetObserver(obs)
+	return m
+}
+
+// benchCheckMem streams the standard check mix (TLB-, CTC-, and precise-
+// resolved in equal parts) through one module; ns/op is the cost of one
+// CheckMem on the coarse-check hot path.
+func benchCheckMem(b *testing.B, obs telemetry.Observer) {
+	m := benchModule(obs)
+	pd := m.cfg.PageDomainSize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch i % 3 {
+		case 0:
+			m.CheckMem(0x100000+uint32(i%64)*8, 4)
+		case 1:
+			m.CheckMem(uint32(i%16)*pd+pd/2, 4)
+		case 2:
+			m.CheckMem(uint32(i%16)*pd, 4)
+		}
+	}
+}
+
+// BenchmarkCheckMemNilObserver is the unobserved hot path: every emission
+// site must reduce to one predictable branch. The acceptance bound is ≤2%
+// regression against the pre-observability baseline.
+func BenchmarkCheckMemNilObserver(b *testing.B) { benchCheckMem(b, nil) }
+
+// BenchmarkCheckMemMetricsObserver measures the full cost of counting:
+// interface dispatch plus atomic increments per event.
+func BenchmarkCheckMemMetricsObserver(b *testing.B) {
+	benchCheckMem(b, telemetry.NewMetrics())
+}
+
+// TestWriteObservabilityBench renders the two benchmarks into the
+// BENCH_observability.json perf-trajectory artifact. It is a no-op unless
+// -observability-bench-out is given (`make bench` passes it), so the normal
+// test run stays fast.
+func TestWriteObservabilityBench(t *testing.T) {
+	if *benchOut == "" {
+		t.Skip("no -observability-bench-out path")
+	}
+	nilRes := testing.Benchmark(BenchmarkCheckMemNilObserver)
+	obsRes := testing.Benchmark(BenchmarkCheckMemMetricsObserver)
+	nilNs := float64(nilRes.NsPerOp())
+	obsNs := float64(obsRes.NsPerOp())
+	report := struct {
+		Benchmark          string  `json:"benchmark"`
+		NilObserverNsPerOp float64 `json:"nil_observer_ns_per_op"`
+		MetricsNsPerOp     float64 `json:"metrics_observer_ns_per_op"`
+		ObservedOverNilPct float64 `json:"observed_over_nil_pct"`
+		NilAllocsPerOp     int64   `json:"nil_observer_allocs_per_op"`
+		MetricsAllocsPerOp int64   `json:"metrics_observer_allocs_per_op"`
+		Iterations         int     `json:"iterations"`
+	}{
+		Benchmark:          "latch.Module.CheckMem",
+		NilObserverNsPerOp: nilNs,
+		MetricsNsPerOp:     obsNs,
+		NilAllocsPerOp:     nilRes.AllocsPerOp(),
+		MetricsAllocsPerOp: obsRes.AllocsPerOp(),
+		Iterations:         nilRes.N,
+	}
+	if nilNs > 0 {
+		report.ObservedOverNilPct = 100 * (obsNs - nilNs) / nilNs
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*benchOut, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("nil %.1f ns/op, metrics %.1f ns/op (+%.2f%%) -> %s",
+		nilNs, obsNs, report.ObservedOverNilPct, *benchOut)
+}

@@ -1,0 +1,137 @@
+package latch
+
+import (
+	"testing"
+
+	"latch/internal/shadow"
+	"latch/internal/telemetry"
+)
+
+// checkStream drives a deterministic mix of checks over tainted and clean
+// regions: some TLB-filtered, some CTC-filtered, some coarse-positive.
+func checkStream(m *Module, n int) {
+	pd := m.cfg.PageDomainSize()
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0: // clean page-domain: TLB-resolved
+			m.CheckMem(0x100000+uint32(i%64)*8, 4)
+		case 1: // tainted page-domain, clean domain: CTC-resolved
+			m.CheckMem(uint32(i%16)*pd+pd/2, 4)
+		case 2: // tainted domain: precise
+			m.CheckMem(uint32(i%16)*pd, 4)
+		}
+	}
+}
+
+// taintedModule builds a module with one tainted byte at the base of each of
+// the first 16 page-domains, attaching the observer only after setup so the
+// registry sees exactly the measured checks.
+func taintedModule(t *testing.T, obs telemetry.Observer, mutate func(*Config)) *Module {
+	t.Helper()
+	m, sh := newModule(t, mutate)
+	pd := m.cfg.PageDomainSize()
+	for i := uint32(0); i < 16; i++ {
+		sh.Set(i*pd, shadow.Label(0))
+	}
+	m.ResetStats()
+	m.SetObserver(obs)
+	return m
+}
+
+func TestObserverMirrorsStats(t *testing.T) {
+	mx := telemetry.NewMetrics()
+	m := taintedModule(t, mx, nil)
+	checkStream(m, 3000)
+
+	st := m.Stats()
+	s := mx.Snapshot()
+	if s.CoarseChecks != st.Checks {
+		t.Errorf("CoarseChecks = %d, stats.Checks = %d", s.CoarseChecks, st.Checks)
+	}
+	if s.ResolvedTLB != st.ResolvedTLB || s.ResolvedCTC != st.ResolvedCTC ||
+		s.ResolvedPrecise != st.ResolvedPrecise {
+		t.Errorf("resolve levels: snapshot %d/%d/%d, stats %d/%d/%d",
+			s.ResolvedTLB, s.ResolvedCTC, s.ResolvedPrecise,
+			st.ResolvedTLB, st.ResolvedCTC, st.ResolvedPrecise)
+	}
+	if s.CoarsePositives != st.CoarsePositives || s.FalsePositives != st.FalsePositives {
+		t.Errorf("positives: snapshot %d/%d, stats %d/%d",
+			s.CoarsePositives, s.FalsePositives, st.CoarsePositives, st.FalsePositives)
+	}
+	if s.TLBMisses != st.TLBMisses {
+		t.Errorf("TLBMisses = %d, stats %d", s.TLBMisses, st.TLBMisses)
+	}
+	// No taint writes happened during the measured stream, so every CTC
+	// miss the observer saw is a check miss.
+	if s.CTCMisses != st.CTCCheckMisses+st.CTCWriteMisses {
+		t.Errorf("CTCMisses = %d, stats check+write = %d",
+			s.CTCMisses, st.CTCCheckMisses+st.CTCWriteMisses)
+	}
+	if s.TCacheMisses != st.TCacheMisses {
+		t.Errorf("TCacheMisses = %d, stats %d", s.TCacheMisses, st.TCacheMisses)
+	}
+	if s.ResolvedTLB == 0 || s.ResolvedCTC == 0 || s.ResolvedPrecise == 0 {
+		t.Errorf("stream did not exercise all resolve levels: %+v", s)
+	}
+}
+
+func TestObserverSeesCTCEvictions(t *testing.T) {
+	mx := telemetry.NewMetrics()
+	m, sh := newModule(t, func(c *Config) { c.CTCEntries = 2 })
+	// Taint one byte in each of 8 CTT words so checks thrash the 2-entry CTC.
+	wc := m.cfg.WordCoverage()
+	for i := uint32(0); i < 8; i++ {
+		sh.Set(i*wc, shadow.Label(0))
+	}
+	m.ResetStats()
+	m.SetObserver(mx)
+	for i := 0; i < 400; i++ {
+		m.CheckMem(uint32(i%8)*wc, 1)
+	}
+	s := mx.Snapshot()
+	if s.CTCEvictions == 0 {
+		t.Fatalf("2-entry CTC over 8 hot words evicted nothing: %+v", s)
+	}
+	if s.CTCEvictionsPendingClear != 0 {
+		t.Errorf("eager mode reported pending-clear evictions: %d", s.CTCEvictionsPendingClear)
+	}
+}
+
+func TestObserverSeesPendingClearEvictions(t *testing.T) {
+	mx := telemetry.NewMetrics()
+	m, sh := newModule(t, func(c *Config) {
+		c.Clear = LazyClear
+		c.CTCEntries = 2
+	})
+	wc := m.cfg.WordCoverage()
+	for i := uint32(0); i < 8; i++ {
+		sh.Set(i*wc, shadow.Label(0))
+	}
+	m.SetObserver(mx)
+	// Lazy clears assert clear bits without touching the CTT...
+	for i := uint32(0); i < 8; i++ {
+		sh.Set(i*wc, shadow.TagClean)
+	}
+	// ...and thrashing the tiny CTC evicts lines carrying them.
+	for i := 0; i < 400; i++ {
+		m.CheckMem(uint32(i%8)*wc, 1)
+	}
+	if s := mx.Snapshot(); s.CTCEvictionsPendingClear == 0 {
+		t.Fatalf("no pending-clear evictions observed: %+v", s)
+	}
+}
+
+// TestObserverAddsNoAllocations verifies the zero-allocation contract:
+// attaching a Metrics observer must not add a single allocation to the
+// coarse-check hot path relative to the nil-observer baseline.
+func TestObserverAddsNoAllocations(t *testing.T) {
+	base := taintedModule(t, nil, nil)
+	baseline := testing.AllocsPerRun(2000, func() { checkStream(base, 3) })
+
+	observed := taintedModule(t, telemetry.NewMetrics(), nil)
+	withObs := testing.AllocsPerRun(2000, func() { checkStream(observed, 3) })
+	if withObs > baseline {
+		t.Errorf("Metrics observer adds allocations: %.2f/run vs %.2f/run baseline",
+			withObs, baseline)
+	}
+}

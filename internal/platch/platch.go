@@ -23,6 +23,7 @@ import (
 	"latch/internal/latch"
 	"latch/internal/pool"
 	"latch/internal/shadow"
+	"latch/internal/telemetry"
 	"latch/internal/trace"
 	"latch/internal/workload"
 )
@@ -61,6 +62,14 @@ type Config struct {
 	// Workers bounds RunSuite's worker pool; <= 0 selects one worker per
 	// CPU. Results do not depend on it.
 	Workers int
+
+	// Observer, when non-nil, receives the run's telemetry: the module's
+	// check-path events plus a QueueStall per full-FIFO stall of the
+	// LATCH-filtered queue simulations (the unfiltered baselines are not
+	// reported — they would swamp the signal the paper cares about). It
+	// must be safe for concurrent use when RunSuite fans benchmarks out
+	// over workers (telemetry.Metrics is). Observers never affect results.
+	Observer telemetry.Observer
 }
 
 // DefaultConfig returns the paper's P-LATCH parameters.
@@ -171,8 +180,10 @@ type Result struct {
 
 // queueSim models a producer at 1 instruction/cycle feeding a bounded FIFO
 // drained by a consumer at serviceCycles per entry. It returns the
-// fractional overhead over native execution caused by full-queue stalls.
-func queueSim(enqueued []bool, depth int, serviceCycles float64) float64 {
+// fractional overhead over native execution caused by full-queue stalls,
+// reporting each stall (with the queue occupancy, always the full depth)
+// through obs when non-nil.
+func queueSim(enqueued []bool, depth int, serviceCycles float64, obs telemetry.Observer) float64 {
 	if len(enqueued) == 0 {
 		return 0
 	}
@@ -193,6 +204,9 @@ func queueSim(enqueued []bool, depth int, serviceCycles float64) float64 {
 		}
 		if count == depth {
 			// Stall until the oldest entry completes.
+			if obs != nil {
+				obs.QueueStall(count)
+			}
 			now = ring[head]
 			head = (head + 1) % depth
 			count--
@@ -229,6 +243,7 @@ func Run(p workload.Profile, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	m.ResetStats()
+	m.SetObserver(cfg.Observer)
 
 	enqueued := make([]bool, 0, cfg.Events)
 	var windows, activeWindows uint64
@@ -304,10 +319,10 @@ func Run(p workload.Profile, cfg Config) (Result, error) {
 		ActiveWindowFraction:   f,
 		OverheadSimple:         f * cfg.SimpleLBAOverhead,
 		OverheadOptimized:      f * cfg.OptimizedLBAOverhead,
-		QueueOverheadSimple:    queueSim(enqueued, cfg.QueueDepth, simpleService),
-		QueueOverheadOptimized: queueSim(enqueued, cfg.QueueDepth, optService),
-		QueueBaselineSimple:    queueSim(all, cfg.QueueDepth, simpleService),
-		QueueBaselineOptimized: queueSim(all, cfg.QueueDepth, optService),
+		QueueOverheadSimple:    queueSim(enqueued, cfg.QueueDepth, simpleService, cfg.Observer),
+		QueueOverheadOptimized: queueSim(enqueued, cfg.QueueDepth, optService, cfg.Observer),
+		QueueBaselineSimple:    queueSim(all, cfg.QueueDepth, simpleService, nil),
+		QueueBaselineOptimized: queueSim(all, cfg.QueueDepth, optService, nil),
 		EnqueuedFraction:       float64(positives) / float64(events),
 		PendingExtraPositives:  pendingExtra,
 	}, nil

@@ -19,7 +19,7 @@ func TestQueueSimSaturated(t *testing.T) {
 	for i := range all {
 		all[i] = true
 	}
-	got := queueSim(all, 1024, 3.38)
+	got := queueSim(all, 1024, 3.38, nil)
 	if math.Abs(got-2.38) > 0.1 {
 		t.Fatalf("saturated overhead = %.3f, want ~2.38", got)
 	}
@@ -27,10 +27,10 @@ func TestQueueSimSaturated(t *testing.T) {
 
 func TestQueueSimEmpty(t *testing.T) {
 	none := make([]bool, 100_000)
-	if got := queueSim(none, 1024, 3.38); got != 0 {
+	if got := queueSim(none, 1024, 3.38, nil); got != 0 {
 		t.Fatalf("empty queue overhead = %v", got)
 	}
-	if got := queueSim(nil, 16, 2); got != 0 {
+	if got := queueSim(nil, 16, 2, nil); got != 0 {
 		t.Fatalf("nil stream overhead = %v", got)
 	}
 }
@@ -42,7 +42,7 @@ func TestQueueSimSparse(t *testing.T) {
 	for i := 0; i < len(evs); i += 100 {
 		evs[i] = true
 	}
-	if got := queueSim(evs, 1024, 3.38); got > 0.01 {
+	if got := queueSim(evs, 1024, 3.38, nil); got > 0.01 {
 		t.Fatalf("sparse overhead = %.4f, want ~0", got)
 	}
 }
@@ -54,7 +54,7 @@ func TestQueueSimBursty(t *testing.T) {
 	for i := 0; i < 20_000; i++ {
 		evs[i] = true
 	}
-	got := queueSim(evs, 256, 3.38)
+	got := queueSim(evs, 256, 3.38, nil)
 	if got <= 0 || got >= 2.38 {
 		t.Fatalf("bursty overhead = %.4f", got)
 	}

@@ -1,0 +1,52 @@
+package slatch
+
+import (
+	"testing"
+
+	"latch/internal/telemetry"
+	"latch/internal/workload"
+)
+
+func TestObserverSeesEpochTransitions(t *testing.T) {
+	mx := telemetry.NewMetrics()
+	cfg := shortCfg()
+	cfg.Observer = mx
+	r, err := Run(workload.MustGet("apache"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mx.Snapshot()
+	if s.SwitchesToSoftware != r.Switches {
+		t.Errorf("SwitchesToSoftware = %d, result.Switches = %d",
+			s.SwitchesToSoftware, r.Switches)
+	}
+	if s.SwitchesToSoftware == 0 {
+		t.Fatal("apache produced no epoch transitions")
+	}
+	// Every software epoch ends with a return to hardware, except an epoch
+	// still open at stream end.
+	if d := s.SwitchesToSoftware - s.SwitchesToHardware; d > 1 {
+		t.Errorf("switches to sw %d vs to hw %d: unbalanced by %d",
+			s.SwitchesToSoftware, s.SwitchesToHardware, d)
+	}
+	// The module's check path reports through the same observer.
+	if s.CoarseChecks == 0 || s.CoarseChecks != r.Latch.Checks {
+		t.Errorf("CoarseChecks = %d, module stats %d", s.CoarseChecks, r.Latch.Checks)
+	}
+}
+
+func TestObserverDoesNotChangeResults(t *testing.T) {
+	cfg := shortCfg()
+	plain, err := Run(workload.MustGet("gcc"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Observer = telemetry.NewMetrics()
+	observed, err := Run(workload.MustGet("gcc"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != observed {
+		t.Errorf("observer changed results:\n plain    %+v\n observed %+v", plain, observed)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"latch/internal/latch"
 	"latch/internal/pool"
 	"latch/internal/shadow"
+	"latch/internal/telemetry"
 	"latch/internal/trace"
 	"latch/internal/workload"
 )
@@ -67,6 +68,12 @@ type Config struct {
 	// Workers bounds RunSuite's worker pool; <= 0 selects one worker per
 	// CPU. Results do not depend on it.
 	Workers int
+
+	// Observer, when non-nil, receives the run's telemetry: the module's
+	// check-path events plus an EpochTransition per mode switch. It must be
+	// safe for concurrent use when RunSuite fans benchmarks out over
+	// workers (telemetry.Metrics is). Observers never affect results.
+	Observer telemetry.Observer
 }
 
 // DefaultConfig returns the paper's S-LATCH configuration: lazy clear bits,
@@ -158,6 +165,7 @@ func Run(p workload.Profile, cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	m.ResetStats()
+	m.SetObserver(cfg.Observer)
 
 	res := Result{
 		Benchmark:      p.Name,
@@ -200,6 +208,9 @@ func Run(p workload.Profile, cfg Config) (Result, error) {
 			res.Switches++
 			res.XferCycles += 2*cfg.CtxSwitchCycles + p.CodeCacheLat
 			mode = ModeSoftware
+			if cfg.Observer != nil {
+				cfg.Observer.EpochTransition(telemetry.ModeSoftware, res.Events)
+			}
 			sinceTaint = 0
 			// The trapping instruction re-executes under instrumentation.
 			libdftFrac += perInstrExtra
@@ -220,6 +231,9 @@ func Run(p workload.Profile, cfg Config) (Result, error) {
 			res.ResetCycles += scanned * cfg.ScanCyclesPerDomain
 			res.XferCycles += cfg.CtxSwitchCycles
 			mode = ModeHardware
+			if cfg.Observer != nil {
+				cfg.Observer.EpochTransition(telemetry.ModeHardware, res.Events)
+			}
 			sinceTaint = 0
 		}
 	}))

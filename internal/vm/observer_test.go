@@ -1,0 +1,80 @@
+package vm
+
+import (
+	"testing"
+
+	"latch/internal/dift"
+	"latch/internal/isa"
+	"latch/internal/shadow"
+	"latch/internal/telemetry"
+)
+
+func mustAssemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func TestObserverSeesTaintSources(t *testing.T) {
+	e := dift.NewEngine(shadow.MustNew(64), dift.DefaultPolicy())
+	mx := telemetry.NewMetrics()
+	p := mustAssemble(t, `
+		li   r1, 0x3000
+		movi r2, 4
+		sys  2          ; read 4 file bytes
+		sys  4          ; accept
+		li   r1, 0x4000
+		movi r2, 64
+		sys  3          ; recv up to 64 net bytes
+		halt
+	`)
+	c := New()
+	c.Env.FileData = []byte("ABCDE")
+	c.Env.Requests = [][]byte{[]byte("GET /index")}
+	c.SetTracker(e)
+	c.SetObserver(mx)
+	c.Load(p)
+	if _, err := c.Run(1_000); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mx.Snapshot()
+	if s.FileSourceBytes != 4 {
+		t.Errorf("FileSourceBytes = %d, want 4", s.FileSourceBytes)
+	}
+	if want := uint64(len("GET /index")); s.NetSourceBytes != want {
+		t.Errorf("NetSourceBytes = %d, want %d", s.NetSourceBytes, want)
+	}
+}
+
+func TestObserverCountsPolicyFilteredInput(t *testing.T) {
+	// The observer reports bytes arriving at the syscall boundary, before
+	// policy filtering: a policy that trusts file input still sees them.
+	pol := dift.DefaultPolicy()
+	pol.TaintFile = false
+	e := dift.NewEngine(shadow.MustNew(64), pol)
+	mx := telemetry.NewMetrics()
+	p := mustAssemble(t, `
+		li   r1, 0x3000
+		movi r2, 3
+		sys  2
+		halt
+	`)
+	c := New()
+	c.Env.FileData = []byte("xyz")
+	c.SetTracker(e)
+	c.SetObserver(mx)
+	c.Load(p)
+	if _, err := c.Run(1_000); err != nil {
+		t.Fatal(err)
+	}
+	if s := mx.Snapshot(); s.FileSourceBytes != 3 {
+		t.Errorf("FileSourceBytes = %d, want 3 (pre-policy)", s.FileSourceBytes)
+	}
+	if sh := e.Shadow; sh.RangeTainted(0x3000, 3) {
+		t.Error("trusted file input was tainted")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"latch/internal/isa"
 	"latch/internal/mem"
 	"latch/internal/shadow"
+	"latch/internal/telemetry"
 	"latch/internal/trace"
 )
 
@@ -84,6 +85,7 @@ type CPU struct {
 
 	tracker Tracker
 	hook    trace.Sink
+	obs     telemetry.Observer
 
 	halted   bool
 	exitCode uint32
@@ -108,6 +110,11 @@ func (c *CPU) SetTracker(t Tracker) { c.tracker = t }
 // the extraction-logic view: PC, memory operand, and — when a tracker is
 // attached — the ground-truth tainted flag.
 func (c *CPU) SetHook(h trace.Sink) { c.hook = h }
+
+// SetObserver attaches obs to the CPU: bytes arriving through taint-source
+// syscalls (SysRead, SysRecv) are emitted through it, before any policy
+// filtering. Nil (the default) disables emission.
+func (c *CPU) SetObserver(obs telemetry.Observer) { c.obs = obs }
 
 // SetLastExceptionAddr records the address ltnt will return.
 func (c *CPU) SetLastExceptionAddr(addr uint32) { c.lastExceptionAddr = addr }
@@ -376,6 +383,9 @@ func (c *CPU) syscall(pc uint32, num int32) error {
 			if c.tracker != nil {
 				c.tracker.Input(buf, n, dift.SourceFile, -1)
 			}
+			if c.obs != nil {
+				c.obs.TaintSource(telemetry.SourceFile, n)
+			}
 		}
 		r[1] = uint32(n)
 	case isa.SysRecv:
@@ -394,6 +404,9 @@ func (c *CPU) syscall(pc uint32, num int32) error {
 			c.Env.curOff += n
 			if c.tracker != nil {
 				c.tracker.Input(buf, n, dift.SourceNet, c.Env.curConn)
+			}
+			if c.obs != nil {
+				c.obs.TaintSource(telemetry.SourceNet, n)
 			}
 		}
 		r[1] = uint32(n)

@@ -23,11 +23,15 @@
 // Quick start: assemble a program, run it under precise DIFT with LATCH
 // coarse state attached, and observe a control-flow hijack being caught.
 //
-//	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+//	sys, err := latch.New() // options: WithConfig, WithPolicy, WithObserver
 //	...
 //	prog, err := latch.Assemble(src)
 //	sys.Machine.Load(prog)
-//	_, err = sys.Machine.Run(1_000_000) // returns dift.Violation on attack
+//	_, err = sys.Machine.Run(1_000_000) // returns latch.Violation on attack
+//
+// Observability: pass latch.WithObserver(latch.NewMetrics()) to New and the
+// whole stack — coarse checks, cache misses, violations, taint sources —
+// reports into a snapshotable registry; see the Observer type.
 package latch
 
 import (
@@ -115,23 +119,18 @@ type System struct {
 	Engine  *Engine
 	Module  *Module
 	Shadow  *Shadow
+
+	// Observer is the observer attached at construction (nil if none).
+	Observer Observer
 }
 
 // NewSystem builds a System from a hardware configuration and a DIFT
 // policy.
+//
+// Deprecated: Use New with WithConfig and WithPolicy, which also supports
+// WithObserver and WithClearPolicy.
 func NewSystem(cfg Config, pol Policy) (*System, error) {
-	sh, err := shadow.New(cfg.DomainSize)
-	if err != nil {
-		return nil, err
-	}
-	mod, err := latchcore.New(cfg, sh)
-	if err != nil {
-		return nil, err
-	}
-	eng := dift.NewEngine(sh, pol)
-	m := vm.New()
-	m.SetTracker(eng)
-	return &System{Machine: m, Engine: eng, Module: mod, Shadow: sh}, nil
+	return New(WithConfig(cfg), WithPolicy(pol))
 }
 
 // Run assembles src, loads it, and executes up to maxSteps instructions.

@@ -8,7 +8,7 @@ import (
 )
 
 func TestSystemRunsCleanProgram(t *testing.T) {
-	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	sys, err := latch.New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestSystemRunsCleanProgram(t *testing.T) {
 }
 
 func TestSystemCatchesHijack(t *testing.T) {
-	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	sys, err := latch.New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +46,7 @@ func TestSystemCatchesHijack(t *testing.T) {
 }
 
 func TestCoarseStateTracksEngine(t *testing.T) {
-	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	sys, err := latch.New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestCoarseStateTracksEngine(t *testing.T) {
 }
 
 func TestAssembleErrorsSurface(t *testing.T) {
-	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	sys, err := latch.New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,5 +84,100 @@ func TestAssembleErrorsSurface(t *testing.T) {
 func TestLabelAndTags(t *testing.T) {
 	if latch.Label(2) == latch.TagClean {
 		t.Fatal("label is clean")
+	}
+}
+
+func TestClearPolicyOptionOrderIndependent(t *testing.T) {
+	for _, opts := range [][]latch.Option{
+		{latch.WithClearPolicy(latch.LazyClear), latch.WithConfig(latch.DefaultConfig())},
+		{latch.WithConfig(latch.DefaultConfig()), latch.WithClearPolicy(latch.LazyClear)},
+	} {
+		sys, err := latch.New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sys.Module.Config().Clear; got != latch.LazyClear {
+			t.Fatalf("clear policy = %v, want LazyClear", got)
+		}
+	}
+}
+
+func TestDeprecatedNewSystemMatchesNew(t *testing.T) {
+	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := sys.Run(`
+		movi r1, 3
+		sys 1
+	`, 1000)
+	if err != nil || code != 3 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	if sys.Observer != nil {
+		t.Fatal("NewSystem attached an observer")
+	}
+}
+
+func TestViolationSentinels(t *testing.T) {
+	sys, err := latch.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Machine.Env.FileData = []byte{0x00, 0x20, 0x00, 0x00}
+	_, err = sys.Run(`
+		li   r1, 0x3000
+		movi r2, 4
+		sys  2
+		li   r3, 0x3000
+		ldw  r4, [r3]
+		jr   r4
+		halt
+	`, 1000)
+	if !errors.Is(err, latch.ErrControlFlow) {
+		t.Fatalf("err = %v, want ErrControlFlow chain", err)
+	}
+	if errors.Is(err, latch.ErrLeak) {
+		t.Fatal("hijack matched ErrLeak")
+	}
+	var v latch.Violation
+	if !errors.As(err, &v) || v.Addr != 0x2000 {
+		t.Fatalf("errors.As: %+v", v)
+	}
+}
+
+func TestWithObserverWiresAllLayers(t *testing.T) {
+	metrics := latch.NewMetrics()
+	sys, err := latch.New(latch.WithObserver(metrics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Observer != latch.Observer(metrics) {
+		t.Fatal("System.Observer not recorded")
+	}
+	sys.Machine.Env.FileData = []byte{0x00, 0x20, 0x00, 0x00}
+	_, err = sys.Run(`
+		li   r1, 0x3000
+		movi r2, 4
+		sys  2
+		li   r3, 0x3000
+		ldw  r4, [r3]
+		jr   r4
+		halt
+	`, 1000)
+	if !errors.Is(err, latch.ErrControlFlow) {
+		t.Fatal(err)
+	}
+	sys.Module.CheckMem(0x3000, 4)
+
+	s := metrics.Snapshot()
+	if s.FileSourceBytes != 4 { // machine layer
+		t.Errorf("FileSourceBytes = %d", s.FileSourceBytes)
+	}
+	if s.ControlFlowViolations != 1 { // engine layer
+		t.Errorf("ControlFlowViolations = %d", s.ControlFlowViolations)
+	}
+	if s.CoarseChecks != 1 || s.CoarsePositives != 1 { // module layer
+		t.Errorf("checks/positives = %d/%d", s.CoarseChecks, s.CoarsePositives)
 	}
 }
