@@ -1,17 +1,20 @@
 # Verification entry points. `make verify` is the full pre-merge gate:
-# tier-1 build+test plus the race-detector pass over every package
-# (the worker-pool harness and the suite runners are exercised under
-# -race by their own tests).
+# tier-1 build+test plus go vet and the race-detector pass over every
+# package (the worker-pool harness and the suite runners are exercised
+# under -race by their own tests).
 
 GO ?= go
 
-.PHONY: build test race verify bench fuzz golden
+.PHONY: build test vet race verify bench bench-compare fuzz golden
 
 build:
 	$(GO) build ./...
 
 test: build
 	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
 
 # Race/determinism tier: the whole tree under the race detector. The
 # parallel harness tests (TestParallelMatchesSerial, TestGoldenTables,
@@ -21,17 +24,41 @@ test: build
 race:
 	$(GO) test -race ./...
 
-verify: test race
+verify: test vet race
 
-# Root-package benchmarks, plus the observability-overhead artifact: the
-# coarse-check hot path timed with a nil observer and with a live metrics
-# registry attached (BENCH_observability.json, committed for comparison).
+# Root-package benchmarks, plus the committed perf artifacts: the
+# observability-overhead report (BENCH_observability.json) and the
+# hot-path report (BENCH_hotpath.json: CPU.Step / shadow.Set / end-to-end
+# experiment pass against the pre-overhaul baselines).
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 	$(GO) test ./internal/latch -run TestWriteObservabilityBench \
 		-observability-bench-out $(CURDIR)/BENCH_observability.json
+	$(GO) test . -run TestWriteHotpathBench \
+		-hotpath-bench-out $(CURDIR)/BENCH_hotpath.json
 
-# Short fuzz pass over the LA32 assembler/decoder round-trip properties.
+# Benchstat-friendly re-run of the hot-path benchmarks with pinned count
+# and benchtime, for diffing against the committed BENCH_hotpath.json:
+#
+#   make bench-compare > /tmp/new.txt        # on your branch
+#   git stash && make bench-compare > /tmp/old.txt && git stash pop
+#   benchstat /tmp/old.txt /tmp/new.txt      # if benchstat is installed
+#
+# The committed JSON holds the absolute numbers; this target produces the
+# standard Go benchmark format those numbers came from.
+bench-compare:
+	$(GO) test -run='^$$' -count=10 -benchtime=200ms -benchmem \
+		-bench='BenchmarkCPUStep$$' ./internal/vm
+	$(GO) test -run='^$$' -count=10 -benchtime=200ms -benchmem \
+		-bench='BenchmarkShadowStore$$|BenchmarkShadowReset$$' ./internal/shadow
+	$(GO) test -run='^$$' -count=10 -benchtime=200ms -benchmem \
+		-bench='BenchmarkMemoryLoadWord$$|BenchmarkMemoryStoreWord$$|BenchmarkMemoryReset$$' ./internal/mem
+	$(GO) test -run='^$$' -count=5 -benchtime=1x \
+		-bench='BenchmarkExperimentsSerial$$' .
+
+# Short fuzz pass over the LA32 assembler/decoder round-trip properties
+# (FuzzAssembleDecode also cross-checks the decode cache against direct
+# Decode, through invalidation and refill).
 fuzz:
 	$(GO) test ./internal/isa -run='^$$' -fuzz=FuzzAssembleDecode -fuzztime=10s
 

@@ -1,0 +1,169 @@
+package latch_test
+
+// Hot-path perf-trajectory artifact. TestWriteHotpathBench renders the
+// steady-state hot-path benchmarks — CPU.Step, shadow.Set, and the
+// end-to-end experiment set — into BENCH_hotpath.json, alongside the
+// pre-overhaul baselines measured on the map-based implementations. It is a
+// no-op unless -hotpath-bench-out is given (`make bench` passes it), so the
+// normal test run stays fast.
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+
+	"latch/internal/experiments"
+	"latch/internal/isa"
+	"latch/internal/mem"
+	"latch/internal/shadow"
+	"latch/internal/vm"
+)
+
+var hotpathBenchOut = flag.String("hotpath-bench-out", "", "write the hot-path benchmark JSON artifact to this path")
+
+// Pre-overhaul baselines: the same benchmark bodies run against the
+// map-based Memory/Shadow and the decode-per-step interpreter, on the
+// reference machine, immediately before the flat-structure rewrite.
+const (
+	baselineCPUStepNs       = 42.0
+	baselineShadowStoreNs   = 7.05
+	baselineExperimentSetNs = 375.9e6
+)
+
+// benchStepHotPath is BenchmarkCPUStep's body over the public API: a short
+// warm loop mixing ALU ops, a load, a store, and a taken jump.
+func benchStepHotPath(b *testing.B) {
+	c := vm.New()
+	c.Load(isa.MustAssemble(`
+		movi r1, 1
+		lui  r2, 0x10
+	loop:
+		ldw  r3, [r2+0]
+		add  r3, r3, r1
+		stw  r3, [r2+4]
+		xor  r4, r3, r1
+		sub  r5, r4, r1
+		jmp  loop
+	`))
+	for i := 0; i < 64; i++ {
+		if err := c.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchShadowStoreHotPath is BenchmarkShadowStore's body: alternating taint
+// and clear over a warm 16-page window, a domain transition on every call.
+func benchShadowStoreHotPath(b *testing.B) {
+	const window = 16 * mem.PageSize
+	s := shadow.MustNew(shadow.DefaultDomainSize)
+	for a := uint32(0); a < window; a += mem.PageSize {
+		s.Set(a, shadow.Label(0))
+		s.Set(a, shadow.TagClean)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint32(i*31) % window
+		if i&1 == 0 {
+			s.Set(addr, shadow.Label(0))
+		} else {
+			s.Set(addr, shadow.TagClean)
+		}
+	}
+}
+
+// benchExperimentPass is BenchmarkExperimentsSerial's body: the heavy suite
+// passes plus a composite table from one fresh serial Runner.
+func benchExperimentPass(b *testing.B) {
+	ids := []string{"table2", "table6", "table7", "figure6"}
+	for i := 0; i < b.N; i++ {
+		opts := experiments.Options{Events: 20_000, EpochEvents: 20_000, Fig6Events: 20_000, Workers: 1}
+		runner := experiments.NewRunner(opts)
+		for _, id := range ids {
+			e, err := experiments.Lookup(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			table, err := e.Run(runner)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if table.Rows() == 0 {
+				b.Fatalf("%s: empty table", id)
+			}
+		}
+	}
+}
+
+type hotpathEntry struct {
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+}
+
+func hotpathResult(r testing.BenchmarkResult, baselineNs float64) hotpathEntry {
+	ns := 0.0
+	if r.N > 0 {
+		ns = float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	e := hotpathEntry{
+		NsPerOp:         ns,
+		AllocsPerOp:     r.AllocsPerOp(),
+		BaselineNsPerOp: baselineNs,
+	}
+	if ns > 0 {
+		e.Speedup = baselineNs / ns
+	}
+	return e
+}
+
+// TestWriteHotpathBench writes BENCH_hotpath.json. The overhaul's acceptance
+// criteria are asserted here as well: CPU.Step and shadow.Set must be
+// allocation-free in steady state, and the end-to-end experiment pass must
+// run at least 1.5x the pre-overhaul baseline.
+func TestWriteHotpathBench(t *testing.T) {
+	if *hotpathBenchOut == "" {
+		t.Skip("no -hotpath-bench-out path")
+	}
+	step := hotpathResult(testing.Benchmark(benchStepHotPath), baselineCPUStepNs)
+	store := hotpathResult(testing.Benchmark(benchShadowStoreHotPath), baselineShadowStoreNs)
+	pass := hotpathResult(testing.Benchmark(benchExperimentPass), baselineExperimentSetNs)
+
+	if step.AllocsPerOp != 0 {
+		t.Errorf("CPU.Step allocates %d times per op in steady state, want 0", step.AllocsPerOp)
+	}
+	if store.AllocsPerOp != 0 {
+		t.Errorf("shadow.Set allocates %d times per op in steady state, want 0", store.AllocsPerOp)
+	}
+	if pass.Speedup < 1.5 {
+		t.Errorf("end-to-end experiment pass speedup %.2fx, want >= 1.5x "+
+			"(baseline is machine-specific; see BENCH_hotpath.json)", pass.Speedup)
+	}
+
+	report := struct {
+		CPUStep       hotpathEntry `json:"cpu_step"`
+		ShadowStore   hotpathEntry `json:"shadow_store"`
+		ExperimentSet hotpathEntry `json:"experiment_set_serial"`
+	}{step, store, pass}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*hotpathBenchOut, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("step %.1f ns/op (%.1fx), store %.1f ns/op (%.1fx), pass %.1f ms/op (%.1fx) -> %s",
+		step.NsPerOp, step.Speedup, store.NsPerOp, store.Speedup,
+		pass.NsPerOp/1e6, pass.Speedup, *hotpathBenchOut)
+}

@@ -1,0 +1,103 @@
+package isa
+
+// DecodeCache is a direct-mapped cache of decoded instructions keyed by PC —
+// the simulation analog of a DBT system's code cache (the role Pin's code
+// cache plays under the paper's software DIFT layer). A hit returns the
+// decoded Instr without re-fetching or re-decoding the instruction word; the
+// owner is responsible for invalidating entries when memory holding cached
+// code is written.
+//
+// The zero value is not usable; call NewDecodeCache.
+type DecodeCache struct {
+	instrs []Instr
+	pcs    []uint32
+	valid  []bool
+	mask   uint32
+	hits   uint64
+	misses uint64
+}
+
+// DefaultDecodeCacheEntries is the default capacity: 4096 entries cover a
+// 16 KiB code footprint with zero conflict misses.
+const DefaultDecodeCacheEntries = 4096
+
+// NewDecodeCache returns a cache with at least the given number of entries
+// (rounded up to a power of two; minimum 16).
+func NewDecodeCache(entries int) *DecodeCache {
+	n := 16
+	for n < entries {
+		n *= 2
+	}
+	return &DecodeCache{
+		instrs: make([]Instr, n),
+		pcs:    make([]uint32, n),
+		valid:  make([]bool, n),
+		mask:   uint32(n - 1),
+	}
+}
+
+// index returns the direct-mapped slot of pc. Instructions are word-sized,
+// so the low two PC bits are dropped before indexing.
+func (c *DecodeCache) index(pc uint32) uint32 { return (pc >> 2) & c.mask }
+
+// Lookup returns the cached decode of the instruction at pc.
+func (c *DecodeCache) Lookup(pc uint32) (Instr, bool) {
+	i := c.index(pc)
+	if c.valid[i] && c.pcs[i] == pc {
+		c.hits++
+		return c.instrs[i], true
+	}
+	c.misses++
+	return Instr{}, false
+}
+
+// Insert caches the decode of the instruction at pc, displacing whatever
+// occupied its slot.
+func (c *DecodeCache) Insert(pc uint32, in Instr) {
+	i := c.index(pc)
+	c.instrs[i] = in
+	c.pcs[i] = pc
+	c.valid[i] = true
+}
+
+// InvalidateRange drops every cached instruction overlapping the byte range
+// [lo, hi]. An entry for pc covers bytes [pc, pc+WordSize), so any write into
+// that window invalidates it. Bounds are inclusive to allow hi = 0xFFFFFFFF.
+func (c *DecodeCache) InvalidateRange(lo, hi uint32) {
+	if hi < lo {
+		return
+	}
+	// An instruction starting up to WordSize-1 bytes before lo still
+	// overlaps the range. Unaligned PCs are permitted, so every byte
+	// position is a candidate start.
+	start := uint64(lo) - (WordSize - 1)
+	if lo < WordSize-1 {
+		start = 0
+	}
+	if uint64(hi)-start+1 >= uint64(len(c.pcs)) {
+		// More candidate PCs than slots: cheaper to drop everything.
+		c.Flush()
+		return
+	}
+	for p := start; p <= uint64(hi); p++ {
+		pc := uint32(p)
+		i := c.index(pc)
+		if c.valid[i] && c.pcs[i] == pc {
+			c.valid[i] = false
+		}
+	}
+}
+
+// Flush empties the cache, keeping statistics.
+func (c *DecodeCache) Flush() {
+	clear(c.valid)
+}
+
+// Stats returns the hit and miss counts since creation (or ResetStats).
+func (c *DecodeCache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// ResetStats zeroes the counters without touching contents.
+func (c *DecodeCache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// Entries returns the cache capacity.
+func (c *DecodeCache) Entries() int { return len(c.instrs) }

@@ -82,6 +82,42 @@ func FuzzAssembleDecode(f *testing.F) {
 			t.Fatalf("round trip lost information: %+v -> %#08x -> %+v (want %+v)", in, w, got, want)
 		}
 		_ = got.String() // must not panic
+
+		// The decode cache must agree with direct Decode for every word the
+		// decoder accepts — on the initial fill, after invalidation of the
+		// entry's range, and after a refill. The PC is derived from the word
+		// so the fuzzer also exercises conflict slots of the tiny cache.
+		dc := NewDecodeCache(16)
+		pc := (w % 4096) &^ 3
+		if _, hit := dc.Lookup(pc); hit {
+			t.Fatalf("empty cache hit at pc=%#x", pc)
+		}
+		dc.Insert(pc, got)
+		cached, hit := dc.Lookup(pc)
+		if !hit || cached != got {
+			t.Fatalf("cache disagrees with Decode: %+v vs %+v (hit=%v)", cached, got, hit)
+		}
+		// A write to any byte of the instruction word must drop the entry.
+		dc.InvalidateRange(pc+WordSize-1, pc+WordSize-1)
+		if _, hit := dc.Lookup(pc); hit {
+			t.Fatalf("entry at pc=%#x survived invalidation of its last byte", pc)
+		}
+		reDecoded, err := Decode(w)
+		if err != nil {
+			t.Fatalf("re-decode of %#08x failed: %v", w, err)
+		}
+		dc.Insert(pc, reDecoded)
+		if cached, hit := dc.Lookup(pc); !hit || cached != got {
+			t.Fatalf("refilled cache disagrees with Decode: %+v vs %+v (hit=%v)", cached, got, hit)
+		}
+		dc.Flush()
+		if _, hit := dc.Lookup(pc); hit {
+			t.Fatalf("entry at pc=%#x survived Flush", pc)
+		}
+		hits, misses := dc.Stats()
+		if hits != 2 || misses != 3 {
+			t.Fatalf("stats = %d hits, %d misses; want 2, 3", hits, misses)
+		}
 	})
 }
 

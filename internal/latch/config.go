@@ -78,6 +78,13 @@ type Config struct {
 	// CTCMissPenalty is the cycle cost of a CTC miss (the paper simulates
 	// 150 cycles, §6.1).
 	CTCMissPenalty uint64
+	// AddressSpan is a sizing hint: the span of the address space, starting
+	// at zero, that workloads are expected to touch. The module pre-sizes its
+	// dense coarse-state tables (the CTT and the page-domain counters) to
+	// cover it, so the hot path never grows them. Addresses beyond the span
+	// remain fully supported — the tables grow on demand. Zero means no
+	// pre-sizing.
+	AddressSpan uint32
 }
 
 // CTTWordBits is the number of taint domains covered by one CTT word.
@@ -101,6 +108,8 @@ func DefaultConfig() Config {
 		BaselineTCache: true,
 		Clear:          EagerClear,
 		CTCMissPenalty: 150,
+		// The synthetic workloads place their footprints below 512 MiB.
+		AddressSpan: 1 << 29,
 	}
 }
 

@@ -145,8 +145,11 @@ type Module struct {
 	cfg    Config
 	Shadow *shadow.Shadow
 
-	ctt     *CTT
-	pdCount map[uint32]uint32 // page-domain index -> tainted domain count
+	ctt *CTT
+	// pdCount holds the tainted-domain count of each page-level taint
+	// domain, indexed directly by global page-domain index. Pre-sized from
+	// Config.AddressSpan; grown geometrically beyond it.
+	pdCount []uint32
 	trf     TRF
 
 	tlb        *cache.TLB
@@ -173,8 +176,8 @@ func New(cfg Config, sh *shadow.Shadow) (*Module, error) {
 	m := &Module{
 		cfg:     cfg,
 		Shadow:  sh,
-		ctt:     NewCTT(),
-		pdCount: make(map[uint32]uint32),
+		ctt:     NewCTTSized(int(cfg.AddressSpan / cfg.WordCoverage())),
+		pdCount: make([]uint32, cfg.AddressSpan/cfg.PageDomainSize()),
 		tlb:     cache.MustNewTLB(cfg.TLBEntries, cfg.PageDomains()),
 		ctc: cache.MustNew(cache.Config{
 			Name:     "ctc",
@@ -252,13 +255,30 @@ func (m *Module) PageTaintBits(pn uint32) uint32 { return m.pageBits(pn) }
 func (m *Module) pageBits(pn uint32) uint32 {
 	perPage := uint32(m.cfg.PageDomains())
 	base := pn * perPage
+	if int(base) >= len(m.pdCount) {
+		return 0
+	}
 	var bitsV uint32
 	for i := uint32(0); i < perPage; i++ {
-		if m.pdCount[base+i] > 0 {
+		if int(base+i) < len(m.pdCount) && m.pdCount[base+i] > 0 {
 			bitsV |= 1 << i
 		}
 	}
 	return bitsV
+}
+
+// pdGrow extends pdCount to cover index i, at least doubling.
+func (m *Module) pdGrow(i uint32) {
+	n := len(m.pdCount) * 2
+	if n < 1024 {
+		n = 1024
+	}
+	for n <= int(i) {
+		n *= 2
+	}
+	nc := make([]uint32, n)
+	copy(nc, m.pdCount)
+	m.pdCount = nc
 }
 
 // onDomainTransition is the shadow watcher: it propagates byte-precise
@@ -310,6 +330,9 @@ func (m *Module) onByteTransition(addr uint32, tainted bool) {
 
 func (m *Module) pdTaintInc(addr uint32) {
 	pd := m.pdIndex(addr)
+	if int(pd) >= len(m.pdCount) {
+		m.pdGrow(pd)
+	}
 	m.pdCount[pd]++
 	if m.pdCount[pd] == 1 {
 		m.tlb.UpdateTaintBit(addr, true)
@@ -318,12 +341,11 @@ func (m *Module) pdTaintInc(addr uint32) {
 
 func (m *Module) pdTaintDec(addr uint32) {
 	pd := m.pdIndex(addr)
-	if m.pdCount[pd] == 0 {
+	if int(pd) >= len(m.pdCount) || m.pdCount[pd] == 0 {
 		return
 	}
 	m.pdCount[pd]--
 	if m.pdCount[pd] == 0 {
-		delete(m.pdCount, pd)
 		m.tlb.UpdateTaintBit(addr, false)
 	}
 }

@@ -1,0 +1,49 @@
+package mem
+
+import "testing"
+
+// BenchmarkMemoryLoadWord measures the load hot path over a warm 16-page
+// working set.
+func BenchmarkMemoryLoadWord(b *testing.B) {
+	m := New()
+	const window = 16 * PageSize
+	for a := uint32(0); a < window; a += PageSize {
+		m.StoreWord(a, a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		sink += m.LoadWord(uint32(i*31) % window)
+	}
+	_ = sink
+}
+
+// BenchmarkMemoryStoreWord measures the store hot path over a warm window.
+func BenchmarkMemoryStoreWord(b *testing.B) {
+	m := New()
+	const window = 16 * PageSize
+	for a := uint32(0); a < window; a += PageSize {
+		m.StoreWord(a, a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.StoreWord(uint32(i*31)%window, uint32(i))
+	}
+}
+
+// BenchmarkMemoryReset measures Reset over a populated memory. After the
+// hot-path overhaul Reset zeroes and reuses the allocated pages instead of
+// handing the whole page table back to the garbage collector.
+func BenchmarkMemoryReset(b *testing.B) {
+	m := New()
+	const window = 16 * PageSize
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for a := uint32(0); a < window; a += 64 {
+			m.StoreWord(a, a)
+		}
+		m.Reset()
+	}
+}

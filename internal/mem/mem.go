@@ -4,12 +4,22 @@
 // allocating. The memory tracks which pages have ever been touched, which is
 // the raw input to the paper's page-granularity taint-distribution analysis
 // (Tables 3 and 4).
+//
+// The page table is a flat two-level radix structure — a directory of leaf
+// tables indexed by the high bits of the page number, leaves holding page
+// pointers indexed by the low bits — fronted by a one-entry last-page
+// translation cache, so the common case of consecutive accesses to the same
+// page costs one compare and no hashing. The pages-accessed set is a bitmap
+// with one bit per page of the 4 GiB space. Nothing on the load/store path
+// allocates once the working set's pages exist, and Reset recycles pages
+// through a free list instead of handing the structure to the garbage
+// collector.
 package mem
 
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"math/bits"
 )
 
 // PageSize is the size of a memory page in bytes, matching the 4 KiB pages
@@ -19,31 +29,67 @@ const PageSize = 4096
 // PageShift is log2(PageSize).
 const PageShift = 12
 
+// PageCount is the number of pages in the 32-bit address space.
+const PageCount = 1 << (32 - PageShift)
+
+// The two-level page table splits the 20-bit page number into a directory
+// index (high dirBits) and a leaf index (low leafBits).
+const (
+	leafBits = 10
+	leafSize = 1 << leafBits
+	dirBits  = 32 - PageShift - leafBits
+	dirSize  = 1 << dirBits
+)
+
 // PageNumber returns the page number containing addr.
 func PageNumber(addr uint32) uint32 { return addr >> PageShift }
 
 // PageBase returns the first address of the page containing addr.
 func PageBase(addr uint32) uint32 { return addr &^ (PageSize - 1) }
 
+// Page is the backing storage of one 4 KiB page.
+type Page = [PageSize]byte
+
+// pageLeaf is one leaf table of the two-level page table.
+type pageLeaf [leafSize]*Page
+
+// bitmapWords is the size of a one-bit-per-page bitmap in 64-bit words.
+const bitmapWords = PageCount / 64
+
 // Memory is a sparse 32-bit byte-addressable memory.
 //
 // The zero value is not usable; call New.
 type Memory struct {
-	pages map[uint32]*[PageSize]byte
+	dir [dirSize]*pageLeaf
+
+	// One-entry translation cache: the page the last successful lookup
+	// resolved to. lastPage == nil means the entry is invalid.
+	lastPN   uint32
+	lastPage *Page
+	tlcHits  uint64
+	tlcMiss  uint64
+
 	// accessed records every page ever read or written, including reads of
 	// unallocated pages (the paper counts "pages accessed", not "pages
-	// allocated").
-	accessed map[uint32]bool
+	// allocated"), as a one-bit-per-page bitmap. dirtyWords lists the bitmap
+	// words holding at least one set bit so Reset clears only what was used.
+	accessed      []uint64
+	dirtyWords    []uint32
+	accessedCount int
 	// trackAccess can be disabled for raw speed when page statistics are not
 	// needed.
 	trackAccess bool
+
+	// allocated lists the page numbers currently backed by storage, in
+	// allocation order; free holds zeroed pages recycled by Reset.
+	allocated []uint32
+	free      []*Page
 }
 
 // New returns an empty memory with page-access tracking enabled.
 func New() *Memory {
 	return &Memory{
-		pages:       make(map[uint32]*[PageSize]byte),
-		accessed:    make(map[uint32]bool),
+		accessed:    make([]uint64, bitmapWords),
 		trackAccess: true,
 	}
 }
@@ -52,8 +98,20 @@ func New() *Memory {
 func (m *Memory) SetAccessTracking(on bool) { m.trackAccess = on }
 
 func (m *Memory) note(addr uint32) {
-	if m.trackAccess {
-		m.accessed[PageNumber(addr)] = true
+	if !m.trackAccess {
+		return
+	}
+	m.notePage(PageNumber(addr))
+}
+
+func (m *Memory) notePage(pn uint32) {
+	w, bit := pn>>6, uint64(1)<<(pn&63)
+	if m.accessed[w]&bit == 0 {
+		if m.accessed[w] == 0 {
+			m.dirtyWords = append(m.dirtyWords, w)
+		}
+		m.accessed[w] |= bit
+		m.accessedCount++
 	}
 }
 
@@ -64,23 +122,58 @@ func (m *Memory) notePageRange(addr uint32, n int) {
 	first := PageNumber(addr)
 	last := PageNumber(addr + uint32(n-1))
 	for p := first; ; p++ {
-		m.accessed[p] = true
+		m.notePage(p)
 		if p == last {
 			break
 		}
 	}
 }
 
-// page returns the page for addr, allocating it if create is set.
-func (m *Memory) page(addr uint32, create bool) *[PageSize]byte {
+// page returns the page for addr, allocating it if create is set. The
+// translation cache makes repeated lookups of one page a single compare.
+func (m *Memory) page(addr uint32, create bool) *Page {
 	pn := PageNumber(addr)
-	p := m.pages[pn]
-	if p == nil && create {
-		p = new([PageSize]byte)
-		m.pages[pn] = p
+	if pn == m.lastPN && m.lastPage != nil {
+		m.tlcHits++
+		return m.lastPage
 	}
+	m.tlcMiss++
+	leaf := m.dir[pn>>leafBits]
+	if leaf == nil {
+		if !create {
+			return nil
+		}
+		leaf = new(pageLeaf)
+		m.dir[pn>>leafBits] = leaf
+	}
+	p := leaf[pn&(leafSize-1)]
+	if p == nil {
+		if !create {
+			return nil
+		}
+		if n := len(m.free); n > 0 {
+			p = m.free[n-1]
+			m.free[n-1] = nil
+			m.free = m.free[:n-1]
+		} else {
+			p = new(Page)
+		}
+		leaf[pn&(leafSize-1)] = p
+		m.allocated = append(m.allocated, pn)
+	}
+	m.lastPN, m.lastPage = pn, p
 	return p
 }
+
+// TranslationCacheStats returns the hit and miss counts of the one-entry
+// last-page translation cache since creation (or the last ResetStats).
+func (m *Memory) TranslationCacheStats() (hits, misses uint64) {
+	return m.tlcHits, m.tlcMiss
+}
+
+// ResetStats zeroes the translation-cache counters without touching
+// contents or the pages-accessed set.
+func (m *Memory) ResetStats() { m.tlcHits, m.tlcMiss = 0, 0 }
 
 // LoadByte returns the byte at addr.
 func (m *Memory) LoadByte(addr uint32) byte {
@@ -139,6 +232,13 @@ func (m *Memory) Write(addr uint32, buf []byte) {
 // LoadWord returns the little-endian 32-bit word at addr. Unaligned access
 // is permitted, as on x86 (the paper's evaluation ISA).
 func (m *Memory) LoadWord(addr uint32) uint32 {
+	if off := addr % PageSize; off <= PageSize-4 {
+		m.note(addr)
+		if p := m.page(addr, false); p != nil {
+			return binary.LittleEndian.Uint32(p[off : off+4])
+		}
+		return 0
+	}
 	var b [4]byte
 	m.Read(addr, b[:])
 	return binary.LittleEndian.Uint32(b[:])
@@ -146,6 +246,11 @@ func (m *Memory) LoadWord(addr uint32) uint32 {
 
 // StoreWord stores v little-endian at addr.
 func (m *Memory) StoreWord(addr uint32, v uint32) {
+	if off := addr % PageSize; off <= PageSize-4 {
+		m.note(addr)
+		binary.LittleEndian.PutUint32(m.page(addr, true)[off:off+4], v)
+		return
+	}
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], v)
 	m.Write(addr, b[:])
@@ -153,6 +258,13 @@ func (m *Memory) StoreWord(addr uint32, v uint32) {
 
 // LoadHalf returns the little-endian 16-bit value at addr.
 func (m *Memory) LoadHalf(addr uint32) uint16 {
+	if off := addr % PageSize; off <= PageSize-2 {
+		m.note(addr)
+		if p := m.page(addr, false); p != nil {
+			return binary.LittleEndian.Uint16(p[off : off+2])
+		}
+		return 0
+	}
 	var b [2]byte
 	m.Read(addr, b[:])
 	return binary.LittleEndian.Uint16(b[:])
@@ -160,34 +272,55 @@ func (m *Memory) LoadHalf(addr uint32) uint16 {
 
 // StoreHalf stores v little-endian at addr.
 func (m *Memory) StoreHalf(addr uint32, v uint16) {
+	if off := addr % PageSize; off <= PageSize-2 {
+		m.note(addr)
+		binary.LittleEndian.PutUint16(m.page(addr, true)[off:off+2], v)
+		return
+	}
 	var b [2]byte
 	binary.LittleEndian.PutUint16(b[:], v)
 	m.Write(addr, b[:])
 }
 
 // PagesAccessed returns the number of distinct pages ever read or written.
-func (m *Memory) PagesAccessed() int { return len(m.accessed) }
+func (m *Memory) PagesAccessed() int { return m.accessedCount }
 
 // AccessedPages returns the sorted page numbers ever read or written.
 func (m *Memory) AccessedPages() []uint32 {
-	out := make([]uint32, 0, len(m.accessed))
-	for p := range m.accessed {
-		out = append(out, p)
+	out := make([]uint32, 0, m.accessedCount)
+	for w, word := range m.accessed {
+		for ; word != 0; word &= word - 1 {
+			out = append(out, uint32(w)<<6+uint32(bits.TrailingZeros64(word)))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // PagesAllocated returns the number of pages backed by storage.
-func (m *Memory) PagesAllocated() int { return len(m.pages) }
+func (m *Memory) PagesAllocated() int { return len(m.allocated) }
 
-// Reset discards all contents and statistics.
+// Reset discards all contents and statistics. The backing pages are zeroed
+// and recycled onto a free list rather than released, so repopulating after
+// a Reset allocates nothing.
 func (m *Memory) Reset() {
-	m.pages = make(map[uint32]*[PageSize]byte)
-	m.accessed = make(map[uint32]bool)
+	for _, pn := range m.allocated {
+		leaf := m.dir[pn>>leafBits]
+		p := leaf[pn&(leafSize-1)]
+		*p = Page{}
+		leaf[pn&(leafSize-1)] = nil
+		m.free = append(m.free, p)
+	}
+	m.allocated = m.allocated[:0]
+	for _, w := range m.dirtyWords {
+		m.accessed[w] = 0
+	}
+	m.dirtyWords = m.dirtyWords[:0]
+	m.accessedCount = 0
+	m.lastPage = nil
+	m.tlcHits, m.tlcMiss = 0, 0
 }
 
 // String summarizes the memory for debugging.
 func (m *Memory) String() string {
-	return fmt.Sprintf("mem{allocated=%d pages, accessed=%d pages}", len(m.pages), len(m.accessed))
+	return fmt.Sprintf("mem{allocated=%d pages, accessed=%d pages}", len(m.allocated), m.accessedCount)
 }

@@ -1,0 +1,85 @@
+package shadow
+
+import (
+	"testing"
+
+	"latch/internal/mem"
+)
+
+// benchWindow spans 16 pages so the benchmarks exercise page translation,
+// not just one resident page.
+const benchWindow = 16 * mem.PageSize
+
+// BenchmarkShadowStore measures Set on the propagate hot path: taint and
+// clear alternating over a warm window, firing a domain transition on every
+// call (the worst case for the counter bookkeeping). The acceptance
+// criterion for the hot-path overhaul is 0 allocs/op in steady state.
+func BenchmarkShadowStore(b *testing.B) {
+	s := MustNew(DefaultDomainSize)
+	for a := uint32(0); a < benchWindow; a += mem.PageSize {
+		s.Set(a, Label(0))
+		s.Set(a, TagClean)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint32(i*31) % benchWindow
+		if i&1 == 0 {
+			s.Set(addr, Label(0))
+		} else {
+			s.Set(addr, TagClean)
+		}
+	}
+}
+
+// BenchmarkShadowLoad measures Get over a partially tainted window.
+func BenchmarkShadowLoad(b *testing.B) {
+	s := MustNew(DefaultDomainSize)
+	for a := uint32(0); a < benchWindow; a += 64 {
+		s.Set(a, Label(0))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink Tag
+	for i := 0; i < b.N; i++ {
+		sink |= s.Get(uint32(i*31) % benchWindow)
+	}
+	_ = sink
+}
+
+// TestShadowStoreNoAllocs pins the acceptance criterion independently of
+// the benchmark run: steady-state Set must not allocate.
+func TestShadowStoreNoAllocs(t *testing.T) {
+	s := MustNew(DefaultDomainSize)
+	for a := uint32(0); a < benchWindow; a += mem.PageSize {
+		s.Set(a, Label(0))
+		s.Set(a, TagClean)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(1000, func() {
+		addr := uint32(i*31) % benchWindow
+		if i&1 == 0 {
+			s.Set(addr, Label(0))
+		} else {
+			s.Set(addr, TagClean)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("shadow.Set allocates %.2f times per store in steady state, want 0", avg)
+	}
+}
+
+// BenchmarkShadowReset measures Reset over a populated shadow. After the
+// hot-path overhaul Reset reuses the allocated flat pages instead of
+// handing them back to the garbage collector.
+func BenchmarkShadowReset(b *testing.B) {
+	s := MustNew(DefaultDomainSize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for a := uint32(0); a < benchWindow; a += 256 {
+			s.Set(a, Label(0))
+		}
+		s.Reset()
+	}
+}

@@ -60,7 +60,7 @@ func (s *Shadow) WriteTo(w io.Writer) (int64, error) {
 		return n, err
 	}
 	for _, pn := range pages {
-		p := s.pages[pn]
+		p := s.lookup(pn)
 		runs := encodeRuns(&p.tags)
 		if err := write(pn); err != nil {
 			return n, err
@@ -106,8 +106,8 @@ func encodeRuns(tags *[mem.PageSize]Tag) []taintRun {
 // taintedPageNumbersNow lists pages currently holding taint, sorted.
 func (s *Shadow) taintedPageNumbersNow() []uint32 {
 	var out []uint32
-	for pn, p := range s.pages {
-		if p.taintedBytes > 0 {
+	for _, pn := range s.allocated {
+		if p := s.dir[pn>>leafBits][pn&(leafSize-1)]; p.taintedBytes > 0 {
 			out = append(out, pn)
 		}
 	}

@@ -13,12 +13,16 @@
 // Domain and page transitions (clean→tainted and tainted→clean) are reported
 // through watcher callbacks so the coarse taint table can stay synchronized
 // incrementally, exactly as the hardware update logic in Figure 12 does.
+//
+// Like internal/mem, the tag pages live in a flat two-level page table
+// fronted by a one-entry translation cache, the ever-tainted-pages set is a
+// bitmap, and Reset recycles pages through a free list — the propagate path
+// (Set/Get) performs no hashing and no allocation in steady state.
 package shadow
 
 import (
 	"fmt"
 	"math/bits"
-	"sort"
 
 	"latch/internal/mem"
 )
@@ -56,11 +60,30 @@ const (
 	MaxDomainSize = mem.PageSize
 )
 
+// The two-level tag-page table mirrors internal/mem's geometry: the 20-bit
+// page number splits into a directory index (high bits) and a leaf index.
+const (
+	leafBits = 10
+	leafSize = 1 << leafBits
+	dirBits  = 32 - mem.PageShift - leafBits
+	dirSize  = 1 << dirBits
+)
+
+// bitmapWords is the size of a one-bit-per-page bitmap in 64-bit words.
+const bitmapWords = mem.PageCount / 64
+
+// maxDomPerPage is the per-page domain count at the smallest granularity;
+// domainBytes is sized for it so a page is one allocation at any granularity.
+const maxDomPerPage = mem.PageSize / MinDomainSize
+
 type page struct {
 	tags         [mem.PageSize]Tag
+	domainBytes  [maxDomPerPage]uint16 // tainted bytes per domain; [0:domPerPage) used
 	taintedBytes uint16
-	domainBytes  []uint16 // tainted bytes per domain within this page
 }
+
+// pageLeaf is one leaf table of the two-level tag-page table.
+type pageLeaf [leafSize]*page
 
 // Watcher observes transitions of a coarse unit (domain or page) between the
 // clean and tainted states. Units are identified by their global index
@@ -75,7 +98,15 @@ type ByteWatcher func(addr uint32, tainted bool)
 
 // Shadow is a sparse byte-precise taint map over the 32-bit address space.
 type Shadow struct {
-	pages      map[uint32]*page
+	dir [dirSize]*pageLeaf
+
+	// One-entry translation cache over the tag pages; lastPage == nil means
+	// invalid.
+	lastPN   uint32
+	lastPage *page
+	tlcHits  uint64
+	tlcMiss  uint64
+
 	domainSize uint32
 	domShift   uint
 	domPerPage uint32
@@ -86,10 +117,18 @@ type Shadow struct {
 	onPage   Watcher
 	onByte   ByteWatcher
 
-	// everTaintedPages records pages that have held taint at any point; the
+	// everTainted records pages that have held taint at any point; the
 	// paper's Tables 3/4 count pages that *received* tainted data during the
-	// run, not pages tainted at exit.
-	everTaintedPages map[uint32]bool
+	// run, not pages tainted at exit. It is a one-bit-per-page bitmap with a
+	// dirty-word list so Reset clears only what was used.
+	everTainted      []uint64
+	everDirtyWords   []uint32
+	everTaintedCount int
+
+	// allocated lists tag pages currently backed by storage; free holds
+	// zeroed pages recycled by Reset.
+	allocated []uint32
+	free      []*page
 }
 
 // New creates a shadow with the given domain size, which must be a power of
@@ -99,11 +138,10 @@ func New(domainSize uint32) (*Shadow, error) {
 		return nil, fmt.Errorf("shadow: invalid domain size %d", domainSize)
 	}
 	return &Shadow{
-		pages:            make(map[uint32]*page),
-		domainSize:       domainSize,
-		domShift:         uint(bits.TrailingZeros32(domainSize)),
-		domPerPage:       mem.PageSize / domainSize,
-		everTaintedPages: make(map[uint32]bool),
+		domainSize:  domainSize,
+		domShift:    uint(bits.TrailingZeros32(domainSize)),
+		domPerPage:  mem.PageSize / domainSize,
+		everTainted: make([]uint64, bitmapWords),
 	}, nil
 }
 
@@ -137,18 +175,79 @@ func (s *Shadow) OnPageTransition(w Watcher) { s.onPage = w }
 // status change. Passing nil removes the watcher.
 func (s *Shadow) OnByteTransition(w ByteWatcher) { s.onByte = w }
 
-func (s *Shadow) getPage(pn uint32, create bool) *page {
-	p := s.pages[pn]
-	if p == nil && create {
-		p = &page{domainBytes: make([]uint16, s.domPerPage)}
-		s.pages[pn] = p
+// lookup returns the page numbered pn or nil, going through the translation
+// cache.
+func (s *Shadow) lookup(pn uint32) *page {
+	if pn == s.lastPN && s.lastPage != nil {
+		s.tlcHits++
+		return s.lastPage
+	}
+	s.tlcMiss++
+	leaf := s.dir[pn>>leafBits]
+	if leaf == nil {
+		return nil
+	}
+	p := leaf[pn&(leafSize-1)]
+	if p != nil {
+		s.lastPN, s.lastPage = pn, p
 	}
 	return p
 }
 
+func (s *Shadow) getPage(pn uint32, create bool) *page {
+	if pn == s.lastPN && s.lastPage != nil {
+		s.tlcHits++
+		return s.lastPage
+	}
+	s.tlcMiss++
+	leaf := s.dir[pn>>leafBits]
+	if leaf == nil {
+		if !create {
+			return nil
+		}
+		leaf = new(pageLeaf)
+		s.dir[pn>>leafBits] = leaf
+	}
+	p := leaf[pn&(leafSize-1)]
+	if p == nil {
+		if !create {
+			return nil
+		}
+		if n := len(s.free); n > 0 {
+			p = s.free[n-1]
+			s.free[n-1] = nil
+			s.free = s.free[:n-1]
+		} else {
+			p = new(page)
+		}
+		leaf[pn&(leafSize-1)] = p
+		s.allocated = append(s.allocated, pn)
+	}
+	s.lastPN, s.lastPage = pn, p
+	return p
+}
+
+// TranslationCacheStats returns the hit and miss counts of the one-entry
+// tag-page translation cache.
+func (s *Shadow) TranslationCacheStats() (hits, misses uint64) {
+	return s.tlcHits, s.tlcMiss
+}
+
+// markEverTainted records page pn in the ever-tainted set.
+func (s *Shadow) markEverTainted(pn uint32) {
+	w, bit := pn>>6, uint64(1)<<(pn&63)
+	if s.everTainted[w]&bit == 0 {
+		if s.everTainted[w] == 0 {
+			s.everDirtyWords = append(s.everDirtyWords, w)
+		}
+		s.everTainted[w] |= bit
+		s.everTaintedCount++
+	}
+}
+
 // Get returns the tag of the byte at addr.
 func (s *Shadow) Get(addr uint32) Tag {
-	p := s.pages[mem.PageNumber(addr)]
+	p := s.lookup(mem.PageNumber(addr))
 	if p == nil {
 		return TagClean
 	}
@@ -158,8 +257,13 @@ func (s *Shadow) Get(addr uint32) Tag {
 // Set assigns tag to the byte at addr and returns the previous tag.
 func (s *Shadow) Set(addr uint32, tag Tag) Tag {
 	pn := mem.PageNumber(addr)
-	p := s.getPage(pn, tag != TagClean)
-	if p == nil {
+	// Translation-cache hit path, hoisted: getPage is too large to inline
+	// and Set is the propagate hot path.
+	var p *page
+	if pn == s.lastPN && s.lastPage != nil {
+		s.tlcHits++
+		p = s.lastPage
+	} else if p = s.getPage(pn, tag != TagClean); p == nil {
 		return TagClean // clearing an untracked byte: nothing to do
 	}
 	off := addr % mem.PageSize
@@ -178,7 +282,7 @@ func (s *Shadow) Set(addr uint32, tag Tag) Tag {
 			s.onDomain(s.DomainIndex(addr), true)
 		}
 		if p.taintedBytes == 1 {
-			s.everTaintedPages[pn] = true
+			s.markEverTainted(pn)
 			if s.onPage != nil {
 				s.onPage(pn, true)
 			}
@@ -237,7 +341,7 @@ func (s *Shadow) DomainTainted(d uint32) bool {
 // has been fully cleared.
 func (s *Shadow) DomainTaintedBytes(d uint32) int {
 	addr := s.DomainBase(d)
-	p := s.pages[mem.PageNumber(addr)]
+	p := s.lookup(mem.PageNumber(addr))
 	if p == nil {
 		return 0
 	}
@@ -256,7 +360,7 @@ func (s *Shadow) TaintedAt(addr uint32, unitSize uint32) bool {
 	if unitSize >= mem.PageSize {
 		// Whole pages (or runs of pages).
 		for b := base; b < base+unitSize; b += mem.PageSize {
-			if p := s.pages[mem.PageNumber(b)]; p != nil && p.taintedBytes > 0 {
+			if p := s.lookup(mem.PageNumber(b)); p != nil && p.taintedBytes > 0 {
 				return true
 			}
 			if b+mem.PageSize < b { // wrapped
@@ -265,7 +369,7 @@ func (s *Shadow) TaintedAt(addr uint32, unitSize uint32) bool {
 		}
 		return false
 	}
-	p := s.pages[mem.PageNumber(base)]
+	p := s.lookup(mem.PageNumber(base))
 	if p == nil || p.taintedBytes == 0 {
 		return false
 	}
@@ -289,13 +393,13 @@ func (s *Shadow) TaintedAt(addr uint32, unitSize uint32) bool {
 
 // PageTainted reports whether the page currently holds any tainted byte.
 func (s *Shadow) PageTainted(pn uint32) bool {
-	p := s.pages[pn]
+	p := s.lookup(pn)
 	return p != nil && p.taintedBytes > 0
 }
 
 // PageTaintedBytes returns the number of tainted bytes currently in page pn.
 func (s *Shadow) PageTaintedBytes(pn uint32) int {
-	p := s.pages[pn]
+	p := s.lookup(pn)
 	if p == nil {
 		return 0
 	}
@@ -305,25 +409,29 @@ func (s *Shadow) PageTaintedBytes(pn uint32) int {
 // TaintedBytes returns the total number of currently tainted bytes.
 func (s *Shadow) TaintedBytes() uint64 { return s.taintedBytes }
 
+// PagesAllocated returns the number of tag pages backed by storage.
+func (s *Shadow) PagesAllocated() int { return len(s.allocated) }
+
 // EverTaintedPages returns the number of distinct pages that have held taint
 // at any point during execution (the "pages tainted" metric of Tables 3/4).
-func (s *Shadow) EverTaintedPages() int { return len(s.everTaintedPages) }
+func (s *Shadow) EverTaintedPages() int { return s.everTaintedCount }
 
 // EverTaintedPageNumbers returns the sorted page numbers that ever held taint.
 func (s *Shadow) EverTaintedPageNumbers() []uint32 {
-	out := make([]uint32, 0, len(s.everTaintedPages))
-	for pn := range s.everTaintedPages {
-		out = append(out, pn)
+	out := make([]uint32, 0, s.everTaintedCount)
+	for w, word := range s.everTainted {
+		for ; word != 0; word &= word - 1 {
+			out = append(out, uint32(w)<<6+uint32(bits.TrailingZeros64(word)))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // CurrentTaintedPages returns the number of pages holding taint right now.
 func (s *Shadow) CurrentTaintedPages() int {
 	n := 0
-	for _, p := range s.pages {
-		if p.taintedBytes > 0 {
+	for _, pn := range s.allocated {
+		if p := s.dir[pn>>leafBits][pn&(leafSize-1)]; p.taintedBytes > 0 {
 			n++
 		}
 	}
@@ -331,9 +439,36 @@ func (s *Shadow) CurrentTaintedPages() int {
 }
 
 // Reset clears all taint and statistics. Watchers are retained but not
-// invoked for the wholesale clear.
+// invoked for the wholesale clear. The tag pages are zeroed and recycled
+// onto a free list rather than released, so repopulating after a Reset
+// allocates nothing.
 func (s *Shadow) Reset() {
-	s.pages = make(map[uint32]*page)
+	for _, pn := range s.allocated {
+		leaf := s.dir[pn>>leafBits]
+		p := leaf[pn&(leafSize-1)]
+		// The counters say exactly which domains hold nonzero tags; a page
+		// whose taint was already cleared byte-by-byte needs no zeroing at
+		// all, and a sparsely tainted one only domain-sized clears.
+		if p.taintedBytes > 0 {
+			for di, n := range p.domainBytes[:s.domPerPage] {
+				if n > 0 {
+					base := uint32(di) * s.domainSize
+					clear(p.tags[base : base+s.domainSize])
+					p.domainBytes[di] = 0
+				}
+			}
+			p.taintedBytes = 0
+		}
+		leaf[pn&(leafSize-1)] = nil
+		s.free = append(s.free, p)
+	}
+	s.allocated = s.allocated[:0]
+	for _, w := range s.everDirtyWords {
+		s.everTainted[w] = 0
+	}
+	s.everDirtyWords = s.everDirtyWords[:0]
+	s.everTaintedCount = 0
 	s.taintedBytes = 0
-	s.everTaintedPages = make(map[uint32]bool)
+	s.lastPage = nil
+	s.tlcHits, s.tlcMiss = 0, 0
 }

@@ -62,7 +62,7 @@ func TestSetGet(t *testing.T) {
 	// Clearing an address never touched must not allocate a page.
 	s2 := MustNew(64)
 	s2.Set(5000, TagClean)
-	if len(s2.pages) != 0 {
+	if s2.PagesAllocated() != 0 {
 		t.Fatal("clearing untracked byte allocated a page")
 	}
 }

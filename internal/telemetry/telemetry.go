@@ -57,6 +57,11 @@ const (
 	CacheTLB Cache = iota
 	CacheCTC
 	CacheTCache
+	// CacheDecode is the VM's decoded-instruction cache — the simulation
+	// analog of a DBT code cache (Pin's, in the paper's software layer).
+	CacheDecode
+	// CacheMemTLC is the paged memory's one-entry page translation cache.
+	CacheMemTLC
 	NumCaches
 )
 
@@ -69,6 +74,10 @@ func (c Cache) String() string {
 		return "ctc"
 	case CacheTCache:
 		return "t-cache"
+	case CacheDecode:
+		return "decode"
+	case CacheMemTLC:
+		return "mem-tlc"
 	}
 	return "unknown"
 }
@@ -148,6 +157,12 @@ type Observer interface {
 	// CacheMiss reports a miss in one of the checking stack's caches.
 	CacheMiss(c Cache)
 
+	// CacheBatch reports an accumulated batch of hits and misses for cache
+	// c. Hot loops that cannot afford one interface call per cache access
+	// (the VM's fetch path, the memory translation cache) count locally and
+	// flush deltas through this method at run boundaries.
+	CacheBatch(c Cache, hits, misses uint64)
+
 	// CacheEviction reports a block displaced from a cache; pendingClears
 	// is true when an evicted CTC line carried asserted clear bits (which
 	// triggers the §5.1.4 scan).
@@ -180,6 +195,7 @@ type Metrics struct {
 	positives      atomic.Uint64
 	falsePositives atomic.Uint64
 
+	hits          [NumCaches]atomic.Uint64
 	misses        [NumCaches]atomic.Uint64
 	evictions     [NumCaches]atomic.Uint64
 	pendingClears atomic.Uint64 // CTC evictions with clear bits outstanding
@@ -217,6 +233,19 @@ func (m *Metrics) CoarseCheck(level Level, positive, falsePositive bool) {
 func (m *Metrics) CacheMiss(c Cache) {
 	if c < NumCaches {
 		m.misses[c].Add(1)
+	}
+}
+
+// CacheBatch implements Observer.
+func (m *Metrics) CacheBatch(c Cache, hits, misses uint64) {
+	if c >= NumCaches {
+		return
+	}
+	if hits > 0 {
+		m.hits[c].Add(hits)
+	}
+	if misses > 0 {
+		m.misses[c].Add(misses)
 	}
 }
 
@@ -279,6 +308,11 @@ type Snapshot struct {
 	CTCMisses    uint64 `json:"ctc_misses"`
 	TCacheMisses uint64 `json:"tcache_misses"`
 
+	DecodeCacheHits   uint64 `json:"decode_cache_hits"`
+	DecodeCacheMisses uint64 `json:"decode_cache_misses"`
+	MemTLCHits        uint64 `json:"mem_tlc_hits"`
+	MemTLCMisses      uint64 `json:"mem_tlc_misses"`
+
 	CTCEvictions             uint64 `json:"ctc_evictions"`
 	CTCEvictionsPendingClear uint64 `json:"ctc_evictions_pending_clear"`
 
@@ -308,6 +342,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		TLBMisses:    m.misses[CacheTLB].Load(),
 		CTCMisses:    m.misses[CacheCTC].Load(),
 		TCacheMisses: m.misses[CacheTCache].Load(),
+
+		DecodeCacheHits:   m.hits[CacheDecode].Load(),
+		DecodeCacheMisses: m.misses[CacheDecode].Load(),
+		MemTLCHits:        m.hits[CacheMemTLC].Load(),
+		MemTLCMisses:      m.misses[CacheMemTLC].Load(),
 
 		CTCEvictions:             m.evictions[CacheCTC].Load(),
 		CTCEvictionsPendingClear: m.pendingClears.Load(),
@@ -363,6 +402,13 @@ func (ms multi) CoarseCheck(level Level, positive, falsePositive bool) {
 func (ms multi) CacheMiss(c Cache) {
 	for _, o := range ms {
 		o.CacheMiss(c)
+	}
+}
+
+// CacheBatch implements Observer.
+func (ms multi) CacheBatch(c Cache, hits, misses uint64) {
+	for _, o := range ms {
+		o.CacheBatch(c, hits, misses)
 	}
 }
 

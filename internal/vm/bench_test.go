@@ -1,0 +1,64 @@
+package vm
+
+import (
+	"testing"
+
+	"latch/internal/isa"
+)
+
+// benchLoop is a steady-state interpreter kernel: a short loop mixing ALU
+// ops, a load, a store, and a taken jump, with code and data on different
+// pages so the stores never invalidate cached decodes. ns/op is the cost of
+// one CPU.Step once the decode cache and the memory translation cache are
+// warm.
+const benchLoop = `
+	movi r1, 1
+	lui  r2, 0x10
+loop:
+	ldw  r3, [r2+0]
+	add  r3, r3, r1
+	stw  r3, [r2+4]
+	xor  r4, r3, r1
+	sub  r5, r4, r1
+	jmp  loop
+`
+
+// BenchmarkCPUStep measures the execute hot path. The acceptance criterion
+// for the hot-path overhaul is 0 allocs/op in steady state.
+func BenchmarkCPUStep(b *testing.B) {
+	c := New()
+	c.Load(isa.MustAssemble(benchLoop))
+	// Warm caches and page allocations out of the timed region.
+	for i := 0; i < 64; i++ {
+		if err := c.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestCPUStepNoAllocs pins the acceptance criterion independently of the
+// benchmark run: a steady-state Step must not allocate.
+func TestCPUStepNoAllocs(t *testing.T) {
+	c := New()
+	c.Load(isa.MustAssemble(benchLoop))
+	for i := 0; i < 64; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("CPU.Step allocates %.2f times per step in steady state, want 0", avg)
+	}
+}

@@ -78,3 +78,56 @@ func TestObserverCountsPolicyFilteredInput(t *testing.T) {
 		t.Error("trusted file input was tainted")
 	}
 }
+
+func TestObserverSeesHotPathCacheCounters(t *testing.T) {
+	// The decode-cache and memory-translation-cache counters are batched:
+	// the CPU counts locally and flushes deltas through CacheBatch when Run
+	// returns. A loop long enough to revisit its instructions must show
+	// hits and misses on both caches, and the snapshot must agree exactly
+	// with the CPU-side counters.
+	mx := telemetry.NewMetrics()
+	p := mustAssemble(t, `
+		movi r1, 100
+	loop:	addi r1, r1, -1
+		bne  r1, r0, loop
+		halt
+	`)
+	c := New()
+	c.SetObserver(mx)
+	c.Load(p)
+	if _, err := c.Run(1_000); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mx.Snapshot()
+	if s.DecodeCacheHits == 0 || s.DecodeCacheMisses == 0 {
+		t.Errorf("decode cache counters = %d hits, %d misses, want both nonzero",
+			s.DecodeCacheHits, s.DecodeCacheMisses)
+	}
+	if s.MemTLCHits == 0 || s.MemTLCMisses == 0 {
+		t.Errorf("mem TLC counters = %d hits, %d misses, want both nonzero",
+			s.MemTLCHits, s.MemTLCMisses)
+	}
+	dh, dm := c.DecodeCacheStats()
+	if s.DecodeCacheHits != dh || s.DecodeCacheMisses != dm {
+		t.Errorf("snapshot decode counters (%d, %d) disagree with CPU (%d, %d)",
+			s.DecodeCacheHits, s.DecodeCacheMisses, dh, dm)
+	}
+	th, tm := c.Mem.TranslationCacheStats()
+	if s.MemTLCHits != th || s.MemTLCMisses != tm {
+		t.Errorf("snapshot TLC counters (%d, %d) disagree with memory (%d, %d)",
+			s.MemTLCHits, s.MemTLCMisses, th, tm)
+	}
+
+	// A second Run must flush only the delta, not re-emit history.
+	c.Load(p)
+	if _, err := c.Run(1_000); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mx.Snapshot()
+	dh2, dm2 := c.DecodeCacheStats()
+	if s2.DecodeCacheHits != dh2 || s2.DecodeCacheMisses != dm2 {
+		t.Errorf("after second run, snapshot decode counters (%d, %d) disagree with CPU (%d, %d)",
+			s2.DecodeCacheHits, s2.DecodeCacheMisses, dh2, dm2)
+	}
+}

@@ -87,6 +87,20 @@ type CPU struct {
 	hook    trace.Sink
 	obs     telemetry.Observer
 
+	// dcache caches decoded instructions by PC so the steady-state fetch
+	// path skips both the memory load and the decoder — the interpreter's
+	// analog of a DBT code cache. codePages is a one-bit-per-page map of
+	// pages holding cached code; stores consult it so writes over cached
+	// instructions invalidate their decodes (self-modifying-code safety).
+	dcache    *isa.DecodeCache
+	codePages []uint64
+
+	// reported* track the counter values already flushed to the observer;
+	// CacheBatch deltas are emitted at Run boundaries, keeping the per-step
+	// path free of interface calls.
+	reportedDecodeHits, reportedDecodeMisses uint64
+	reportedTLCHits, reportedTLCMisses       uint64
+
 	halted   bool
 	exitCode uint32
 	instret  uint64
@@ -100,7 +114,12 @@ type CPU struct {
 
 // New builds a CPU over fresh memory and environment.
 func New() *CPU {
-	return &CPU{Mem: mem.New(), Env: NewEnv()}
+	return &CPU{
+		Mem:       mem.New(),
+		Env:       NewEnv(),
+		dcache:    isa.NewDecodeCache(isa.DefaultDecodeCacheEntries),
+		codePages: make([]uint64, mem.PageCount/64),
+	}
 }
 
 // SetTracker attaches the DIFT tracker (nil detaches).
@@ -120,9 +139,70 @@ func (c *CPU) SetObserver(obs telemetry.Observer) { c.obs = obs }
 func (c *CPU) SetLastExceptionAddr(addr uint32) { c.lastExceptionAddr = addr }
 
 // Load copies a program image into memory and points the PC at its entry.
+// Any previously cached decodes are dropped.
 func (c *CPU) Load(p *isa.Program) {
 	c.Mem.Write(p.Origin, p.Image)
 	c.PC = p.Entry
+	c.dcache.Flush()
+	clear(c.codePages)
+}
+
+// DecodeCacheStats returns the decoded-instruction cache's hit and miss
+// counts.
+func (c *CPU) DecodeCacheStats() (hits, misses uint64) { return c.dcache.Stats() }
+
+// markCodePage records that page pn holds at least one cached decode.
+func (c *CPU) markCodePage(pn uint32) {
+	c.codePages[pn>>6] |= 1 << (pn & 63)
+}
+
+// noteStore invalidates cached decodes overlapped by a write of n bytes at
+// addr. The common case — a store to a page holding no cached code — is two
+// loads and a branch per touched page.
+func (c *CPU) noteStore(addr uint32, n uint32) {
+	if n == 0 {
+		return
+	}
+	first := mem.PageNumber(addr)
+	last := mem.PageNumber(addr + n - 1)
+	for p := first; ; p++ {
+		if c.codePages[p>>6]&(1<<(p&63)) != 0 {
+			c.dcache.InvalidateRange(addr, addr+n-1)
+			return
+		}
+		if p == last {
+			break
+		}
+	}
+}
+
+// counterDelta returns cur-last clamped at zero (the underlying counters can
+// restart from zero on a stats reset) and advances last.
+func counterDelta(cur uint64, last *uint64) uint64 {
+	if cur < *last {
+		*last = 0
+	}
+	d := cur - *last
+	*last = cur
+	return d
+}
+
+// FlushCacheStats emits the decode-cache and memory-translation-cache
+// counter deltas accumulated since the last flush through the observer.
+// Run calls it on every return; drivers stepping the CPU manually can call
+// it at their own boundaries.
+func (c *CPU) FlushCacheStats() {
+	if c.obs == nil {
+		return
+	}
+	dh, dm := c.dcache.Stats()
+	if h, m := counterDelta(dh, &c.reportedDecodeHits), counterDelta(dm, &c.reportedDecodeMisses); h|m != 0 {
+		c.obs.CacheBatch(telemetry.CacheDecode, h, m)
+	}
+	th, tm := c.Mem.TranslationCacheStats()
+	if h, m := counterDelta(th, &c.reportedTLCHits), counterDelta(tm, &c.reportedTLCMisses); h|m != 0 {
+		c.obs.CacheBatch(telemetry.CacheMemTLC, h, m)
+	}
 }
 
 // Halted reports whether the machine has stopped.
@@ -170,6 +250,7 @@ func cycleCost(in isa.Instr, taken bool) uint64 {
 // maxSteps instructions. It returns the number of instructions committed by
 // this call.
 func (c *CPU) Run(maxSteps uint64) (uint64, error) {
+	defer c.FlushCacheStats()
 	var steps uint64
 	for !c.halted {
 		if steps >= maxSteps {
@@ -189,10 +270,20 @@ func (c *CPU) Step() error {
 		return Fault{PC: c.PC, Reason: "machine halted"}
 	}
 	pc := c.PC
-	word := c.Mem.LoadWord(pc)
-	in, err := isa.Decode(word)
-	if err != nil {
-		return Fault{PC: pc, Reason: err.Error()}
+	in, ok := c.dcache.Lookup(pc)
+	if !ok {
+		word := c.Mem.LoadWord(pc)
+		var err error
+		in, err = isa.Decode(word)
+		if err != nil {
+			return Fault{PC: pc, Reason: err.Error()}
+		}
+		c.dcache.Insert(pc, in)
+		// Mark every page the instruction word spans so stores over it are
+		// caught. (A decode-cache hit skips LoadWord, but the accessed-pages
+		// set is monotone: this fill already noted the fetch page.)
+		c.markCodePage(mem.PageNumber(pc))
+		c.markCodePage(mem.PageNumber(pc + isa.WordSize - 1))
 	}
 
 	// Effective address for memory operands, known before execution.
@@ -305,11 +396,17 @@ func (c *CPU) exec(pc uint32, in isa.Instr) error {
 	case isa.LDW:
 		r[in.Rd] = c.Mem.LoadWord(r[in.Rs1] + uint32(in.Imm))
 	case isa.STB:
-		c.Mem.StoreByte(r[in.Rs1]+uint32(in.Imm), byte(r[in.Rd]))
+		a := r[in.Rs1] + uint32(in.Imm)
+		c.noteStore(a, 1)
+		c.Mem.StoreByte(a, byte(r[in.Rd]))
 	case isa.STH:
-		c.Mem.StoreHalf(r[in.Rs1]+uint32(in.Imm), uint16(r[in.Rd]))
+		a := r[in.Rs1] + uint32(in.Imm)
+		c.noteStore(a, 2)
+		c.Mem.StoreHalf(a, uint16(r[in.Rd]))
 	case isa.STW:
-		c.Mem.StoreWord(r[in.Rs1]+uint32(in.Imm), r[in.Rd])
+		a := r[in.Rs1] + uint32(in.Imm)
+		c.noteStore(a, 4)
+		c.Mem.StoreWord(a, r[in.Rd])
 	case isa.BEQ:
 		if r[in.Rd] == r[in.Rs1] {
 			next = branchTarget(pc, in.Imm)
@@ -378,6 +475,7 @@ func (c *CPU) syscall(pc uint32, num int32) error {
 			n = avail
 		}
 		if n > 0 {
+			c.noteStore(buf, uint32(n))
 			c.Mem.Write(buf, c.Env.FileData[c.Env.fileOff:c.Env.fileOff+n])
 			c.Env.fileOff += n
 			if c.tracker != nil {
@@ -400,6 +498,7 @@ func (c *CPU) syscall(pc uint32, num int32) error {
 			n = avail
 		}
 		if n > 0 {
+			c.noteStore(buf, uint32(n))
 			c.Mem.Write(buf, req[c.Env.curOff:c.Env.curOff+n])
 			c.Env.curOff += n
 			if c.tracker != nil {

@@ -1,7 +1,9 @@
 package vm
 
 import (
+	"encoding/binary"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -490,5 +492,70 @@ func BenchmarkInterpreterWithDIFT(b *testing.B) {
 		if err := c.Step(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestStoreOverCachedCodeInvalidatesDecode(t *testing.T) {
+	// Execute an instruction (filling the decode cache), overwrite it in
+	// memory, and execute it again: the machine must run the new
+	// instruction, not the cached decode.
+	patch := isa.MustEncode(isa.Instr{Op: isa.MOVI, Rd: 3, Imm: 2})
+	src := fmt.Sprintf(`
+		jmp  start
+	target:	movi r3, 1
+		jr   r7
+	start:	li   r7, =ret1
+		jmp  target
+	ret1:	li   r5, %d	; encoded "movi r3, 2"
+		li   r6, =target
+		stw  r5, [r6+0]
+		li   r7, =ret2
+		jmp  target
+	ret2:	halt
+	`, int64(patch))
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := New()
+	c.Load(p)
+	if _, err := c.Run(1_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[3] != 2 {
+		t.Fatalf("r3 = %d after store over cached code, want 2 (stale decode executed)", c.Regs[3])
+	}
+}
+
+func TestSyscallWriteOverCachedCodeInvalidatesDecode(t *testing.T) {
+	// SysRead writing over cached instructions must invalidate them too.
+	patch := isa.MustEncode(isa.Instr{Op: isa.MOVI, Rd: 3, Imm: 7})
+	var fileData [4]byte
+	binary.LittleEndian.PutUint32(fileData[:], patch)
+	src := `
+		jmp  start
+	target:	movi r3, 1
+		jr   r7
+	start:	li   r7, =ret1
+		jmp  target
+	ret1:	li   r1, =target
+		movi r2, 4
+		sys  2		; read 4 file bytes over "movi r3, 1"
+		li   r7, =ret2
+		jmp  target
+	ret2:	halt
+	`
+	p, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := New()
+	c.Env.FileData = fileData[:]
+	c.Load(p)
+	if _, err := c.Run(1_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[3] != 7 {
+		t.Fatalf("r3 = %d after syscall write over cached code, want 7", c.Regs[3])
 	}
 }
