@@ -1,17 +1,24 @@
 # Verification entry points. `make verify` is the full pre-merge gate:
-# tier-1 build+test plus go vet and the race-detector pass over every
-# package (the worker-pool harness and the suite runners are exercised
-# under -race by their own tests).
+# gofmt cleanliness, tier-1 build+test, go vet, and the race-detector pass
+# over every package (the worker-pool harness and the suite runners are
+# exercised under -race by their own tests).
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: build test vet race verify bench bench-compare fuzz golden
+.PHONY: build test fmt vet race verify cover bench bench-compare fuzz golden
 
 build:
 	$(GO) build ./...
 
 test: build
 	$(GO) test ./...
+
+# Formatting gate: fail (and list the offenders) if any tracked Go file is
+# not gofmt-clean.
+fmt:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -24,7 +31,17 @@ vet:
 race:
 	$(GO) test -race ./...
 
-verify: test vet race
+verify: fmt test vet race
+
+# Coverage gate for the engine substrate: every backend, the experiment
+# harness, and the CLIs sit on internal/engine, so its statement coverage
+# must stay at or above 85%.
+cover:
+	$(GO) test -coverprofile=/tmp/engine.cover ./internal/engine
+	@total="$$($(GO) tool cover -func=/tmp/engine.cover | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}')"; \
+	echo "internal/engine coverage: $$total%"; \
+	awk "BEGIN { exit !($$total >= 85) }" || \
+		{ echo "internal/engine coverage $$total% is below the 85% floor"; exit 1; }
 
 # Root-package benchmarks, plus the committed perf artifacts: the
 # observability-overhead report (BENCH_observability.json) and the

@@ -1,0 +1,35 @@
+package latch
+
+import (
+	"latch/internal/engine"
+	"latch/internal/workload"
+
+	// The three paper integrations register themselves with the engine on
+	// import; the facade links them all so Backends() is fully populated.
+	_ "latch/internal/hlatch"
+	_ "latch/internal/platch"
+	_ "latch/internal/slatch"
+)
+
+// BackendResult is the scheme-agnostic outcome of one backend run: the
+// benchmark name, event/check counts, and the scheme's headline metric
+// columns. Concrete backends return richer structs behind this interface.
+type BackendResult = engine.Result
+
+// BackendColumn is one headline metric of a BackendResult.
+type BackendColumn = engine.Column
+
+// Backends lists the registered integration names ("hlatch", "platch",
+// "slatch", plus any externally registered schemes), sorted.
+func Backends() []string { return engine.Names() }
+
+// RunBackend streams one calibrated workload through the named backend in
+// its paper-default configuration. The observer may be nil; it never
+// affects results.
+func RunBackend(backend, workloadName string, events uint64, obs Observer) (BackendResult, error) {
+	p, err := workload.Get(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	return engine.RunScheme(backend, p, engine.RunOptions{Events: events, Observer: obs})
+}

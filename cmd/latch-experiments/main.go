@@ -5,6 +5,7 @@
 //
 //	latch-experiments                      # run everything
 //	latch-experiments -exp table6,figure16
+//	latch-experiments -backend slatch,hlatch  # registry-driven summaries
 //	latch-experiments -list
 //	latch-experiments -events 5000000      # longer, lower-noise runs
 //	latch-experiments -workers 8           # bound the worker pool
@@ -43,6 +44,7 @@ func main() {
 		format      = flag.String("format", "text", "output format: text, json, or markdown")
 		chart       = flag.Bool("chart", false, "also render bar charts for figure experiments")
 		workers     = flag.Int("workers", 0, "worker-pool size for per-benchmark jobs (0 = one per CPU)")
+		backend     = flag.String("backend", "", "comma-separated registered backend names: render their registry-driven summary tables")
 		showStats   = flag.Bool("stats", false, "print the per-pass job statistics table after the run")
 		metricsOut  = flag.String("metrics", "", "write the per-pass telemetry registry to this file as JSON")
 	)
@@ -70,16 +72,26 @@ func main() {
 	runner := experiments.NewRunner(opts)
 
 	selected := experiments.Catalog
-	if *exp != "" {
+	if *exp != "" || *backend != "" {
 		selected = selected[:0:0]
-		for _, id := range strings.Split(*exp, ",") {
-			e, err := experiments.Lookup(strings.TrimSpace(id))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+		if *exp != "" {
+			for _, id := range strings.Split(*exp, ",") {
+				e, err := experiments.Lookup(strings.TrimSpace(id))
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				selected = append(selected, e)
 			}
-			selected = append(selected, e)
 		}
+	}
+	for _, name := range splitList(*backend) {
+		name := name
+		selected = append(selected, experiments.Experiment{
+			ID:    "backend-" + name,
+			Title: "Backend summary: " + name,
+			Run:   func(r *experiments.Runner) (*stats.Table, error) { return r.BackendTable(name) },
+		})
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -153,4 +165,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// splitList splits a comma-separated flag value, trimming whitespace and
+// dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

@@ -62,6 +62,10 @@ func run() int {
 		disasm     = flag.Bool("disasm", false, "print the disassembly and exit")
 		noDift     = flag.Bool("no-dift", false, "run without DIFT tracking")
 		coSLatch   = flag.Bool("slatch", false, "co-simulate the full S-LATCH two-mode protocol")
+		backend    = flag.String("backend", "", "run a registered backend over a calibrated workload (see -workload)")
+		workloadNm = flag.String("workload", "gcc", "calibrated workload profile for -backend")
+		events     = flag.Uint64("events", 2_000_000, "stream length in instructions for -backend")
+		listBack   = flag.Bool("list-backends", false, "list registered backends and exit")
 		slowdown   = flag.Float64("sw-slowdown", 5, "software DIFT slowdown for -slatch")
 		leak       = flag.Bool("check-leak", false, "enable the output-leak check")
 		saveTnt    = flag.String("save-taint", "", "write a taint snapshot after the run")
@@ -80,6 +84,15 @@ func run() int {
 			fmt.Println(name)
 		}
 		return 0
+	}
+	if *listBack {
+		for _, name := range latch.Backends() {
+			fmt.Println(name)
+		}
+		return 0
+	}
+	if *backend != "" {
+		return runBackend(*backend, *workloadNm, *events, *telemetry)
 	}
 
 	src, err := loadSource(*progName, *srcPath)
@@ -198,6 +211,25 @@ func run() int {
 	return 0
 }
 
+// runBackend streams one calibrated workload through a registered backend
+// and reports its scheme-agnostic result.
+func runBackend(backend, workloadName string, events uint64, telemetry bool) int {
+	metrics := latch.NewMetrics()
+	res, err := latch.RunBackend(backend, workloadName, events, metrics)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("backend %s on %s: %d events, %d checks\n",
+		backend, res.BenchmarkName(), res.EventCount(), res.CheckCount())
+	for _, c := range res.Columns() {
+		fmt.Printf("  %s: %v\n", c.Label, c.Value)
+	}
+	if telemetry {
+		printTelemetry(metrics)
+	}
+	return 0
+}
+
 // runCoSim executes the program under the full S-LATCH two-mode protocol
 // and reports the mode split and cycle accounting.
 func runCoSim(src string, pol latch.Policy, input []byte, requests requestList,
@@ -224,7 +256,7 @@ func runCoSim(src string, pol latch.Policy, input []byte, requests requestList,
 	fmt.Printf("mode switches: %d to software, %d returns; traps %d (%d dismissed as false positives)\n",
 		st.Switches, st.Returns, st.Traps, st.FalseTraps)
 	fmt.Printf("cycles: %d total over %d native (overhead %.1f%%; continuous DIFT would be %.1f%%)\n",
-		st.TotalCycles(), st.BaseCycles, 100*st.Overhead(), 100*(slowdown-1))
+		st.TotalCycles(), st.Cycles.Base, 100*st.Overhead(), 100*(slowdown-1))
 	if out := sys.Machine.Env.Output.String(); out != "" {
 		fmt.Printf("output: %q\n", out)
 	}

@@ -12,6 +12,13 @@
 // as both the software layer and the false-positive oracle — exactly the
 // split of §5.1.
 //
+// The epoch/trap state machine and the cycle accounting are the engine
+// package's: the System owns an engine.Session and drives the same
+// Trap/SwitchToSoftware/SoftwareStep/ReturnToHardware transitions the
+// stream-level backends use, so the two models can never drift on the §6.1
+// cost constants. Monitor (monitor.go) goes one step further and runs any
+// registered backend over a real program's commit stream.
+//
 // Soundness argument mirrored from the paper: in hardware mode no
 // instruction with a tainted source operand executes un-trapped (tainted
 // registers are visible in the TRF, tainted memory in the coarse state,
@@ -25,6 +32,7 @@ import (
 	"fmt"
 
 	"latch/internal/dift"
+	"latch/internal/engine"
 	"latch/internal/isa"
 	"latch/internal/latch"
 	"latch/internal/shadow"
@@ -32,33 +40,23 @@ import (
 	"latch/internal/vm"
 )
 
-// Mode is the current execution layer.
-type Mode int
+// Mode is the current execution layer, shared with the engine's state
+// machine.
+type Mode = engine.Mode
 
 // Modes.
 const (
-	ModeHardware Mode = iota
-	ModeSoftware
+	ModeHardware = engine.ModeHardware
+	ModeSoftware = engine.ModeSoftware
 )
 
-// String names the mode.
-func (m Mode) String() string {
-	if m == ModeHardware {
-		return "hardware"
-	}
-	return "software"
-}
-
-// Config carries the cost model (same constants as the stream-level
-// S-LATCH model) and the software-mode slowdown to assume for the
-// instrumented image.
+// Config carries the cost model (the same engine.Costs table the
+// stream-level S-LATCH model uses) and the software-mode slowdown to assume
+// for the instrumented image.
 type Config struct {
-	Latch           latch.Config
-	TimeoutInstrs   uint64
-	CtxSwitchCycles uint64
-	FPCheckCycles   uint64
-	ScanCyclesPer   uint64
-	CodeCacheLat    uint64
+	Latch latch.Config
+	Costs engine.Costs
+
 	// SWSlowdown is the instrumented image's slowdown over native
 	// execution (libdft's per-program factor).
 	SWSlowdown float64
@@ -76,17 +74,14 @@ func DefaultConfig() Config {
 	lc.Clear = latch.LazyClear
 	lc.BaselineTCache = false
 	return Config{
-		Latch:           lc,
-		TimeoutInstrs:   1000,
-		CtxSwitchCycles: 400,
-		FPCheckCycles:   120,
-		ScanCyclesPer:   20,
-		CodeCacheLat:    800,
-		SWSlowdown:      5,
+		Latch:      lc,
+		Costs:      engine.DefaultCosts(),
+		SWSlowdown: 5,
 	}
 }
 
-// Stats is the co-simulation outcome.
+// Stats is the co-simulation outcome, in the engine's unified cycle
+// vocabulary.
 type Stats struct {
 	Instructions uint64
 	HWInstrs     uint64
@@ -96,27 +91,14 @@ type Stats struct {
 	Traps        uint64 // coarse/TRF positives taken in hardware mode
 	FalseTraps   uint64 // traps dismissed by the precise filter
 
-	BaseCycles    uint64
-	LibdftCycles  uint64
-	XferCycles    uint64
-	FPCheckCycles uint64
-	CTCMissCycles uint64
-	ScanCycles    uint64
+	Cycles engine.Cycles
 }
 
 // TotalCycles returns the modeled runtime.
-func (s Stats) TotalCycles() uint64 {
-	return s.BaseCycles + s.LibdftCycles + s.XferCycles + s.FPCheckCycles +
-		s.CTCMissCycles + s.ScanCycles
-}
+func (s Stats) TotalCycles() uint64 { return s.Cycles.Total() }
 
 // Overhead returns fractional overhead over native execution.
-func (s Stats) Overhead() float64 {
-	if s.BaseCycles == 0 {
-		return 0
-	}
-	return float64(s.TotalCycles())/float64(s.BaseCycles) - 1
-}
+func (s Stats) Overhead() float64 { return s.Cycles.Overhead() }
 
 // System is a co-simulated S-LATCH machine. It satisfies vm.Tracker,
 // wrapping the precise engine with the mode-switching protocol.
@@ -127,13 +109,7 @@ type System struct {
 	Shadow  *shadow.Shadow
 
 	cfg  Config
-	mode Mode
-
-	sinceTaint uint64
-	swFrac     float64 // fractional extra cycles accumulator
-	stats      Stats
-
-	lastMisses uint64
+	sess *engine.Session
 }
 
 var _ vm.Tracker = (*System)(nil)
@@ -146,21 +122,19 @@ func New(cfg Config, pol dift.Policy) (*System, error) {
 	if cfg.SWSlowdown < 1 {
 		return nil, fmt.Errorf("cosim: software slowdown %v < 1", cfg.SWSlowdown)
 	}
-	sh, err := shadow.New(cfg.Latch.DomainSize)
+	sess, err := engine.NewSession(cfg.Latch)
 	if err != nil {
 		return nil, err
 	}
-	mod, err := latch.New(cfg.Latch, sh)
-	if err != nil {
-		return nil, err
-	}
+	sess.AttachObserver(cfg.Observer)
+	sess.ConfigureEpochs(cfg.Costs, cfg.SWSlowdown-1, cfg.Costs.CodeCacheLat)
 	s := &System{
-		Engine: dift.NewEngine(sh, pol),
-		Module: mod,
-		Shadow: sh,
+		Engine: dift.NewEngine(sess.Shadow, pol),
+		Module: sess.Module,
+		Shadow: sess.Shadow,
 		cfg:    cfg,
+		sess:   sess,
 	}
-	mod.SetObserver(cfg.Observer)
 	s.Engine.SetObserver(cfg.Observer)
 	s.Machine = vm.New()
 	s.Machine.SetTracker(s)
@@ -169,13 +143,20 @@ func New(cfg Config, pol dift.Policy) (*System, error) {
 }
 
 // Mode returns the current execution mode.
-func (s *System) Mode() Mode { return s.mode }
+func (s *System) Mode() Mode { return s.sess.Mode() }
 
 // Stats returns the accumulated accounting.
 func (s *System) Stats() Stats {
-	st := s.stats
-	st.LibdftCycles = uint64(s.swFrac)
-	return st
+	return Stats{
+		Instructions: s.sess.Events,
+		HWInstrs:     s.sess.HWInstrs,
+		SWInstrs:     s.sess.SWInstrs,
+		Switches:     s.sess.Switches,
+		Returns:      s.sess.Returns,
+		Traps:        s.sess.Traps,
+		FalseTraps:   s.sess.FalseTraps,
+		Cycles:       s.sess.CycleReport(),
+	}
 }
 
 // Run assembles src, loads it, and executes up to maxSteps instructions.
@@ -206,46 +187,35 @@ func (s *System) IndirectTarget(pc uint32, reg int, target uint32) error {
 	return s.Engine.IndirectTarget(pc, reg, target)
 }
 
-// Commit implements the per-instruction S-LATCH protocol.
+// Commit implements the per-instruction S-LATCH protocol over the shared
+// epoch state machine.
 func (s *System) Commit(pc uint32, in isa.Instr, addr uint32) error {
-	s.stats.Instructions++
-	s.stats.BaseCycles++
+	ss := s.sess
+	ss.Events++
+	ss.Cycles.Base++
 	precise := s.Engine.Touches(in, addr)
 
-	switch s.mode {
+	switch ss.Mode() {
 	case ModeHardware:
-		s.stats.HWInstrs++
-		positive := s.hardwarePositive(in, addr)
-		if positive {
-			s.stats.Traps++
-			s.stats.FPCheckCycles += s.cfg.FPCheckCycles
+		ss.HWInstrs++
+		if s.hardwarePositive(in, addr) {
+			ss.Trap()
 			s.Module.SetLastException(addr)
 			if precise {
-				// Confirmed: transfer to the instrumented image.
-				s.stats.Switches++
-				s.stats.XferCycles += 2*s.cfg.CtxSwitchCycles + s.cfg.CodeCacheLat
-				s.mode = ModeSoftware
-				if s.cfg.Observer != nil {
-					s.cfg.Observer.EpochTransition(telemetry.ModeSoftware, s.stats.Instructions)
-				}
-				s.sinceTaint = 0
-				s.swFrac += s.cfg.SWSlowdown - 1 // trapping instr re-executes
+				// Confirmed: transfer to the instrumented image (the
+				// trapping instruction re-executes under instrumentation).
+				ss.SwitchToSoftware()
 			} else {
 				// False positive: dismiss and refresh the stale TRF bits.
-				s.stats.FalseTraps++
+				ss.DismissTrap()
 				s.refreshTRF(in)
 			}
 		}
 	case ModeSoftware:
-		s.stats.SWInstrs++
-		s.swFrac += s.cfg.SWSlowdown - 1
-		if precise {
-			s.sinceTaint = 0
-		} else {
-			s.sinceTaint++
-			if s.sinceTaint >= s.cfg.TimeoutInstrs {
-				s.returnToHardware()
-			}
+		ss.SWInstrs++
+		if ss.SoftwareStep(precise) {
+			s.syncTRF()
+			ss.ReturnToHardware()
 		}
 	}
 
@@ -255,14 +225,15 @@ func (s *System) Commit(pc uint32, in isa.Instr, addr uint32) error {
 	if err := s.Engine.Commit(pc, in, addr); err != nil {
 		return err
 	}
-	if s.mode == ModeHardware {
+	if ss.Mode() == ModeHardware {
 		s.updateTRF(in, addr)
 	}
 	return nil
 }
 
 // hardwarePositive evaluates the hardware-visible check: TRF bits for
-// register sources, the coarse stack for memory operands.
+// register sources, the coarse stack for memory operands (with CTC-miss
+// cycles charged through the session).
 func (s *System) hardwarePositive(in isa.Instr, addr uint32) bool {
 	trf := s.Module.TRF()
 	positive := false
@@ -279,11 +250,7 @@ func (s *System) hardwarePositive(in isa.Instr, addr uint32) bool {
 		positive = trf.Tainted(int(in.Rd))
 	}
 	if in.ReadsMem() || in.WritesMem() {
-		before := s.Module.Stats().CTCCheckMisses
-		res := s.Module.CheckMem(addr, in.Op.MemSize())
-		if d := s.Module.Stats().CTCCheckMisses - before; d > 0 {
-			s.stats.CTCMissCycles += d * s.cfg.Latch.CTCMissPenalty
-		}
+		res := s.sess.CheckMem(addr, in.Op.MemSize())
 		positive = positive || res.CoarsePositive
 	}
 	return positive
@@ -340,23 +307,13 @@ func (s *System) updateTRF(in isa.Instr, addr uint32) {
 	}
 }
 
-// returnToHardware performs the software->hardware transition: scan clear
-// bits, rewrite the TRF from the precise register state (strf), restore
-// the native context.
-func (s *System) returnToHardware() {
-	scanned := s.Module.ScanResidentClears()
-	s.stats.ScanCycles += scanned * s.cfg.ScanCyclesPer
-	s.stats.XferCycles += s.cfg.CtxSwitchCycles
+// syncTRF rewrites the TRF from the precise register state (strf) ahead of
+// a software->hardware return.
+func (s *System) syncTRF() {
 	trf := s.Module.TRF()
 	for r := 0; r < isa.NumRegs; r++ {
 		trf.Set(r, s.Engine.RegTaint(r).Union())
 	}
-	s.stats.Returns++
-	s.mode = ModeHardware
-	if s.cfg.Observer != nil {
-		s.cfg.Observer.EpochTransition(telemetry.ModeHardware, s.stats.Instructions)
-	}
-	s.sinceTaint = 0
 }
 
 // --- delegation of the remaining Tracker surface ---

@@ -61,7 +61,7 @@ func TestCleanProgramStaysInHardware(t *testing.T) {
 }
 
 func TestTaintedInputTriggersSwitchAndTimeout(t *testing.T) {
-	s := newSystem(t, func(c *Config) { c.TimeoutInstrs = 50 })
+	s := newSystem(t, func(c *Config) { c.Costs.TimeoutInstrs = 50 })
 	s.Machine.Env.FileData = []byte{1, 2, 3, 4}
 	// Read tainted data, touch it once, then run a long clean loop: the
 	// system must switch to software on the tainted load and back to
@@ -172,7 +172,7 @@ func TestFalsePositiveDismissal(t *testing.T) {
 func TestTRFPropagationInHardware(t *testing.T) {
 	// strf-set taint on a register propagates through hardware TRF rules
 	// and traps on use.
-	s := newSystem(t, func(c *Config) { c.TimeoutInstrs = 10 })
+	s := newSystem(t, func(c *Config) { c.Costs.TimeoutInstrs = 10 })
 	prog := isa.MustAssemble(`
 		movi r2, 0b10   ; mark r1 tainted in the TRF and engine
 		strf r2
@@ -190,7 +190,7 @@ func TestTRFPropagationInHardware(t *testing.T) {
 }
 
 func TestStatsBreakdownConsistent(t *testing.T) {
-	s := newSystem(t, func(c *Config) { c.TimeoutInstrs = 20 })
+	s := newSystem(t, func(c *Config) { c.Costs.TimeoutInstrs = 20 })
 	s.Machine.Env.FileData = []byte("abcdefgh")
 	src, _ := workload.ProgramSource("copyloop")
 	if _, err := s.Run(src, 100_000); err != nil {
@@ -200,7 +200,7 @@ func TestStatsBreakdownConsistent(t *testing.T) {
 	if st.HWInstrs+st.SWInstrs != st.Instructions {
 		t.Fatalf("mode split does not sum: %+v", st)
 	}
-	sum := st.BaseCycles + st.LibdftCycles + st.XferCycles + st.FPCheckCycles + st.CTCMissCycles + st.ScanCycles
+	sum := st.Cycles.Base + st.Cycles.Libdft + st.Cycles.Xfer + st.Cycles.FPCheck + st.Cycles.CTCMiss + st.Cycles.Scan
 	if sum != st.TotalCycles() {
 		t.Fatal("cycle categories do not sum to total")
 	}
@@ -213,7 +213,7 @@ func TestSubstitutionMostlyHardware(t *testing.T) {
 	// The substitution kernel touches taint only while reading input bytes;
 	// table lookups and stores are clean, so after the timeout the long
 	// table-build prologue and the output writes run in hardware.
-	s := newSystem(t, func(c *Config) { c.TimeoutInstrs = 100 })
+	s := newSystem(t, func(c *Config) { c.Costs.TimeoutInstrs = 100 })
 	s.Machine.Env.FileData = []byte{9, 8, 7}
 	src, _ := workload.ProgramSource("substitution")
 	if _, err := s.Run(src, 100_000); err != nil {

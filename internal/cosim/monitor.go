@@ -1,0 +1,134 @@
+package cosim
+
+import (
+	"latch/internal/dift"
+	"latch/internal/engine"
+	"latch/internal/isa"
+	"latch/internal/latch"
+	"latch/internal/shadow"
+	"latch/internal/telemetry"
+	"latch/internal/trace"
+	"latch/internal/vm"
+)
+
+// Monitor runs any registered engine backend over a real program's commit
+// stream: the VM executes the program, the byte-precise DIFT engine
+// propagates taint (and enforces the policy) as ground truth, and every
+// committed instruction is translated into the same trace.Event record the
+// calibrated generators emit and fed to the backend through a shared
+// engine.Session. Equivalence checks can therefore compare any backend's
+// view of a program against the conventional engine's on identical inputs.
+type Monitor struct {
+	Machine *vm.CPU
+	Engine  *dift.Engine
+	Module  *latch.Module
+	Session *engine.Session
+
+	backend engine.Backend
+}
+
+var _ vm.Tracker = (*Monitor)(nil)
+
+// NewMonitor builds a co-simulated machine around the named registered
+// backend in its paper-default configuration.
+func NewMonitor(backendName string, pol dift.Policy, obs telemetry.Observer) (*Monitor, error) {
+	sch, err := engine.Lookup(backendName)
+	if err != nil {
+		return nil, err
+	}
+	b := sch.New()
+	sess, err := engine.NewSession(b.Config())
+	if err != nil {
+		return nil, err
+	}
+	sess.AttachObserver(obs)
+	m := &Monitor{
+		Engine:  dift.NewEngine(sess.Shadow, pol),
+		Module:  sess.Module,
+		Session: sess,
+		backend: b,
+	}
+	if err := b.Init(sess); err != nil {
+		return nil, err
+	}
+	m.Engine.SetObserver(obs)
+	m.Machine = vm.New()
+	m.Machine.SetTracker(m)
+	m.Machine.SetObserver(obs)
+	return m, nil
+}
+
+// Run assembles src, loads it, and executes up to maxSteps instructions.
+func (m *Monitor) Run(src string, maxSteps uint64) (uint32, error) {
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		return 0, err
+	}
+	m.Machine.Load(prog)
+	if _, err := m.Machine.Run(maxSteps); err != nil {
+		return 0, err
+	}
+	return m.Machine.ExitCode(), nil
+}
+
+// Result finalizes the backend over the session.
+func (m *Monitor) Result() engine.Result {
+	return m.backend.Finish(m.Session)
+}
+
+// --- vm.Tracker ---
+
+// Touches delegates the ground-truth predicate to the precise engine.
+func (m *Monitor) Touches(in isa.Instr, addr uint32) bool {
+	return m.Engine.Touches(in, addr)
+}
+
+// IndirectTarget enforces the control-flow policy synchronously through the
+// precise engine; the backend under test only sees the event stream.
+func (m *Monitor) IndirectTarget(pc uint32, reg int, target uint32) error {
+	return m.Engine.IndirectTarget(pc, reg, target)
+}
+
+// Commit translates the committed instruction into a trace event, steps the
+// backend, then lets the precise engine propagate.
+func (m *Monitor) Commit(pc uint32, in isa.Instr, addr uint32) error {
+	ss := m.Session
+	ss.Events++
+	ev := trace.Event{
+		Seq:     ss.Events,
+		PC:      pc,
+		IsMem:   in.ReadsMem() || in.WritesMem(),
+		IsWrite: in.WritesMem(),
+		Tainted: m.Engine.Touches(in, addr),
+	}
+	if ev.IsMem {
+		ev.Addr = addr
+		ev.Size = uint8(in.Op.MemSize())
+	}
+	m.backend.Step(ss, ev)
+	return m.Engine.Commit(pc, in, addr)
+}
+
+// Input forwards taint initialization to the engine (coarse state follows
+// through the shadow watchers).
+func (m *Monitor) Input(addr uint32, n int, source dift.InputSource, conn int) {
+	m.Engine.Input(addr, n, source, conn)
+}
+
+// Output forwards sink checks.
+func (m *Monitor) Output(pc uint32, addr uint32, n int) error {
+	return m.Engine.Output(pc, addr, n)
+}
+
+// Accept forwards connection registration.
+func (m *Monitor) Accept() int { return m.Engine.Accept() }
+
+// SetTaintByte forwards stnt, write-through included.
+func (m *Monitor) SetTaintByte(addr uint32, tag shadow.Tag) {
+	m.Module.StoreTaint(addr, tag)
+}
+
+// SetRegTaintMask forwards strf.
+func (m *Monitor) SetRegTaintMask(mask uint32, tag shadow.Tag) {
+	m.Engine.SetRegTaintMask(mask, tag)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"latch/internal/dift"
+	"latch/internal/engine"
 	"latch/internal/isa"
 	"latch/internal/latch"
 	"latch/internal/shadow"
@@ -170,24 +171,20 @@ func NewParallel(cfg ParallelConfig, pol dift.Policy) (*Parallel, error) {
 	if cfg.ServiceCycles < 1 {
 		return nil, fmt.Errorf("cosim: service cycles %v < 1", cfg.ServiceCycles)
 	}
-	sh, err := shadow.New(cfg.Latch.DomainSize)
+	sess, err := engine.NewSession(cfg.Latch)
 	if err != nil {
 		return nil, err
 	}
-	mod, err := latch.New(cfg.Latch, sh)
-	if err != nil {
-		return nil, err
-	}
+	sess.AttachObserver(cfg.Observer)
 	pol.FailFast = false // deferred detection: record, then surface
 	p := &Parallel{
-		Engine: dift.NewEngine(sh, pol),
-		Module: mod,
-		Shadow: sh,
+		Engine: dift.NewEngine(sess.Shadow, pol),
+		Module: sess.Module,
+		Shadow: sess.Shadow,
 		cfg:    cfg,
 		pend:   newPendingRing(cfg.PendingEntries),
 		queue:  make([]logEntry, 0, cfg.QueueDepth),
 	}
-	mod.SetObserver(cfg.Observer)
 	p.Engine.SetObserver(cfg.Observer)
 	p.Machine = vm.New()
 	p.Machine.SetTracker(p)

@@ -1,0 +1,155 @@
+// Package engine is the shared substrate under the LATCH integrations
+// (§5): the per-run Session owning the latch module, shadow taint state,
+// trace cursor, and telemetry wiring; the hardware/software epoch and trap
+// state machine with its unified Figure 14 cycle accounting; and a
+// name-keyed registry of Backend implementations.
+//
+// The paper evaluates one LATCH module under three integrations — S-LATCH
+// (§5.1), P-LATCH (§5.2), H-LATCH (§5.3). Each differs only in policy:
+// what to do with a stream event, when a coarse positive traps, and which
+// numbers the run reports. Everything else — module construction, the
+// generator-driven stream, mode switching, cost charging — is shared and
+// lives here. Adding a fourth integration is one package: implement
+// Backend, call Register from init, and the experiment harness, the public
+// facade, and the CLI `-backend` flag pick it up by name.
+package engine
+
+import (
+	"latch/internal/latch"
+	"latch/internal/shadow"
+	"latch/internal/telemetry"
+	"latch/internal/trace"
+	"latch/internal/workload"
+)
+
+// Mode is the current execution layer of a two-mode integration.
+type Mode int
+
+// Modes.
+const (
+	ModeHardware Mode = iota
+	ModeSoftware
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeHardware {
+		return "hardware"
+	}
+	return "software"
+}
+
+// Backend is one integration of the LATCH module. It owns the
+// scheme-specific policy — the per-event step, when to trap, and how to
+// report the run — while the engine owns the Session's shared machinery.
+// A Backend instance serves exactly one run; factories registered with
+// Register produce a fresh one per run.
+type Backend interface {
+	// Name is the registry key ("slatch", "platch", "hlatch", ...).
+	Name() string
+	// Config is the hardware geometry the run's module is built with.
+	Config() latch.Config
+	// Init prepares per-run state once the Session (module, shadow state,
+	// profile, observer) exists and before the first event. Returning an
+	// error aborts the run.
+	Init(s *Session) error
+	// Step consumes one stream event. The Session's Events cursor has
+	// already advanced to include ev.
+	Step(s *Session, ev trace.Event)
+	// Finish produces the run's result after the last event.
+	Finish(s *Session) Result
+}
+
+// Column is one headline metric of a backend result, for scheme-agnostic
+// tabulation.
+type Column struct {
+	Label string
+	Value any
+}
+
+// Result is the outcome of one backend run. Concrete backends return
+// richer structs; this surface is what the registry-driven harness and the
+// CLI render without knowing the scheme.
+type Result interface {
+	// BenchmarkName names the workload the run consumed.
+	BenchmarkName() string
+	// EventCount is the number of stream events consumed.
+	EventCount() uint64
+	// CheckCount is the number of coarse memory checks performed (zero
+	// when the scheme does not report them).
+	CheckCount() uint64
+	// Columns lists the scheme's headline metrics in stable order.
+	Columns() []Column
+}
+
+// RunOptions parameterizes one profile-driven run.
+type RunOptions struct {
+	// Events is the requested stream length.
+	Events uint64
+	// Observer, when non-nil, receives the run's telemetry: the module's
+	// check-path events plus whatever the backend emits (epoch
+	// transitions, queue stalls). Observers never affect results.
+	Observer telemetry.Observer
+}
+
+// RunProfile streams one calibrated workload profile through a backend:
+// build the shared Session, let the backend initialize, feed it the
+// generator's event stream, and collect its result. This is the single
+// driver loop the per-scheme packages used to duplicate.
+func RunProfile(b Backend, p workload.Profile, opts RunOptions) (Result, error) {
+	s, err := NewSession(b.Config())
+	if err != nil {
+		return nil, err
+	}
+	g, err := workload.NewGeneratorOn(p, s.Shadow)
+	if err != nil {
+		return nil, err
+	}
+	// Layout materialization populated the coarse state through the shadow
+	// watchers; measure only the steady-state reference stream. The
+	// observer attaches after the reset for the same reason: it sees
+	// exactly the measured stream.
+	s.Module.ResetStats()
+	s.lastMisses = 0
+	s.AttachObserver(opts.Observer)
+	s.Profile = p
+	s.Target = opts.Events
+	if err := b.Init(s); err != nil {
+		return nil, err
+	}
+	g.Run(opts.Events, trace.SinkFunc(func(ev trace.Event) {
+		s.Events++
+		b.Step(s, ev)
+	}))
+	return b.Finish(s), nil
+}
+
+// RunScheme runs the named registered backend, in its paper-default
+// configuration, over one workload profile.
+func RunScheme(name string, p workload.Profile, opts RunOptions) (Result, error) {
+	sch, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return RunProfile(sch.New(), p, opts)
+}
+
+// NewSession builds the per-run state every backend shares: the
+// byte-precise shadow taint state and the latch module attached to it.
+// Profile-driven runs go through RunProfile, which also owns the stream
+// cursor; program-driven runs (the co-simulations) drive Step themselves.
+func NewSession(cfg latch.Config) (*Session, error) {
+	sh, err := shadow.New(cfg.DomainSize)
+	if err != nil {
+		return nil, err
+	}
+	m, err := latch.New(cfg, sh)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		Module:      m,
+		Shadow:      sh,
+		missPenalty: cfg.CTCMissPenalty,
+	}, nil
+}

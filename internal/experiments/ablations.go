@@ -86,7 +86,7 @@ func (r *Runner) AblationTimeout() (*stats.Table, error) {
 		for _, to := range timeouts {
 			cfg := slatch.DefaultConfig()
 			cfg.Events = r.opts.Events / 4
-			cfg.TimeoutInstrs = to
+			cfg.Costs.TimeoutInstrs = to
 			cfg.Observer = r.passObserver("ablation-timeout")
 			res, err := slatch.Run(p, cfg)
 			if err != nil {

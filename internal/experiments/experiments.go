@@ -4,9 +4,12 @@
 // renders a paper-style table, printing the published value beside the
 // measured one wherever the paper reports an exact number.
 //
-// Shared simulation passes (the temporal characterization, the H-LATCH
-// cache runs, the S-LATCH runs) are memoized on the Runner so regenerating
-// several related artifacts does not repeat work.
+// Shared simulation passes (the temporal characterization and the
+// registry-driven backend passes) are memoized on the Runner so
+// regenerating several related artifacts does not repeat work. The
+// integration schemes are not hard-coded: the Runner enumerates them
+// through the engine registry (see backend.go), so a newly registered
+// backend is runnable — and tabulatable — without touching this package.
 //
 // Every experiment decomposes into independent per-workload jobs that run
 // on a bounded worker pool (Options.Workers, default one per CPU). Each job
@@ -21,11 +24,9 @@ import (
 	"sync"
 
 	"latch/internal/complexity"
-	"latch/internal/hlatch"
+	"latch/internal/engine"
 	"latch/internal/latch"
-	"latch/internal/platch"
 	"latch/internal/shadow"
-	"latch/internal/slatch"
 	"latch/internal/stats"
 	"latch/internal/telemetry"
 	"latch/internal/trace"
@@ -74,9 +75,8 @@ type Runner struct {
 
 	mu       sync.Mutex // guards the memoized passes below
 	temporal map[workload.Suite][]temporalResult
-	hl       map[workload.Suite][]hlatch.Result
-	sl       map[workload.Suite][]slatch.Result
-	pl       map[workload.Suite][]platch.Result
+	backends map[backendKey][]engine.Result
+	typed    map[backendKey]any // memoized typedPass slices, one []T per key
 
 	jobMu sync.Mutex // guards jobs
 	jobs  []JobStat
@@ -90,9 +90,8 @@ func NewRunner(o Options) *Runner {
 	return &Runner{
 		opts:     o,
 		temporal: make(map[workload.Suite][]temporalResult),
-		hl:       make(map[workload.Suite][]hlatch.Result),
-		sl:       make(map[workload.Suite][]slatch.Result),
-		pl:       make(map[workload.Suite][]platch.Result),
+		backends: make(map[backendKey][]engine.Result),
+		typed:    make(map[backendKey]any),
 		metrics:  make(map[string]*telemetry.Metrics),
 	}
 }
@@ -183,105 +182,6 @@ func (r *Runner) Temporal(s workload.Suite) ([]temporalResult, error) {
 		return nil, err
 	}
 	r.temporal[s] = out
-	return out, nil
-}
-
-// HLatch runs (or returns the memoized) H-LATCH cache pass. Each benchmark
-// is one pool job.
-func (r *Runner) HLatch(s workload.Suite) ([]hlatch.Result, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if res, ok := r.hl[s]; ok {
-		return res, nil
-	}
-	cfg := hlatch.DefaultConfig()
-	cfg.Events = r.opts.Events
-	cfg.Observer = r.passObserver("hlatch")
-	names := workload.BySuite(s)
-	out := make([]hlatch.Result, len(names))
-	err := r.runJobs("hlatch", names, func(i int, name string, js *JobStat) error {
-		p, err := jobProfile("hlatch", name)
-		if err != nil {
-			return err
-		}
-		res, err := hlatch.Run(p, cfg)
-		if err != nil {
-			return fmt.Errorf("hlatch %s: %w", name, err)
-		}
-		js.Events, js.Checks = res.Events, res.Checks
-		out[i] = res
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	r.hl[s] = out
-	return out, nil
-}
-
-// SLatch runs (or returns the memoized) S-LATCH pass. Each benchmark is one
-// pool job.
-func (r *Runner) SLatch(s workload.Suite) ([]slatch.Result, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if res, ok := r.sl[s]; ok {
-		return res, nil
-	}
-	cfg := slatch.DefaultConfig()
-	cfg.Events = r.opts.Events
-	cfg.Observer = r.passObserver("slatch")
-	names := workload.BySuite(s)
-	out := make([]slatch.Result, len(names))
-	err := r.runJobs("slatch", names, func(i int, name string, js *JobStat) error {
-		p, err := jobProfile("slatch", name)
-		if err != nil {
-			return err
-		}
-		res, err := slatch.Run(p, cfg)
-		if err != nil {
-			return fmt.Errorf("slatch %s: %w", name, err)
-		}
-		js.Events, js.Checks = res.Events, res.Latch.Checks
-		out[i] = res
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	r.sl[s] = out
-	return out, nil
-}
-
-// PLatch runs (or returns the memoized) P-LATCH pass. Each benchmark is one
-// pool job.
-func (r *Runner) PLatch(s workload.Suite) ([]platch.Result, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if res, ok := r.pl[s]; ok {
-		return res, nil
-	}
-	cfg := platch.DefaultConfig()
-	cfg.Events = r.opts.Events
-	cfg.Observer = r.passObserver("platch")
-	names := workload.BySuite(s)
-	out := make([]platch.Result, len(names))
-	err := r.runJobs("platch", names, func(i int, name string, js *JobStat) error {
-		p, err := jobProfile("platch", name)
-		if err != nil {
-			return err
-		}
-		res, err := platch.Run(p, cfg)
-		if err != nil {
-			return fmt.Errorf("platch %s: %w", name, err)
-		}
-		js.Events = res.Events
-		out[i] = res
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	r.pl[s] = out
 	return out, nil
 }
 
@@ -463,17 +363,18 @@ func (r *Runner) Figure14() (*stats.Table, error) {
 			return nil, err
 		}
 		for _, sr := range res {
-			total := float64(sr.TotalCycles() - sr.BaseCycles)
+			c := sr.Cycles
+			total := float64(c.Total() - c.Base)
 			if total == 0 {
 				t.AddRowf(sr.Benchmark, 0.0, 0.0, 0.0, 0.0, 0.0)
 				continue
 			}
 			t.AddRowf(sr.Benchmark,
-				100*float64(sr.LibdftCycles)/total,
-				100*float64(sr.XferCycles)/total,
-				100*float64(sr.FPCheckCycles)/total,
-				100*float64(sr.CTCMissCycles)/total,
-				100*float64(sr.ResetCycles)/total)
+				100*float64(c.Libdft)/total,
+				100*float64(c.Xfer)/total,
+				100*float64(c.FPCheck)/total,
+				100*float64(c.CTCMiss)/total,
+				100*float64(c.Scan)/total)
 		}
 	}
 	return t, nil

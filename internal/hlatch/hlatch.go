@@ -5,23 +5,33 @@
 // be scaled down to a fraction of a conventional implementation's size
 // without sacrificing hit rates (Tables 6–7, Figure 16).
 //
-// The simulator drives the core latch.Module with a benchmark's memory
-// reference stream under the eager (hardware AND-chain) clear policy of
-// §5.3.1, and simultaneously feeds an identical, unfiltered taint cache to
-// produce the paper's "without LATCH" comparison in the same pass.
+// The scheme is an engine.Backend over the shared Session: it drives the
+// core latch.Module with a benchmark's memory reference stream under the
+// eager (hardware AND-chain) clear policy of §5.3.1, and simultaneously
+// feeds an identical, unfiltered taint cache to produce the paper's
+// "without LATCH" comparison in the same pass. It registers itself with the
+// engine under the name "hlatch".
 package hlatch
 
 import (
 	"fmt"
 
 	"latch/internal/cache"
+	"latch/internal/engine"
 	"latch/internal/latch"
 	"latch/internal/pool"
-	"latch/internal/shadow"
 	"latch/internal/telemetry"
 	"latch/internal/trace"
 	"latch/internal/workload"
 )
+
+func init() {
+	engine.Register(engine.Scheme{
+		Name:  "hlatch",
+		Title: "H-LATCH: reduced-complexity hardware DIFT (§5.3)",
+		New:   func() engine.Backend { return &backend{cfg: DefaultConfig()} },
+	})
+}
 
 // Result holds the cache-performance metrics of one benchmark run — the
 // rows of Tables 6 and 7 plus the Figure 16 level shares.
@@ -43,6 +53,25 @@ type Result struct {
 	ShareTLB     float64 // fraction of checks resolved at the TLB
 	ShareCTC     float64
 	SharePrecise float64
+}
+
+// BenchmarkName implements engine.Result.
+func (r Result) BenchmarkName() string { return r.Benchmark }
+
+// EventCount implements engine.Result.
+func (r Result) EventCount() uint64 { return r.Events }
+
+// CheckCount implements engine.Result.
+func (r Result) CheckCount() uint64 { return r.Checks }
+
+// Columns implements engine.Result.
+func (r Result) Columns() []engine.Column {
+	return []engine.Column{
+		{Label: "combined miss %", Value: r.CombinedMissPct},
+		{Label: "baseline miss %", Value: r.BaselineMissPct},
+		{Label: "avoided %", Value: r.AvoidedPct},
+		{Label: "tlb share", Value: r.ShareTLB},
+	}
 }
 
 // Config parameterizes an H-LATCH run.
@@ -71,43 +100,40 @@ func DefaultConfig() Config {
 	return Config{Latch: lc, Events: 2_000_000}
 }
 
-// Run simulates one benchmark through the H-LATCH caching stack.
-func Run(p workload.Profile, cfg Config) (Result, error) {
-	sh, err := shadow.New(cfg.Latch.DomainSize)
-	if err != nil {
-		return Result{}, err
-	}
-	m, err := latch.New(cfg.Latch, sh)
-	if err != nil {
-		return Result{}, err
-	}
-	g, err := workload.NewGeneratorOn(p, sh)
-	if err != nil {
-		return Result{}, err
-	}
-	// Layout materialization populated the coarse state through the shadow
-	// watchers; measure only the steady-state reference stream. The observer
-	// attaches after the reset for the same reason: it sees exactly the
-	// measured stream.
-	m.ResetStats()
-	m.SetObserver(cfg.Observer)
+// backend is the H-LATCH per-event policy: every memory operand goes
+// through the module's caching stack; there is no mode switching and no
+// cycle model — the results are cache hit rates.
+type backend struct {
+	cfg Config
+}
 
-	var events uint64
-	g.Run(cfg.Events, trace.SinkFunc(func(ev trace.Event) {
-		events++
-		if ev.IsMem {
-			m.CheckMem(ev.Addr, int(ev.Size))
-		}
-	}))
+// Name implements engine.Backend.
+func (b *backend) Name() string { return "hlatch" }
 
-	st := m.Stats()
+// Config implements engine.Backend.
+func (b *backend) Config() latch.Config { return b.cfg.Latch }
+
+// Init implements engine.Backend.
+func (b *backend) Init(*engine.Session) error { return nil }
+
+// Step implements engine.Backend. H-LATCH charges no miss cycles: the
+// hardware stack is evaluated by hit rates, not a runtime model.
+func (b *backend) Step(s *engine.Session, ev trace.Event) {
+	if ev.IsMem {
+		s.Module.CheckMem(ev.Addr, int(ev.Size))
+	}
+}
+
+// Finish implements engine.Backend.
+func (b *backend) Finish(s *engine.Session) engine.Result {
+	st := s.Module.Stats()
 	tlbShare, ctcShare, preciseShare := st.ShareResolved()
 	return Result{
-		Benchmark:       p.Name,
-		Events:          events,
+		Benchmark:       s.Profile.Name,
+		Events:          s.Events,
 		Checks:          st.Checks,
 		Latch:           st,
-		TLB:             m.TLBStats(),
+		TLB:             s.Module.TLBStats(),
 		CTCMissPct:      st.CTCMissPercent(),
 		TCacheMissPct:   st.TCacheMissPercent(),
 		CombinedMissPct: st.CombinedMissPercent(),
@@ -116,7 +142,17 @@ func Run(p workload.Profile, cfg Config) (Result, error) {
 		ShareTLB:        tlbShare,
 		ShareCTC:        ctcShare,
 		SharePrecise:    preciseShare,
-	}, nil
+	}
+}
+
+// Run simulates one benchmark through the H-LATCH caching stack.
+func Run(p workload.Profile, cfg Config) (Result, error) {
+	res, err := engine.RunProfile(&backend{cfg: cfg}, p,
+		engine.RunOptions{Events: cfg.Events, Observer: cfg.Observer})
+	if err != nil {
+		return Result{}, err
+	}
+	return res.(Result), nil
 }
 
 // RunSuite simulates every benchmark of a suite, in registry order. The

@@ -90,6 +90,11 @@ type Config struct {
 // CTTWordBits is the number of taint domains covered by one CTT word.
 const CTTWordBits = 32
 
+// DefaultCTCMissPenalty is the cycle cost of a CTC miss the paper
+// simulates (150 cycles, §6.1). The engine-level cost table surfaces it
+// alongside the other integration constants.
+const DefaultCTCMissPenalty = 150
+
 // DefaultConfig returns the configuration of the paper's main evaluation:
 // 64-byte domains, a 16-entry fully associative CTC (64 B of tag payload),
 // a 128-entry TLB with two page taint bits per 4 KiB page, and the 128-byte
@@ -107,7 +112,7 @@ func DefaultConfig() Config {
 		},
 		BaselineTCache: true,
 		Clear:          EagerClear,
-		CTCMissPenalty: 150,
+		CTCMissPenalty: DefaultCTCMissPenalty,
 		// The synthetic workloads place their footprints below 512 MiB.
 		AddressSpan: 1 << 29,
 	}

@@ -15,18 +15,30 @@
 //   - a discrete queue simulation (producer / bounded FIFO / consumer) as a
 //     finer-grained cross-check, which also reproduces the baseline LBA
 //     overheads from first principles.
+//
+// The scheme is an engine.Backend over the shared Session; this package
+// contributes the filtering policy, the window accounting, and the queue
+// models. It registers itself with the engine under the name "platch".
 package platch
 
 import (
 	"fmt"
 
+	"latch/internal/engine"
 	"latch/internal/latch"
 	"latch/internal/pool"
-	"latch/internal/shadow"
 	"latch/internal/telemetry"
 	"latch/internal/trace"
 	"latch/internal/workload"
 )
+
+func init() {
+	engine.Register(engine.Scheme{
+		Name:  "platch",
+		Title: "P-LATCH: filtered two-core log-based DIFT (§5.2)",
+		New:   func() engine.Backend { return &backend{cfg: DefaultConfig()} },
+	})
+}
 
 // Config parameterizes the P-LATCH evaluation.
 type Config struct {
@@ -178,6 +190,26 @@ type Result struct {
 	PendingExtraPositives uint64
 }
 
+// BenchmarkName implements engine.Result.
+func (r Result) BenchmarkName() string { return r.Benchmark }
+
+// EventCount implements engine.Result.
+func (r Result) EventCount() uint64 { return r.Events }
+
+// CheckCount implements engine.Result. P-LATCH reports queue metrics, not
+// check counts.
+func (r Result) CheckCount() uint64 { return 0 }
+
+// Columns implements engine.Result.
+func (r Result) Columns() []engine.Column {
+	return []engine.Column{
+		{Label: "active window frac", Value: r.ActiveWindowFraction},
+		{Label: "overhead simple", Value: r.OverheadSimple},
+		{Label: "overhead optimized", Value: r.OverheadOptimized},
+		{Label: "enqueued frac", Value: r.EnqueuedFraction},
+	}
+}
+
 // queueSim models a producer at 1 instruction/cycle feeding a bounded FIFO
 // drained by a consumer at serviceCycles per entry. It returns the
 // fractional overhead over native execution caused by full-queue stalls,
@@ -228,104 +260,123 @@ func queueSim(enqueued []bool, depth int, serviceCycles float64, obs telemetry.O
 	return total/float64(len(enqueued)) - 1
 }
 
-// Run evaluates one benchmark under P-LATCH.
-func Run(p workload.Profile, cfg Config) (Result, error) {
-	sh, err := shadow.New(cfg.Latch.DomainSize)
-	if err != nil {
-		return Result{}, err
-	}
-	m, err := latch.New(cfg.Latch, sh)
-	if err != nil {
-		return Result{}, err
-	}
-	g, err := workload.NewGeneratorOn(p, sh)
-	if err != nil {
-		return Result{}, err
-	}
-	m.ResetStats()
-	m.SetObserver(cfg.Observer)
+// backend is the P-LATCH per-event policy: coarse filtering into the log,
+// window-activity accounting, and the pending-update FIFO.
+type backend struct {
+	cfg Config
 
-	enqueued := make([]bool, 0, cfg.Events)
-	var windows, activeWindows uint64
-	var windowActive bool
-	var windowPos uint64
-	var events, positives, pendingExtra uint64
-	pend := newPendingFIFO(cfg.PendingEntries)
+	enqueued      []bool
+	windows       uint64
+	activeWindows uint64
+	windowActive  bool
+	windowPos     uint64
+	positives     uint64
+	pendingExtra  uint64
+	pend          *pendingFIFO
+}
 
-	g.Run(cfg.Events, trace.SinkFunc(func(ev trace.Event) {
-		events++
-		enq := false
-		if ev.IsMem {
-			check := m.CheckMem(ev.Addr, int(ev.Size))
-			if check.CoarsePositive {
+// Name implements engine.Backend.
+func (b *backend) Name() string { return "platch" }
+
+// Config implements engine.Backend.
+func (b *backend) Config() latch.Config { return b.cfg.Latch }
+
+// Init implements engine.Backend.
+func (b *backend) Init(s *engine.Session) error {
+	b.enqueued = make([]bool, 0, s.Target)
+	b.pend = newPendingFIFO(b.cfg.PendingEntries)
+	return nil
+}
+
+// Step implements engine.Backend. P-LATCH charges no check cycles on the
+// monitored core: the cost model is the queue, evaluated in Finish.
+func (b *backend) Step(s *engine.Session, ev trace.Event) {
+	enq := false
+	if ev.IsMem {
+		check := s.Module.CheckMem(ev.Addr, int(ev.Size))
+		if check.CoarsePositive {
+			enq = true
+			b.positives++
+		} else if b.pend != nil {
+			// §5.2: destinations of queued stores stay conservatively
+			// tainted until the monitor has processed them.
+			b.pend.retire(s.Events)
+			if b.pend.pending(s.Shadow.DomainIndex(ev.Addr)) {
 				enq = true
-				positives++
-			} else if pend != nil {
-				// §5.2: destinations of queued stores stay conservatively
-				// tainted until the monitor has processed them.
-				pend.retire(events)
-				if pend.pending(sh.DomainIndex(ev.Addr)) {
-					enq = true
-					positives++
-					pendingExtra++
-				}
-			}
-			if enq && ev.IsWrite && pend != nil {
-				pend.push(sh.DomainIndex(ev.Addr), events+cfg.PendingLagInstrs)
+				b.positives++
+				b.pendingExtra++
 			}
 		}
-		// The analytic model localizes LBA overheads to "periods of active
-		// propagation" (§6.2): windows in which taint is actually
-		// manipulated. Coarse false positives still enter the queue (enq)
-		// but do not by themselves make a window an active-propagation one.
-		if ev.Tainted {
-			windowActive = true
+		if enq && ev.IsWrite && b.pend != nil {
+			b.pend.push(s.Shadow.DomainIndex(ev.Addr), s.Events+b.cfg.PendingLagInstrs)
 		}
-		enqueued = append(enqueued, enq)
-		windowPos++
-		if windowPos == cfg.WindowInstrs {
-			windows++
-			if windowActive {
-				activeWindows++
-			}
-			windowPos, windowActive = 0, false
+	}
+	// The analytic model localizes LBA overheads to "periods of active
+	// propagation" (§6.2): windows in which taint is actually
+	// manipulated. Coarse false positives still enter the queue (enq)
+	// but do not by themselves make a window an active-propagation one.
+	if ev.Tainted {
+		b.windowActive = true
+	}
+	b.enqueued = append(b.enqueued, enq)
+	b.windowPos++
+	if b.windowPos == b.cfg.WindowInstrs {
+		b.windows++
+		if b.windowActive {
+			b.activeWindows++
 		}
-	}))
-	if windowPos > 0 {
-		windows++
-		if windowActive {
-			activeWindows++
+		b.windowPos, b.windowActive = 0, false
+	}
+}
+
+// Finish implements engine.Backend: close the last window, then evaluate
+// the analytical window model and the queue simulations.
+func (b *backend) Finish(s *engine.Session) engine.Result {
+	if b.windowPos > 0 {
+		b.windows++
+		if b.windowActive {
+			b.activeWindows++
 		}
 	}
 
 	var f float64
-	if windows > 0 {
-		f = float64(activeWindows) / float64(windows)
+	if b.windows > 0 {
+		f = float64(b.activeWindows) / float64(b.windows)
 	}
 
 	// Queue simulation: service rates derived from the reported LBA
 	// overheads (an overhead of k means ~1+k cycles of monitor work per
 	// monitored instruction when everything is enqueued).
-	simpleService := 1 + cfg.SimpleLBAOverhead
-	optService := 1 + cfg.OptimizedLBAOverhead
-	all := make([]bool, len(enqueued))
+	simpleService := 1 + b.cfg.SimpleLBAOverhead
+	optService := 1 + b.cfg.OptimizedLBAOverhead
+	all := make([]bool, len(b.enqueued))
 	for i := range all {
 		all[i] = true
 	}
 
 	return Result{
-		Benchmark:              p.Name,
-		Events:                 events,
+		Benchmark:              s.Profile.Name,
+		Events:                 s.Events,
 		ActiveWindowFraction:   f,
-		OverheadSimple:         f * cfg.SimpleLBAOverhead,
-		OverheadOptimized:      f * cfg.OptimizedLBAOverhead,
-		QueueOverheadSimple:    queueSim(enqueued, cfg.QueueDepth, simpleService, cfg.Observer),
-		QueueOverheadOptimized: queueSim(enqueued, cfg.QueueDepth, optService, cfg.Observer),
-		QueueBaselineSimple:    queueSim(all, cfg.QueueDepth, simpleService, nil),
-		QueueBaselineOptimized: queueSim(all, cfg.QueueDepth, optService, nil),
-		EnqueuedFraction:       float64(positives) / float64(events),
-		PendingExtraPositives:  pendingExtra,
-	}, nil
+		OverheadSimple:         f * b.cfg.SimpleLBAOverhead,
+		OverheadOptimized:      f * b.cfg.OptimizedLBAOverhead,
+		QueueOverheadSimple:    queueSim(b.enqueued, b.cfg.QueueDepth, simpleService, s.Observer),
+		QueueOverheadOptimized: queueSim(b.enqueued, b.cfg.QueueDepth, optService, s.Observer),
+		QueueBaselineSimple:    queueSim(all, b.cfg.QueueDepth, simpleService, nil),
+		QueueBaselineOptimized: queueSim(all, b.cfg.QueueDepth, optService, nil),
+		EnqueuedFraction:       float64(b.positives) / float64(s.Events),
+		PendingExtraPositives:  b.pendingExtra,
+	}
+}
+
+// Run evaluates one benchmark under P-LATCH.
+func Run(p workload.Profile, cfg Config) (Result, error) {
+	res, err := engine.RunProfile(&backend{cfg: cfg}, p,
+		engine.RunOptions{Events: cfg.Events, Observer: cfg.Observer})
+	if err != nil {
+		return Result{}, err
+	}
+	return res.(Result), nil
 }
 
 // RunSuite simulates every benchmark of a suite, in registry order. The

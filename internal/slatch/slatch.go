@@ -14,54 +14,40 @@
 //     without taint manipulation (§5.1.3), after scanning the CTC clear bits
 //     (§5.1.4).
 //
-// The simulator consumes a benchmark's event stream, drives the real
-// latch.Module in lazy-clear mode, and accounts cycles into the Figure 14
-// categories: libdft instrumentation, hardware/software control transfers,
-// false-positive checks, CTC misses, and coarse-state resets.
+// The scheme is an engine.Backend: the shared Session drives the stream,
+// owns the epoch/trap state machine, and accounts cycles into the Figure 14
+// categories; this package contributes only the S-LATCH per-event policy.
+// It registers itself with the engine under the name "slatch".
 package slatch
 
 import (
 	"fmt"
 
+	"latch/internal/engine"
 	"latch/internal/latch"
 	"latch/internal/pool"
-	"latch/internal/shadow"
 	"latch/internal/telemetry"
 	"latch/internal/trace"
 	"latch/internal/workload"
 )
 
-// Mode is the current execution layer.
-type Mode int
+func init() {
+	engine.Register(engine.Scheme{
+		Name:  "slatch",
+		Title: "S-LATCH: accelerated single-core software DIFT (§5.1)",
+		New:   func() engine.Backend { return &backend{cfg: DefaultConfig()} },
+	})
+}
 
-// Modes.
-const (
-	ModeHardware Mode = iota
-	ModeSoftware
-)
-
-// Config parameterizes the S-LATCH cost model. Cycle constants follow §6.1:
-// the CTC miss penalty is 150 cycles; control-transfer costs combine the
+// Config parameterizes the S-LATCH cost model. The cycle constants live in
+// the shared engine.Costs table (§6.1); control-transfer costs combine the
 // getcontext/setcontext pair with the per-benchmark Pin code-cache latency.
 type Config struct {
 	Latch latch.Config
 
-	// TimeoutInstrs is the software-mode timeout: after this many
-	// instructions without touching taint, control returns to hardware
-	// (1000 in the paper, §5.1.3).
-	TimeoutInstrs uint64
-
-	// CtxSwitchCycles is the cost of saving/restoring the native context on
-	// each direction of a mode switch (getcontext/setcontext, §6.1).
-	CtxSwitchCycles uint64
-
-	// FPCheckCycles is the exception-handler cost of validating one coarse
-	// positive against the precise state (ltnt + tagmap lookup, §5.1.2).
-	FPCheckCycles uint64
-
-	// ScanCyclesPerDomain is the cost of checking one clear-bit-flagged
-	// domain during the return-to-hardware scan.
-	ScanCyclesPerDomain uint64
+	// Costs is the shared cycle-cost table: context switches, FP checks,
+	// clear-bit scans, and the §5.1.3 software-mode timeout.
+	Costs engine.Costs
 
 	Events uint64 // stream length
 
@@ -84,12 +70,9 @@ func DefaultConfig() Config {
 	lc.Clear = latch.LazyClear
 	lc.BaselineTCache = false
 	return Config{
-		Latch:               lc,
-		TimeoutInstrs:       1000,
-		CtxSwitchCycles:     400,
-		FPCheckCycles:       120,
-		ScanCyclesPerDomain: 20,
-		Events:              2_000_000,
+		Latch:  lc,
+		Costs:  engine.DefaultCosts(),
+		Events: 2_000_000,
 	}
 }
 
@@ -103,13 +86,10 @@ type Result struct {
 	SWInstrs uint64 // instructions executed under software DIFT
 	Switches uint64 // hardware->software transitions
 
-	// Cycle accounting (Figure 14 categories).
-	BaseCycles     uint64 // native execution: one per instruction
-	LibdftCycles   uint64 // extra cycles from instrumented execution
-	XferCycles     uint64 // context save/restore + code-cache loads
-	FPCheckCycles  uint64 // exception-handler false-positive filtering
-	CTCMissCycles  uint64 // coarse-check miss penalties
-	ResetCycles    uint64 // clear-bit scans on return to hardware
+	// Cycles is the unified cycle accounting (Figure 14 categories; the
+	// Scan category is the clear-bit reset work).
+	Cycles engine.Cycles
+
 	FalsePositives uint64
 
 	LibdftSlowdown float64 // the benchmark's software-only slowdown
@@ -118,19 +98,11 @@ type Result struct {
 }
 
 // TotalCycles returns the modeled S-LATCH runtime.
-func (r Result) TotalCycles() uint64 {
-	return r.BaseCycles + r.LibdftCycles + r.XferCycles + r.FPCheckCycles +
-		r.CTCMissCycles + r.ResetCycles
-}
+func (r Result) TotalCycles() uint64 { return r.Cycles.Total() }
 
 // Overhead returns the fractional overhead over native execution
 // (Figure 13's y-axis; 0.6 means 60%).
-func (r Result) Overhead() float64 {
-	if r.BaseCycles == 0 {
-		return 0
-	}
-	return float64(r.TotalCycles())/float64(r.BaseCycles) - 1
-}
+func (r Result) Overhead() float64 { return r.Cycles.Overhead() }
 
 // LibdftOverhead returns the software-only baseline overhead.
 func (r Result) LibdftOverhead() float64 { return r.LibdftSlowdown - 1 }
@@ -138,109 +110,120 @@ func (r Result) LibdftOverhead() float64 { return r.LibdftSlowdown - 1 }
 // SpeedupVsLibdft returns how much faster S-LATCH is than continuous
 // software DIFT.
 func (r Result) SpeedupVsLibdft() float64 {
-	t := r.TotalCycles()
+	t := r.Cycles.Total()
 	if t == 0 {
 		return 0
 	}
-	return r.LibdftSlowdown * float64(r.BaseCycles) / float64(t)
+	return r.LibdftSlowdown * float64(r.Cycles.Base) / float64(t)
+}
+
+// BenchmarkName implements engine.Result.
+func (r Result) BenchmarkName() string { return r.Benchmark }
+
+// EventCount implements engine.Result.
+func (r Result) EventCount() uint64 { return r.Events }
+
+// CheckCount implements engine.Result.
+func (r Result) CheckCount() uint64 { return r.Latch.Checks }
+
+// Columns implements engine.Result.
+func (r Result) Columns() []engine.Column {
+	return []engine.Column{
+		{Label: "overhead", Value: r.Overhead()},
+		{Label: "speedup vs libdft", Value: r.SpeedupVsLibdft()},
+		{Label: "switches", Value: r.Switches},
+		{Label: "false positives", Value: r.FalsePositives},
+	}
+}
+
+// backend is the S-LATCH per-event policy over the engine's shared epoch
+// machine.
+type backend struct {
+	cfg Config
+}
+
+// Name implements engine.Backend.
+func (b *backend) Name() string { return "slatch" }
+
+// Config implements engine.Backend.
+func (b *backend) Config() latch.Config { return b.cfg.Latch }
+
+// Init implements engine.Backend: validate the clear policy and arm the
+// epoch machine with the benchmark's calibrated slowdown and code-cache
+// latency.
+func (b *backend) Init(s *engine.Session) error {
+	if b.cfg.Latch.Clear == latch.EagerClear {
+		// S-LATCH has no hardware taint cache to drive the eager AND-chain;
+		// it uses lazy clear bits (§5.1.4), or NoClear for the ablation.
+		return fmt.Errorf("slatch: S-LATCH requires the lazy or disabled clear policy")
+	}
+	slowdown := s.Profile.LibdftSlowdown
+	if slowdown < 1 {
+		slowdown = 1 // program-driven runs carry no calibrated slowdown
+	}
+	codeCacheLat := s.Profile.CodeCacheLat
+	if codeCacheLat == 0 {
+		codeCacheLat = b.cfg.Costs.CodeCacheLat
+	}
+	s.ConfigureEpochs(b.cfg.Costs, slowdown-1, codeCacheLat)
+	return nil
+}
+
+// Step implements engine.Backend: the per-instruction S-LATCH protocol.
+func (b *backend) Step(s *engine.Session, ev trace.Event) {
+	s.Cycles.Base++
+	switch s.Mode() {
+	case engine.ModeHardware:
+		s.HWInstrs++
+		if !ev.IsMem {
+			return
+		}
+		check := s.CheckMem(ev.Addr, int(ev.Size))
+		if !check.CoarsePositive {
+			return
+		}
+		// Trap to the exception handler, which validates against the
+		// precise state.
+		s.Trap()
+		if !check.TrulyTainted {
+			s.DismissTrap()
+			return // dismissed; hardware mode continues
+		}
+		// True positive: transfer control to the instrumented image.
+		s.SwitchToSoftware()
+	case engine.ModeSoftware:
+		s.SWInstrs++
+		if s.SoftwareStep(ev.Tainted) {
+			// Timeout: scan clear bits, restore the native context, resume
+			// hardware monitoring.
+			s.ReturnToHardware()
+		}
+	}
+}
+
+// Finish implements engine.Backend.
+func (b *backend) Finish(s *engine.Session) engine.Result {
+	return Result{
+		Benchmark:      s.Profile.Name,
+		Events:         s.Events,
+		HWInstrs:       s.HWInstrs,
+		SWInstrs:       s.SWInstrs,
+		Switches:       s.Switches,
+		Cycles:         s.CycleReport(),
+		FalsePositives: s.FalseTraps,
+		LibdftSlowdown: s.Profile.LibdftSlowdown,
+		Latch:          s.Module.Stats(),
+	}
 }
 
 // Run simulates one benchmark under S-LATCH.
 func Run(p workload.Profile, cfg Config) (Result, error) {
-	if cfg.Latch.Clear == latch.EagerClear {
-		// S-LATCH has no hardware taint cache to drive the eager AND-chain;
-		// it uses lazy clear bits (§5.1.4), or NoClear for the ablation.
-		return Result{}, fmt.Errorf("slatch: S-LATCH requires the lazy or disabled clear policy")
-	}
-	sh, err := shadow.New(cfg.Latch.DomainSize)
+	res, err := engine.RunProfile(&backend{cfg: cfg}, p,
+		engine.RunOptions{Events: cfg.Events, Observer: cfg.Observer})
 	if err != nil {
 		return Result{}, err
 	}
-	m, err := latch.New(cfg.Latch, sh)
-	if err != nil {
-		return Result{}, err
-	}
-	g, err := workload.NewGeneratorOn(p, sh)
-	if err != nil {
-		return Result{}, err
-	}
-	m.ResetStats()
-	m.SetObserver(cfg.Observer)
-
-	res := Result{
-		Benchmark:      p.Name,
-		LibdftSlowdown: p.LibdftSlowdown,
-	}
-	perInstrExtra := p.LibdftSlowdown - 1
-
-	mode := ModeHardware
-	var sinceTaint uint64
-	var libdftFrac float64 // fractional cycle accumulator for SW instructions
-
-	prevMisses := func() uint64 { return m.Stats().CTCCheckMisses }
-	missesBefore := prevMisses()
-
-	g.Run(cfg.Events, trace.SinkFunc(func(ev trace.Event) {
-		res.Events++
-		res.BaseCycles++
-		switch mode {
-		case ModeHardware:
-			res.HWInstrs++
-			if !ev.IsMem {
-				return
-			}
-			check := m.CheckMem(ev.Addr, int(ev.Size))
-			if missesNow := prevMisses(); missesNow != missesBefore {
-				res.CTCMissCycles += (missesNow - missesBefore) * cfg.Latch.CTCMissPenalty
-				missesBefore = missesNow
-			}
-			if !check.CoarsePositive {
-				return
-			}
-			// Trap to the exception handler, which validates against the
-			// precise state.
-			res.FPCheckCycles += cfg.FPCheckCycles
-			if !check.TrulyTainted {
-				res.FalsePositives++
-				return // dismissed; hardware mode continues
-			}
-			// True positive: transfer control to the instrumented image.
-			res.Switches++
-			res.XferCycles += 2*cfg.CtxSwitchCycles + p.CodeCacheLat
-			mode = ModeSoftware
-			if cfg.Observer != nil {
-				cfg.Observer.EpochTransition(telemetry.ModeSoftware, res.Events)
-			}
-			sinceTaint = 0
-			// The trapping instruction re-executes under instrumentation.
-			libdftFrac += perInstrExtra
-		case ModeSoftware:
-			res.SWInstrs++
-			libdftFrac += perInstrExtra
-			if ev.Tainted {
-				sinceTaint = 0
-				return
-			}
-			sinceTaint++
-			if sinceTaint < cfg.TimeoutInstrs {
-				return
-			}
-			// Timeout: scan clear bits, restore the native context, resume
-			// hardware monitoring.
-			scanned := m.ScanResidentClears()
-			res.ResetCycles += scanned * cfg.ScanCyclesPerDomain
-			res.XferCycles += cfg.CtxSwitchCycles
-			mode = ModeHardware
-			if cfg.Observer != nil {
-				cfg.Observer.EpochTransition(telemetry.ModeHardware, res.Events)
-			}
-			sinceTaint = 0
-		}
-	}))
-
-	res.LibdftCycles = uint64(libdftFrac)
-	res.Latch = m.Stats()
-	return res, nil
+	return res.(Result), nil
 }
 
 // RunSuite simulates every benchmark of a suite, in registry order. The

@@ -26,13 +26,13 @@ func TestAccountingInvariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Events != 400_000 || r.BaseCycles != r.Events {
-		t.Fatalf("events=%d base=%d", r.Events, r.BaseCycles)
+	if r.Events != 400_000 || r.Cycles.Base != r.Events {
+		t.Fatalf("events=%d base=%d", r.Events, r.Cycles.Base)
 	}
 	if r.HWInstrs+r.SWInstrs != r.Events {
 		t.Fatalf("HW %d + SW %d != %d", r.HWInstrs, r.SWInstrs, r.Events)
 	}
-	if r.TotalCycles() < r.BaseCycles {
+	if r.TotalCycles() < r.Cycles.Base {
 		t.Fatal("total below native")
 	}
 	if r.Switches == 0 || r.SWInstrs == 0 {
@@ -121,16 +121,16 @@ func TestBreakdownComponentsPresent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.LibdftCycles == 0 {
+	if r.Cycles.Libdft == 0 {
 		t.Error("no libdft cycles for a taint-heavy benchmark")
 	}
-	if r.XferCycles == 0 {
+	if r.Cycles.Xfer == 0 {
 		t.Error("no transfer cycles despite switches")
 	}
-	if r.FPCheckCycles == 0 {
+	if r.Cycles.FPCheck == 0 {
 		t.Error("no FP-check cycles")
 	}
-	sum := r.BaseCycles + r.LibdftCycles + r.XferCycles + r.FPCheckCycles + r.CTCMissCycles + r.ResetCycles
+	sum := r.Cycles.Base + r.Cycles.Libdft + r.Cycles.Xfer + r.Cycles.FPCheck + r.Cycles.CTCMiss + r.Cycles.Scan
 	if sum != r.TotalCycles() {
 		t.Error("breakdown does not sum to total")
 	}

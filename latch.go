@@ -124,15 +124,6 @@ type System struct {
 	Observer Observer
 }
 
-// NewSystem builds a System from a hardware configuration and a DIFT
-// policy.
-//
-// Deprecated: Use New with WithConfig and WithPolicy, which also supports
-// WithObserver and WithClearPolicy.
-func NewSystem(cfg Config, pol Policy) (*System, error) {
-	return New(WithConfig(cfg), WithPolicy(pol))
-}
-
 // Run assembles src, loads it, and executes up to maxSteps instructions.
 // It returns the machine's exit code; a DIFT violation surfaces as a
 // *Violation error.

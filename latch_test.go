@@ -102,23 +102,6 @@ func TestClearPolicyOptionOrderIndependent(t *testing.T) {
 	}
 }
 
-func TestDeprecatedNewSystemMatchesNew(t *testing.T) {
-	sys, err := latch.NewSystem(latch.DefaultConfig(), latch.DefaultPolicy())
-	if err != nil {
-		t.Fatal(err)
-	}
-	code, err := sys.Run(`
-		movi r1, 3
-		sys 1
-	`, 1000)
-	if err != nil || code != 3 {
-		t.Fatalf("code=%d err=%v", code, err)
-	}
-	if sys.Observer != nil {
-		t.Fatal("NewSystem attached an observer")
-	}
-}
-
 func TestViolationSentinels(t *testing.T) {
 	sys, err := latch.New()
 	if err != nil {
