@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test fmt vet race verify cover bench bench-compare fuzz golden
+.PHONY: build test fmt vet race verify cover bench bench-compare fuzz golden diffcheck
 
 build:
 	$(GO) build ./...
@@ -31,7 +31,16 @@ vet:
 race:
 	$(GO) test -race ./...
 
-verify: fmt test vet race
+verify: fmt test vet race diffcheck
+
+# Differential smoke tier: every registered backend against the
+# byte-precise DIFT reference over 200 seeded random programs plus the
+# checked-in reproducer corpus (testdata/diffcheck), and the calibrated
+# stream determinism/soundness checks. Deterministic: two runs with the
+# same seed produce byte-identical logs. Longer hunts: see `make fuzz`
+# or `go run ./cmd/latch-fuzz -budget 60s -corpus testdata/diffcheck`.
+diffcheck:
+	$(GO) run ./cmd/latch-fuzz -seed 1 -cases 200 -corpus testdata/diffcheck
 
 # Coverage gate for the engine substrate: every backend, the experiment
 # harness, and the CLIs sit on internal/engine, so its statement coverage
@@ -73,11 +82,13 @@ bench-compare:
 	$(GO) test -run='^$$' -count=5 -benchtime=1x \
 		-bench='BenchmarkExperimentsSerial$$' .
 
-# Short fuzz pass over the LA32 assembler/decoder round-trip properties
+# Short fuzz passes: the LA32 assembler/decoder round-trip properties
 # (FuzzAssembleDecode also cross-checks the decode cache against direct
-# Decode, through invalidation and refill).
+# Decode, through invalidation and refill), then the backend-equivalence
+# fuzzer, which drives the differential checker from random case seeds.
 fuzz:
 	$(GO) test ./internal/isa -run='^$$' -fuzz=FuzzAssembleDecode -fuzztime=10s
+	$(GO) test ./internal/diffcheck -run='^$$' -fuzz=FuzzBackendEquivalence -fuzztime=30s
 
 # Regenerate the experiment golden tables (and the telemetry snapshot that
 # rides along with them) after an intentional model change.

@@ -1,0 +1,156 @@
+// Command latch-fuzz is the differential backend checker: it runs every
+// registered backend and the conventional byte-precise DIFT reference over
+// seeded random LA32 programs (and calibrated workload streams) and fails
+// when any backend is observably different from the reference — divergent
+// architectural state, violation sets, or final taint; a coarse-state false
+// negative; or a simulator panic.
+//
+// Usage:
+//
+//	latch-fuzz                                # default campaign: 200 cases
+//	latch-fuzz -seed 7 -cases 1000            # longer run on another seed
+//	latch-fuzz -backends slatch,hlatch        # restrict the backend set
+//	latch-fuzz -corpus testdata/diffcheck     # replay + write reproducers
+//	latch-fuzz -replay foo.repro              # re-run one reproducer
+//	latch-fuzz -budget 30s                    # time-bounded exploration
+//
+// Failures are minimized and written to the corpus directory as *.repro
+// files; re-running with -corpus (or the diffcheck test suite) replays
+// them. With a fixed seed and no -budget the log output is byte-for-byte
+// deterministic — `make diffcheck` relies on that.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"latch/internal/diffcheck"
+	"latch/internal/latch"
+	"latch/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		seed     = flag.Int64("seed", 1, "campaign base seed")
+		cases    = flag.Int("cases", 200, "number of generated cases")
+		backends = flag.String("backends", "", "comma-separated backend filter (default: all registered)")
+		corpus   = flag.String("corpus", "", "corpus directory: replay its *.repro files, write new reproducers")
+		replay   = flag.String("replay", "", "re-run a single reproducer file and exit")
+		budget   = flag.Duration("budget", 0, "keep exploring new seeds until this much time has passed (0: exactly -cases)")
+		maxFail  = flag.Int("max-failures", 5, "stop after this many findings")
+		streams  = flag.Bool("streams", true, "also check stream determinism and module soundness invariants")
+		events   = flag.Uint64("events", 100_000, "stream length for the -streams checks")
+	)
+	flag.Parse()
+
+	var names []string
+	if *backends != "" {
+		names = strings.Split(*backends, ",")
+	} else {
+		names = diffcheck.Backends()
+	}
+
+	if *replay != "" {
+		return replayOne(*replay, names)
+	}
+
+	failed := false
+	if *streams {
+		failed = !runStreams(names, *events, *seed)
+	}
+
+	opts := diffcheck.Options{
+		Seed:        *seed,
+		Cases:       *cases,
+		Backends:    names,
+		CorpusDir:   *corpus,
+		MaxFailures: *maxFail,
+		Log:         os.Stdout,
+	}
+	rep, err := diffcheck.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	totalCases, failures := rep.Cases, rep.Failures
+
+	// Time-bounded exploration: keep pushing fresh batches on derived seeds
+	// until the budget runs out. Case counts then depend on wall time, so
+	// the deterministic-log contract applies only to budget-less runs.
+	if *budget > 0 {
+		deadline := time.Now().Add(*budget)
+		for batch := 1; time.Now().Before(deadline) && len(failures) < *maxFail; batch++ {
+			opts.Seed = workload.DeriveSeed(*seed, "diffcheck", "batch", fmt.Sprint(batch))
+			opts.CorpusDir = *corpus
+			opts.MaxFailures = *maxFail - len(failures)
+			rep, err := diffcheck.Run(opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			totalCases += rep.Cases
+			failures = append(failures, rep.Failures...)
+		}
+	}
+
+	fmt.Printf("diffcheck: %d backends x %d cases (+%d corpus), %d failures\n",
+		len(names), totalCases, rep.Corpus, len(failures))
+	if len(failures) > 0 || failed {
+		for _, f := range failures {
+			fmt.Printf("  %s: %s\n", f.Name, &f.Failure)
+		}
+		return 1
+	}
+	return 0
+}
+
+// runStreams checks the calibrated-stream contracts: per-backend replay
+// determinism over a few profiles, and the module coarse-soundness
+// invariant under each clear policy. Reports success.
+func runStreams(backends []string, events uint64, seed int64) bool {
+	ok := true
+	profiles := []string{"gcc", "apache"}
+	for _, b := range backends {
+		for _, p := range profiles {
+			if err := diffcheck.StreamDeterminism(b, p, events, seed); err != nil {
+				fmt.Println(err)
+				ok = false
+			}
+		}
+	}
+	for _, pol := range []latch.ClearPolicy{latch.EagerClear, latch.LazyClear, latch.NoClear} {
+		for _, p := range profiles {
+			if err := diffcheck.ModuleInvariant(pol, p, events, seed); err != nil {
+				fmt.Println(err)
+				ok = false
+			}
+		}
+	}
+	if ok {
+		fmt.Printf("streams: %d backends x %d profiles deterministic; module invariant holds (eager/lazy/none)\n",
+			len(backends), len(profiles))
+	}
+	return ok
+}
+
+// replayOne re-runs a single reproducer and reports its verdict.
+func replayOne(path string, backends []string) int {
+	c, err := diffcheck.ReadRepro(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if f := diffcheck.CheckCase(c, backends); f != nil {
+		fmt.Printf("%s: FAIL %s\n", path, f)
+		return 1
+	}
+	fmt.Printf("%s: ok\n", path)
+	return 0
+}

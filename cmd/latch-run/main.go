@@ -79,6 +79,21 @@ func run() int {
 	flag.Var(&requests, "request", "inbound request data (repeatable)")
 	flag.Parse()
 
+	if err := checkFlagConflicts(flagSet{
+		Prog:     *progName,
+		Src:      *srcPath,
+		File:     *fileData,
+		FileHex:  *fileHex,
+		Backend:  *backend,
+		SaveTnt:  *saveTnt,
+		Requests: len(requests),
+		SLatch:   *coSLatch,
+		NoDift:   *noDift,
+		Disasm:   *disasm,
+	}); err != nil {
+		return fail(err)
+	}
+
 	if *list {
 		for _, name := range workload.ProgramNames() {
 			fmt.Println(name)
@@ -302,6 +317,55 @@ func assembleOrLoad(src string) (*isa.Program, error) {
 		return isa.ReadObject(strings.NewReader(src))
 	}
 	return isa.Assemble(src)
+}
+
+// flagSet is the subset of latch-run's flags whose combinations can
+// contradict each other.
+type flagSet struct {
+	Prog, Src, File, FileHex, Backend, SaveTnt string
+	Requests                                   int
+	SLatch, NoDift, Disasm                     bool
+}
+
+// checkFlagConflicts rejects contradictory flag combinations up front, so a
+// conflicting flag fails loudly instead of being silently ignored.
+func checkFlagConflicts(f flagSet) error {
+	if f.Prog != "" && f.Src != "" {
+		return fmt.Errorf("use either -prog or -src, not both")
+	}
+	if f.File != "" && f.FileHex != "" {
+		return fmt.Errorf("use either -file or -file-hex, not both")
+	}
+	if f.SLatch && f.NoDift {
+		return fmt.Errorf("-slatch co-simulates the DIFT protocol and cannot be combined with -no-dift")
+	}
+	if f.Backend != "" {
+		// -backend streams a calibrated workload: no program, no program
+		// input, and the scheme is chosen by name, not by mode flags.
+		conflicts := []struct {
+			set  bool
+			name string
+		}{
+			{f.Prog != "", "-prog"},
+			{f.Src != "", "-src"},
+			{f.File != "", "-file"},
+			{f.FileHex != "", "-file-hex"},
+			{f.Requests > 0, "-request"},
+			{f.SLatch, "-slatch"},
+			{f.NoDift, "-no-dift"},
+			{f.Disasm, "-disasm"},
+			{f.SaveTnt != "", "-save-taint"},
+		}
+		for _, c := range conflicts {
+			if c.set {
+				return fmt.Errorf("-backend runs a calibrated workload stream and cannot be combined with %s", c.name)
+			}
+		}
+	}
+	if f.NoDift && f.SaveTnt != "" {
+		return fmt.Errorf("-save-taint needs taint tracking and cannot be combined with -no-dift")
+	}
+	return nil
 }
 
 func loadSource(progName, srcPath string) (string, error) {

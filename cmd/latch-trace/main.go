@@ -118,7 +118,7 @@ func main() {
 			precise++
 		}
 		for i, gs := range granularities {
-			if sh.TaintedAt(ev.Addr, gs) {
+			if sh.MustTaintedAt(ev.Addr, gs) {
 				coarse[i]++
 			}
 		}

@@ -115,7 +115,7 @@ func ExampleModule_CheckMem() {
 	if err != nil {
 		panic(err)
 	}
-	sys.Engine.TaintMemory(0x1000, 16, latch.Label(0))
+	sys.Engine.TaintMemory(0x1000, 16, latch.MustLabel(0))
 
 	for _, addr := range []uint32{0x1000, 0x1400, 0x9000} {
 		res := sys.Module.CheckMem(addr, 4)

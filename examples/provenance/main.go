@@ -45,7 +45,7 @@ func main() {
 	}
 	fmt.Printf("violation: %v\n", v)
 
-	fileTag, netTag := latch.Label(0), latch.Label(1)
+	fileTag, netTag := latch.MustLabel(0), latch.MustLabel(1)
 	fmt.Printf("target carried file-source data:    %v\n", v.Tag&fileTag != 0)
 	fmt.Printf("target carried network-source data: %v\n", v.Tag&netTag != 0)
 

@@ -66,7 +66,7 @@ func benchShadowStoreHotPath(b *testing.B) {
 	const window = 16 * mem.PageSize
 	s := shadow.MustNew(shadow.DefaultDomainSize)
 	for a := uint32(0); a < window; a += mem.PageSize {
-		s.Set(a, shadow.Label(0))
+		s.Set(a, shadow.MustLabel(0))
 		s.Set(a, shadow.TagClean)
 	}
 	b.ReportAllocs()
@@ -74,7 +74,7 @@ func benchShadowStoreHotPath(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		addr := uint32(i*31) % window
 		if i&1 == 0 {
-			s.Set(addr, shadow.Label(0))
+			s.Set(addr, shadow.MustLabel(0))
 		} else {
 			s.Set(addr, shadow.TagClean)
 		}

@@ -24,10 +24,14 @@ type TLB struct {
 	fills       uint64
 }
 
-// NewTLB builds a TLB with the given number of entries (must be a power of
+// NewTLB builds a TLB with the given number of entries (a positive power of
 // two) organized fully associatively, carrying pageDomains taint bits per
-// entry.
+// entry (1..32, one bit per page-level domain). Invalid arguments are
+// reported as errors; use MustNewTLB for statically known configurations.
 func NewTLB(entries, pageDomains int) (*TLB, error) {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		return nil, fmt.Errorf("tlb: entries %d must be a positive power of two", entries)
+	}
 	if pageDomains <= 0 || pageDomains > 32 {
 		return nil, fmt.Errorf("tlb: pageDomains %d out of range [1,32]", pageDomains)
 	}

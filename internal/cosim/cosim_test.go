@@ -152,7 +152,7 @@ func TestFalsePositiveDismissal(t *testing.T) {
 	// domain from hardware mode: the coarse check fires, the precise filter
 	// dismisses it, and execution never enters software mode.
 	s := newSystem(t, nil)
-	s.Engine.TaintMemory(0x8000, 1, shadow.Label(0))
+	s.Engine.TaintMemory(0x8000, 1, shadow.MustLabel(0))
 	if _, err := s.Run(`
 		li   r3, 0x8020   ; same domain as 0x8000, clean byte
 		ldw  r4, [r3]
@@ -241,11 +241,11 @@ func TestTrackerInterfaceDelegation(t *testing.T) {
 	if s.Accept() != 0 || s.Accept() != 1 {
 		t.Fatal("accept ids wrong")
 	}
-	s.SetTaintByte(0x40, shadow.Label(1))
+	s.SetTaintByte(0x40, shadow.MustLabel(1))
 	if !s.Shadow.Get(0x40).Tainted() {
 		t.Fatal("stnt delegation failed")
 	}
-	s.SetRegTaintMask(0b100, shadow.Label(0))
+	s.SetRegTaintMask(0b100, shadow.MustLabel(0))
 	if !s.Engine.RegTaint(2).Tainted() || !s.Module.TRF().Tainted(2) {
 		t.Fatal("strf delegation failed")
 	}

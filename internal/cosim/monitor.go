@@ -64,6 +64,13 @@ func (m *Monitor) Run(src string, maxSteps uint64) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
+	return m.RunProgram(prog, maxSteps)
+}
+
+// RunProgram loads an already-assembled program and executes up to maxSteps
+// instructions. The differential checker uses this entry point: generated
+// programs exist as instruction slices, not assembly source.
+func (m *Monitor) RunProgram(prog *isa.Program, maxSteps uint64) (uint32, error) {
 	m.Machine.Load(prog)
 	if _, err := m.Machine.Run(maxSteps); err != nil {
 		return 0, err

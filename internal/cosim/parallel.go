@@ -353,7 +353,7 @@ func (p *Parallel) updateTRF(in isa.Instr, memPositive bool) {
 		trf.Set(int(in.Rd), trf.Get(int(in.Rs1)))
 	case isa.ClassLoad:
 		if memPositive {
-			trf.Set(int(in.Rd), shadow.Label(0))
+			trf.Set(int(in.Rd), shadow.MustLabel(0))
 		} else {
 			trf.Set(int(in.Rd), shadow.TagClean)
 		}

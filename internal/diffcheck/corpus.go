@@ -1,0 +1,154 @@
+package diffcheck
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"latch/internal/isa"
+)
+
+// Reproducer file format: a line-oriented text file, one directive per
+// line, '#' starts a comment. Directives:
+//
+//	seed <int64>           the case seed (informational; the program below wins)
+//	maxsteps <uint64>      execution budget
+//	input <hex>            file-source bytes
+//	request <hex>          one inbound request (repeatable, in accept order)
+//	w <8 hex digits>       one encoded instruction word, in program order
+//
+// The instruction words are the minimized program, disassembled in a
+// trailing comment per line for human readers. Reproducers are checked into
+// testdata/diffcheck/ and replayed by TestCorpusReplay as regression tests.
+
+// WriteRepro writes c to path with header comments describing the failure
+// it reproduces.
+func WriteRepro(path string, c Case, f *Failure) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# latch diffcheck reproducer\n")
+	if f != nil {
+		fmt.Fprintf(&b, "# failure: %s\n", f)
+	}
+	fmt.Fprintf(&b, "seed %d\n", c.Seed)
+	fmt.Fprintf(&b, "maxsteps %d\n", c.MaxSteps)
+	if len(c.Input) > 0 {
+		fmt.Fprintf(&b, "input %s\n", hex.EncodeToString(c.Input))
+	}
+	for _, r := range c.Requests {
+		fmt.Fprintf(&b, "request %s\n", hex.EncodeToString(r))
+	}
+	for _, in := range c.Instrs {
+		w, err := isa.Encode(in)
+		if err != nil {
+			return fmt.Errorf("diffcheck: repro %s: %w", path, err)
+		}
+		fmt.Fprintf(&b, "w %08x  # %s\n", w, in)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// ReadRepro parses a reproducer file back into a Case.
+func ReadRepro(path string) (Case, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Case{}, err
+	}
+	defer f.Close()
+	return parseRepro(f, path)
+}
+
+func parseRepro(r io.Reader, name string) (Case, error) {
+	c := Case{MaxSteps: DefaultMaxSteps}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		bad := func(err error) (Case, error) {
+			return Case{}, fmt.Errorf("diffcheck: %s:%d: %w", name, line, err)
+		}
+		if len(fields) != 2 {
+			return bad(fmt.Errorf("want `directive value`, got %q", text))
+		}
+		switch key, val := fields[0], fields[1]; key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return bad(err)
+			}
+			c.Seed = n
+		case "maxsteps":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return bad(err)
+			}
+			c.MaxSteps = n
+		case "input":
+			data, err := hex.DecodeString(val)
+			if err != nil {
+				return bad(err)
+			}
+			c.Input = data
+		case "request":
+			data, err := hex.DecodeString(val)
+			if err != nil {
+				return bad(err)
+			}
+			c.Requests = append(c.Requests, data)
+		case "w":
+			w, err := strconv.ParseUint(val, 16, 32)
+			if err != nil {
+				return bad(err)
+			}
+			in, err := isa.Decode(uint32(w))
+			if err != nil {
+				return bad(err)
+			}
+			c.Instrs = append(c.Instrs, in)
+		default:
+			return bad(fmt.Errorf("unknown directive %q", key))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Case{}, err
+	}
+	if len(c.Instrs) == 0 {
+		return Case{}, fmt.Errorf("diffcheck: %s: no instructions", name)
+	}
+	return c, nil
+}
+
+// CorpusCases loads every *.repro file under dir, sorted by name. A missing
+// directory is an empty corpus, not an error.
+func CorpusCases(dir string) (map[string]Case, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.repro"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	cases := make(map[string]Case, len(paths))
+	for _, p := range paths {
+		c, err := ReadRepro(p)
+		if err != nil {
+			return nil, err
+		}
+		cases[filepath.Base(p)] = c
+	}
+	return cases, nil
+}

@@ -1,0 +1,32 @@
+package diffcheck_test
+
+import (
+	"testing"
+
+	"latch/internal/diffcheck"
+)
+
+// FuzzBackendEquivalence feeds random case seeds to the differential
+// checker: the fuzzer explores the seed space while the generator keeps
+// every input a valid, terminating LA32 program. Run with
+//
+//	go test -fuzz=FuzzBackendEquivalence ./internal/diffcheck/
+//
+// (or `make fuzz`). Failures should be minimized and checked in via
+// latch-fuzz -corpus, whose .repro format carries the full case.
+func FuzzBackendEquivalence(f *testing.F) {
+	// Seed corpus: small integers plus the campaign seeds that exposed the
+	// three fixed bugs (wrapping page-note walk, wrapping store over cached
+	// code, unclamped SysWrite length).
+	for _, seed := range []int64{0, 1, 2, 7, 42,
+		1660718880496667550, 1945755011180343852, 5296691041779947934} {
+		f.Add(seed)
+	}
+	backends := diffcheck.Backends()
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := diffcheck.BuildCase(seed)
+		if fail := diffcheck.CheckCase(c, backends); fail != nil {
+			t.Fatalf("seed %d: %s", seed, fail)
+		}
+	})
+}

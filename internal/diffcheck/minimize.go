@@ -1,0 +1,89 @@
+package diffcheck
+
+import "latch/internal/isa"
+
+// Minimize shrinks a failing case while preserving its failure (same kind,
+// same component — see Failure.Same). The program is reduced with a
+// length-preserving delta pass: instructions are replaced by NOPs in
+// halving chunks, so branch offsets and computed jump targets stay valid;
+// a final pass truncates the trailing NOP run behind a HALT and drops
+// external input the failure does not need. Minimization re-runs the whole
+// differential check as its predicate, so the result is guaranteed to still
+// fail, and every step is deterministic.
+func Minimize(c Case, backends []string) Case {
+	orig := CheckCase(c, backends)
+	if orig == nil {
+		return c
+	}
+	fails := func(cand Case) bool {
+		return orig.Same(CheckCase(cand, backends))
+	}
+
+	// Delta pass: NOP out chunks, largest first, repeating each chunk size
+	// until no chunk of that size can be removed.
+	nop := isa.Instr{Op: isa.NOP}
+	for chunk := len(c.Instrs) / 2; chunk >= 1; chunk /= 2 {
+		for again := true; again; {
+			again = false
+			for lo := 0; lo < len(c.Instrs); lo += chunk {
+				hi := lo + chunk
+				if hi > len(c.Instrs) {
+					hi = len(c.Instrs)
+				}
+				if allNop(c.Instrs[lo:hi]) {
+					continue
+				}
+				cand := c
+				cand.Instrs = append([]isa.Instr(nil), c.Instrs...)
+				for i := lo; i < hi; i++ {
+					cand.Instrs[i] = nop
+				}
+				if fails(cand) {
+					c = cand
+					again = chunk > 1
+				}
+			}
+		}
+	}
+
+	// Truncate the trailing NOP run, sealing the program with a HALT so it
+	// still terminates cleanly when the failure happens earlier.
+	end := len(c.Instrs)
+	for end > 0 && c.Instrs[end-1].Op == isa.NOP {
+		end--
+	}
+	if end < len(c.Instrs) {
+		cand := c
+		cand.Instrs = append(append([]isa.Instr(nil), c.Instrs[:end]...), isa.Instr{Op: isa.HALT})
+		if fails(cand) {
+			c = cand
+		}
+	}
+
+	// Shrink the external world.
+	if len(c.Requests) > 0 {
+		cand := c
+		cand.Requests = nil
+		if fails(cand) {
+			c = cand
+		}
+	}
+	for len(c.Input) > 0 {
+		cand := c
+		cand.Input = c.Input[:len(c.Input)/2]
+		if !fails(cand) {
+			break
+		}
+		c = cand
+	}
+	return c
+}
+
+func allNop(instrs []isa.Instr) bool {
+	for _, in := range instrs {
+		if in.Op != isa.NOP {
+			return false
+		}
+	}
+	return true
+}

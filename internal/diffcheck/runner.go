@@ -1,0 +1,133 @@
+package diffcheck
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+
+	"latch/internal/workload"
+)
+
+// Options parameterizes one checker campaign.
+type Options struct {
+	// Seed is the campaign base seed; case i runs on a seed derived from
+	// (Seed, "diffcheck", "case", i), so campaigns with the same base seed
+	// are identical run to run.
+	Seed int64
+	// Cases is the number of generated cases to check.
+	Cases int
+	// Backends filters which registered backends run; nil means all.
+	Backends []string
+	// CorpusDir, when non-empty, receives a minimized reproducer per
+	// failure, and its existing *.repro files are replayed before the
+	// generated cases.
+	CorpusDir string
+	// MaxFailures stops the campaign early after this many findings
+	// (default 5).
+	MaxFailures int
+	// Log, when non-nil, receives the campaign's progress lines. For a
+	// fixed seed the log is byte-for-byte deterministic.
+	Log io.Writer
+}
+
+// FailureReport is one finding of a campaign.
+type FailureReport struct {
+	Name      string // "case-<i>" or the corpus file name
+	Seed      int64
+	Failure   Failure
+	Minimized Case
+	ReproPath string // written reproducer ("" if CorpusDir unset)
+}
+
+// Report summarizes a campaign.
+type Report struct {
+	Cases    int // generated cases checked
+	Corpus   int // corpus reproducers replayed
+	Failures []FailureReport
+}
+
+// Run executes a differential campaign: replay the corpus, then check
+// Cases freshly generated seeded cases, minimizing and recording each
+// failure. The error return is infrastructural (unwritable corpus,
+// unknown backend); findings are reported in the Report.
+func Run(opts Options) (*Report, error) {
+	if opts.Cases < 0 {
+		return nil, fmt.Errorf("diffcheck: negative case count %d", opts.Cases)
+	}
+	if opts.MaxFailures <= 0 {
+		opts.MaxFailures = 5
+	}
+	backends := opts.Backends
+	if len(backends) == 0 {
+		backends = Backends()
+	}
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format, args...)
+		}
+	}
+	rep := &Report{}
+
+	if opts.CorpusDir != "" {
+		cases, err := CorpusCases(opts.CorpusDir)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range sortedKeys(cases) {
+			c := cases[name]
+			rep.Corpus++
+			if f := CheckCase(c, backends); f != nil {
+				logf("corpus %s: FAIL %s\n", name, f)
+				rep.Failures = append(rep.Failures, FailureReport{
+					Name: name, Seed: c.Seed, Failure: *f, Minimized: c,
+				})
+				if len(rep.Failures) >= opts.MaxFailures {
+					return rep, nil
+				}
+			} else {
+				logf("corpus %s: ok\n", name)
+			}
+		}
+	}
+
+	for i := 0; i < opts.Cases; i++ {
+		seed := workload.DeriveSeed(opts.Seed, "diffcheck", "case", fmt.Sprint(i))
+		c := BuildCase(seed)
+		rep.Cases++
+		f := CheckCase(c, backends)
+		if f == nil {
+			if (i+1)%50 == 0 {
+				logf("case %d/%d: ok\n", i+1, opts.Cases)
+			}
+			continue
+		}
+		logf("case %d (seed %d): FAIL %s\n", i, seed, f)
+		min := Minimize(c, backends)
+		fr := FailureReport{Name: fmt.Sprintf("case-%d", i), Seed: seed, Failure: *f, Minimized: min}
+		if opts.CorpusDir != "" {
+			fr.ReproPath = filepath.Join(opts.CorpusDir,
+				fmt.Sprintf("%s-%s-seed%d.repro", f.Kind, f.Backend, seed))
+			if err := WriteRepro(fr.ReproPath, min, f); err != nil {
+				return nil, err
+			}
+			logf("  minimized to %d instructions, reproducer: %s\n", len(min.Instrs), fr.ReproPath)
+		} else {
+			logf("  minimized to %d instructions\n", len(min.Instrs))
+		}
+		rep.Failures = append(rep.Failures, fr)
+		if len(rep.Failures) >= opts.MaxFailures {
+			break
+		}
+	}
+	return rep, nil
+}
+
+func sortedKeys(m map[string]Case) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

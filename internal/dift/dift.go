@@ -36,7 +36,7 @@ const (
 
 // Tag returns the taint label associated with the source.
 func (s InputSource) Tag() shadow.Tag {
-	return shadow.Label(int(s))
+	return shadow.MustLabel(int(s))
 }
 
 // String names the source.

@@ -15,7 +15,7 @@ func newEngine(t *testing.T, p Policy) *Engine {
 
 func TestLoadPropagatesMemoryToRegister(t *testing.T) {
 	e := newEngine(t, DefaultPolicy())
-	e.TaintMemory(100, 4, shadow.Label(0))
+	e.TaintMemory(100, 4, shadow.MustLabel(0))
 	in := isa.Instr{Op: isa.LDW, Rd: 1, Rs1: 2}
 	if err := e.Commit(0, in, 100); err != nil {
 		t.Fatal(err)
@@ -34,7 +34,7 @@ func TestLoadPropagatesMemoryToRegister(t *testing.T) {
 
 func TestLoadPartialWidths(t *testing.T) {
 	e := newEngine(t, DefaultPolicy())
-	e.TaintMemory(101, 1, shadow.Label(0)) // only byte 101
+	e.TaintMemory(101, 1, shadow.MustLabel(0)) // only byte 101
 	// ldb of 101 taints byte 0 only.
 	e.Commit(0, isa.Instr{Op: isa.LDB, Rd: 1}, 101)
 	rt := e.RegTaint(1)
@@ -51,9 +51,9 @@ func TestLoadPartialWidths(t *testing.T) {
 
 func TestStorePropagatesRegisterToMemory(t *testing.T) {
 	e := newEngine(t, DefaultPolicy())
-	e.SetRegTaint(3, RegTaint{shadow.Label(1), 0, 0, 0})
+	e.SetRegTaint(3, RegTaint{shadow.MustLabel(1), 0, 0, 0})
 	e.Commit(0, isa.Instr{Op: isa.STW, Rd: 3, Rs1: 4}, 200)
-	if e.Shadow.Get(200) != shadow.Label(1) {
+	if e.Shadow.Get(200) != shadow.MustLabel(1) {
 		t.Fatal("store did not propagate byte 0 taint")
 	}
 	if e.Shadow.Get(201) != shadow.TagClean {
@@ -68,23 +68,23 @@ func TestStorePropagatesRegisterToMemory(t *testing.T) {
 
 func TestALUUnion(t *testing.T) {
 	e := newEngine(t, DefaultPolicy())
-	e.SetRegTaint(1, splat(shadow.Label(0)))
-	e.SetRegTaint(2, splat(shadow.Label(1)))
+	e.SetRegTaint(1, splat(shadow.MustLabel(0)))
+	e.SetRegTaint(2, splat(shadow.MustLabel(1)))
 	e.Commit(0, isa.Instr{Op: isa.ADD, Rd: 3, Rs1: 1, Rs2: 2}, 0)
-	if got := e.RegTaint(3).Union(); got != shadow.Label(0)|shadow.Label(1) {
+	if got := e.RegTaint(3).Union(); got != shadow.MustLabel(0)|shadow.MustLabel(1) {
 		t.Fatalf("ALU union = %#x", got)
 	}
 }
 
 func TestXorSelfClears(t *testing.T) {
 	e := newEngine(t, DefaultPolicy())
-	e.SetRegTaint(1, splat(shadow.Label(0)))
+	e.SetRegTaint(1, splat(shadow.MustLabel(0)))
 	e.Commit(0, isa.Instr{Op: isa.XOR, Rd: 1, Rs1: 1, Rs2: 1}, 0)
 	if e.RegTaint(1).Tainted() {
 		t.Fatal("xor r,r,r did not clear taint")
 	}
 	// xor with a different register unions as usual.
-	e.SetRegTaint(1, splat(shadow.Label(0)))
+	e.SetRegTaint(1, splat(shadow.MustLabel(0)))
 	e.Commit(4, isa.Instr{Op: isa.XOR, Rd: 2, Rs1: 1, Rs2: 3}, 0)
 	if !e.RegTaint(2).Tainted() {
 		t.Fatal("xor with tainted source lost taint")
@@ -93,12 +93,12 @@ func TestXorSelfClears(t *testing.T) {
 
 func TestImmediatesClear(t *testing.T) {
 	e := newEngine(t, DefaultPolicy())
-	e.SetRegTaint(1, splat(shadow.Label(0)))
+	e.SetRegTaint(1, splat(shadow.MustLabel(0)))
 	e.Commit(0, isa.Instr{Op: isa.MOVI, Rd: 1, Imm: 5}, 0)
 	if e.RegTaint(1).Tainted() {
 		t.Fatal("movi did not clear")
 	}
-	e.SetRegTaint(2, splat(shadow.Label(0)))
+	e.SetRegTaint(2, splat(shadow.MustLabel(0)))
 	e.Commit(4, isa.Instr{Op: isa.LUI, Rd: 2, Imm: 5}, 0)
 	if e.RegTaint(2).Tainted() {
 		t.Fatal("lui did not clear")
@@ -107,7 +107,7 @@ func TestImmediatesClear(t *testing.T) {
 
 func TestALUImmPropagates(t *testing.T) {
 	e := newEngine(t, DefaultPolicy())
-	e.SetRegTaint(1, splat(shadow.Label(0)))
+	e.SetRegTaint(1, splat(shadow.MustLabel(0)))
 	e.Commit(0, isa.Instr{Op: isa.ADDI, Rd: 2, Rs1: 1, Imm: 4}, 0)
 	if !e.RegTaint(2).Tainted() {
 		t.Fatal("addi lost taint")
@@ -116,7 +116,7 @@ func TestALUImmPropagates(t *testing.T) {
 
 func TestMovePropagates(t *testing.T) {
 	e := newEngine(t, DefaultPolicy())
-	e.SetRegTaint(1, RegTaint{shadow.Label(0), 0, shadow.Label(1), 0})
+	e.SetRegTaint(1, RegTaint{shadow.MustLabel(0), 0, shadow.MustLabel(1), 0})
 	e.Commit(0, isa.Instr{Op: isa.MOV, Rd: 2, Rs1: 1}, 0)
 	if e.RegTaint(2) != e.RegTaint(1) {
 		t.Fatal("mov is not byte-precise copy")
@@ -128,7 +128,7 @@ func TestNoAddressPropagation(t *testing.T) {
 	// yields a clean result: classical DTA, the substitution-table
 	// laundering effect of §3.3.2.
 	e := newEngine(t, DefaultPolicy())
-	e.SetRegTaint(2, splat(shadow.Label(0))) // index register tainted
+	e.SetRegTaint(2, splat(shadow.MustLabel(0))) // index register tainted
 	e.Commit(0, isa.Instr{Op: isa.LDW, Rd: 1, Rs1: 2}, 500)
 	if e.RegTaint(1).Tainted() {
 		t.Fatal("taint propagated through address")
@@ -137,7 +137,7 @@ func TestNoAddressPropagation(t *testing.T) {
 
 func TestCallClearsLR(t *testing.T) {
 	e := newEngine(t, DefaultPolicy())
-	e.SetRegTaint(isa.RegLR, splat(shadow.Label(0)))
+	e.SetRegTaint(isa.RegLR, splat(shadow.MustLabel(0)))
 	e.Commit(0, isa.Instr{Op: isa.CALL, Imm: 4}, 0)
 	if e.RegTaint(isa.RegLR).Tainted() {
 		t.Fatal("call did not clear lr")
@@ -146,7 +146,7 @@ func TestCallClearsLR(t *testing.T) {
 
 func TestControlFlowViolation(t *testing.T) {
 	e := newEngine(t, DefaultPolicy())
-	e.SetRegTaint(1, splat(shadow.Label(0)))
+	e.SetRegTaint(1, splat(shadow.MustLabel(0)))
 	err := e.IndirectTarget(0x40, 1, 0xdead)
 	if err == nil {
 		t.Fatal("tainted indirect target not detected")
@@ -168,7 +168,7 @@ func TestControlFlowCheckDisabled(t *testing.T) {
 	p := DefaultPolicy()
 	p.CheckControlFlow = false
 	e := newEngine(t, p)
-	e.SetRegTaint(1, splat(shadow.Label(0)))
+	e.SetRegTaint(1, splat(shadow.MustLabel(0)))
 	if err := e.IndirectTarget(0, 1, 0); err != nil {
 		t.Fatal("check fired while disabled")
 	}
@@ -178,7 +178,7 @@ func TestFailFastFalseRecordsAndContinues(t *testing.T) {
 	p := DefaultPolicy()
 	p.FailFast = false
 	e := newEngine(t, p)
-	e.SetRegTaint(1, splat(shadow.Label(0)))
+	e.SetRegTaint(1, splat(shadow.MustLabel(0)))
 	if err := e.IndirectTarget(0, 1, 0); err != nil {
 		t.Fatal("FailFast=false returned error")
 	}
@@ -237,7 +237,7 @@ func TestLeakCheck(t *testing.T) {
 	p := DefaultPolicy()
 	p.CheckLeak = true
 	e := newEngine(t, p)
-	e.TaintMemory(0x300, 2, shadow.Label(0))
+	e.TaintMemory(0x300, 2, shadow.MustLabel(0))
 	err := e.Output(0x10, 0x300, 4)
 	if err == nil {
 		t.Fatal("leak not detected")
@@ -250,7 +250,7 @@ func TestLeakCheck(t *testing.T) {
 	}
 	// Disabled check.
 	e2 := newEngine(t, DefaultPolicy())
-	e2.TaintMemory(0x300, 2, shadow.Label(0))
+	e2.TaintMemory(0x300, 2, shadow.MustLabel(0))
 	if err := e2.Output(0, 0x300, 4); err != nil {
 		t.Fatal("leak check fired while disabled")
 	}
@@ -258,8 +258,8 @@ func TestLeakCheck(t *testing.T) {
 
 func TestTouches(t *testing.T) {
 	e := newEngine(t, DefaultPolicy())
-	e.TaintMemory(100, 1, shadow.Label(0))
-	e.SetRegTaint(1, splat(shadow.Label(0)))
+	e.TaintMemory(100, 1, shadow.MustLabel(0))
+	e.SetRegTaint(1, splat(shadow.MustLabel(0)))
 	cases := []struct {
 		in   isa.Instr
 		addr uint32
@@ -289,7 +289,7 @@ func TestTouches(t *testing.T) {
 
 func TestInstructionCounters(t *testing.T) {
 	e := newEngine(t, DefaultPolicy())
-	e.TaintMemory(100, 4, shadow.Label(0))
+	e.TaintMemory(100, 4, shadow.MustLabel(0))
 	e.Commit(0, isa.Instr{Op: isa.LDW, Rd: 1}, 100) // tainted
 	e.Commit(4, isa.Instr{Op: isa.NOP}, 0)          // clean
 	e.Commit(8, isa.Instr{Op: isa.NOP}, 0)          // clean
@@ -300,15 +300,15 @@ func TestInstructionCounters(t *testing.T) {
 
 func TestSetTaintByteAndMask(t *testing.T) {
 	e := newEngine(t, DefaultPolicy())
-	e.SetTaintByte(50, shadow.Label(2))
-	if e.Shadow.Get(50) != shadow.Label(2) {
+	e.SetTaintByte(50, shadow.MustLabel(2))
+	if e.Shadow.Get(50) != shadow.MustLabel(2) {
 		t.Fatal("stnt semantics wrong")
 	}
-	e.SetRegTaintMask(0b110, shadow.Label(0))
+	e.SetRegTaintMask(0b110, shadow.MustLabel(0))
 	if e.RegTaint(0).Tainted() || !e.RegTaint(1).Tainted() || !e.RegTaint(2).Tainted() {
 		t.Fatal("strf semantics wrong")
 	}
-	e.SetRegTaintMask(0, shadow.Label(0))
+	e.SetRegTaintMask(0, shadow.MustLabel(0))
 	if e.RegTaint(1).Tainted() {
 		t.Fatal("strf did not clear")
 	}
@@ -316,7 +316,7 @@ func TestSetTaintByteAndMask(t *testing.T) {
 
 func TestReset(t *testing.T) {
 	e := newEngine(t, DefaultPolicy())
-	e.SetRegTaint(1, splat(shadow.Label(0)))
+	e.SetRegTaint(1, splat(shadow.MustLabel(0)))
 	e.IndirectTarget(0, 1, 0)
 	e.Commit(0, isa.Instr{Op: isa.NOP}, 0)
 	e.Accept()

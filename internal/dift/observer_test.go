@@ -9,8 +9,8 @@ import (
 )
 
 func TestViolationErrorChain(t *testing.T) {
-	cf := Violation{Kind: ViolationControlFlow, PC: 0x40, Addr: 0x80, Tag: shadow.Label(0)}
-	leak := Violation{Kind: ViolationLeak, PC: 0x44, Addr: 0x3000, Tag: shadow.Label(1)}
+	cf := Violation{Kind: ViolationControlFlow, PC: 0x40, Addr: 0x80, Tag: shadow.MustLabel(0)}
+	leak := Violation{Kind: ViolationLeak, PC: 0x44, Addr: 0x3000, Tag: shadow.MustLabel(1)}
 
 	if !errors.Is(cf, ErrControlFlow) {
 		t.Error("control-flow violation does not match ErrControlFlow")
@@ -42,11 +42,11 @@ func TestEngineEmitsViolations(t *testing.T) {
 	mx := telemetry.NewMetrics()
 	e.SetObserver(mx)
 
-	e.SetRegTaint(3, splat(shadow.Label(0)))
+	e.SetRegTaint(3, splat(shadow.MustLabel(0)))
 	if err := e.IndirectTarget(0x10, 3, 0x2000); err != nil {
 		t.Fatalf("FailFast=false returned %v", err)
 	}
-	sh.SetRange(0x3000, 8, shadow.Label(1))
+	sh.SetRange(0x3000, 8, shadow.MustLabel(1))
 	if err := e.Output(0x14, 0x3000, 8); err != nil {
 		t.Fatalf("FailFast=false returned %v", err)
 	}
@@ -70,7 +70,7 @@ func TestEngineEmitsFailFastViolation(t *testing.T) {
 	mx := telemetry.NewMetrics()
 	e.SetObserver(mx)
 
-	e.SetRegTaint(5, splat(shadow.Label(0)))
+	e.SetRegTaint(5, splat(shadow.MustLabel(0)))
 	err := e.IndirectTarget(0x20, 5, 0x1000)
 	if !errors.Is(err, ErrControlFlow) {
 		t.Fatalf("err = %v, want ErrControlFlow chain", err)

@@ -21,7 +21,7 @@ func TestPropagationModeString(t *testing.T) {
 
 func TestPIFTLoadStoreChainKeepsTaint(t *testing.T) {
 	e := piftEngine()
-	e.TaintMemory(100, 4, shadow.Label(0))
+	e.TaintMemory(100, 4, shadow.MustLabel(0))
 	// load -> mov -> store: pure data movement keeps taint under PIFT.
 	e.Commit(0, isa.Instr{Op: isa.LDW, Rd: 1}, 100)
 	e.Commit(4, isa.Instr{Op: isa.MOV, Rd: 2, Rs1: 1}, 0)
@@ -33,7 +33,7 @@ func TestPIFTLoadStoreChainKeepsTaint(t *testing.T) {
 
 func TestPIFTComputationDropsTaint(t *testing.T) {
 	e := piftEngine()
-	e.TaintMemory(100, 4, shadow.Label(0))
+	e.TaintMemory(100, 4, shadow.MustLabel(0))
 	e.Commit(0, isa.Instr{Op: isa.LDW, Rd: 1}, 100)
 	// An ALU op severs the chain: the result is treated as fresh.
 	e.Commit(4, isa.Instr{Op: isa.ADD, Rd: 2, Rs1: 1, Rs2: 1}, 0)
@@ -58,7 +58,7 @@ func TestClassicalVersusPIFTUnderTainting(t *testing.T) {
 		p := DefaultPolicy()
 		p.Propagation = mode
 		e := NewEngine(shadow.MustNew(shadow.DefaultDomainSize), p)
-		e.TaintMemory(100, 4, shadow.Label(0))
+		e.TaintMemory(100, 4, shadow.MustLabel(0))
 		e.Commit(0, isa.Instr{Op: isa.LDW, Rd: 1}, 100)
 		e.Commit(4, isa.Instr{Op: isa.ADD, Rd: 2, Rs1: 1, Rs2: 4}, 0)
 		e.Commit(8, isa.Instr{Op: isa.STW, Rd: 2, Rs1: 5}, 300)
@@ -76,10 +76,10 @@ func TestPIFTCoarseStateStillSound(t *testing.T) {
 	// LATCH's no-false-negative property is relative to the configured
 	// propagation: everything PIFT considers tainted is visible coarsely.
 	e := piftEngine()
-	e.TaintMemory(100, 4, shadow.Label(0))
+	e.TaintMemory(100, 4, shadow.MustLabel(0))
 	e.Commit(0, isa.Instr{Op: isa.LDW, Rd: 1}, 100)
 	e.Commit(4, isa.Instr{Op: isa.STW, Rd: 1, Rs1: 2}, 0x2000)
-	if !e.Shadow.TaintedAt(0x2000, 64) {
+	if !e.Shadow.MustTaintedAt(0x2000, 64) {
 		t.Fatal("coarse view missed PIFT taint")
 	}
 }

@@ -97,13 +97,21 @@ type RunOptions struct {
 // generator's event stream, and collect its result. This is the single
 // driver loop the per-scheme packages used to duplicate.
 func RunProfile(b Backend, p workload.Profile, opts RunOptions) (Result, error) {
+	res, _, err := RunProfileSession(b, p, opts)
+	return res, err
+}
+
+// RunProfileSession is RunProfile returning the run's Session alongside the
+// result, so callers can capture a Snapshot of the shared state — the
+// differential checker compares Snapshots across replays of the same seed.
+func RunProfileSession(b Backend, p workload.Profile, opts RunOptions) (Result, *Session, error) {
 	s, err := NewSession(b.Config())
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	g, err := workload.NewGeneratorOn(p, s.Shadow)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Layout materialization populated the coarse state through the shadow
 	// watchers; measure only the steady-state reference stream. The
@@ -115,13 +123,13 @@ func RunProfile(b Backend, p workload.Profile, opts RunOptions) (Result, error) 
 	s.Profile = p
 	s.Target = opts.Events
 	if err := b.Init(s); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	g.Run(opts.Events, trace.SinkFunc(func(ev trace.Event) {
 		s.Events++
 		b.Step(s, ev)
 	}))
-	return b.Finish(s), nil
+	return b.Finish(s), s, nil
 }
 
 // RunScheme runs the named registered backend, in its paper-default

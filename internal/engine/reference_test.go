@@ -1,0 +1,87 @@
+package engine_test
+
+import (
+	"testing"
+
+	"latch/internal/dift"
+	"latch/internal/engine"
+	"latch/internal/isa"
+	"latch/internal/latch"
+	"latch/internal/workload"
+)
+
+func TestReferenceRunsProgram(t *testing.T) {
+	ref, err := engine.NewReference(dift.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Machine == nil || ref.Engine == nil || ref.Shadow == nil {
+		t.Fatal("reference wiring incomplete")
+	}
+	prog, err := isa.Assemble(`
+		movi r1, 42
+		sys  1       ; exit(42)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := ref.RunProgram(prog, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 42 {
+		t.Fatalf("exit code = %d, want 42", code)
+	}
+}
+
+func TestReferenceTracksTaintPrecisely(t *testing.T) {
+	ref, err := engine.NewReference(dift.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Machine.Env.FileData = []byte{0x10, 0x20, 0x30, 0x40}
+	prog, err := isa.Assemble(`
+		li   r1, 0x3000
+		movi r2, 4
+		sys  2           ; read 4 tainted file bytes to 0x3000
+		ldw  r3, [r1]
+		jr   r3          ; tainted indirect jump: policy violation
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.RunProgram(prog, 1000); err == nil {
+		t.Fatal("tainted indirect jump not detected")
+	}
+	if !ref.Shadow.RangeTainted(0x3000, 4) {
+		t.Fatal("file input not tainted in reference shadow")
+	}
+}
+
+func TestRunProfileSessionSnapshot(t *testing.T) {
+	p, err := workload.Get("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() engine.Snapshot {
+		b := &fakeBackend{cfg: latch.DefaultConfig()}
+		_, s, err := engine.RunProfileSession(b, p, engine.RunOptions{Events: 20_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s == nil || s.Module == nil || s.Shadow == nil {
+			t.Fatal("session not returned")
+		}
+		return s.Snapshot()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same-seed snapshots differ:\n%+v\n%+v", a, b)
+	}
+	if a.Events != 20_000 {
+		t.Fatalf("snapshot events = %d, want 20000", a.Events)
+	}
+	if a.Mode != engine.ModeHardware {
+		t.Fatalf("snapshot mode = %v", a.Mode)
+	}
+}

@@ -168,3 +168,37 @@ func (s *Session) CycleReport() Cycles {
 	c.Libdft = uint64(s.swFrac)
 	return c
 }
+
+// Snapshot is a comparable (==) summary of everything a Session accumulated
+// over a run: the stream cursor, the epoch/trap counters, the folded cycle
+// breakdown, and the module's coarse-state statistics. Two runs of the same
+// backend over the same seeded stream must produce identical Snapshots —
+// the replayability contract the differential checker asserts.
+type Snapshot struct {
+	Events     uint64
+	Mode       Mode
+	HWInstrs   uint64
+	SWInstrs   uint64
+	Switches   uint64
+	Returns    uint64
+	Traps      uint64
+	FalseTraps uint64
+	Cycles     Cycles
+	Latch      latch.Stats
+}
+
+// Snapshot captures the session's current accumulated state.
+func (s *Session) Snapshot() Snapshot {
+	return Snapshot{
+		Events:     s.Events,
+		Mode:       s.mode,
+		HWInstrs:   s.HWInstrs,
+		SWInstrs:   s.SWInstrs,
+		Switches:   s.Switches,
+		Returns:    s.Returns,
+		Traps:      s.Traps,
+		FalseTraps: s.FalseTraps,
+		Cycles:     s.CycleReport(),
+		Latch:      s.Module.Stats(),
+	}
+}

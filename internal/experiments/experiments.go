@@ -299,7 +299,7 @@ func (r *Runner) Figure6() (*stats.Table, error) {
 				precise++
 			}
 			for gi, gsize := range Fig6Granularities {
-				if sh.TaintedAt(ev.Addr, gsize) {
+				if sh.MustTaintedAt(ev.Addr, gsize) {
 					coarse[gi]++
 				}
 			}

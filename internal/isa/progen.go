@@ -1,0 +1,324 @@
+package isa
+
+import "math/rand"
+
+// Random program generation for differential checking. RandomProgram emits a
+// pseudo-random but *valid* LA32 program from a seeded RNG: every
+// instruction encodes, all direct control transfers land on instruction
+// boundaries inside the program, and execution terminates (direct branches
+// and computed jump targets only go forward, so any loop can come only from
+// corrupted indirect jumps — which a step budget bounds deterministically).
+// The generated programs exercise the whole taint surface: syscall taint
+// sources and sinks, loads/stores over a scratch buffer, the Table 5 LATCH
+// extensions, tainted indirect jumps, and — with GenConfig.WildProb — memory
+// operations near the top of the 4 GiB address space, where wrapping
+// accesses live.
+//
+// Generation is deterministic in the *rand.Rand alone; internal/diffcheck
+// derives that RNG from a case seed so failures replay byte-for-byte.
+
+// Generated-program register convention. The low registers are the mutable
+// pool; three high registers are reserved as pointers so random ALU results
+// never corrupt an address base.
+const (
+	genPoolLo  = 1  // first pool register (ALU/load destinations)
+	genPoolHi  = 9  // last pool register
+	genPtrData = 10 // base of the scratch data buffer, never overwritten
+	genPtrRove = 11 // roving pointer: data base plus a bounded drift
+	genPtrWild = 12 // wild pointer: data base, or the top of the address space
+)
+
+// GenConfig controls RandomProgram.
+type GenConfig struct {
+	// Body is the approximate number of body instructions (the prologue,
+	// epilogue, and multi-instruction idioms add a few more).
+	Body int
+	// Origin is the load address; entry is the first instruction.
+	Origin uint32
+	// DataBase is the base address of the scratch buffer loads, stores, and
+	// syscall buffers point into.
+	DataBase uint32
+	// WildProb is the probability that the wild pointer register is aimed at
+	// the last bytes of the 4 GiB address space instead of the data buffer,
+	// so stores and syscall writes straddle the wrap boundary.
+	WildProb float64
+}
+
+// DefaultGenConfig returns the geometry diffcheck uses: a body of a few
+// hundred instructions, code at 0x1000, data at 1 MiB, and a 30% chance of a
+// top-of-memory wild pointer.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{Body: 256, Origin: 0x1000, DataBase: 0x0010_0000, WildProb: 0.3}
+}
+
+// progen carries generation state.
+type progen struct {
+	rng  *rand.Rand
+	cfg  GenConfig
+	code []Instr
+	// maxTarget is the highest forward jump target (instruction index)
+	// emitted so far; the body is NOP-padded out to it before the epilogue
+	// so every target stays inside the program.
+	maxTarget int
+}
+
+// imm16 reinterprets a raw 16-bit pattern as the sign-extended immediate the
+// encoder expects (LUI 0xFFFF encodes as -1).
+func imm16(v uint16) int32 { return int32(int16(v)) }
+
+// RandomProgram generates a valid, terminating LA32 instruction sequence
+// from rng under cfg. Encode accepts every emitted instruction.
+func RandomProgram(rng *rand.Rand, cfg GenConfig) []Instr {
+	if cfg.Body <= 0 {
+		cfg = DefaultGenConfig()
+	}
+	g := &progen{rng: rng, cfg: cfg}
+	g.prologue()
+	for body := 0; body < cfg.Body; body++ {
+		g.bodyInstr()
+	}
+	for len(g.code) < g.maxTarget {
+		g.emit(Instr{Op: NOP})
+	}
+	g.epilogue()
+	return g.code
+}
+
+// BuildProgram encodes instrs into a loadable program at origin.
+func BuildProgram(origin uint32, instrs []Instr) (*Program, error) {
+	image := make([]byte, 0, len(instrs)*WordSize)
+	for _, in := range instrs {
+		w, err := Encode(in)
+		if err != nil {
+			return nil, err
+		}
+		image = append(image, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return &Program{Origin: origin, Entry: origin, Image: image}, nil
+}
+
+func (g *progen) emit(in Instr) { g.code = append(g.code, in) }
+
+// pool returns a random pool register.
+func (g *progen) pool() uint8 {
+	return uint8(genPoolLo + g.rng.Intn(genPoolHi-genPoolLo+1))
+}
+
+// src returns a random source register: usually a pool register, sometimes a
+// pointer or the conventional zero.
+func (g *progen) src() uint8 {
+	if g.rng.Float64() < 0.15 {
+		return uint8(g.rng.Intn(genPtrWild + 1))
+	}
+	return g.pool()
+}
+
+// base picks an addressing base register, steering mostly at the data
+// buffer; wildShare is the probability of the wild pointer.
+func (g *progen) base(wildShare float64) uint8 {
+	r := g.rng.Float64()
+	switch {
+	case r < wildShare:
+		return genPtrWild
+	case r < wildShare+(1-wildShare)/2:
+		return genPtrData
+	default:
+		return genPtrRove
+	}
+}
+
+// loadPtr emits the LUI/ORI pair materializing a 32-bit constant.
+func (g *progen) loadPtr(rd uint8, v uint32) {
+	g.emit(Instr{Op: LUI, Rd: rd, Imm: imm16(uint16(v >> 16))})
+	g.emit(Instr{Op: ORI, Rd: rd, Rs1: rd, Imm: imm16(uint16(v))})
+}
+
+// prologue sets up the register convention and pulls in external input so
+// taint exists from the start.
+func (g *progen) prologue() {
+	g.emit(Instr{Op: MOVI, Rd: 0, Imm: 0})
+	g.loadPtr(genPtrData, g.cfg.DataBase)
+	g.emit(Instr{Op: MOV, Rd: genPtrRove, Rs1: genPtrData})
+	if g.rng.Float64() < g.cfg.WildProb {
+		// Aim the wild pointer at the last 256 bytes of the address space so
+		// multi-byte accesses straddle the 4 GiB wrap.
+		g.loadPtr(genPtrWild, 0xFFFF_FF00|uint32(g.rng.Intn(256)))
+	} else {
+		g.emit(Instr{Op: MOV, Rd: genPtrWild, Rs1: genPtrData})
+	}
+	// Read file input into the data buffer, then accept and read one request.
+	g.emit(Instr{Op: MOV, Rd: 1, Rs1: genPtrData})
+	g.emit(Instr{Op: MOVI, Rd: 2, Imm: 64})
+	g.emit(Instr{Op: SYS, Imm: SysRead})
+	g.emit(Instr{Op: SYS, Imm: SysAccept})
+	g.emit(Instr{Op: MOV, Rd: 1, Rs1: genPtrRove})
+	g.emit(Instr{Op: MOVI, Rd: 2, Imm: 32})
+	g.emit(Instr{Op: SYS, Imm: SysRecv})
+	// Seed a few pool registers, including one tainted load.
+	g.emit(Instr{Op: MOVI, Rd: g.pool(), Imm: int32(g.rng.Intn(65536) - 32768)})
+	g.emit(Instr{Op: LDW, Rd: g.pool(), Rs1: genPtrData, Imm: int32(g.rng.Intn(64))})
+}
+
+// epilogue drains the buffer through the output sink and exits.
+func (g *progen) epilogue() {
+	g.emit(Instr{Op: MOV, Rd: 1, Rs1: genPtrData})
+	g.emit(Instr{Op: MOVI, Rd: 2, Imm: 32})
+	g.emit(Instr{Op: SYS, Imm: SysWrite})
+	g.emit(Instr{Op: MOVI, Rd: 1, Imm: int32(g.rng.Intn(128))})
+	g.emit(Instr{Op: SYS, Imm: SysExit})
+}
+
+// bodyInstr emits one random body idiom (one or more instructions).
+func (g *progen) bodyInstr() {
+	switch p := g.rng.Float64(); {
+	case p < 0.22:
+		g.alu2()
+	case p < 0.38:
+		g.aluImm()
+	case p < 0.52:
+		g.load()
+	case p < 0.66:
+		g.store()
+	case p < 0.71:
+		// Bounded roving-pointer drift; stays far away from the code pages.
+		g.emit(Instr{Op: ADDI, Rd: genPtrRove, Rs1: genPtrRove, Imm: int32(g.rng.Intn(129) - 64)})
+	case p < 0.80:
+		g.branch()
+	case p < 0.88:
+		g.syscall()
+	case p < 0.91:
+		g.emit(Instr{Op: STNT, Rs1: g.base(0.08), Rd: g.src()})
+	case p < 0.93:
+		g.emit(Instr{Op: STRF, Rd: g.pool()})
+	case p < 0.94:
+		g.emit(Instr{Op: LTNT, Rd: g.pool()})
+	default:
+		g.jump()
+	}
+}
+
+var alu2Ops = []Op{ADD, SUB, AND, OR, XOR, SHL, SHR, SAR, MUL, DIVU, SLT, SLTU}
+
+func (g *progen) alu2() {
+	in := Instr{Op: alu2Ops[g.rng.Intn(len(alu2Ops))], Rd: g.pool(), Rs1: g.src(), Rs2: g.src()}
+	if g.rng.Float64() < 0.05 {
+		in.Rs2 = in.Rs1 // xor r,a,a-style taint clears
+	}
+	g.emit(in)
+}
+
+func (g *progen) aluImm() {
+	imm := int32(g.rng.Intn(65536) - 32768)
+	switch g.rng.Intn(5) {
+	case 0:
+		g.emit(Instr{Op: MOVI, Rd: g.pool(), Imm: imm})
+	case 1:
+		g.emit(Instr{Op: MOV, Rd: g.pool(), Rs1: g.src()})
+	case 2:
+		g.emit(Instr{Op: ADDI, Rd: g.pool(), Rs1: g.src(), Imm: imm})
+	case 3:
+		g.emit(Instr{Op: ANDI, Rd: g.pool(), Rs1: g.src(), Imm: imm})
+	case 4:
+		g.emit(Instr{Op: XORI, Rd: g.pool(), Rs1: g.src(), Imm: imm})
+	}
+}
+
+// memImm returns a displacement for the chosen base: small for the wild
+// pointer (to stay near the wrap boundary), page-crossing for the others.
+func (g *progen) memImm(base uint8) int32 {
+	if base == genPtrWild {
+		return int32(g.rng.Intn(256))
+	}
+	return int32(g.rng.Intn(1152) - 128)
+}
+
+var loadOps = []Op{LDB, LDH, LDW}
+var storeOps = []Op{STB, STH, STW}
+
+func (g *progen) load() {
+	base := g.base(0.12)
+	g.emit(Instr{Op: loadOps[g.rng.Intn(3)], Rd: g.pool(), Rs1: base, Imm: g.memImm(base)})
+}
+
+func (g *progen) store() {
+	base := g.base(0.15)
+	g.emit(Instr{Op: storeOps[g.rng.Intn(3)], Rd: g.src(), Rs1: base, Imm: g.memImm(base)})
+}
+
+var branchOps = []Op{BEQ, BNE, BLT, BGE}
+
+func (g *progen) branch() {
+	off := 1 + g.rng.Intn(8)
+	g.note(len(g.code) + 1 + off)
+	g.emit(Instr{Op: branchOps[g.rng.Intn(4)], Rd: g.src(), Rs1: g.src(), Imm: int32(off)})
+}
+
+// jump emits a direct or computed forward control transfer.
+func (g *progen) jump() {
+	if g.rng.Float64() < 0.5 {
+		op := JMP
+		if g.rng.Float64() < 0.3 {
+			op = CALL
+		}
+		off := 1 + g.rng.Intn(8)
+		g.note(len(g.code) + 1 + off)
+		g.emit(Instr{Op: op, Imm: int32(off)})
+		return
+	}
+	// Computed jump: materialize a forward in-program address, then JR (or
+	// CALLR). A small fraction adds a pool register to the target first:
+	// when that register is zero the jump is a plain forward transfer; when
+	// it holds tainted input the DIFT engine flags the transfer, and a
+	// nonzero clean value sends the PC somewhere deterministic — typically
+	// an illegal-instruction fault both sides of a differential run share.
+	addend := g.rng.Float64() < 0.15
+	jrAt := len(g.code) + 1
+	if addend {
+		jrAt++
+	}
+	targetIdx := jrAt + 1 + g.rng.Intn(12)
+	target := g.cfg.Origin + uint32(targetIdx)*WordSize
+	if target > 32767 {
+		g.emit(Instr{Op: NOP}) // out of MOVI range on huge bodies; skip
+		return
+	}
+	g.note(targetIdx)
+	g.emit(Instr{Op: MOVI, Rd: RegTMP, Imm: int32(target)})
+	if addend {
+		g.emit(Instr{Op: ADD, Rd: RegTMP, Rs1: RegTMP, Rs2: g.pool()})
+	}
+	op := JR
+	if g.rng.Float64() < 0.25 {
+		op = CALLR
+	}
+	g.emit(Instr{Op: op, Rs1: RegTMP})
+}
+
+// syscall emits a complete syscall idiom with sane argument registers.
+func (g *progen) syscall() {
+	switch g.rng.Intn(5) {
+	case 0: // file read, occasionally through the wild pointer
+		g.emit(Instr{Op: MOV, Rd: 1, Rs1: g.base(0.20)})
+		g.emit(Instr{Op: MOVI, Rd: 2, Imm: int32(1 + g.rng.Intn(48))})
+		g.emit(Instr{Op: SYS, Imm: SysRead})
+	case 1:
+		g.emit(Instr{Op: MOV, Rd: 1, Rs1: g.base(0.10)})
+		g.emit(Instr{Op: MOVI, Rd: 2, Imm: int32(1 + g.rng.Intn(32))})
+		g.emit(Instr{Op: SYS, Imm: SysRecv})
+	case 2:
+		g.emit(Instr{Op: SYS, Imm: SysAccept})
+	case 3: // output sink: leak checks fire on tainted buffers
+		g.emit(Instr{Op: MOV, Rd: 1, Rs1: g.base(0.05)})
+		g.emit(Instr{Op: MOVI, Rd: 2, Imm: int32(g.rng.Intn(33))})
+		g.emit(Instr{Op: SYS, Imm: SysWrite})
+	case 4:
+		g.emit(Instr{Op: SYS, Imm: SysTime})
+	}
+}
+
+// note records a forward target so padding keeps it inside the program.
+func (g *progen) note(targetIdx int) {
+	if targetIdx > g.maxTarget {
+		g.maxTarget = targetIdx
+	}
+}

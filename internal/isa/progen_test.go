@@ -1,0 +1,72 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestRandomProgramDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig()
+	a := RandomProgram(rand.New(rand.NewSource(42)), cfg)
+	b := RandomProgram(rand.New(rand.NewSource(42)), cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different programs")
+	}
+	c := RandomProgram(rand.New(rand.NewSource(43)), cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+func TestRandomProgramAlwaysEncodes(t *testing.T) {
+	cfg := DefaultGenConfig()
+	for seed := int64(0); seed < 50; seed++ {
+		instrs := RandomProgram(rand.New(rand.NewSource(seed)), cfg)
+		if _, err := BuildProgram(cfg.Origin, instrs); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRandomProgramShape(t *testing.T) {
+	cfg := DefaultGenConfig()
+	instrs := RandomProgram(rand.New(rand.NewSource(7)), cfg)
+	if len(instrs) < cfg.Body {
+		t.Fatalf("program has %d instructions, want at least the body of %d", len(instrs), cfg.Body)
+	}
+	// The epilogue guarantees termination: the last instructions include a
+	// SYS exit.
+	foundExit := false
+	for _, in := range instrs[len(instrs)-4:] {
+		if in.Op == SYS {
+			foundExit = true
+		}
+	}
+	if !foundExit {
+		t.Fatal("epilogue has no syscall")
+	}
+	// Every branch and jump target stays inside the program.
+	for i, in := range instrs {
+		switch in.Op {
+		case BEQ, BNE, BLT, BGE, JMP, CALL:
+			target := i + 1 + int(in.Imm)
+			if target < 0 || target > len(instrs) {
+				t.Fatalf("instr %d (%v) targets %d, outside [0,%d]", i, in.Op, target, len(instrs))
+			}
+		}
+	}
+}
+
+func TestRandomProgramZeroConfigFallsBack(t *testing.T) {
+	instrs := RandomProgram(rand.New(rand.NewSource(1)), GenConfig{})
+	if len(instrs) == 0 {
+		t.Fatal("zero config produced an empty program")
+	}
+}
+
+func TestBuildProgramRejectsBadInstr(t *testing.T) {
+	if _, err := BuildProgram(0x1000, []Instr{{Op: opCount}}); err == nil {
+		t.Fatal("invalid opcode encoded")
+	}
+}

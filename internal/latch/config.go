@@ -127,8 +127,8 @@ func (c Config) Validate() error {
 	if c.CTCEntries <= 0 {
 		return fmt.Errorf("latch: CTC entries %d must be positive", c.CTCEntries)
 	}
-	if c.TLBEntries <= 0 {
-		return fmt.Errorf("latch: TLB entries %d must be positive", c.TLBEntries)
+	if c.TLBEntries <= 0 || c.TLBEntries&(c.TLBEntries-1) != 0 {
+		return fmt.Errorf("latch: TLB entries %d must be a positive power of two", c.TLBEntries)
 	}
 	if err := c.TCache.Validate(); err != nil {
 		return fmt.Errorf("latch: %w", err)

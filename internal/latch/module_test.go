@@ -41,6 +41,10 @@ func TestConfigValidate(t *testing.T) {
 	if bad.Validate() == nil {
 		t.Error("0 TLB entries accepted")
 	}
+	bad.TLBEntries = 48
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two TLB entries accepted")
+	}
 	bad = DefaultConfig()
 	bad.TCache.Ways = 0
 	if bad.Validate() == nil {
@@ -87,7 +91,7 @@ func TestCleanCheckResolvesAtTLB(t *testing.T) {
 
 func TestTaintedCheckResolvesPrecise(t *testing.T) {
 	m, sh := newModule(t, nil)
-	sh.Set(0x1000, shadow.Label(0))
+	sh.Set(0x1000, shadow.MustLabel(0))
 	res := m.CheckMem(0x1000, 4)
 	if res.Level != ResolvedPrecise || !res.CoarsePositive || !res.TrulyTainted || res.FalsePositive {
 		t.Fatalf("res = %+v", res)
@@ -100,7 +104,7 @@ func TestTaintedCheckResolvesPrecise(t *testing.T) {
 
 func TestFalsePositiveWithinTaintedDomain(t *testing.T) {
 	m, sh := newModule(t, nil)
-	sh.Set(0x1000, shadow.Label(0)) // domain [0x1000, 0x1040)
+	sh.Set(0x1000, shadow.MustLabel(0)) // domain [0x1000, 0x1040)
 	// Same domain, different (clean) byte: coarse positive, precise clean.
 	res := m.CheckMem(0x1020, 4)
 	if !res.CoarsePositive || res.TrulyTainted || !res.FalsePositive {
@@ -113,7 +117,7 @@ func TestFalsePositiveWithinTaintedDomain(t *testing.T) {
 
 func TestNeighborDomainResolvesAtCTC(t *testing.T) {
 	m, sh := newModule(t, nil)
-	sh.Set(0x1000, shadow.Label(0))
+	sh.Set(0x1000, shadow.MustLabel(0))
 	// Different domain, same page-level domain (2 KiB): TLB bit is set, so
 	// the check falls through to the CTC, which says clean.
 	res := m.CheckMem(0x1100, 4)
@@ -127,8 +131,8 @@ func TestNeighborDomainResolvesAtCTC(t *testing.T) {
 
 func TestOtherPageDomainResolvesAtTLB(t *testing.T) {
 	m, sh := newModule(t, nil)
-	sh.Set(0x1000, shadow.Label(0)) // page 1, page-domain 0
-	res := m.CheckMem(0x1800, 4)    // page 1, page-domain 1 (2 KiB onwards)
+	sh.Set(0x1000, shadow.MustLabel(0)) // page 1, page-domain 0
+	res := m.CheckMem(0x1800, 4)        // page 1, page-domain 1 (2 KiB onwards)
 	if res.Level != ResolvedTLB {
 		t.Fatalf("res = %+v", res)
 	}
@@ -136,7 +140,7 @@ func TestOtherPageDomainResolvesAtTLB(t *testing.T) {
 
 func TestDomainStraddlingCheck(t *testing.T) {
 	m, sh := newModule(t, nil)
-	sh.Set(0x1040, shadow.Label(0)) // second domain
+	sh.Set(0x1040, shadow.MustLabel(0)) // second domain
 	// 4-byte access starting 2 bytes before the boundary.
 	res := m.CheckMem(0x103E, 4)
 	if !res.CoarsePositive || !res.TrulyTainted {
@@ -146,7 +150,7 @@ func TestDomainStraddlingCheck(t *testing.T) {
 
 func TestEagerClearKeepsCTTExact(t *testing.T) {
 	m, sh := newModule(t, nil) // default: EagerClear
-	sh.Set(0x1000, shadow.Label(0))
+	sh.Set(0x1000, shadow.MustLabel(0))
 	d := sh.DomainIndex(0x1000)
 	if !m.CTT().Bit(d) {
 		t.Fatal("CTT bit not set")
@@ -163,7 +167,7 @@ func TestEagerClearKeepsCTTExact(t *testing.T) {
 
 func TestLazyClearNeedsScan(t *testing.T) {
 	m, sh := newModule(t, func(c *Config) { c.Clear = LazyClear })
-	sh.Set(0x1000, shadow.Label(0))
+	sh.Set(0x1000, shadow.MustLabel(0))
 	sh.Set(0x1000, shadow.TagClean)
 	d := sh.DomainIndex(0x1000)
 	if !m.CTT().Bit(d) {
@@ -193,9 +197,9 @@ func TestLazyClearNeedsScan(t *testing.T) {
 
 func TestLazyClearRetaintRetiresClearBit(t *testing.T) {
 	m, sh := newModule(t, func(c *Config) { c.Clear = LazyClear })
-	sh.Set(0x1000, shadow.Label(0))
+	sh.Set(0x1000, shadow.MustLabel(0))
 	sh.Set(0x1000, shadow.TagClean)
-	sh.Set(0x1001, shadow.Label(0)) // re-taint the same domain
+	sh.Set(0x1001, shadow.MustLabel(0)) // re-taint the same domain
 	m.ScanResidentClears()
 	d := sh.DomainIndex(0x1000)
 	if !m.CTT().Bit(d) {
@@ -205,8 +209,8 @@ func TestLazyClearRetaintRetiresClearBit(t *testing.T) {
 
 func TestLazyClearPartialDomainSurvivesScan(t *testing.T) {
 	m, sh := newModule(t, func(c *Config) { c.Clear = LazyClear })
-	sh.Set(0x1000, shadow.Label(0))
-	sh.Set(0x1001, shadow.Label(0))
+	sh.Set(0x1000, shadow.MustLabel(0))
+	sh.Set(0x1001, shadow.MustLabel(0))
 	sh.Set(0x1000, shadow.TagClean) // domain still holds taint at 0x1001
 	m.ScanResidentClears()
 	if !m.CTT().Bit(sh.DomainIndex(0x1000)) {
@@ -218,11 +222,11 @@ func TestEvictionTriggersScan(t *testing.T) {
 	// CTC has 16 entries; taint-and-clear one domain, then touch 16 other
 	// CTT words to force eviction of the clear-bit line.
 	m, sh := newModule(t, func(c *Config) { c.Clear = LazyClear })
-	sh.Set(0, shadow.Label(0))
+	sh.Set(0, shadow.MustLabel(0))
 	sh.Set(0, shadow.TagClean) // clear bit pending in CTC line for word 0
 	cover := m.Config().WordCoverage()
 	for i := uint32(1); i <= 16; i++ {
-		sh.Set(i*cover, shadow.Label(0)) // allocate other CTC lines
+		sh.Set(i*cover, shadow.MustLabel(0)) // allocate other CTC lines
 	}
 	if m.CTT().Bit(0) {
 		t.Fatal("eviction scan did not clear domain 0")
@@ -232,13 +236,74 @@ func TestEvictionTriggersScan(t *testing.T) {
 	}
 }
 
+func TestEvictionScanPartialWord(t *testing.T) {
+	// An evicted CTC line whose word mixes clean and still-tainted domains:
+	// the §5.1.4 scan must clear exactly the fully-clean domains and leave
+	// the page-level taint bit up while any domain in the page domain holds
+	// taint.
+	m, sh := newModule(t, func(c *Config) { c.Clear = LazyClear })
+	cover := m.Config().WordCoverage()
+	sh.Set(0, shadow.MustLabel(0))  // domain 0 of word 0
+	sh.Set(64, shadow.MustLabel(0)) // domain 1 of word 0
+	sh.Set(0, shadow.TagClean)      // clear bit pending for domain 0 only
+	for i := uint32(1); i <= 16; i++ {
+		sh.Set(i*cover, shadow.MustLabel(0)) // force word 0's line out
+	}
+	if m.CTT().Bit(0) {
+		t.Fatal("eviction scan kept the fully-clean domain")
+	}
+	if !m.CTT().Bit(1) {
+		t.Fatal("eviction scan dropped a domain that still holds taint")
+	}
+	if m.PageTaintBits(0)&1 == 0 {
+		t.Fatal("page-domain bit dropped while domain 1 is tainted")
+	}
+
+	// Retire the last tainted domain of the page domain the same way; its
+	// eviction scan must now take the page bit down too.
+	sh.Set(64, shadow.TagClean)
+	for i := uint32(17); i <= 32; i++ {
+		sh.Set(i*cover, shadow.MustLabel(0))
+	}
+	if m.CTT().Bit(1) {
+		t.Fatal("second eviction scan kept domain 1")
+	}
+	if m.PageTaintBits(0)&1 != 0 {
+		t.Fatal("page-domain bit survives with no tainted domain")
+	}
+}
+
+func TestCheckMemStraddlesPageBoundary(t *testing.T) {
+	// A multi-byte operand whose last byte lands in the next (tainted) page
+	// must be caught through the end-of-operand domain check even though its
+	// start address resolves clean at the TLB.
+	m, sh := newModule(t, nil)
+	page2 := uint32(2 * mem.PageSize)
+	sh.Set(page2, shadow.MustLabel(0))
+	res := m.CheckMem(page2-2, 4)
+	if !res.CoarsePositive || !res.TrulyTainted {
+		t.Fatalf("straddling access missed: %+v", res)
+	}
+	// The mirrored straddle — taint at the end of page 1, operand starting
+	// there — resolves from the first byte.
+	m2, sh2 := newModule(t, nil)
+	sh2.Set(page2-1, shadow.MustLabel(0))
+	if res := m2.CheckMem(page2-1, 4); !res.CoarsePositive || !res.TrulyTainted {
+		t.Fatalf("leading-byte straddle missed: %+v", res)
+	}
+	// A fully clean straddle stays negative on both sides.
+	if res := m.CheckMem(4*mem.PageSize-2, 4); res.CoarsePositive {
+		t.Fatalf("clean straddle flagged: %+v", res)
+	}
+}
+
 func TestCTCMissCounting(t *testing.T) {
 	m, sh := newModule(t, nil)
 	// Taint 20 widely-spaced words' worth of memory, forcing the 16-entry
 	// CTC to miss on a cyclic check sweep.
 	cover := m.Config().WordCoverage()
 	for i := uint32(0); i < 20; i++ {
-		sh.Set(i*cover, shadow.Label(0))
+		sh.Set(i*cover, shadow.MustLabel(0))
 	}
 	m.ResetStats()
 	for round := 0; round < 3; round++ {
@@ -277,7 +342,7 @@ func TestBaselineTCacheSeesEverything(t *testing.T) {
 
 func TestStoreTaintWriteThrough(t *testing.T) {
 	m, sh := newModule(t, func(c *Config) { c.Clear = LazyClear })
-	if old := m.StoreTaint(0x2000, shadow.Label(1)); old != shadow.TagClean {
+	if old := m.StoreTaint(0x2000, shadow.MustLabel(1)); old != shadow.TagClean {
 		t.Fatalf("old = %v", old)
 	}
 	if !sh.Get(0x2000).Tainted() {
@@ -288,7 +353,7 @@ func TestStoreTaintWriteThrough(t *testing.T) {
 	}
 	// Non-transition write still counts a CTC write.
 	before := m.Stats().CTCWriteAccesses
-	m.StoreTaint(0x2001, shadow.Label(1)) // domain already tainted: transition fires? no: domain stays tainted but byte transitions clean->tainted... shadow fires domain watcher only on domain transitions.
+	m.StoreTaint(0x2001, shadow.MustLabel(1)) // domain already tainted: transition fires? no: domain stays tainted but byte transitions clean->tainted... shadow fires domain watcher only on domain transitions.
 	if m.Stats().CTCWriteAccesses <= before {
 		t.Fatal("second StoreTaint did not touch CTC")
 	}
@@ -333,18 +398,18 @@ func TestTRF(t *testing.T) {
 	if trf.AnyTainted() {
 		t.Fatal("fresh TRF tainted")
 	}
-	trf.Set(3, shadow.Label(0))
+	trf.Set(3, shadow.MustLabel(0))
 	if !trf.Tainted(3) || trf.Tainted(2) || !trf.AnyTainted() {
 		t.Fatal("Set/Tainted wrong")
 	}
 	if trf.Mask() != 1<<3 {
 		t.Fatalf("Mask = %#x", trf.Mask())
 	}
-	trf.SetMask(0b101, shadow.Label(1))
+	trf.SetMask(0b101, shadow.MustLabel(1))
 	if !trf.Tainted(0) || trf.Tainted(1) || !trf.Tainted(2) || trf.Tainted(3) {
 		t.Fatal("SetMask wrong")
 	}
-	if trf.Get(0) != shadow.Label(1) {
+	if trf.Get(0) != shadow.MustLabel(1) {
 		t.Fatal("Get wrong")
 	}
 	trf.Reset()
@@ -363,7 +428,7 @@ func TestLastException(t *testing.T) {
 
 func TestResetStats(t *testing.T) {
 	m, sh := newModule(t, nil)
-	sh.Set(0, shadow.Label(0))
+	sh.Set(0, shadow.MustLabel(0))
 	m.CheckMem(0, 4)
 	m.ResetStats()
 	if m.Stats() != (Stats{}) {
@@ -399,7 +464,7 @@ func TestNoFalseNegativesProperty(t *testing.T) {
 		m := MustNew(cfg, sh)
 		for _, o := range ops {
 			if o.Taint {
-				sh.Set(uint32(o.Addr), shadow.Label(0))
+				sh.Set(uint32(o.Addr), shadow.MustLabel(0))
 			} else {
 				sh.Set(uint32(o.Addr), shadow.TagClean)
 			}
@@ -437,7 +502,7 @@ func TestEagerExactAtDomainGranularity(t *testing.T) {
 		m := MustNew(cfg, sh)
 		for _, o := range ops {
 			if o.Taint {
-				sh.Set(uint32(o.Addr), shadow.Label(0))
+				sh.Set(uint32(o.Addr), shadow.MustLabel(0))
 			} else {
 				sh.Set(uint32(o.Addr), shadow.TagClean)
 			}
@@ -445,7 +510,7 @@ func TestEagerExactAtDomainGranularity(t *testing.T) {
 		for _, p := range probes {
 			addr := uint32(p)
 			res := m.CheckMem(addr, 1)
-			want := sh.TaintedAt(addr, cfg.DomainSize)
+			want := sh.MustTaintedAt(addr, cfg.DomainSize)
 			if res.CoarsePositive != want {
 				return false
 			}
@@ -471,7 +536,7 @@ func BenchmarkCheckMemTainted(b *testing.B) {
 	cfg := DefaultConfig()
 	sh := shadow.MustNew(cfg.DomainSize)
 	m := MustNew(cfg, sh)
-	sh.SetRange(0, 4096, shadow.Label(0))
+	sh.SetRange(0, 4096, shadow.MustLabel(0))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.CheckMem(uint32(i%1024)*4, 4)
@@ -484,8 +549,8 @@ func TestFlushCachesPreservesVerdicts(t *testing.T) {
 		cfg.Clear = policy
 		sh := shadow.MustNew(cfg.DomainSize)
 		m := MustNew(cfg, sh)
-		sh.SetRange(0x1000, 32, shadow.Label(0))
-		sh.SetRange(0x5000, 8, shadow.Label(1))
+		sh.SetRange(0x1000, 32, shadow.MustLabel(0))
+		sh.SetRange(0x5000, 8, shadow.MustLabel(1))
 		sh.SetRange(0x5000, 8, shadow.TagClean) // pending clear in lazy mode
 
 		probes := []uint32{0x1000, 0x1020, 0x1800, 0x5000, 0x9000}
@@ -526,7 +591,7 @@ func TestPageBitsMatchCTTProperty(t *testing.T) {
 		m := MustNew(cfg, sh)
 		for _, o := range ops {
 			if o.Taint {
-				sh.Set(uint32(o.Addr), shadow.Label(0))
+				sh.Set(uint32(o.Addr), shadow.MustLabel(0))
 			} else {
 				sh.Set(uint32(o.Addr), shadow.TagClean)
 			}
@@ -570,7 +635,7 @@ func TestLazyScanConvergesToEager(t *testing.T) {
 			m := MustNew(cfg, sh)
 			for _, o := range ops {
 				if o.Taint {
-					sh.Set(uint32(o.Addr), shadow.Label(0))
+					sh.Set(uint32(o.Addr), shadow.MustLabel(0))
 				} else {
 					sh.Set(uint32(o.Addr), shadow.TagClean)
 				}

@@ -21,7 +21,7 @@ func benchModule(obs telemetry.Observer) *Module {
 	m := MustNew(cfg, sh)
 	pd := cfg.PageDomainSize()
 	for i := uint32(0); i < 16; i++ {
-		sh.Set(i*pd, shadow.Label(0))
+		sh.Set(i*pd, shadow.MustLabel(0))
 	}
 	m.ResetStats()
 	m.SetObserver(obs)

@@ -31,7 +31,7 @@ func taintedModule(t *testing.T, obs telemetry.Observer, mutate func(*Config)) *
 	m, sh := newModule(t, mutate)
 	pd := m.cfg.PageDomainSize()
 	for i := uint32(0); i < 16; i++ {
-		sh.Set(i*pd, shadow.Label(0))
+		sh.Set(i*pd, shadow.MustLabel(0))
 	}
 	m.ResetStats()
 	m.SetObserver(obs)
@@ -81,7 +81,7 @@ func TestObserverSeesCTCEvictions(t *testing.T) {
 	// Taint one byte in each of 8 CTT words so checks thrash the 2-entry CTC.
 	wc := m.cfg.WordCoverage()
 	for i := uint32(0); i < 8; i++ {
-		sh.Set(i*wc, shadow.Label(0))
+		sh.Set(i*wc, shadow.MustLabel(0))
 	}
 	m.ResetStats()
 	m.SetObserver(mx)
@@ -105,7 +105,7 @@ func TestObserverSeesPendingClearEvictions(t *testing.T) {
 	})
 	wc := m.cfg.WordCoverage()
 	for i := uint32(0); i < 8; i++ {
-		sh.Set(i*wc, shadow.Label(0))
+		sh.Set(i*wc, shadow.MustLabel(0))
 	}
 	m.SetObserver(mx)
 	// Lazy clears assert clear bits without touching the CTT...

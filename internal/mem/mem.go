@@ -119,9 +119,12 @@ func (m *Memory) notePageRange(addr uint32, n int) {
 	if !m.trackAccess || n <= 0 {
 		return
 	}
+	// The end address wraps at 4 GiB exactly like the access itself does
+	// (see Read/Write), so the page walk must wrap too: a range straddling
+	// the top of the address space continues at page 0.
 	first := PageNumber(addr)
 	last := PageNumber(addr + uint32(n-1))
-	for p := first; ; p++ {
+	for p := first; ; p = (p + 1) % PageCount {
 		m.notePage(p)
 		if p == last {
 			break

@@ -179,6 +179,31 @@ func TestStringSummary(t *testing.T) {
 	}
 }
 
+func TestBulkAccessWrapsAtTop(t *testing.T) {
+	// A bulk access straddling the 4 GiB boundary wraps to page 0. The
+	// page-note walk used to run off the end of the accessed bitmap instead
+	// of wrapping with it (found by the differential checker; see
+	// testdata/diffcheck/panic-reference-seed1660718880496667550.repro).
+	m := New()
+	m.Write(0xFFFF_FFFE, []byte{1, 2, 3, 4})
+	if m.LoadByte(0xFFFF_FFFE) != 1 || m.LoadByte(0xFFFF_FFFF) != 2 ||
+		m.LoadByte(0) != 3 || m.LoadByte(1) != 4 {
+		t.Fatal("wrapped write misplaced bytes")
+	}
+	if m.PagesAccessed() != 2 {
+		t.Fatalf("PagesAccessed = %d, want 2", m.PagesAccessed())
+	}
+	pns := m.AccessedPages()
+	if len(pns) != 2 || pns[0] != 0 || pns[1] != PageCount-1 {
+		t.Fatalf("AccessedPages = %v, want [0 %d]", pns, PageCount-1)
+	}
+	var buf [6]byte
+	m.Read(0xFFFF_FFFD, buf[:])
+	if buf != [6]byte{0, 1, 2, 3, 4, 0} {
+		t.Fatalf("wrapped read = %v", buf)
+	}
+}
+
 func BenchmarkStoreWord(b *testing.B) {
 	m := New()
 	m.SetAccessTracking(false)

@@ -353,6 +353,12 @@ func (b *backend) Finish(s *engine.Session) engine.Result {
 	for i := range all {
 		all[i] = true
 	}
+	// A zero-event stream has no positives to enqueue; avoid 0/0 = NaN,
+	// which would poison downstream aggregation and break Result equality.
+	enqueuedFrac := 0.0
+	if s.Events > 0 {
+		enqueuedFrac = float64(b.positives) / float64(s.Events)
+	}
 
 	return Result{
 		Benchmark:              s.Profile.Name,
@@ -364,7 +370,7 @@ func (b *backend) Finish(s *engine.Session) engine.Result {
 		QueueOverheadOptimized: queueSim(b.enqueued, b.cfg.QueueDepth, optService, s.Observer),
 		QueueBaselineSimple:    queueSim(all, b.cfg.QueueDepth, simpleService, nil),
 		QueueBaselineOptimized: queueSim(all, b.cfg.QueueDepth, optService, nil),
-		EnqueuedFraction:       float64(b.positives) / float64(s.Events),
+		EnqueuedFraction:       enqueuedFrac,
 		PendingExtraPositives:  b.pendingExtra,
 	}
 }

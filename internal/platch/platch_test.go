@@ -35,6 +35,25 @@ func TestQueueSimEmpty(t *testing.T) {
 	}
 }
 
+func TestZeroEventRunHasNoNaN(t *testing.T) {
+	// A zero-length stream used to produce EnqueuedFraction = 0/0 = NaN,
+	// which breaks Result comparability and poisons averaged columns.
+	cfg := DefaultConfig()
+	cfg.Events = 0
+	res, err := Run(workload.MustGet("gcc"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.EnqueuedFraction) || res.EnqueuedFraction != 0 {
+		t.Fatalf("EnqueuedFraction = %v, want 0", res.EnqueuedFraction)
+	}
+	for _, c := range res.Columns() {
+		if f, ok := c.Value.(float64); ok && math.IsNaN(f) {
+			t.Fatalf("column %s is NaN", c.Label)
+		}
+	}
+}
+
 func TestQueueSimSparse(t *testing.T) {
 	// 1% enqueue rate with service 3.38: consumer keeps up, near-zero
 	// overhead (only the tail drain).

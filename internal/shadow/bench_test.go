@@ -17,7 +17,7 @@ const benchWindow = 16 * mem.PageSize
 func BenchmarkShadowStore(b *testing.B) {
 	s := MustNew(DefaultDomainSize)
 	for a := uint32(0); a < benchWindow; a += mem.PageSize {
-		s.Set(a, Label(0))
+		s.Set(a, MustLabel(0))
 		s.Set(a, TagClean)
 	}
 	b.ReportAllocs()
@@ -25,7 +25,7 @@ func BenchmarkShadowStore(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		addr := uint32(i*31) % benchWindow
 		if i&1 == 0 {
-			s.Set(addr, Label(0))
+			s.Set(addr, MustLabel(0))
 		} else {
 			s.Set(addr, TagClean)
 		}
@@ -36,7 +36,7 @@ func BenchmarkShadowStore(b *testing.B) {
 func BenchmarkShadowLoad(b *testing.B) {
 	s := MustNew(DefaultDomainSize)
 	for a := uint32(0); a < benchWindow; a += 64 {
-		s.Set(a, Label(0))
+		s.Set(a, MustLabel(0))
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -52,14 +52,14 @@ func BenchmarkShadowLoad(b *testing.B) {
 func TestShadowStoreNoAllocs(t *testing.T) {
 	s := MustNew(DefaultDomainSize)
 	for a := uint32(0); a < benchWindow; a += mem.PageSize {
-		s.Set(a, Label(0))
+		s.Set(a, MustLabel(0))
 		s.Set(a, TagClean)
 	}
 	i := 0
 	avg := testing.AllocsPerRun(1000, func() {
 		addr := uint32(i*31) % benchWindow
 		if i&1 == 0 {
-			s.Set(addr, Label(0))
+			s.Set(addr, MustLabel(0))
 		} else {
 			s.Set(addr, TagClean)
 		}
@@ -78,7 +78,7 @@ func BenchmarkShadowReset(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for a := uint32(0); a < benchWindow; a += 256 {
-			s.Set(a, Label(0))
+			s.Set(a, MustLabel(0))
 		}
 		s.Reset()
 	}

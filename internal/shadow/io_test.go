@@ -11,10 +11,10 @@ import (
 
 func TestSnapshotRoundTrip(t *testing.T) {
 	s := MustNew(64)
-	s.SetRange(100, 20, Label(0))
-	s.SetRange(5000, 3, Label(1))
-	s.Set(5003, Label(2))
-	s.SetRange(1<<20, 4096, Label(0)) // a fully tainted page
+	s.SetRange(100, 20, MustLabel(0))
+	s.SetRange(5000, 3, MustLabel(1))
+	s.Set(5003, MustLabel(2))
+	s.SetRange(1<<20, 4096, MustLabel(0)) // a fully tainted page
 
 	var buf bytes.Buffer
 	if _, err := s.WriteTo(&buf); err != nil {
@@ -54,7 +54,7 @@ func TestSnapshotEmpty(t *testing.T) {
 
 func TestSnapshotExcludesClearedState(t *testing.T) {
 	s := MustNew(64)
-	s.SetRange(0, 100, Label(0))
+	s.SetRange(0, 100, MustLabel(0))
 	s.SetRange(0, 100, TagClean) // history, not current state
 	var buf bytes.Buffer
 	if _, err := s.WriteTo(&buf); err != nil {
@@ -102,15 +102,15 @@ func TestSnapshotErrors(t *testing.T) {
 
 func TestEncodeRuns(t *testing.T) {
 	var tags [mem.PageSize]Tag
-	tags[0] = Label(0)
-	tags[1] = Label(0)
-	tags[2] = Label(1) // tag change splits runs
-	tags[4095] = Label(0)
+	tags[0] = MustLabel(0)
+	tags[1] = MustLabel(0)
+	tags[2] = MustLabel(1) // tag change splits runs
+	tags[4095] = MustLabel(0)
 	runs := encodeRuns(&tags)
 	want := []taintRun{
-		{Off: 0, Len: 2, Tag: Label(0)},
-		{Off: 2, Len: 1, Tag: Label(1)},
-		{Off: 4095, Len: 1, Tag: Label(0)},
+		{Off: 0, Len: 2, Tag: MustLabel(0)},
+		{Off: 2, Len: 1, Tag: MustLabel(1)},
+		{Off: 4095, Len: 1, Tag: MustLabel(0)},
 	}
 	if len(runs) != len(want) {
 		t.Fatalf("runs = %+v", runs)

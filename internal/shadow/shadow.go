@@ -18,6 +18,11 @@
 // fronted by a one-entry translation cache, the ever-tainted-pages set is a
 // bitmap, and Reset recycles pages through a free list — the propagate path
 // (Set/Get) performs no hashing and no allocation in steady state.
+//
+// Exported entry points validate their arguments and report invalid ones as
+// errors; the Must* variants (MustNew, MustLabel, MustTaintedAt) panic
+// instead and are meant for statically known-good values such as
+// configuration constants and test fixtures.
 package shadow
 
 import (
@@ -34,12 +39,23 @@ type Tag uint8
 // TagClean is the zero tag.
 const TagClean Tag = 0
 
-// Label returns the tag with only label n (0..7) set.
-func Label(n int) Tag {
+// Label returns the tag with only label n set, or an error when n is outside
+// the representable range 0..7 (one-byte tags hold eight labels, matching
+// libdft).
+func Label(n int) (Tag, error) {
 	if n < 0 || n > 7 {
-		panic(fmt.Sprintf("shadow: label %d out of range", n))
+		return TagClean, fmt.Errorf("shadow: label %d out of range [0,7]", n)
 	}
-	return Tag(1) << n
+	return Tag(1) << n, nil
+}
+
+// MustLabel is Label panicking on error, for statically known label numbers.
+func MustLabel(n int) Tag {
+	t, err := Label(n)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // Union returns the combined tag, the propagation rule for multi-source
@@ -349,46 +365,58 @@ func (s *Shadow) DomainTaintedBytes(d uint32) int {
 }
 
 // TaintedAt reports whether the aligned unit of the given power-of-two size
-// containing addr holds any tainted byte. It works at any granularity,
-// independent of the configured domain size; Figure 6 uses it to measure
-// false-positive rates across granularities from one byte-precise state.
-func (s *Shadow) TaintedAt(addr uint32, unitSize uint32) bool {
+// containing addr holds any tainted byte, or an error when unitSize is not a
+// power of two. It works at any granularity, independent of the configured
+// domain size; Figure 6 uses it to measure false-positive rates across
+// granularities from one byte-precise state.
+func (s *Shadow) TaintedAt(addr uint32, unitSize uint32) (bool, error) {
 	if unitSize == 0 || unitSize&(unitSize-1) != 0 {
-		panic(fmt.Sprintf("shadow: unit size %d not a power of two", unitSize))
+		return false, fmt.Errorf("shadow: unit size %d not a power of two", unitSize)
 	}
 	base := addr &^ (unitSize - 1)
 	if unitSize >= mem.PageSize {
-		// Whole pages (or runs of pages).
-		for b := base; b < base+unitSize; b += mem.PageSize {
-			if p := s.lookup(mem.PageNumber(b)); p != nil && p.taintedBytes > 0 {
-				return true
-			}
-			if b+mem.PageSize < b { // wrapped
-				break
+		// Whole pages (or runs of pages). Iterate by page count, not by end
+		// address: a unit ending at the top of the address space wraps
+		// base+unitSize to 0, and an address-compare loop would exit before
+		// looking at any page.
+		pn := mem.PageNumber(base)
+		for i := uint32(0); i < unitSize/mem.PageSize; i++ {
+			if p := s.lookup((pn + i) % mem.PageCount); p != nil && p.taintedBytes > 0 {
+				return true, nil
 			}
 		}
-		return false
+		return false, nil
 	}
 	p := s.lookup(mem.PageNumber(base))
 	if p == nil || p.taintedBytes == 0 {
-		return false
+		return false, nil
 	}
 	off := base % mem.PageSize
 	if unitSize >= s.domainSize {
 		// Aggregate whole domain counters.
 		for d := off / s.domainSize; d < (off+unitSize)/s.domainSize; d++ {
 			if p.domainBytes[d] > 0 {
-				return true
+				return true, nil
 			}
 		}
-		return false
+		return false, nil
 	}
 	for i := uint32(0); i < unitSize; i++ {
 		if p.tags[off+i] != TagClean {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
+}
+
+// MustTaintedAt is TaintedAt panicking on error, for statically known
+// power-of-two unit sizes.
+func (s *Shadow) MustTaintedAt(addr, unitSize uint32) bool {
+	ok, err := s.TaintedAt(addr, unitSize)
+	if err != nil {
+		panic(err)
+	}
+	return ok
 }
 
 // PageTainted reports whether the page currently holds any tainted byte.

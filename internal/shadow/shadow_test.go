@@ -21,19 +21,24 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestLabel(t *testing.T) {
-	if Label(0) != 1 || Label(7) != 0x80 {
+	if MustLabel(0) != 1 || MustLabel(7) != 0x80 {
 		t.Fatal("Label values wrong")
+	}
+	for _, bad := range []int{-1, 8, 100} {
+		if tag, err := Label(bad); err == nil || tag != TagClean {
+			t.Errorf("Label(%d) = (%v, %v), want error", bad, tag, err)
+		}
 	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Label(8) should panic")
+			t.Fatal("MustLabel(8) should panic")
 		}
 	}()
-	Label(8)
+	MustLabel(8)
 }
 
 func TestTagOps(t *testing.T) {
-	a, b := Label(0), Label(3)
+	a, b := MustLabel(0), MustLabel(3)
 	if !a.Union(b).Tainted() || a.Union(b) != 0x09 {
 		t.Fatal("Union wrong")
 	}
@@ -44,16 +49,16 @@ func TestTagOps(t *testing.T) {
 
 func TestSetGet(t *testing.T) {
 	s := MustNew(64)
-	if old := s.Set(100, Label(1)); old != TagClean {
+	if old := s.Set(100, MustLabel(1)); old != TagClean {
 		t.Fatalf("first Set returned %v", old)
 	}
-	if s.Get(100) != Label(1) {
+	if s.Get(100) != MustLabel(1) {
 		t.Fatal("Get after Set wrong")
 	}
-	if old := s.Set(100, Label(2)); old != Label(1) {
+	if old := s.Set(100, MustLabel(2)); old != MustLabel(1) {
 		t.Fatalf("second Set returned %v", old)
 	}
-	if old := s.Set(100, TagClean); old != Label(2) {
+	if old := s.Set(100, TagClean); old != MustLabel(2) {
 		t.Fatalf("clearing Set returned %v", old)
 	}
 	if s.Get(100) != TagClean {
@@ -69,12 +74,12 @@ func TestSetGet(t *testing.T) {
 
 func TestCounters(t *testing.T) {
 	s := MustNew(64)
-	s.SetRange(0, 10, Label(0))
+	s.SetRange(0, 10, MustLabel(0))
 	if s.TaintedBytes() != 10 {
 		t.Fatalf("TaintedBytes = %d", s.TaintedBytes())
 	}
 	// Re-tainting with a different tag must not double-count.
-	s.SetRange(0, 10, Label(1))
+	s.SetRange(0, 10, MustLabel(1))
 	if s.TaintedBytes() != 10 {
 		t.Fatalf("TaintedBytes after retag = %d", s.TaintedBytes())
 	}
@@ -93,8 +98,8 @@ func TestDomainTracking(t *testing.T) {
 	if s.DomainBase(2) != 128 {
 		t.Fatalf("DomainBase(2) = %d", s.DomainBase(2))
 	}
-	s.Set(130, Label(0))
-	s.Set(131, Label(0))
+	s.Set(130, MustLabel(0))
+	s.Set(131, MustLabel(0))
 	if !s.DomainTainted(2) || s.DomainTaintedBytes(2) != 2 {
 		t.Fatal("domain counters wrong")
 	}
@@ -129,8 +134,8 @@ func TestWatchers(t *testing.T) {
 			tainted bool
 		}{u, tt})
 	})
-	s.Set(64, Label(0)) // domain 1 taints, page 0 taints
-	s.Set(65, Label(0)) // no transition
+	s.Set(64, MustLabel(0)) // domain 1 taints, page 0 taints
+	s.Set(65, MustLabel(0)) // no transition
 	s.Set(64, TagClean)
 	s.Set(65, TagClean) // domain 1 clears, page 0 clears
 	if len(domEvents) != 2 || !domEvents[0].tainted || domEvents[0].unit != 1 ||
@@ -144,9 +149,9 @@ func TestWatchers(t *testing.T) {
 
 func TestRangeTag(t *testing.T) {
 	s := MustNew(64)
-	s.Set(10, Label(0))
-	s.Set(12, Label(3))
-	if got := s.RangeTag(10, 4); got != Label(0)|Label(3) {
+	s.Set(10, MustLabel(0))
+	s.Set(12, MustLabel(3))
+	if got := s.RangeTag(10, 4); got != MustLabel(0)|MustLabel(3) {
 		t.Fatalf("RangeTag = %v", got)
 	}
 	if s.RangeTainted(13, 4) {
@@ -159,7 +164,7 @@ func TestRangeTag(t *testing.T) {
 
 func TestTaintedAtGranularities(t *testing.T) {
 	s := MustNew(64)
-	s.Set(100, Label(0)) // inside domain [64,128), page 0
+	s.Set(100, MustLabel(0)) // inside domain [64,128), page 0
 	cases := []struct {
 		addr uint32
 		unit uint32
@@ -178,26 +183,48 @@ func TestTaintedAtGranularities(t *testing.T) {
 		{200, 128, false},   // [128,256) clean
 	}
 	for _, c := range cases {
-		if got := s.TaintedAt(c.addr, c.unit); got != c.want {
+		if got := s.MustTaintedAt(c.addr, c.unit); got != c.want {
 			t.Errorf("TaintedAt(%d, %d) = %v, want %v", c.addr, c.unit, got, c.want)
 		}
 	}
 }
 
-func TestTaintedAtPanicsOnBadUnit(t *testing.T) {
+func TestTaintedAtBadUnit(t *testing.T) {
 	s := MustNew(64)
+	for _, bad := range []uint32{0, 3, 48} {
+		if _, err := s.TaintedAt(0, bad); err == nil {
+			t.Errorf("TaintedAt(0, %d): want error", bad)
+		}
+	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic")
+			t.Fatal("MustTaintedAt on a bad unit should panic")
 		}
 	}()
-	s.TaintedAt(0, 48)
+	s.MustTaintedAt(0, 48)
+}
+
+func TestTaintedAtWrapsAtTopOfAddressSpace(t *testing.T) {
+	// A page-or-larger unit ending at 4 GiB used to terminate its scan loop
+	// immediately (base+unitSize wraps to 0), reporting the top pages clean.
+	s := MustNew(64)
+	top := uint32(0xFFFF_F000) // last page
+	s.Set(top+12, MustLabel(0))
+	if !s.MustTaintedAt(top, mem.PageSize) {
+		t.Fatal("top page reported clean at page granularity")
+	}
+	if !s.MustTaintedAt(0xFFFF_0000, 1<<16) {
+		t.Fatal("64 KiB unit covering the top page reported clean")
+	}
+	if s.MustTaintedAt(0xFFFE_0000, 1<<16) {
+		t.Fatal("clean 64 KiB unit reported tainted")
+	}
 }
 
 func TestEverTaintedPages(t *testing.T) {
 	s := MustNew(64)
-	s.Set(0, Label(0))
-	s.Set(mem.PageSize*3, Label(0))
+	s.Set(0, MustLabel(0))
+	s.Set(mem.PageSize*3, MustLabel(0))
 	s.Set(0, TagClean)
 	if s.EverTaintedPages() != 2 {
 		t.Fatalf("EverTaintedPages = %d", s.EverTaintedPages())
@@ -213,7 +240,7 @@ func TestEverTaintedPages(t *testing.T) {
 
 func TestPageCounters(t *testing.T) {
 	s := MustNew(64)
-	s.SetRange(4096, 7, Label(0))
+	s.SetRange(4096, 7, MustLabel(0))
 	if !s.PageTainted(1) || s.PageTaintedBytes(1) != 7 {
 		t.Fatal("page counters wrong")
 	}
@@ -224,7 +251,7 @@ func TestPageCounters(t *testing.T) {
 
 func TestReset(t *testing.T) {
 	s := MustNew(64)
-	s.SetRange(0, 100, Label(0))
+	s.SetRange(0, 100, MustLabel(0))
 	s.Reset()
 	if s.TaintedBytes() != 0 || s.EverTaintedPages() != 0 || s.Get(0) != TagClean {
 		t.Fatal("Reset incomplete")
@@ -244,7 +271,7 @@ func TestDomainCounterInvariant(t *testing.T) {
 		for _, o := range ops {
 			addr := uint32(o.Addr)
 			if o.Taint {
-				s.Set(addr, Label(0))
+				s.Set(addr, MustLabel(0))
 				ref[addr] = true
 			} else {
 				s.Set(addr, TagClean)
@@ -277,7 +304,7 @@ func TestTaintedAtInvariant(t *testing.T) {
 	f := func(addrs []uint16, probe uint16, unitSel uint8) bool {
 		s := MustNew(64)
 		for _, a := range addrs {
-			s.Set(uint32(a), Label(0))
+			s.Set(uint32(a), MustLabel(0))
 		}
 		units := []uint32{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 		unit := units[int(unitSel)%len(units)]
@@ -289,7 +316,7 @@ func TestTaintedAtInvariant(t *testing.T) {
 				break
 			}
 		}
-		return s.TaintedAt(uint32(probe), unit) == want
+		return s.MustTaintedAt(uint32(probe), unit) == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
@@ -299,15 +326,15 @@ func TestTaintedAtInvariant(t *testing.T) {
 func BenchmarkSet(b *testing.B) {
 	s := MustNew(64)
 	for i := 0; i < b.N; i++ {
-		s.Set(uint32(i)%(1<<20), Label(0))
+		s.Set(uint32(i)%(1<<20), MustLabel(0))
 	}
 }
 
 func BenchmarkTaintedAtDomain(b *testing.B) {
 	s := MustNew(64)
-	s.SetRange(0, 1<<16, Label(0))
+	s.SetRange(0, 1<<16, MustLabel(0))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.TaintedAt(uint32(i)%(1<<20), 64)
+		s.MustTaintedAt(uint32(i)%(1<<20), 64)
 	}
 }

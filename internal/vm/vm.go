@@ -63,6 +63,11 @@ type Env struct {
 // NewEnv builds an environment.
 func NewEnv() *Env { return &Env{curReq: -1, curConn: -1} }
 
+// MaxSysWriteBytes is the most one SysWrite call transfers to the output
+// sink — the OS model's pipe capacity. Longer requests are short writes,
+// with the transferred count returned in r1 as write(2) would.
+const MaxSysWriteBytes = 1 << 16
+
 // Fault describes a machine fault (bad instruction, step limit, ...).
 type Fault struct {
 	PC     uint32
@@ -163,11 +168,20 @@ func (c *CPU) noteStore(addr uint32, n uint32) {
 	if n == 0 {
 		return
 	}
+	// The store's byte range wraps at 4 GiB (memory does), so the page walk
+	// wraps as well rather than running off the end of the bitmap.
 	first := mem.PageNumber(addr)
-	last := mem.PageNumber(addr + n - 1)
-	for p := first; ; p++ {
+	end := addr + n - 1
+	last := mem.PageNumber(end)
+	for p := first; ; p = (p + 1) % mem.PageCount {
 		if c.codePages[p>>6]&(1<<(p&63)) != 0 {
-			c.dcache.InvalidateRange(addr, addr+n-1)
+			if end < addr {
+				// Wrapped range: the decode cache's invalidation is
+				// interval-based and cannot express it, so drop everything.
+				c.dcache.Flush()
+			} else {
+				c.dcache.InvalidateRange(addr, end)
+			}
 			return
 		}
 		if p == last {
@@ -441,7 +455,7 @@ func (c *CPU) exec(pc uint32, in isa.Instr) error {
 		c.halted = true
 	case isa.STRF:
 		if c.tracker != nil {
-			c.tracker.SetRegTaintMask(r[in.Rd], shadow.Label(0))
+			c.tracker.SetRegTaintMask(r[in.Rd], shadow.MustLabel(0))
 		}
 	case isa.STNT:
 		if c.tracker != nil {
@@ -525,6 +539,14 @@ func (c *CPU) syscall(pc uint32, num int32) error {
 		r[1] = uint32(c.Env.curConn)
 	case isa.SysWrite:
 		buf, n := r[1], int(r[2])
+		// Short write, as POSIX permits: the sink accepts at most
+		// MaxSysWriteBytes per call. The cap keeps a hostile length (r2 is
+		// untrusted program state) from turning one instruction into a
+		// 4 GiB shadow walk and allocation; callers see the short count in
+		// r1 exactly as they would from write(2).
+		if n > MaxSysWriteBytes {
+			n = MaxSysWriteBytes
+		}
 		if c.tracker != nil {
 			if err := c.tracker.Output(pc, buf, n); err != nil {
 				return err

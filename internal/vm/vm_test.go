@@ -559,3 +559,82 @@ func TestSyscallWriteOverCachedCodeInvalidatesDecode(t *testing.T) {
 		t.Fatalf("r3 = %d after syscall write over cached code, want 7", c.Regs[3])
 	}
 }
+
+func TestStoreWrapsAtTopOfAddressSpace(t *testing.T) {
+	// A word store straddling 4 GiB wraps to address 0. The decode-cache
+	// page walk used to run off the end of the page space instead of
+	// wrapping (found by the differential checker; see
+	// testdata/diffcheck/panic-reference-seed1945755011180343852.repro).
+	c, err := run(t, `
+		movi r1, -2        ; 0xFFFFFFFE
+		li   r2, 0x11223344
+		stw  r2, [r1]
+		ldw  r3, [r1]
+		halt
+	`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[3] != 0x11223344 {
+		t.Fatalf("wrapped store/load round trip = %#x", c.Regs[3])
+	}
+	if c.Mem.LoadByte(0xFFFF_FFFE) != 0x44 || c.Mem.LoadByte(0) != 0x22 {
+		t.Fatal("wrapped store misplaced bytes")
+	}
+}
+
+func TestWrappedStoreOverCachedCodeFlushes(t *testing.T) {
+	// A wrapped store range cannot be expressed as an InvalidateRange
+	// interval, so when it covers a cached code page the decode cache must
+	// flush. Plant code at address 0, execute it (caching page 0), then
+	// patch its immediate with a store that wraps around 4 GiB; the second
+	// execution must see the new encoding, not the cached decode.
+	c, err := run(t, `
+		li   r5, =after
+		li   r1, 0x02300007  ; movi r3, 7
+		stw  r1, [r0]
+		li   r1, 0x1F050000  ; jr r5
+		stw  r1, [r0+4]
+		movi r6, 0
+		jr   r6              ; first run of the planted code: r3 = 7
+	after:
+		movi r7, 9
+		beq  r3, r7, done    ; second pass sees the patched immediate
+		li   r2, 0x00090000  ; bytes 2,3 land at addresses 0,1: imm 7 -> 9
+		movi r4, -2          ; 0xFFFFFFFE
+		stw  r2, [r4]        ; wraps over the cached code page
+		jr   r6              ; re-execute: must yield r3 = 9
+	done:
+		halt
+	`, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[3] != 9 {
+		t.Fatalf("r3 = %d after patching cached code via wrapped store, want 9", c.Regs[3])
+	}
+}
+
+func TestSysWriteLengthClamped(t *testing.T) {
+	// sys 5 with an untrusted ~4 GiB length used to walk the whole address
+	// space in the leak check and allocate 4 GiB (found by the differential
+	// checker; see testdata/diffcheck/hang-syswrite-seed5296691041779947934
+	// .repro). The OS model now performs a short write of at most
+	// MaxSysWriteBytes, returning the count like write(2).
+	e := dift.NewEngine(shadow.MustNew(64), dift.DefaultPolicy())
+	c, err := run(t, `
+		movi r1, -1     ; buf  = 0xFFFFFFFF
+		movi r2, -1     ; len  = 0xFFFFFFFF
+		sys  5          ; write
+		halt
+	`, e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[1] != MaxSysWriteBytes {
+		t.Fatalf("r1 = %d, want short-write count %d", c.Regs[1], MaxSysWriteBytes)
+	}
+	if n := c.Env.Output.Len(); n != MaxSysWriteBytes {
+		t.Fatalf("output length = %d, want %d", n, MaxSysWriteBytes)
+	}
+}

@@ -194,7 +194,7 @@ func (g *Generator) gapAddr(i int) uint32 {
 
 // materialize writes the static taint layout into the shadow.
 func (g *Generator) materialize() {
-	tag := shadow.Label(0)
+	tag := shadow.MustLabel(0)
 	for pi := 0; pi < g.p.PagesTainted; pi++ {
 		page := g.taintStart + pi
 		pageBase := g.pageAddr(page)
@@ -245,11 +245,10 @@ func (g *Generator) nearTaintAddr() uint32 {
 	if g.rng.Float64() < g.p.NearTaintRandom {
 		return g.gapAddr(g.rng.Intn(g.gbpp * g.p.PagesTainted))
 	}
-	domain := g.sh.DomainSize()
 	for tries := 0; tries < 64; tries++ {
 		addr := g.gapAddr(g.mixIdx)
 		g.mixIdx++ // byte-wise walk: adjacent probes share cache lines
-		if !g.sh.TaintedAt(addr, domain) {
+		if !g.sh.DomainTainted(g.sh.DomainIndex(addr)) {
 			return addr
 		}
 	}
@@ -275,7 +274,7 @@ func (g *Generator) nextTaintAddr() (addr uint32, finishedRun int) {
 			// consistent with the byte-precise state.
 			g.taintIdx = 0
 			for _, f := range g.freed {
-				g.setRunTaint(f.idx, f.n, shadow.Label(0))
+				g.setRunTaint(f.idx, f.n, shadow.MustLabel(0))
 			}
 			g.freed = g.freed[:0]
 			g.flushRetaints()
@@ -308,7 +307,7 @@ func (g *Generator) applyRetaints() {
 			n++
 			continue
 		}
-		g.setRunTaint(r.idx, r.n, shadow.Label(0))
+		g.setRunTaint(r.idx, r.n, shadow.MustLabel(0))
 	}
 	g.pending = g.pending[:n]
 }
@@ -316,7 +315,7 @@ func (g *Generator) applyRetaints() {
 // flushRetaints re-taints every outstanding churned run immediately.
 func (g *Generator) flushRetaints() {
 	for _, r := range g.pending {
-		g.setRunTaint(r.idx, r.n, shadow.Label(0))
+		g.setRunTaint(r.idx, r.n, shadow.MustLabel(0))
 	}
 	g.pending = g.pending[:0]
 }

@@ -95,8 +95,12 @@ const (
 // TagClean is the zero (untainted) tag.
 const TagClean = shadow.TagClean
 
-// Label returns the tag with only taint label n (0..7) set.
-func Label(n int) Tag { return shadow.Label(n) }
+// Label returns the tag with only taint label n set, or an error when n is
+// outside the representable range 0..7.
+func Label(n int) (Tag, error) { return shadow.Label(n) }
+
+// MustLabel is Label panicking on error, for statically known label numbers.
+func MustLabel(n int) Tag { return shadow.MustLabel(n) }
 
 // DefaultConfig returns the paper's main LATCH configuration: 64-byte taint
 // domains, a 16-entry fully associative CTC, a 128-entry TLB with two page

@@ -82,7 +82,7 @@ func TestAssembleErrorsSurface(t *testing.T) {
 }
 
 func TestLabelAndTags(t *testing.T) {
-	if latch.Label(2) == latch.TagClean {
+	if latch.MustLabel(2) == latch.TagClean {
 		t.Fatal("label is clean")
 	}
 }
