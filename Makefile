@@ -27,9 +27,17 @@ vet:
 # parallel harness tests (TestParallelMatchesSerial, TestGoldenTables,
 # TestRunnerSafeForConcurrentCallers, pool tests) all fan work out across
 # goroutines, so this catches data races in the pool, the suite runners,
-# and the per-job simulation state.
+# and the per-job simulation state. The second pass re-runs the
+# truly-concurrent P-LATCH tier — the SPSC ring stress/fuzz seeds, the
+# sharded-monitor determinism pin, and the shard-sweep equivalence check —
+# a second time for extra schedule diversity on the lock-free paths.
+# -timeout 30m: the experiments package alone needs ~8 minutes under the
+# race detector on a single-CPU box, too close to Go's 10m default.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
+	$(GO) test -race -timeout 30m -count=2 \
+		-run 'TestConcurrentStress|TestBackpressureStalls|FuzzRingSPSC|TestConcurrentDeterminismPin|TestConcurrentShardSweepEquivalence' \
+		./internal/ring ./internal/platch ./internal/diffcheck
 
 verify: fmt test vet race diffcheck
 
@@ -53,15 +61,20 @@ cover:
 		{ echo "internal/engine coverage $$total% is below the 85% floor"; exit 1; }
 
 # Root-package benchmarks, plus the committed perf artifacts: the
-# observability-overhead report (BENCH_observability.json) and the
-# hot-path report (BENCH_hotpath.json: CPU.Step / shadow.Set / end-to-end
-# experiment pass against the pre-overhaul baselines).
+# observability-overhead report (BENCH_observability.json), the hot-path
+# report (BENCH_hotpath.json: CPU.Step / shadow.Set / end-to-end
+# experiment pass against the pre-overhaul baselines), and the concurrent
+# P-LATCH report (BENCH_cplatch.json: serial analytic platch vs the
+# lock-free pipeline at 1/2/4/8 monitor shards, with the zero-alloc
+# producer-step bar enforced).
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 	$(GO) test ./internal/latch -run TestWriteObservabilityBench \
 		-observability-bench-out $(CURDIR)/BENCH_observability.json
 	$(GO) test . -run TestWriteHotpathBench \
 		-hotpath-bench-out $(CURDIR)/BENCH_hotpath.json
+	$(GO) test ./internal/platch -run TestWriteCPlatchBench \
+		-cplatch-bench-out $(CURDIR)/BENCH_cplatch.json
 
 # Benchstat-friendly re-run of the hot-path benchmarks with pinned count
 # and benchtime, for diffing against the committed BENCH_hotpath.json:

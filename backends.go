@@ -1,6 +1,8 @@
 package latch
 
 import (
+	"fmt"
+
 	"latch/internal/engine"
 	"latch/internal/workload"
 
@@ -27,9 +29,32 @@ func Backends() []string { return engine.Names() }
 // its paper-default configuration. The observer may be nil; it never
 // affects results.
 func RunBackend(backend, workloadName string, events uint64, obs Observer) (BackendResult, error) {
+	return RunShardedBackend(backend, workloadName, events, 0, obs)
+}
+
+// RunShardedBackend is RunBackend with an explicit monitor shard count for
+// backends that fan the monitor out over parallel shards (the concurrent
+// "cplatch" integration). shards <= 0 keeps the backend's default
+// geometry; a positive count on a backend without shard support is an
+// error.
+func RunShardedBackend(backend, workloadName string, events uint64, shards int, obs Observer) (BackendResult, error) {
 	p, err := workload.Get(workloadName)
 	if err != nil {
 		return nil, err
 	}
-	return engine.RunScheme(backend, p, engine.RunOptions{Events: events, Observer: obs})
+	sch, err := engine.Lookup(backend)
+	if err != nil {
+		return nil, err
+	}
+	b := sch.New()
+	if shards > 0 {
+		sb, ok := b.(engine.Sharded)
+		if !ok {
+			return nil, fmt.Errorf("backend %s does not support shard configuration", backend)
+		}
+		if err := sb.SetShards(shards); err != nil {
+			return nil, err
+		}
+	}
+	return engine.RunProfile(b, p, engine.RunOptions{Events: events, Observer: obs})
 }

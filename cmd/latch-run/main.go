@@ -65,6 +65,7 @@ func run() int {
 		backend    = flag.String("backend", "", "run a registered backend over a calibrated workload (see -workload)")
 		workloadNm = flag.String("workload", "gcc", "calibrated workload profile for -backend")
 		events     = flag.Uint64("events", 2_000_000, "stream length in instructions for -backend")
+		shards     = flag.Int("shards", 0, "monitor shard count for sharded backends (cplatch); 0 keeps the backend default")
 		listBack   = flag.Bool("list-backends", false, "list registered backends and exit")
 		slowdown   = flag.Float64("sw-slowdown", 5, "software DIFT slowdown for -slatch")
 		leak       = flag.Bool("check-leak", false, "enable the output-leak check")
@@ -87,6 +88,7 @@ func run() int {
 		Backend:  *backend,
 		SaveTnt:  *saveTnt,
 		Requests: len(requests),
+		Shards:   *shards,
 		SLatch:   *coSLatch,
 		NoDift:   *noDift,
 		Disasm:   *disasm,
@@ -107,7 +109,7 @@ func run() int {
 		return 0
 	}
 	if *backend != "" {
-		return runBackend(*backend, *workloadNm, *events, *telemetry)
+		return runBackend(*backend, *workloadNm, *events, *shards, *telemetry)
 	}
 
 	src, err := loadSource(*progName, *srcPath)
@@ -228,9 +230,9 @@ func run() int {
 
 // runBackend streams one calibrated workload through a registered backend
 // and reports its scheme-agnostic result.
-func runBackend(backend, workloadName string, events uint64, telemetry bool) int {
+func runBackend(backend, workloadName string, events uint64, shards int, telemetry bool) int {
 	metrics := latch.NewMetrics()
-	res, err := latch.RunBackend(backend, workloadName, events, metrics)
+	res, err := latch.RunShardedBackend(backend, workloadName, events, shards, metrics)
 	if err != nil {
 		return fail(err)
 	}
@@ -324,6 +326,7 @@ func assembleOrLoad(src string) (*isa.Program, error) {
 type flagSet struct {
 	Prog, Src, File, FileHex, Backend, SaveTnt string
 	Requests                                   int
+	Shards                                     int
 	SLatch, NoDift, Disasm                     bool
 }
 
@@ -364,6 +367,12 @@ func checkFlagConflicts(f flagSet) error {
 	}
 	if f.NoDift && f.SaveTnt != "" {
 		return fmt.Errorf("-save-taint needs taint tracking and cannot be combined with -no-dift")
+	}
+	if f.Shards != 0 && f.Backend == "" {
+		return fmt.Errorf("-shards configures a backend's monitor and requires -backend")
+	}
+	if f.Shards < 0 {
+		return fmt.Errorf("-shards must be positive, got %d", f.Shards)
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ func TestCheckFlagConflicts(t *testing.T) {
 		{"prog only", flagSet{Prog: "overflow"}, ""},
 		{"src with file", flagSet{Src: "p.s", File: "data"}, ""},
 		{"backend only", flagSet{Backend: "slatch"}, ""},
+		{"sharded backend", flagSet{Backend: "cplatch", Shards: 4}, ""},
 		{"slatch run", flagSet{Prog: "overflow", SLatch: true}, ""},
 		{"no-dift run", flagSet{Prog: "overflow", NoDift: true}, ""},
 
@@ -31,6 +32,8 @@ func TestCheckFlagConflicts(t *testing.T) {
 		{"backend and disasm", flagSet{Backend: "hlatch", Disasm: true}, "cannot be combined with -disasm"},
 		{"backend and save-taint", flagSet{Backend: "hlatch", SaveTnt: "t.bin"}, "cannot be combined with -save-taint"},
 		{"no-dift and save-taint", flagSet{Prog: "p", NoDift: true, SaveTnt: "t.bin"}, "cannot be combined with -no-dift"},
+		{"shards without backend", flagSet{Shards: 4}, "requires -backend"},
+		{"negative shards", flagSet{Backend: "cplatch", Shards: -1}, "must be positive"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

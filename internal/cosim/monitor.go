@@ -36,7 +36,14 @@ func NewMonitor(backendName string, pol dift.Policy, obs telemetry.Observer) (*M
 	if err != nil {
 		return nil, err
 	}
-	b := sch.New()
+	return NewMonitorBackend(sch.New(), pol, obs)
+}
+
+// NewMonitorBackend builds a co-simulated machine around an already
+// constructed (and possibly specially configured) backend instance — the
+// differential checker uses this to sweep the concurrent backend's shard
+// counts. The backend must be fresh: one instance serves one run.
+func NewMonitorBackend(b engine.Backend, pol dift.Policy, obs telemetry.Observer) (*Monitor, error) {
 	sess, err := engine.NewSession(b.Config())
 	if err != nil {
 		return nil, err

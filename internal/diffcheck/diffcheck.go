@@ -224,14 +224,40 @@ func RunReference(c Case) (Outcome, error) {
 // is "" unless the oracle observed a precisely tainted operand byte the
 // coarse state could not see.
 func RunBackend(name string, c Case) (out Outcome, oracleFail string, err error) {
+	return RunBackendShards(name, c, 0)
+}
+
+// RunBackendShards is RunBackend with an explicit monitor shard count for
+// backends implementing engine.Sharded; shards <= 0 keeps the backend's
+// default geometry. Requesting shards from a non-sharded backend is an
+// error.
+func RunBackendShards(name string, c Case, shards int) (out Outcome, oracleFail string, err error) {
 	prog, err := c.Program()
 	if err != nil {
 		return Outcome{}, "", err
 	}
-	mon, err := cosim.NewMonitor(name, policy(), nil)
+	sch, err := engine.Lookup(name)
 	if err != nil {
 		return Outcome{}, "", err
 	}
+	b := sch.New()
+	if shards > 0 {
+		sb, ok := b.(engine.Sharded)
+		if !ok {
+			return Outcome{}, "", fmt.Errorf("backend %s does not support shard configuration", name)
+		}
+		if err := sb.SetShards(shards); err != nil {
+			return Outcome{}, "", err
+		}
+	}
+	mon, err := cosim.NewMonitorBackend(b, policy(), nil)
+	if err != nil {
+		return Outcome{}, "", err
+	}
+	// Finalize the backend no matter how the run ends: concurrent backends
+	// close their rings and join their monitor goroutines in Finish, and a
+	// divergence hunt runs thousands of cases back to back.
+	defer mon.Result()
 	orc := &oracleTracker{Monitor: mon}
 	mon.Machine.SetTracker(orc)
 	mon.Machine.Env.FileData = append([]byte(nil), c.Input...)
@@ -337,19 +363,44 @@ func CheckCase(c Case, backends []string) *Failure {
 		return refFail
 	}
 	for _, name := range backends {
-		name := name
+		name, label := name, name
+		shards := 0
+		if isSharded(name) {
+			// Sharded backends run at a seed-derived shard count, so the
+			// corpus and every fresh fuzz batch sweep the 1..8 axis while
+			// each individual seed stays byte-for-byte replayable.
+			shards = ShardsFor(c.Seed)
+			label = fmt.Sprintf("%s(shards=%d)", name, shards)
+		}
 		out, fail := runProtected(func() (Outcome, string, error) {
-			return RunBackend(name, c)
+			return RunBackendShards(name, c, shards)
 		})
 		if fail != nil {
-			fail.Backend = name
+			fail.Backend = label
 			return fail
 		}
 		if d := out.Diff(ref); d != "" {
-			return &Failure{Kind: "divergence", Backend: name, Detail: d}
+			return &Failure{Kind: "divergence", Backend: label, Detail: d}
 		}
 	}
 	return nil
+}
+
+// ShardsFor derives the monitor shard count a sharded backend runs with
+// for a given seed: seeds rotate through 1..8. Deterministic per seed, so
+// minimization and corpus replay reproduce the exact failing geometry.
+func ShardsFor(seed int64) int { return 1 + int(uint64(seed)%8) }
+
+// isSharded reports whether the named registered backend supports shard
+// configuration. Constructing a backend is cheap — goroutines and rings
+// exist only after Init.
+func isSharded(name string) bool {
+	sch, err := engine.Lookup(name)
+	if err != nil {
+		return false
+	}
+	_, ok := sch.New().(engine.Sharded)
+	return ok
 }
 
 // runProtected invokes one run, converting a panic into a "panic" failure,

@@ -71,6 +71,40 @@ func TestCorpusReplays(t *testing.T) {
 	}
 }
 
+// TestConcurrentShardSweepEquivalence pins the concurrent backend against
+// the byte-precise reference at EVERY shard count 1..8 on the same cases —
+// the campaign rotates one seed-derived count per case, this sweep holds
+// the case fixed and varies only the shard geometry. 25 seeds x 8 counts.
+func TestConcurrentShardSweepEquivalence(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		c := diffcheck.BuildCase(seed)
+		ref, err := diffcheck.RunReference(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for shards := 1; shards <= 8; shards++ {
+			out, oracleFail, err := diffcheck.RunBackendShards("cplatch", c, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if oracleFail != "" {
+				t.Fatalf("seed %d shards %d: oracle: %s", seed, shards, oracleFail)
+			}
+			if d := out.Diff(ref); d != "" {
+				t.Fatalf("seed %d shards %d: %s", seed, shards, d)
+			}
+		}
+	}
+	// Shard configuration is rejected, not ignored, on non-sharded backends.
+	if _, _, err := diffcheck.RunBackendShards("slatch", diffcheck.BuildCase(1), 2); err == nil {
+		t.Fatal("slatch accepted a shard count")
+	}
+}
+
 func TestBuildCaseDeterministic(t *testing.T) {
 	a, b := diffcheck.BuildCase(99), diffcheck.BuildCase(99)
 	if !reflect.DeepEqual(a, b) {

@@ -60,6 +60,17 @@ type Backend interface {
 	Finish(s *Session) Result
 }
 
+// Sharded is the optional Backend extension for integrations whose monitor
+// fans out over N parallel shards (the concurrent P-LATCH backend). The
+// CLIs' -shards flags and the experiment harness's Shards option reach any
+// registered backend through this interface. SetShards must be called
+// before Init; implementations reject later calls.
+type Sharded interface {
+	Backend
+	// SetShards fixes the monitor shard count for this run (n >= 1).
+	SetShards(n int) error
+}
+
 // Column is one headline metric of a backend result, for scheme-agnostic
 // tabulation.
 type Column struct {

@@ -60,6 +60,12 @@ type Options struct {
 	// passive — attaching one cannot change any table (the golden tests
 	// enforce this).
 	Observer telemetry.Observer
+
+	// Shards, when > 0, fixes the monitor shard count of every backend
+	// pass whose backend implements engine.Sharded (the concurrent
+	// P-LATCH backend); zero keeps each backend's default geometry.
+	// Backends without shard support ignore it.
+	Shards int
 }
 
 // DefaultOptions returns run lengths suitable for interactive use.

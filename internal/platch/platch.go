@@ -162,6 +162,94 @@ func (f *pendingFIFO) pending(domain uint32) bool {
 	return ok
 }
 
+// filter is the monitored-core enqueue policy shared by the analytic and
+// the concurrent P-LATCH backends: the coarse check decides whether a
+// committed instruction enters the log FIFO, and the §5.2 pending-update
+// FIFO keeps destinations of queued stores conservatively tainted until
+// the monitor has caught up. Both backends route every event through this
+// one implementation, so their enqueue decisions are identical by
+// construction.
+type filter struct {
+	pend         *pendingFIFO
+	lag          uint64
+	positives    uint64
+	pendingExtra uint64
+}
+
+func newFilter(entries int, lag uint64) *filter {
+	return &filter{pend: newPendingFIFO(entries), lag: lag}
+}
+
+// decide consumes one stream event and reports whether it is enqueued to
+// the monitor, and whether the pending-update FIFO alone caused the
+// enqueue. The Session supplies the coarse module and the domain geometry;
+// the caller must route every event through decide, in stream order.
+func (f *filter) decide(s *engine.Session, ev trace.Event) (enq, viaPending bool) {
+	if !ev.IsMem {
+		return false, false
+	}
+	check := s.Module.CheckMem(ev.Addr, int(ev.Size))
+	if check.CoarsePositive {
+		enq = true
+		f.positives++
+	} else if f.pend != nil {
+		// §5.2: destinations of queued stores stay conservatively tainted
+		// until the monitor has processed them.
+		f.pend.retire(s.Events)
+		if f.pend.pending(s.Shadow.DomainIndex(ev.Addr)) {
+			enq, viaPending = true, true
+			f.positives++
+			f.pendingExtra++
+		}
+	}
+	if enq && ev.IsWrite && f.pend != nil {
+		f.pend.push(s.Shadow.DomainIndex(ev.Addr), s.Events+f.lag)
+	}
+	return enq, viaPending
+}
+
+// windows is the §6.2 activity accounting shared by both P-LATCH backends:
+// the fraction of WindowInstrs-sized windows containing at least one
+// instruction that manipulates tainted data.
+type windows struct {
+	size   uint64
+	total  uint64
+	active uint64
+	pos    uint64
+	cur    bool
+}
+
+// step consumes one instruction's taint flag.
+func (w *windows) step(tainted bool) {
+	if tainted {
+		w.cur = true
+	}
+	w.pos++
+	if w.pos == w.size {
+		w.total++
+		if w.cur {
+			w.active++
+		}
+		w.pos, w.cur = 0, false
+	}
+}
+
+// fraction closes the trailing partial window and returns the active-window
+// share. It must be called exactly once, after the last step.
+func (w *windows) fraction() float64 {
+	if w.pos > 0 {
+		w.total++
+		if w.cur {
+			w.active++
+		}
+		w.pos, w.cur = 0, false
+	}
+	if w.total == 0 {
+		return 0
+	}
+	return float64(w.active) / float64(w.total)
+}
+
 // Result holds one benchmark's P-LATCH metrics (Figure 15).
 type Result struct {
 	Benchmark string
@@ -265,14 +353,9 @@ func queueSim(enqueued []bool, depth int, serviceCycles float64, obs telemetry.O
 type backend struct {
 	cfg Config
 
-	enqueued      []bool
-	windows       uint64
-	activeWindows uint64
-	windowActive  bool
-	windowPos     uint64
-	positives     uint64
-	pendingExtra  uint64
-	pend          *pendingFIFO
+	enqueued []bool
+	filt     *filter
+	win      windows
 }
 
 // Name implements engine.Backend.
@@ -284,65 +367,27 @@ func (b *backend) Config() latch.Config { return b.cfg.Latch }
 // Init implements engine.Backend.
 func (b *backend) Init(s *engine.Session) error {
 	b.enqueued = make([]bool, 0, s.Target)
-	b.pend = newPendingFIFO(b.cfg.PendingEntries)
+	b.filt = newFilter(b.cfg.PendingEntries, b.cfg.PendingLagInstrs)
+	b.win = windows{size: b.cfg.WindowInstrs}
 	return nil
 }
 
 // Step implements engine.Backend. P-LATCH charges no check cycles on the
 // monitored core: the cost model is the queue, evaluated in Finish.
 func (b *backend) Step(s *engine.Session, ev trace.Event) {
-	enq := false
-	if ev.IsMem {
-		check := s.Module.CheckMem(ev.Addr, int(ev.Size))
-		if check.CoarsePositive {
-			enq = true
-			b.positives++
-		} else if b.pend != nil {
-			// §5.2: destinations of queued stores stay conservatively
-			// tainted until the monitor has processed them.
-			b.pend.retire(s.Events)
-			if b.pend.pending(s.Shadow.DomainIndex(ev.Addr)) {
-				enq = true
-				b.positives++
-				b.pendingExtra++
-			}
-		}
-		if enq && ev.IsWrite && b.pend != nil {
-			b.pend.push(s.Shadow.DomainIndex(ev.Addr), s.Events+b.cfg.PendingLagInstrs)
-		}
-	}
+	enq, _ := b.filt.decide(s, ev)
 	// The analytic model localizes LBA overheads to "periods of active
 	// propagation" (§6.2): windows in which taint is actually
 	// manipulated. Coarse false positives still enter the queue (enq)
 	// but do not by themselves make a window an active-propagation one.
-	if ev.Tainted {
-		b.windowActive = true
-	}
+	b.win.step(ev.Tainted)
 	b.enqueued = append(b.enqueued, enq)
-	b.windowPos++
-	if b.windowPos == b.cfg.WindowInstrs {
-		b.windows++
-		if b.windowActive {
-			b.activeWindows++
-		}
-		b.windowPos, b.windowActive = 0, false
-	}
 }
 
 // Finish implements engine.Backend: close the last window, then evaluate
 // the analytical window model and the queue simulations.
 func (b *backend) Finish(s *engine.Session) engine.Result {
-	if b.windowPos > 0 {
-		b.windows++
-		if b.windowActive {
-			b.activeWindows++
-		}
-	}
-
-	var f float64
-	if b.windows > 0 {
-		f = float64(b.activeWindows) / float64(b.windows)
-	}
+	f := b.win.fraction()
 
 	// Queue simulation: service rates derived from the reported LBA
 	// overheads (an overhead of k means ~1+k cycles of monitor work per
@@ -357,7 +402,7 @@ func (b *backend) Finish(s *engine.Session) engine.Result {
 	// which would poison downstream aggregation and break Result equality.
 	enqueuedFrac := 0.0
 	if s.Events > 0 {
-		enqueuedFrac = float64(b.positives) / float64(s.Events)
+		enqueuedFrac = float64(b.filt.positives) / float64(s.Events)
 	}
 
 	return Result{
@@ -371,7 +416,7 @@ func (b *backend) Finish(s *engine.Session) engine.Result {
 		QueueBaselineSimple:    queueSim(all, b.cfg.QueueDepth, simpleService, nil),
 		QueueBaselineOptimized: queueSim(all, b.cfg.QueueDepth, optService, nil),
 		EnqueuedFraction:       enqueuedFrac,
-		PendingExtraPositives:  b.pendingExtra,
+		PendingExtraPositives:  b.filt.pendingExtra,
 	}
 }
 
