@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test fmt vet race verify cover bench bench-compare fuzz golden diffcheck
+.PHONY: build test fmt vet race verify cover bench bench-compare fuzz golden diffcheck serve-smoke deprecation-gate
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,23 @@ race:
 		-run 'TestConcurrentStress|TestBackpressureStalls|FuzzRingSPSC|TestConcurrentDeterminismPin|TestConcurrentShardSweepEquivalence' \
 		./internal/ring ./internal/platch ./internal/diffcheck
 
-verify: fmt test vet race diffcheck
+verify: fmt test vet deprecation-gate race diffcheck serve-smoke
+
+# Service smoke tier: build the real latch-serve binary, boot it, push a
+# clean program job, a control-flow hijack, and a workload-replay job
+# through the HTTP surface, check the in-service canary agreed with the
+# reference stack, and SIGTERM it to exercise graceful drain.
+serve-smoke:
+	$(GO) run ./tools/serve-smoke
+
+# Facade hygiene: RunBackend/RunShardedBackend are deprecated in favor of
+# the context-aware, request-struct latch.Run. The wrappers stay for
+# compatibility, but no code in this repository may call them.
+deprecation-gate:
+	@out="$$(grep -rn --include='*.go' -E 'latch\.Run(Sharded)?Backend\(' . || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "deprecated facade calls (use latch.Run with a RunRequest):"; \
+		echo "$$out"; exit 1; fi
 
 # Differential smoke tier: every registered backend against the
 # byte-precise DIFT reference over 200 seeded random programs plus the

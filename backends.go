@@ -1,6 +1,7 @@
 package latch
 
 import (
+	"context"
 	"fmt"
 
 	"latch/internal/engine"
@@ -25,36 +26,128 @@ type BackendColumn = engine.Column
 // "slatch", plus any externally registered schemes), sorted.
 func Backends() []string { return engine.Names() }
 
-// RunBackend streams one calibrated workload through the named backend in
-// its paper-default configuration. The observer may be nil; it never
-// affects results.
-func RunBackend(backend, workloadName string, events uint64, obs Observer) (BackendResult, error) {
-	return RunShardedBackend(backend, workloadName, events, 0, obs)
+// Workloads lists the calibrated workload profile names a RunRequest may
+// name, sorted.
+func Workloads() []string { return workload.Names() }
+
+// RunRequest describes one backend run: which integration, over which
+// calibrated workload, for how many events, with what monitor geometry and
+// observer. The zero value of each optional field selects the default, so
+// callers state only what they mean:
+//
+//	res, err := latch.Run(ctx, latch.RunRequest{Backend: "slatch", Workload: "gcc"})
+//
+// This struct is the facade's growth point: new per-run options become new
+// fields, not new positional parameters or new function variants.
+type RunRequest struct {
+	// Backend is the registered integration name (see Backends). Required.
+	Backend string
+	// Workload is the calibrated profile name (see Workloads). Required.
+	Workload string
+	// Events is the requested stream length; 0 selects DefaultRunEvents.
+	Events uint64
+	// Shards is the monitor shard count for sharded backends (the
+	// concurrent "cplatch" integration); 0 keeps the backend's default
+	// geometry. A positive count on a backend without shard support is an
+	// error.
+	Shards int
+	// Observer, when non-nil, receives the run's telemetry. Observers are
+	// strictly passive and never affect results.
+	Observer Observer
 }
 
-// RunShardedBackend is RunBackend with an explicit monitor shard count for
-// backends that fan the monitor out over parallel shards (the concurrent
-// "cplatch" integration). shards <= 0 keeps the backend's default
-// geometry; a positive count on a backend without shard support is an
-// error.
-func RunShardedBackend(backend, workloadName string, events uint64, shards int, obs Observer) (BackendResult, error) {
-	p, err := workload.Get(workloadName)
+// DefaultRunEvents is the stream length a RunRequest with Events == 0 runs:
+// the 2M-instruction window the paper's cache experiments use.
+const DefaultRunEvents = 2_000_000
+
+// Validate reports the first problem with the request without running
+// anything: an unknown backend or workload, a negative shard count, or
+// shards on a backend that cannot fan out. The serving layer validates
+// requests up front so a bad job is rejected before it occupies a worker.
+func (r RunRequest) Validate() error {
+	if r.Backend == "" {
+		return fmt.Errorf("latch: RunRequest.Backend is required (registered: %v)", Backends())
+	}
+	if _, err := engine.Lookup(r.Backend); err != nil {
+		return err
+	}
+	if r.Workload == "" {
+		return fmt.Errorf("latch: RunRequest.Workload is required (known: %v)", Workloads())
+	}
+	if _, err := workload.Get(r.Workload); err != nil {
+		return err
+	}
+	if r.Shards < 0 {
+		return fmt.Errorf("latch: RunRequest.Shards must be non-negative, got %d", r.Shards)
+	}
+	if r.Shards > 0 {
+		sch, err := engine.Lookup(r.Backend)
+		if err != nil {
+			return err
+		}
+		if _, ok := sch.New().(engine.Sharded); !ok {
+			return fmt.Errorf("latch: backend %s does not support shard configuration", r.Backend)
+		}
+	}
+	return nil
+}
+
+// Run streams one calibrated workload through the named backend. The
+// context bounds the run: cancellation or a deadline stops the stream
+// within engine.CancelCheckEvents events — with the backend fully
+// finalized, monitor shards joined — and returns ctx.Err().
+func Run(ctx context.Context, req RunRequest) (BackendResult, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := workload.Get(req.Workload)
 	if err != nil {
 		return nil, err
 	}
-	sch, err := engine.Lookup(backend)
+	sch, err := engine.Lookup(req.Backend)
 	if err != nil {
 		return nil, err
 	}
 	b := sch.New()
-	if shards > 0 {
+	if req.Shards > 0 {
 		sb, ok := b.(engine.Sharded)
 		if !ok {
-			return nil, fmt.Errorf("backend %s does not support shard configuration", backend)
+			return nil, fmt.Errorf("backend %s does not support shard configuration", req.Backend)
 		}
-		if err := sb.SetShards(shards); err != nil {
+		if err := sb.SetShards(req.Shards); err != nil {
 			return nil, err
 		}
 	}
-	return engine.RunProfile(b, p, engine.RunOptions{Events: events, Observer: obs})
+	events := req.Events
+	if events == 0 {
+		events = DefaultRunEvents
+	}
+	return engine.RunProfile(ctx, b, p, engine.RunOptions{
+		Events:   events,
+		Observer: req.Observer,
+	})
+}
+
+// RunBackend streams one calibrated workload through the named backend in
+// its paper-default configuration. The observer may be nil; it never
+// affects results.
+//
+// Deprecated: use Run with a RunRequest — it is context-aware, validates up
+// front, and grows by field rather than by positional parameter. This
+// wrapper runs with context.Background() and cannot be canceled.
+func RunBackend(backend, workloadName string, events uint64, obs Observer) (BackendResult, error) {
+	return Run(context.Background(), RunRequest{
+		Backend: backend, Workload: workloadName, Events: events, Observer: obs,
+	})
+}
+
+// RunShardedBackend is RunBackend with an explicit monitor shard count for
+// backends that fan the monitor out over parallel shards (the concurrent
+// "cplatch" integration). shards <= 0 keeps the backend's default geometry.
+//
+// Deprecated: use Run with a RunRequest — see RunBackend.
+func RunShardedBackend(backend, workloadName string, events uint64, shards int, obs Observer) (BackendResult, error) {
+	return Run(context.Background(), RunRequest{
+		Backend: backend, Workload: workloadName, Events: events, Shards: shards, Observer: obs,
+	})
 }

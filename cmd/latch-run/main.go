@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"encoding/json"
 	"expvar"
@@ -31,6 +32,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"latch"
 	"latch/internal/cosim"
@@ -71,6 +73,7 @@ func run() int {
 		leak       = flag.Bool("check-leak", false, "enable the output-leak check")
 		saveTnt    = flag.String("save-taint", "", "write a taint snapshot after the run")
 		maxSteps   = flag.Uint64("max-steps", 10_000_000, "instruction budget")
+		deadline   = flag.Duration("deadline", 0, "wall-clock budget for the run (0 = none)")
 		telemetry  = flag.Bool("telemetry", false, "print the telemetry registry after the run")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the simulator to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -89,11 +92,19 @@ func run() int {
 		SaveTnt:  *saveTnt,
 		Requests: len(requests),
 		Shards:   *shards,
+		Deadline: *deadline,
 		SLatch:   *coSLatch,
 		NoDift:   *noDift,
 		Disasm:   *disasm,
 	}); err != nil {
 		return fail(err)
+	}
+
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
 	}
 
 	if *list {
@@ -109,7 +120,7 @@ func run() int {
 		return 0
 	}
 	if *backend != "" {
-		return runBackend(*backend, *workloadNm, *events, *shards, *telemetry)
+		return runBackend(ctx, *backend, *workloadNm, *events, *shards, *telemetry)
 	}
 
 	src, err := loadSource(*progName, *srcPath)
@@ -174,7 +185,7 @@ func run() int {
 	}
 
 	if *coSLatch {
-		return runCoSim(src, pol, input, requests, *slowdown, *maxSteps, metrics, *telemetry)
+		return runCoSim(ctx, src, pol, input, requests, *slowdown, *maxSteps, metrics, *telemetry)
 	}
 
 	sys, err := latch.New(latch.WithPolicy(pol), latch.WithObserver(metrics))
@@ -195,7 +206,7 @@ func run() int {
 		return fail(err)
 	}
 	sys.Machine.Load(prog)
-	_, runErr := sys.Machine.Run(*maxSteps)
+	_, runErr := sys.Machine.Run(ctx, *maxSteps)
 	code := sys.Machine.ExitCode()
 	analyzer.Finish()
 
@@ -230,9 +241,15 @@ func run() int {
 
 // runBackend streams one calibrated workload through a registered backend
 // and reports its scheme-agnostic result.
-func runBackend(backend, workloadName string, events uint64, shards int, telemetry bool) int {
+func runBackend(ctx context.Context, backend, workloadName string, events uint64, shards int, telemetry bool) int {
 	metrics := latch.NewMetrics()
-	res, err := latch.RunShardedBackend(backend, workloadName, events, shards, metrics)
+	res, err := latch.Run(ctx, latch.RunRequest{
+		Backend:  backend,
+		Workload: workloadName,
+		Events:   events,
+		Shards:   shards,
+		Observer: metrics,
+	})
 	if err != nil {
 		return fail(err)
 	}
@@ -249,7 +266,7 @@ func runBackend(backend, workloadName string, events uint64, shards int, telemet
 
 // runCoSim executes the program under the full S-LATCH two-mode protocol
 // and reports the mode split and cycle accounting.
-func runCoSim(src string, pol latch.Policy, input []byte, requests requestList,
+func runCoSim(ctx context.Context, src string, pol latch.Policy, input []byte, requests requestList,
 	slowdown float64, maxSteps uint64, metrics *latch.Metrics, telemetry bool) int {
 	cfg := cosim.DefaultConfig()
 	cfg.SWSlowdown = slowdown
@@ -265,7 +282,7 @@ func runCoSim(src string, pol latch.Policy, input []byte, requests requestList,
 		return fail(err)
 	}
 	sys.Machine.Load(prog)
-	_, runErr := sys.Machine.Run(maxSteps)
+	_, runErr := sys.Machine.Run(ctx, maxSteps)
 	code := sys.Machine.ExitCode()
 	st := sys.Stats()
 	fmt.Printf("instructions: %d (hardware %d, software %d)\n",
@@ -327,6 +344,7 @@ type flagSet struct {
 	Prog, Src, File, FileHex, Backend, SaveTnt string
 	Requests                                   int
 	Shards                                     int
+	Deadline                                   time.Duration
 	SLatch, NoDift, Disasm                     bool
 }
 
@@ -373,6 +391,9 @@ func checkFlagConflicts(f flagSet) error {
 	}
 	if f.Shards < 0 {
 		return fmt.Errorf("-shards must be positive, got %d", f.Shards)
+	}
+	if f.Deadline < 0 {
+		return fmt.Errorf("-deadline must be positive, got %v", f.Deadline)
 	}
 	return nil
 }

@@ -1,7 +1,7 @@
 package latch_test
 
 import (
-	"errors"
+	"context"
 	"fmt"
 
 	"latch"
@@ -22,7 +22,7 @@ func ExampleNew() {
 	}
 	sys.Machine.Env.FileData = []byte("external")
 
-	if _, err := sys.Run(`
+	if _, err := sys.Run(context.Background(), `
 		li   r1, 0x8000
 		movi r2, 8
 		sys  2          ; read 8 bytes: observed as file-source input
@@ -53,7 +53,7 @@ func Example() {
 	}
 	sys.Machine.Env.FileData = []byte("external data")
 
-	code, err := sys.Run(`
+	res, err := sys.Run(context.Background(), `
 		li   r1, 0x8000
 		movi r2, 8
 		sys  2          ; read 8 bytes: taint initialization
@@ -67,10 +67,10 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println("exit:", code)
+	fmt.Println("exit:", res.ExitCode)
 	fmt.Println("derived word tainted:", sys.Shadow.RangeTainted(0x8100, 4))
-	res := sys.Module.CheckMem(0x8100, 4)
-	fmt.Println("coarse check positive:", res.CoarsePositive)
+	check := sys.Module.CheckMem(0x8100, 4)
+	fmt.Println("coarse check positive:", check.CoarsePositive)
 	// Output:
 	// exit: 0
 	// derived word tainted: true
@@ -79,7 +79,8 @@ func Example() {
 
 // ExampleSystem_Run_violation shows a control-flow hijack being stopped:
 // jumping through a register that holds attacker-controlled (tainted) data
-// raises a security exception before the jump is taken.
+// raises a security exception before the jump is taken. The violation comes
+// back inside the RunResult — it is the analysis working, not a run failure.
 func ExampleSystem_Run_violation() {
 	sys, err := latch.New()
 	if err != nil {
@@ -87,7 +88,7 @@ func ExampleSystem_Run_violation() {
 	}
 	sys.Machine.Env.FileData = []byte{0xEF, 0xBE, 0x00, 0x00} // attacker address
 
-	_, err = sys.Run(`
+	res, err := sys.Run(context.Background(), `
 		li   r1, 0x8000
 		movi r2, 4
 		sys  2
@@ -96,8 +97,10 @@ func ExampleSystem_Run_violation() {
 		jr   r4         ; hijack attempt
 		halt
 	`, 1000)
-	var v latch.Violation
-	if errors.As(err, &v) {
+	if err != nil {
+		panic(err)
+	}
+	if v := res.Violation; v != nil {
 		fmt.Println("kind:", v.Kind)
 		fmt.Printf("blocked target: %#x\n", v.Addr)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := sys.Run(src, 1_000_000); err != nil {
+	if _, err := sys.Run(context.Background(), src, 1_000_000); err != nil {
 		log.Fatal(err)
 	}
 

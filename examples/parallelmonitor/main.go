@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func run(filtered bool, input []byte, obs telemetry.Observer) (*cosim.Parallel, 
 	if err != nil {
 		return nil, err
 	}
-	if _, err := sys.Run(src, 100_000); err != nil {
+	if _, err := sys.Run(context.Background(), src, 100_000); err != nil {
 		return nil, err
 	}
 	return sys, nil
@@ -78,7 +79,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := sys.Run(src, 2_000); err != nil {
+	if _, err := sys.Run(context.Background(), src, 2_000); err != nil {
 		fmt.Printf("machine stopped: %v\n", err)
 	}
 	for _, v := range sys.Violations() {

@@ -5,7 +5,7 @@
 package main
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +20,7 @@ func main() {
 	sys.Machine.Env.FileData = []byte{0x10, 0x00, 0x00, 0x00}     // file source
 	sys.Machine.Env.Requests = [][]byte{{0x20, 0x00, 0x00, 0x00}} // net source
 
-	_, err = sys.Run(`
+	res, err := sys.Run(context.Background(), `
 		li   r1, 0x8000
 		movi r2, 4
 		sys  2            ; read file input  -> label 0
@@ -39,10 +39,13 @@ func main() {
 		halt
 	`, 10_000)
 
-	var v latch.Violation
-	if !errors.As(err, &v) {
-		log.Fatalf("expected a violation, got %v", err)
+	if err != nil {
+		log.Fatal(err)
 	}
+	if res.Violation == nil {
+		log.Fatal("expected a violation, got a clean run")
+	}
+	v := *res.Violation
 	fmt.Printf("violation: %v\n", v)
 
 	fileTag, netTag := latch.MustLabel(0), latch.MustLabel(1)

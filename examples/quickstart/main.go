@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 
 	// The program reads the input, adds the first two words, and stores the
 	// result: taint flows input -> registers -> derived memory.
-	code, err := sys.Run(`
+	res, err := sys.Run(context.Background(), `
 _start:
 		li   r1, 0x8000      ; buffer
 		movi r2, 8
@@ -41,7 +42,7 @@ _start:
 		log.Fatal(err)
 	}
 	fmt.Printf("program exited with code %d after %d instructions\n",
-		code, sys.Machine.Instret())
+		res.ExitCode, res.Steps)
 
 	// Byte-precise state: the input buffer and the derived word are tainted.
 	fmt.Printf("input  buffer tainted: %v\n", sys.Shadow.RangeTainted(0x8000, 8))

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := sys.Run(src, 1_000_000); err != nil {
+	if _, err := sys.Run(context.Background(), src, 1_000_000); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("served %d requests, responses: %q\n", 4, sys.Machine.Env.Output.String())

@@ -29,6 +29,8 @@
 package cosim
 
 import (
+	"context"
+
 	"fmt"
 
 	"latch/internal/dift"
@@ -160,13 +162,15 @@ func (s *System) Stats() Stats {
 }
 
 // Run assembles src, loads it, and executes up to maxSteps instructions.
-func (s *System) Run(src string, maxSteps uint64) (uint32, error) {
+// Cancellation follows vm.CPU.Run: ctx is polled every
+// vm.CancelCheckInterval instructions.
+func (s *System) Run(ctx context.Context, src string, maxSteps uint64) (uint32, error) {
 	prog, err := isa.Assemble(src)
 	if err != nil {
 		return 0, err
 	}
 	s.Machine.Load(prog)
-	if _, err := s.Machine.Run(maxSteps); err != nil {
+	if _, err := s.Machine.Run(ctx, maxSteps); err != nil {
 		return 0, err
 	}
 	return s.Machine.ExitCode(), nil

@@ -1,6 +1,7 @@
 package cosim
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -40,7 +41,7 @@ func TestRejectsEagerClear(t *testing.T) {
 
 func TestCleanProgramStaysInHardware(t *testing.T) {
 	s := newSystem(t, nil)
-	if _, err := s.Run(`
+	if _, err := s.Run(context.Background(), `
 		movi r1, 100
 		movi r2, 0
 	loop:
@@ -66,7 +67,7 @@ func TestTaintedInputTriggersSwitchAndTimeout(t *testing.T) {
 	// Read tainted data, touch it once, then run a long clean loop: the
 	// system must switch to software on the tainted load and back to
 	// hardware after the timeout.
-	if _, err := s.Run(`
+	if _, err := s.Run(context.Background(), `
 		li   r1, 0x8000
 		movi r2, 4
 		sys  2
@@ -109,7 +110,7 @@ func TestExploitCaughtInBothModes(t *testing.T) {
 	attack := append(make([]byte, 16), 0x00, 0x10, 0x00, 0x00)
 	s := newSystem(t, nil)
 	s.Machine.Env.FileData = attack
-	_, err = s.Run(src, 100_000)
+	_, err = s.Run(context.Background(), src, 100_000)
 	var v dift.Violation
 	if !errors.As(err, &v) || v.Kind != dift.ViolationControlFlow {
 		t.Fatalf("err = %v, want control-flow violation", err)
@@ -128,7 +129,7 @@ func TestBenignOverflowRunsHardwareFalsePositiveFree(t *testing.T) {
 	}
 	s := newSystem(t, nil)
 	s.Machine.Env.FileData = []byte("ok")
-	if _, err := s.Run(src, 100_000); err != nil {
+	if _, err := s.Run(context.Background(), src, 100_000); err != nil {
 		t.Fatal(err)
 	}
 	st := s.Stats()
@@ -153,7 +154,7 @@ func TestFalsePositiveDismissal(t *testing.T) {
 	// dismisses it, and execution never enters software mode.
 	s := newSystem(t, nil)
 	s.Engine.TaintMemory(0x8000, 1, shadow.MustLabel(0))
-	if _, err := s.Run(`
+	if _, err := s.Run(context.Background(), `
 		li   r3, 0x8020   ; same domain as 0x8000, clean byte
 		ldw  r4, [r3]
 		halt
@@ -180,7 +181,7 @@ func TestTRFPropagationInHardware(t *testing.T) {
 		halt
 	`)
 	s.Machine.Load(prog)
-	if _, err := s.Machine.Run(100); err != nil {
+	if _, err := s.Machine.Run(context.Background(), 100); err != nil {
 		t.Fatal(err)
 	}
 	st := s.Stats()
@@ -193,7 +194,7 @@ func TestStatsBreakdownConsistent(t *testing.T) {
 	s := newSystem(t, func(c *Config) { c.Costs.TimeoutInstrs = 20 })
 	s.Machine.Env.FileData = []byte("abcdefgh")
 	src, _ := workload.ProgramSource("copyloop")
-	if _, err := s.Run(src, 100_000); err != nil {
+	if _, err := s.Run(context.Background(), src, 100_000); err != nil {
 		t.Fatal(err)
 	}
 	st := s.Stats()
@@ -216,7 +217,7 @@ func TestSubstitutionMostlyHardware(t *testing.T) {
 	s := newSystem(t, func(c *Config) { c.Costs.TimeoutInstrs = 100 })
 	s.Machine.Env.FileData = []byte{9, 8, 7}
 	src, _ := workload.ProgramSource("substitution")
-	if _, err := s.Run(src, 100_000); err != nil {
+	if _, err := s.Run(context.Background(), src, 100_000); err != nil {
 		t.Fatal(err)
 	}
 	st := s.Stats()
@@ -270,7 +271,7 @@ func BenchmarkSLatchCoSim(b *testing.B) {
 		}
 		s.Machine.Env.FileData = []byte("benchmark input data here")
 		s.Machine.Load(prog)
-		if _, err := s.Machine.Run(100_000); err != nil {
+		if _, err := s.Machine.Run(context.Background(), 100_000); err != nil {
 			b.Fatal(err)
 		}
 		if s.Machine.Instret() < 2000 {

@@ -1,6 +1,7 @@
 package cosim
 
 import (
+	"context"
 	"testing"
 
 	"latch/internal/dift"
@@ -50,7 +51,7 @@ func runPure(t *testing.T, src string, input []byte, requests [][]byte) (finalSt
 		t.Fatal(err)
 	}
 	m.Load(prog)
-	_, runErr := m.Run(1_000_000)
+	_, runErr := m.Run(context.Background(), 1_000_000)
 	return finalState{
 		regs: m.Regs, exitCode: m.ExitCode(),
 		output: m.Env.Output.String(), tainted: taintSnapshot(sh),
@@ -65,7 +66,7 @@ func runSLatchCosim(t *testing.T, src string, input []byte, requests [][]byte) (
 	}
 	sys.Machine.Env.FileData = input
 	sys.Machine.Env.Requests = requests
-	_, runErr := sys.Run(src, 1_000_000)
+	_, runErr := sys.Run(context.Background(), src, 1_000_000)
 	return finalState{
 		regs: sys.Machine.Regs, exitCode: sys.Machine.ExitCode(),
 		output: sys.Machine.Env.Output.String(), tainted: taintSnapshot(sys.Shadow),
@@ -80,7 +81,7 @@ func runParallelCosim(t *testing.T, src string, input []byte, requests [][]byte)
 	}
 	sys.Machine.Env.FileData = input
 	sys.Machine.Env.Requests = requests
-	_, runErr := sys.Run(src, 1_000_000)
+	_, runErr := sys.Run(context.Background(), src, 1_000_000)
 	sys.drain()
 	return finalState{
 		regs: sys.Machine.Regs, exitCode: sys.Machine.ExitCode(),

@@ -1,6 +1,8 @@
 package cosim
 
 import (
+	"context"
+
 	"latch/internal/dift"
 	"latch/internal/engine"
 	"latch/internal/isa"
@@ -66,20 +68,20 @@ func NewMonitorBackend(b engine.Backend, pol dift.Policy, obs telemetry.Observer
 }
 
 // Run assembles src, loads it, and executes up to maxSteps instructions.
-func (m *Monitor) Run(src string, maxSteps uint64) (uint32, error) {
+func (m *Monitor) Run(ctx context.Context, src string, maxSteps uint64) (uint32, error) {
 	prog, err := isa.Assemble(src)
 	if err != nil {
 		return 0, err
 	}
-	return m.RunProgram(prog, maxSteps)
+	return m.RunProgram(ctx, prog, maxSteps)
 }
 
 // RunProgram loads an already-assembled program and executes up to maxSteps
 // instructions. The differential checker uses this entry point: generated
 // programs exist as instruction slices, not assembly source.
-func (m *Monitor) RunProgram(prog *isa.Program, maxSteps uint64) (uint32, error) {
+func (m *Monitor) RunProgram(ctx context.Context, prog *isa.Program, maxSteps uint64) (uint32, error) {
 	m.Machine.Load(prog)
-	if _, err := m.Machine.Run(maxSteps); err != nil {
+	if _, err := m.Machine.Run(ctx, maxSteps); err != nil {
 		return 0, err
 	}
 	return m.Machine.ExitCode(), nil

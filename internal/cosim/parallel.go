@@ -1,6 +1,8 @@
 package cosim
 
 import (
+	"context"
+
 	"fmt"
 
 	"latch/internal/dift"
@@ -199,13 +201,13 @@ func (p *Parallel) Stats() ParallelStats { return p.stats }
 func (p *Parallel) Violations() []DeferredViolation { return p.violations }
 
 // Run assembles src, executes it, and drains the monitor at exit.
-func (p *Parallel) Run(src string, maxSteps uint64) (uint32, error) {
+func (p *Parallel) Run(ctx context.Context, src string, maxSteps uint64) (uint32, error) {
 	prog, err := isa.Assemble(src)
 	if err != nil {
 		return 0, err
 	}
 	p.Machine.Load(prog)
-	if _, err := p.Machine.Run(maxSteps); err != nil {
+	if _, err := p.Machine.Run(ctx, maxSteps); err != nil {
 		return 0, err
 	}
 	p.drain()

@@ -1,6 +1,7 @@
 package cosim
 
 import (
+	"context"
 	"testing"
 
 	"latch/internal/dift"
@@ -35,7 +36,7 @@ func TestParallelConfigValidation(t *testing.T) {
 
 func TestParallelCleanProgramNoOverhead(t *testing.T) {
 	p := newParallel(t, nil)
-	if _, err := p.Run(`
+	if _, err := p.Run(context.Background(), `
 		movi r1, 200
 	loop:
 		addi r1, r1, -1
@@ -55,7 +56,7 @@ func TestParallelCleanProgramNoOverhead(t *testing.T) {
 
 func TestParallelBaselineShipsEverything(t *testing.T) {
 	p := newParallel(t, func(c *ParallelConfig) { c.Filtered = false })
-	if _, err := p.Run(`
+	if _, err := p.Run(context.Background(), `
 		movi r1, 200
 	loop:
 		addi r1, r1, -1
@@ -83,7 +84,7 @@ func TestParallelFilteredBeatsBaseline(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := p.Run(src, 100_000); err != nil {
+		if _, err := p.Run(context.Background(), src, 100_000); err != nil {
 			t.Fatal(err)
 		}
 		return p.Stats()
@@ -110,7 +111,7 @@ func TestParallelDeferredDetection(t *testing.T) {
 	p.Machine.Env.FileData = attack
 	// The hijacked jump lands at 0x1000 (zeroed memory decodes as nop);
 	// bound the run and then drain.
-	_, runErr := p.Run(src, 2_000)
+	_, runErr := p.Run(context.Background(), src, 2_000)
 	_ = runErr // the machine may fault in the weeds after the hijack
 	p.drain()
 	vs := p.Violations()
@@ -141,7 +142,7 @@ func TestParallelOutputSyncPoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := par.Run(src, 100_000); err == nil {
+	if _, err := par.Run(context.Background(), src, 100_000); err == nil {
 		t.Fatal("leak not surfaced at the output sync point")
 	}
 }
@@ -153,7 +154,7 @@ func TestParallelSubstitutionFiltersWell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Run(src, 100_000); err != nil {
+	if _, err := p.Run(context.Background(), src, 100_000); err != nil {
 		t.Fatal(err)
 	}
 	st := p.Stats()

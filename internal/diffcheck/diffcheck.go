@@ -25,6 +25,8 @@
 package diffcheck
 
 import (
+	"context"
+
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -205,7 +207,7 @@ func RunReference(c Case) (Outcome, error) {
 	}
 	ref.Machine.Env.FileData = append([]byte(nil), c.Input...)
 	ref.Machine.Env.Requests = copyRequests(c.Requests)
-	_, runErr := ref.RunProgram(prog, c.MaxSteps)
+	_, runErr := ref.RunProgram(context.Background(), prog, c.MaxSteps)
 	out := Outcome{
 		Exit:       ref.Machine.ExitCode(),
 		PC:         ref.Machine.PC,
@@ -262,7 +264,7 @@ func RunBackendShards(name string, c Case, shards int) (out Outcome, oracleFail 
 	mon.Machine.SetTracker(orc)
 	mon.Machine.Env.FileData = append([]byte(nil), c.Input...)
 	mon.Machine.Env.Requests = copyRequests(c.Requests)
-	_, runErr := mon.RunProgram(prog, c.MaxSteps)
+	_, runErr := mon.RunProgram(context.Background(), prog, c.MaxSteps)
 	out = Outcome{
 		Exit:       mon.Machine.ExitCode(),
 		PC:         mon.Machine.PC,

@@ -1,6 +1,8 @@
 package diffcheck
 
 import (
+	"context"
+
 	"fmt"
 
 	"latch/internal/engine"
@@ -31,7 +33,7 @@ func StreamDeterminism(backendName, profileName string, events uint64, seed int6
 		return err
 	}
 	run := func() (engine.Snapshot, []string, error) {
-		res, s, err := engine.RunProfileSession(sch.New(), p, engine.RunOptions{Events: events})
+		res, s, err := engine.RunProfileSession(context.Background(), sch.New(), p, engine.RunOptions{Events: events})
 		if err != nil {
 			return engine.Snapshot{}, nil, err
 		}

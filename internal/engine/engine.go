@@ -15,6 +15,9 @@
 package engine
 
 import (
+	"context"
+	"fmt"
+
 	"latch/internal/latch"
 	"latch/internal/shadow"
 	"latch/internal/telemetry"
@@ -93,6 +96,13 @@ type Result interface {
 	Columns() []Column
 }
 
+// CancelCheckEvents is the profile driver's cancellation granularity: the
+// run's context is polled every this many stream events (a power of two, so
+// the check is a mask test). A canceled run stops — with its backend fully
+// finalized, monitor shards joined — within at most CancelCheckEvents events
+// of the cancellation.
+const CancelCheckEvents = 4096
+
 // RunOptions parameterizes one profile-driven run.
 type RunOptions struct {
 	// Events is the requested stream length.
@@ -101,24 +111,45 @@ type RunOptions struct {
 	// check-path events plus whatever the backend emits (epoch
 	// transitions, queue stalls). Observers never affect results.
 	Observer telemetry.Observer
+	// Session, when non-nil, is a recycled Session to run on instead of
+	// building a fresh one — the serving path reuses each worker's session
+	// the way the mem/shadow free lists reuse pages. It is Recycled before
+	// use and its module geometry must match the backend's Config.
+	Session *Session
 }
 
 // RunProfile streams one calibrated workload profile through a backend:
 // build the shared Session, let the backend initialize, feed it the
 // generator's event stream, and collect its result. This is the single
 // driver loop the per-scheme packages used to duplicate.
-func RunProfile(b Backend, p workload.Profile, opts RunOptions) (Result, error) {
-	res, _, err := RunProfileSession(b, p, opts)
+//
+// Cancellation: ctx is polled every CancelCheckEvents events. On
+// cancellation the stream stops, the backend is still finalized (so
+// concurrent backends join their monitor shards and leak nothing), the
+// partial result is discarded, and ctx.Err() is returned.
+func RunProfile(ctx context.Context, b Backend, p workload.Profile, opts RunOptions) (Result, error) {
+	res, _, err := RunProfileSession(ctx, b, p, opts)
 	return res, err
 }
 
 // RunProfileSession is RunProfile returning the run's Session alongside the
 // result, so callers can capture a Snapshot of the shared state — the
 // differential checker compares Snapshots across replays of the same seed.
-func RunProfileSession(b Backend, p workload.Profile, opts RunOptions) (Result, *Session, error) {
-	s, err := NewSession(b.Config())
-	if err != nil {
-		return nil, nil, err
+func RunProfileSession(ctx context.Context, b Backend, p workload.Profile, opts RunOptions) (Result, *Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := opts.Session
+	if s != nil {
+		if got, want := s.Module.Config(), b.Config(); got != want {
+			return nil, nil, fmt.Errorf("engine: recycled session geometry %+v does not match backend %s config %+v", got, b.Name(), want)
+		}
+		s.Recycle()
+	} else {
+		var err error
+		if s, err = NewSession(b.Config()); err != nil {
+			return nil, nil, err
+		}
 	}
 	g, err := workload.NewGeneratorOn(p, s.Shadow)
 	if err != nil {
@@ -133,24 +164,44 @@ func RunProfileSession(b Backend, p workload.Profile, opts RunOptions) (Result, 
 	s.AttachObserver(opts.Observer)
 	s.Profile = p
 	s.Target = opts.Events
+	// A context canceled before the stream starts aborts here, before the
+	// backend spins up any per-run machinery (monitor shards included).
+	if err := ctx.Err(); err != nil {
+		return nil, s, err
+	}
 	if err := b.Init(s); err != nil {
 		return nil, nil, err
 	}
+	done := ctx.Done()
 	g.Run(opts.Events, trace.SinkFunc(func(ev trace.Event) {
 		s.Events++
 		b.Step(s, ev)
+		if s.Events&(CancelCheckEvents-1) == 0 && done != nil {
+			select {
+			case <-done:
+				g.Stop()
+			default:
+			}
+		}
 	}))
-	return b.Finish(s), s, nil
+	// Finalize unconditionally: for sharded backends Finish closes the
+	// rings and joins the monitor goroutines, which must happen on the
+	// cancellation path too.
+	res := b.Finish(s)
+	if g.Stopped() {
+		return nil, s, ctx.Err()
+	}
+	return res, s, nil
 }
 
 // RunScheme runs the named registered backend, in its paper-default
 // configuration, over one workload profile.
-func RunScheme(name string, p workload.Profile, opts RunOptions) (Result, error) {
+func RunScheme(ctx context.Context, name string, p workload.Profile, opts RunOptions) (Result, error) {
 	sch, err := Lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	return RunProfile(sch.New(), p, opts)
+	return RunProfile(ctx, sch.New(), p, opts)
 }
 
 // NewSession builds the per-run state every backend shares: the

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -142,7 +143,7 @@ func TestRunProfile(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := &fakeBackend{cfg: latch.DefaultConfig()}
-	res, err := engine.RunProfile(b, p, engine.RunOptions{Events: 50_000})
+	res, err := engine.RunProfile(context.Background(), b, p, engine.RunOptions{Events: 50_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,13 +169,13 @@ func TestRunProfileObserverIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := engine.RunProfile(&fakeBackend{cfg: latch.DefaultConfig()}, p,
+	plain, err := engine.RunProfile(context.Background(), &fakeBackend{cfg: latch.DefaultConfig()}, p,
 		engine.RunOptions{Events: 30_000})
 	if err != nil {
 		t.Fatal(err)
 	}
 	m := telemetry.NewMetrics()
-	observed, err := engine.RunProfile(&fakeBackend{cfg: latch.DefaultConfig()}, p,
+	observed, err := engine.RunProfile(context.Background(), &fakeBackend{cfg: latch.DefaultConfig()}, p,
 		engine.RunOptions{Events: 30_000, Observer: m})
 	if err != nil {
 		t.Fatal(err)
@@ -192,14 +193,14 @@ func TestRunScheme(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := engine.RunScheme("fake", p, engine.RunOptions{Events: 10_000})
+	res, err := engine.RunScheme(context.Background(), "fake", p, engine.RunOptions{Events: 10_000})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.EventCount() != 10_000 {
 		t.Fatalf("events = %d", res.EventCount())
 	}
-	if _, err := engine.RunScheme("no-such-backend", p, engine.RunOptions{Events: 10}); err == nil {
+	if _, err := engine.RunScheme(context.Background(), "no-such-backend", p, engine.RunOptions{Events: 10}); err == nil {
 		t.Fatal("unknown scheme ran")
 	}
 }
@@ -315,7 +316,7 @@ func TestSessionCheckMemCharging(t *testing.T) {
 
 func TestRunProfileBadWorkload(t *testing.T) {
 	p := workload.Profile{Name: "bogus"} // no layout: generator must reject
-	if _, err := engine.RunProfile(&fakeBackend{cfg: latch.DefaultConfig()}, p,
+	if _, err := engine.RunProfile(context.Background(), &fakeBackend{cfg: latch.DefaultConfig()}, p,
 		engine.RunOptions{Events: 10}); err == nil {
 		t.Fatal("bogus profile ran")
 	}

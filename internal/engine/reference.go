@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"latch/internal/dift"
 	"latch/internal/isa"
 	"latch/internal/latch"
@@ -36,10 +38,11 @@ func NewReference(pol dift.Policy) (*Reference, error) {
 
 // RunProgram loads prog and executes up to maxSteps instructions, returning
 // the machine's exit code. A policy violation (or machine fault) surfaces as
-// the error, exactly as it does on the co-simulated side.
-func (r *Reference) RunProgram(prog *isa.Program, maxSteps uint64) (uint32, error) {
+// the error, exactly as it does on the co-simulated side. Cancellation
+// follows vm.CPU.Run: polled every vm.CancelCheckInterval instructions.
+func (r *Reference) RunProgram(ctx context.Context, prog *isa.Program, maxSteps uint64) (uint32, error) {
 	r.Machine.Load(prog)
-	if _, err := r.Machine.Run(maxSteps); err != nil {
+	if _, err := r.Machine.Run(ctx, maxSteps); err != nil {
 		return 0, err
 	}
 	return r.Machine.ExitCode(), nil

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"testing"
 
 	"latch/internal/dift"
@@ -25,7 +26,7 @@ func TestReferenceRunsProgram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	code, err := ref.RunProgram(prog, 1000)
+	code, err := ref.RunProgram(context.Background(), prog, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestReferenceTracksTaintPrecisely(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ref.RunProgram(prog, 1000); err == nil {
+	if _, err := ref.RunProgram(context.Background(), prog, 1000); err == nil {
 		t.Fatal("tainted indirect jump not detected")
 	}
 	if !ref.Shadow.RangeTainted(0x3000, 4) {
@@ -65,7 +66,7 @@ func TestRunProfileSessionSnapshot(t *testing.T) {
 	}
 	run := func() engine.Snapshot {
 		b := &fakeBackend{cfg: latch.DefaultConfig()}
-		_, s, err := engine.RunProfileSession(b, p, engine.RunOptions{Events: 20_000})
+		_, s, err := engine.RunProfileSession(context.Background(), b, p, engine.RunOptions{Events: 20_000})
 		if err != nil {
 			t.Fatal(err)
 		}

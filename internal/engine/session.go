@@ -73,6 +73,37 @@ type Session struct {
 	lastMisses   uint64
 }
 
+// Recycle returns the session to its just-constructed state so it can carry
+// another run without reallocating: the shadow taint state is reset onto its
+// page free lists, the module's coarse state (CTT, page-domain counts, TRF,
+// caches) is cleared, and every per-run counter, cycle category, and the
+// epoch state machine are zeroed. The configuration-derived miss penalty is
+// retained — a recycled session only serves backends with the geometry it
+// was built for, which RunProfileSession enforces.
+func (s *Session) Recycle() {
+	s.Shadow.Reset()
+	s.Module.Reset()
+	s.Observer = nil
+	s.Module.SetObserver(nil)
+	s.Profile = workload.Profile{}
+	s.Target = 0
+	s.Events = 0
+	s.Cycles = Cycles{}
+	s.HWInstrs = 0
+	s.SWInstrs = 0
+	s.Switches = 0
+	s.Returns = 0
+	s.Traps = 0
+	s.FalseTraps = 0
+	s.mode = ModeHardware
+	s.sinceTaint = 0
+	s.swFrac = 0
+	s.swExtra = 0
+	s.costs = Costs{}
+	s.codeCacheLat = 0
+	s.lastMisses = 0
+}
+
 // AttachObserver wires obs into the session and its module. Callers choose
 // the moment: profile-driven runs attach after stats reset so the observer
 // sees exactly the measured stream; program-driven runs attach at

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"latch/internal/engine"
@@ -49,7 +51,7 @@ func (r *Runner) BackendPass(name string, s workload.Suite) ([]engine.Result, er
 				}
 			}
 		}
-		res, err := engine.RunProfile(b, p, opts)
+		res, err := engine.RunProfile(context.Background(), b, p, opts)
 		if err != nil {
 			return fmt.Errorf("%s %s: %w", name, wname, err)
 		}

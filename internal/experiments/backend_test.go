@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -84,7 +85,7 @@ func runMonitored(t *testing.T, backend string, c cosimCase) error {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = m.Run(src, 1_000_000)
+	_, err = m.Run(context.Background(), src, 1_000_000)
 	if res := m.Result(); res.EventCount() == 0 {
 		t.Fatalf("%s/%s: backend saw no events", backend, c.name)
 	}
@@ -111,6 +112,6 @@ func runConventionalDIFT(t *testing.T, c cosimCase) error {
 		t.Fatal(err)
 	}
 	cpu.Load(prog)
-	_, err = cpu.Run(1_000_000)
+	_, err = cpu.Run(context.Background(), 1_000_000)
 	return err
 }

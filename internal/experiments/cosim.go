@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"latch/internal/cosim"
@@ -89,7 +91,7 @@ func (r *Runner) ParallelCoSim() (*stats.Table, error) {
 			if err != nil {
 				return cosim.ParallelStats{}, err
 			}
-			if _, err := sys.Run(src, 1_000_000); err != nil {
+			if _, err := sys.Run(context.Background(), src, 1_000_000); err != nil {
 				return cosim.ParallelStats{}, fmt.Errorf("platch-cosim %s: %w", c.name, err)
 			}
 			return sys.Stats(), nil
@@ -137,7 +139,7 @@ func (r *Runner) CoSim() (*stats.Table, error) {
 		if err != nil {
 			return err
 		}
-		if _, err := sys.Run(src, 1_000_000); err != nil {
+		if _, err := sys.Run(context.Background(), src, 1_000_000); err != nil {
 			return fmt.Errorf("cosim %s: %w", c.name, err)
 		}
 		st := sys.Stats()

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"latch/internal/dift"
 	"latch/internal/isa"
 	"latch/internal/shadow"
@@ -64,7 +66,7 @@ func runWithMode(c cosimCase, mode dift.PropagationMode) (uint64, error) {
 		return 0, err
 	}
 	m.Load(prog)
-	if _, err := m.Run(1_000_000); err != nil {
+	if _, err := m.Run(context.Background(), 1_000_000); err != nil {
 		return 0, err
 	}
 	return sh.TaintedBytes(), nil

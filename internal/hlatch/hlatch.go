@@ -14,6 +14,7 @@
 package hlatch
 
 import (
+	"context"
 	"fmt"
 
 	"latch/internal/cache"
@@ -147,7 +148,7 @@ func (b *backend) Finish(s *engine.Session) engine.Result {
 
 // Run simulates one benchmark through the H-LATCH caching stack.
 func Run(p workload.Profile, cfg Config) (Result, error) {
-	res, err := engine.RunProfile(&backend{cfg: cfg}, p,
+	res, err := engine.RunProfile(context.Background(), &backend{cfg: cfg}, p,
 		engine.RunOptions{Events: cfg.Events, Observer: cfg.Observer})
 	if err != nil {
 		return Result{}, err

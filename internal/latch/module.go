@@ -564,6 +564,26 @@ func (m *Module) FlushCaches() {
 	m.tlb.Flush()
 }
 
+// Reset returns the module to its just-constructed state: the CTT, the
+// page-domain counts, and the taint register file are cleared, every cache
+// (TLB, CTC, taint caches) is emptied without scanning — there is no taint
+// left to retire — and all statistics are zeroed. The attached shadow state
+// is not touched; callers recycling a whole session reset it separately
+// (engine.Session.Recycle does both, in that order).
+func (m *Module) Reset() {
+	m.ctt.Reset()
+	clear(m.pdCount)
+	m.trf.Reset()
+	m.tlb.Flush()
+	m.ctc.Flush(nil)
+	m.tcache.Flush(nil)
+	if m.baseTcache != nil {
+		m.baseTcache.Flush(nil)
+	}
+	m.ResetStats()
+	m.lastException = 0
+}
+
 // ResetStats zeroes counters without touching coarse or precise state.
 func (m *Module) ResetStats() {
 	m.stats = Stats{}

@@ -22,6 +22,7 @@
 package platch
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -565,7 +566,7 @@ func putU32(b []byte, v uint32) {
 
 // RunConcurrent evaluates one benchmark under the concurrent backend.
 func RunConcurrent(p workload.Profile, cfg ConcurrentConfig, obs telemetry.Observer) (ConcurrentResult, error) {
-	res, err := engine.RunProfile(NewConcurrent(cfg), p,
+	res, err := engine.RunProfile(context.Background(), NewConcurrent(cfg), p,
 		engine.RunOptions{Events: cfg.Events, Observer: obs})
 	if err != nil {
 		return ConcurrentResult{}, err

@@ -1,6 +1,7 @@
 package platch
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -122,7 +123,7 @@ func TestConcurrentDeterminismPin(t *testing.T) {
 	one := func(shards int) pinned {
 		cfg := concCfg(shards)
 		cfg.Events = 60_000
-		res, s, err := engine.RunProfileSession(NewConcurrent(cfg), p,
+		res, s, err := engine.RunProfileSession(context.Background(), NewConcurrent(cfg), p,
 			engine.RunOptions{Events: cfg.Events})
 		if err != nil {
 			t.Fatal(err)
@@ -234,7 +235,7 @@ func TestConcurrentRegistryAndSharding(t *testing.T) {
 	if err := sharded.SetShards(2); err != nil {
 		t.Fatal(err)
 	}
-	res, err := engine.RunProfile(b, workload.MustGet("gcc"),
+	res, err := engine.RunProfile(context.Background(), b, workload.MustGet("gcc"),
 		engine.RunOptions{Events: 50_000})
 	if err != nil {
 		t.Fatal(err)
@@ -246,7 +247,7 @@ func TestConcurrentRegistryAndSharding(t *testing.T) {
 	if err := sharded.SetShards(4); err == nil {
 		t.Fatal("SetShards after Init accepted")
 	}
-	if _, _, err := engine.RunProfileSession(b, workload.MustGet("gcc"),
+	if _, _, err := engine.RunProfileSession(context.Background(), b, workload.MustGet("gcc"),
 		engine.RunOptions{Events: 1000}); err == nil {
 		t.Fatal("backend reuse accepted")
 	}
@@ -259,7 +260,7 @@ func TestConcurrentFinishIdempotent(t *testing.T) {
 	cfg := concCfg(2)
 	cfg.Events = 20_000
 	b := NewConcurrent(cfg)
-	res, s, err := engine.RunProfileSession(b, workload.MustGet("apache"),
+	res, s, err := engine.RunProfileSession(context.Background(), b, workload.MustGet("apache"),
 		engine.RunOptions{Events: cfg.Events})
 	if err != nil {
 		t.Fatal(err)

@@ -22,6 +22,7 @@
 package platch
 
 import (
+	"context"
 	"fmt"
 
 	"latch/internal/engine"
@@ -422,7 +423,7 @@ func (b *backend) Finish(s *engine.Session) engine.Result {
 
 // Run evaluates one benchmark under P-LATCH.
 func Run(p workload.Profile, cfg Config) (Result, error) {
-	res, err := engine.RunProfile(&backend{cfg: cfg}, p,
+	res, err := engine.RunProfile(context.Background(), &backend{cfg: cfg}, p,
 		engine.RunOptions{Events: cfg.Events, Observer: cfg.Observer})
 	if err != nil {
 		return Result{}, err

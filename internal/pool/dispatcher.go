@@ -1,0 +1,119 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by Dispatcher.Submit and TrySubmit after Close has
+// begun: the queue no longer accepts work, though already-accepted jobs
+// still drain.
+var ErrClosed = errors.New("pool: dispatcher closed")
+
+// Dispatcher is the long-lived counterpart of Run: a fixed set of worker
+// goroutines pulling jobs off one bounded queue. Run fans a known batch out
+// and joins; a Dispatcher serves an open-ended stream of jobs arriving at
+// unpredictable times — the shape a server needs. The bounded queue is the
+// backpressure mechanism: when it is full, TrySubmit refuses immediately so
+// the caller can shed load (HTTP 429) instead of queueing unboundedly.
+//
+// Each worker is identified by an index 0..workers-1, passed to every job
+// it runs. Jobs owned by the same worker never overlap, which is what lets
+// callers pin per-worker state (a recycled engine session, for instance)
+// without locking.
+type Dispatcher struct {
+	jobs    chan func(worker int)
+	wg      sync.WaitGroup
+	workers int
+
+	// mu protects closed and orders every send against the channel close:
+	// senders hold it shared for the duration of their send, Close takes it
+	// exclusively before closing the channel, so a send can never race the
+	// close.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewDispatcher starts Size(workers) workers over a queue of depth queue
+// (minimum 1). Workers live until Close.
+func NewDispatcher(workers, queue int) *Dispatcher {
+	workers = Size(workers)
+	if queue < 1 {
+		queue = 1
+	}
+	d := &Dispatcher{
+		jobs:    make(chan func(worker int), queue),
+		workers: workers,
+	}
+	for w := 0; w < workers; w++ {
+		d.wg.Add(1)
+		go func(worker int) {
+			defer d.wg.Done()
+			for job := range d.jobs {
+				job(worker)
+			}
+		}(w)
+	}
+	return d
+}
+
+// Workers reports the number of worker goroutines.
+func (d *Dispatcher) Workers() int { return d.workers }
+
+// QueueDepth reports the queue's capacity.
+func (d *Dispatcher) QueueDepth() int { return cap(d.jobs) }
+
+// Queued reports the number of jobs accepted but not yet picked up by a
+// worker. It is a snapshot for telemetry, racy by nature.
+func (d *Dispatcher) Queued() int { return len(d.jobs) }
+
+// TrySubmit offers job to the queue without blocking. It reports false when
+// the queue is full — the caller should shed the request — and ErrClosed
+// after Close.
+func (d *Dispatcher) TrySubmit(job func(worker int)) (bool, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return false, ErrClosed
+	}
+	select {
+	case d.jobs <- job:
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// Submit enqueues job, blocking until there is room or the context is
+// canceled, and returns ErrClosed once the dispatcher has closed. Unlike
+// TrySubmit it waits out a full queue, which is the right behavior for
+// trusted internal producers. A Submit blocked on a full queue delays a
+// concurrent Close until its job lands (workers are still draining, so the
+// wait is bounded).
+func (d *Dispatcher) Submit(ctx context.Context, job func(worker int)) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	select {
+	case d.jobs <- job:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting new jobs and blocks until every accepted job has
+// finished — the graceful-drain half of server shutdown. Close is
+// idempotent.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	if !d.closed {
+		d.closed = true
+		close(d.jobs)
+	}
+	d.mu.Unlock()
+	d.wg.Wait()
+}

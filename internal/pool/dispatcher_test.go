@@ -1,0 +1,142 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDispatcherRunsEveryAcceptedJob(t *testing.T) {
+	d := NewDispatcher(4, 16)
+	var ran atomic.Int64
+	for i := 0; i < 100; i++ {
+		if err := d.Submit(context.Background(), func(int) { ran.Add(1) }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	d.Close()
+	if got := ran.Load(); got != 100 {
+		t.Fatalf("ran %d of 100 jobs", got)
+	}
+}
+
+func TestDispatcherTrySubmitShedsWhenFull(t *testing.T) {
+	d := NewDispatcher(1, 1)
+	defer d.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	ok, err := d.TrySubmit(func(int) { close(started); <-block })
+	if !ok || err != nil {
+		t.Fatalf("first TrySubmit: %v %v", ok, err)
+	}
+	<-started // worker busy; queue is now empty
+
+	// Fill the single queue slot, then the next offer must shed.
+	ok, err = d.TrySubmit(func(int) {})
+	if !ok || err != nil {
+		t.Fatalf("queue-filling TrySubmit: %v %v", ok, err)
+	}
+	ok, err = d.TrySubmit(func(int) { t.Error("shed job ran") })
+	if err != nil {
+		t.Fatalf("TrySubmit: %v", err)
+	}
+	if ok {
+		t.Fatal("TrySubmit accepted into a full queue")
+	}
+	close(block)
+}
+
+func TestDispatcherSubmitHonorsContext(t *testing.T) {
+	d := NewDispatcher(1, 1)
+	defer d.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := d.Submit(context.Background(), func(int) { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := d.Submit(context.Background(), func(int) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := d.Submit(ctx, func(int) { t.Error("canceled submit ran") })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	close(block)
+}
+
+func TestDispatcherCloseDrainsAndRejects(t *testing.T) {
+	d := NewDispatcher(2, 8)
+	var ran atomic.Int64
+	gate := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		if err := d.Submit(context.Background(), func(int) { <-gate; ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan struct{})
+	go func() { d.Close(); close(done) }()
+
+	select {
+	case <-done:
+		t.Fatal("Close returned before accepted jobs drained")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate)
+	<-done
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("drained %d of 8 accepted jobs", got)
+	}
+
+	if _, err := d.TrySubmit(func(int) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TrySubmit after Close: %v, want ErrClosed", err)
+	}
+	if err := d.Submit(context.Background(), func(int) {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+	d.Close() // idempotent
+}
+
+func TestDispatcherWorkerIndexesAreStableAndDisjoint(t *testing.T) {
+	const workers = 3
+	d := NewDispatcher(workers, 64)
+	var mu sync.Mutex
+	active := make(map[int]int) // worker -> concurrent jobs
+	var maxIdx atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		if err := d.Submit(context.Background(), func(w int) {
+			defer wg.Done()
+			if int64(w) > maxIdx.Load() {
+				maxIdx.Store(int64(w))
+			}
+			mu.Lock()
+			active[w]++
+			if active[w] > 1 {
+				t.Errorf("worker %d ran two jobs concurrently", w)
+			}
+			mu.Unlock()
+			time.Sleep(time.Microsecond)
+			mu.Lock()
+			active[w]--
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	d.Close()
+	if maxIdx.Load() >= workers {
+		t.Fatalf("worker index %d out of range [0,%d)", maxIdx.Load(), workers)
+	}
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// QuotaConfig shapes per-tenant admission: a classic token bucket holding
+// at most Burst tokens, refilled at Rate tokens per second. Every accepted
+// job costs one token. A zero Rate disables quota enforcement entirely.
+type QuotaConfig struct {
+	// Rate is the sustained request rate per tenant, in jobs per second.
+	Rate float64
+	// Burst is the bucket depth: how many jobs a tenant may submit
+	// back-to-back after an idle period. Zero defaults to 1.
+	Burst int
+}
+
+// quotaTable holds one token bucket per tenant, created on first use.
+// Buckets store a token count and a last-refill instant; refill happens
+// lazily on each take, so an idle table costs nothing.
+type quotaTable struct {
+	cfg QuotaConfig
+	now func() time.Time // injectable clock for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotaTable(cfg QuotaConfig, now func() time.Time) *quotaTable {
+	if cfg.Burst < 1 {
+		cfg.Burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &quotaTable{cfg: cfg, now: now, buckets: make(map[string]*bucket)}
+}
+
+// take spends one token from tenant's bucket. On refusal it returns the
+// wait until a token will be available — the Retry-After the handler sends
+// back, rounded up to a whole second.
+func (q *quotaTable) take(tenant string) (ok bool, retryAfter time.Duration) {
+	if q.cfg.Rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: float64(q.cfg.Burst), last: now}
+		q.buckets[tenant] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens = math.Min(float64(q.cfg.Burst), b.tokens+elapsed*q.cfg.Rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / q.cfg.Rate
+	return false, time.Duration(math.Ceil(need)) * time.Second
+}

@@ -1,0 +1,481 @@
+// Package serve turns the LATCH engine into a long-lived, multi-tenant
+// taint-checking service. Where the batch CLIs build a fresh stack per
+// invocation, the server keeps a bounded pool of workers (internal/pool)
+// with recycled engine sessions, admits jobs through per-tenant token
+// buckets, bounds every run with a deadline, sheds load when the queue is
+// full (429 + Retry-After), and streams violations, telemetry, and results
+// back as NDJSON while the run is still executing.
+//
+// The service exposes two job kinds:
+//
+//	POST /v1/run      — replay a calibrated workload through a backend
+//	POST /v1/program  — execute an LA32 program under DIFT with LATCH
+//
+// plus introspection: GET /v1/backends, /healthz, /debug/stats,
+// /debug/canary (the in-service differential check), /debug/vars (expvar),
+// and /debug/pprof.
+//
+// Determinism carries over from the batch path: the same job body produces
+// the same terminal result line no matter which worker ran it, how many
+// runs the worker's session already served, or whether the run was
+// canaried. TestServedMatchesBatch pins this against the library facade.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"latch"
+	"latch/internal/engine"
+	latchcore "latch/internal/latch"
+	"latch/internal/pool"
+	"latch/internal/workload"
+)
+
+// Config shapes one Server.
+type Config struct {
+	// Workers is the worker-goroutine count; <= 0 selects one per CPU.
+	Workers int
+	// QueueDepth bounds the accepted-but-not-running job queue (minimum 1).
+	// A full queue is the shed signal: submissions beyond it get 429.
+	QueueDepth int
+	// DefaultDeadline bounds jobs that do not request a deadline; zero
+	// means MaxDeadline (or unbounded when that is zero too).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps every job's deadline, requested or defaulted. Zero
+	// means uncapped.
+	MaxDeadline time.Duration
+	// Quota is the per-tenant admission budget; zero Rate disables quotas.
+	Quota QuotaConfig
+	// CanaryEveryN shadow-runs every Nth program job against the reference
+	// byte-precise stack (engine.Reference) and records divergences for
+	// /debug/canary. Zero disables the canary.
+	CanaryEveryN int
+	// Geometry is the LATCH hardware configuration program jobs run under;
+	// the zero value selects latch.DefaultConfig(). Geometry never affects
+	// results (the equivalence claim), only the telemetry profile.
+	Geometry latch.Config
+	// Backends, when non-empty, restricts workload jobs to the named
+	// integrations. Empty admits every registered backend.
+	Backends []string
+}
+
+// Server is the taint-checking service. Create with New, mount as an
+// http.Handler, and Close to drain.
+type Server struct {
+	cfg    Config
+	disp   *pool.Dispatcher
+	quotas *quotaTable
+	canary *canary
+	mux    *http.ServeMux
+
+	// workers[i] is owned by dispatcher worker i: jobs on one worker never
+	// overlap, so its recycled sessions need no locking.
+	workers []*workerState
+
+	jobSeq    atomic.Uint64
+	accepted  atomic.Uint64
+	shedQueue atomic.Uint64
+	shedQuota atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	canaried  atomic.Uint64
+	draining  atomic.Bool
+}
+
+// workerState is the per-worker recycled state: one engine session per
+// hardware geometry, reset (not reallocated) between jobs. Recycling is
+// what makes a hot server cheap — the shadow page pool, the module's dense
+// tables, and the session itself are reused run over run.
+type workerState struct {
+	sessions map[latchcore.Config]*engine.Session
+}
+
+// New builds a Server and starts its workers.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1
+	}
+	s := &Server{
+		cfg:    cfg,
+		disp:   pool.NewDispatcher(cfg.Workers, cfg.QueueDepth),
+		quotas: newQuotaTable(cfg.Quota, nil),
+		canary: newCanary(cfg.CanaryEveryN),
+		mux:    http.NewServeMux(),
+	}
+	s.workers = make([]*workerState, s.disp.Workers())
+	for i := range s.workers {
+		s.workers[i] = &workerState{sessions: make(map[latchcore.Config]*engine.Session)}
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/program", s.handleProgram)
+	s.mux.HandleFunc("GET /v1/backends", s.handleBackends)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /debug/stats", s.handleStats)
+	s.mux.HandleFunc("GET /debug/canary", s.handleCanary)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops admitting jobs and blocks until accepted jobs drain. In-flight
+// responses complete; subsequent submissions get 503.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.disp.Close()
+}
+
+// Canary returns the current canary report (also served at /debug/canary).
+func (s *Server) Canary() CanaryReport { return s.canary.report() }
+
+// tenantOf extracts the tenant identity. The server trusts the header —
+// authentication is a proxy concern — and buckets unidentified callers
+// together.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Latch-Tenant"); t != "" {
+		return t
+	}
+	return "anonymous"
+}
+
+// admit runs the shared admission path — drain check, tenant quota, queue
+// submission — and, once a worker picks the job up, invokes run on the
+// worker's goroutine with an open stream. It blocks the handler goroutine
+// until the job finishes, which keeps the ResponseWriter alive for the
+// worker. Returns without running on shed.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, run func(st *stream, ws *workerState, id uint64)) {
+	if s.draining.Load() {
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		return
+	}
+	tenant := tenantOf(r)
+	if ok, retry := s.quotas.take(tenant); !ok {
+		s.shedQuota.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+		http.Error(w, fmt.Sprintf("tenant %q over quota", tenant), http.StatusTooManyRequests)
+		return
+	}
+	id := s.jobSeq.Add(1)
+	done := make(chan struct{})
+	// The content type must be on the wire before the worker's first body
+	// write; a shed below replaces it via http.Error.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	ok, err := s.disp.TrySubmit(func(worker int) {
+		defer close(done)
+		st := newStream(w)
+		st.send(startLine{Type: "start", Job: id, Worker: worker})
+		run(st, s.workers[worker], id)
+	})
+	if err != nil {
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+		return
+	}
+	if !ok {
+		s.shedQueue.Add(1)
+		// The queue drains at job granularity; one second is the honest
+		// "try again shortly" for sub-second jobs.
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "job queue full", http.StatusTooManyRequests)
+		return
+	}
+	s.accepted.Add(1)
+	<-done
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var job WorkloadJob
+	if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
+		http.Error(w, "bad job body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Validate before occupying a queue slot: the facade's request
+	// validation plus serving-only fields.
+	if err := job.request(nil).Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(s.cfg.Backends) > 0 && !contains(s.cfg.Backends, job.Backend) {
+		http.Error(w, fmt.Sprintf("backend %q not enabled on this server (enabled: %v)",
+			job.Backend, s.cfg.Backends), http.StatusForbidden)
+		return
+	}
+	deadline, err := parseDeadline(job.Deadline, s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var cadence time.Duration
+	if job.Telemetry != "" {
+		cadence, err = time.ParseDuration(job.Telemetry)
+		if err != nil || cadence <= 0 {
+			http.Error(w, fmt.Sprintf("bad telemetry cadence %q", job.Telemetry), http.StatusBadRequest)
+			return
+		}
+	}
+	reqCtx := r.Context()
+	s.admit(w, r, func(st *stream, ws *workerState, id uint64) {
+		ctx := reqCtx
+		if deadline > 0 {
+			var cancel func()
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+			defer cancel()
+		}
+		s.runWorkload(ctx, st, ws, &job, cadence)
+	})
+}
+
+// runWorkload executes one workload-replay job on the worker's recycled
+// session, streaming telemetry at the requested cadence.
+func (s *Server) runWorkload(ctx context.Context, st *stream, ws *workerState, job *WorkloadJob, cadence time.Duration) {
+	start := time.Now()
+	p, err := workload.Get(job.Workload)
+	if err != nil {
+		s.fail(st, err)
+		return
+	}
+	sch, err := engine.Lookup(job.Backend)
+	if err != nil {
+		s.fail(st, err)
+		return
+	}
+	b := sch.New()
+	if job.Shards > 0 {
+		sb, ok := b.(engine.Sharded)
+		if !ok {
+			s.fail(st, fmt.Errorf("backend %s does not support shard configuration", job.Backend))
+			return
+		}
+		if err := sb.SetShards(job.Shards); err != nil {
+			s.fail(st, err)
+			return
+		}
+	}
+	events := job.Events
+	if events == 0 {
+		events = latch.DefaultRunEvents
+	}
+
+	metrics := latch.NewMetrics()
+	stopTicker := make(chan struct{})
+	if cadence > 0 {
+		// Metrics is an atomic registry, so snapshotting concurrently with
+		// the run is race-free and never perturbs it.
+		go func() {
+			t := time.NewTicker(cadence)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					st.send(telemetryLine{Type: "telemetry", Metrics: metrics.Snapshot()})
+				case <-stopTicker:
+					return
+				}
+			}
+		}()
+	}
+
+	res, sess, err := engine.RunProfileSession(ctx, b, p, engine.RunOptions{
+		Events:   events,
+		Observer: metrics,
+		Session:  ws.sessions[b.Config()],
+	})
+	if sess != nil {
+		ws.sessions[b.Config()] = sess
+	}
+	close(stopTicker)
+	if err != nil {
+		s.fail(st, err)
+		return
+	}
+
+	line := workloadResultLine{
+		Type:      "result",
+		Backend:   job.Backend,
+		Benchmark: res.BenchmarkName(),
+		Events:    res.EventCount(),
+		Checks:    res.CheckCount(),
+		Metrics:   metrics.Snapshot(),
+		Elapsed:   time.Since(start).Round(time.Microsecond).String(),
+	}
+	for _, c := range res.Columns() {
+		line.Columns = append(line.Columns, resultColumn{Label: c.Label, Value: fmt.Sprint(c.Value)})
+	}
+	st.send(line)
+	s.completed.Add(1)
+}
+
+func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
+	var wire ProgramJob
+	if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+		http.Error(w, "bad job body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if wire.Source == "" {
+		http.Error(w, "source is required", http.StatusBadRequest)
+		return
+	}
+	// Assemble up front: a syntactically bad program is the caller's 400,
+	// not a queue slot.
+	if _, err := latch.Assemble(wire.Source); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	deadline, err := parseDeadline(wire.Deadline, s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	job := &programJob{ProgramJob: wire}
+	reqCtx := r.Context()
+	s.admit(w, r, func(st *stream, ws *workerState, id uint64) {
+		ctx := reqCtx
+		if deadline > 0 {
+			var cancel func()
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+			defer cancel()
+		}
+		s.runProgram(ctx, st, job, id)
+	})
+}
+
+// runProgram executes one LA32 program job on a fresh single-machine DIFT
+// stack (the facade's System), streaming violations as they fire.
+func (s *Server) runProgram(ctx context.Context, st *stream, job *programJob, id uint64) {
+	start := time.Now()
+	metrics := latch.NewMetrics()
+	obs := violationObserver{Metrics: metrics, st: st}
+	geom := s.cfg.Geometry
+	if geom == (latch.Config{}) {
+		geom = latch.DefaultConfig()
+	}
+	sys, err := latch.New(latch.WithObserver(obs), latch.WithConfig(geom))
+	if err != nil {
+		s.fail(st, err)
+		return
+	}
+	sys.Machine.Env.FileData = append([]byte(nil), job.input()...)
+	sys.Machine.Env.Requests = job.requestBytes()
+
+	res, runErr := sys.Run(ctx, job.Source, job.maxSteps())
+	output := sys.Machine.Env.Output.String()
+
+	if s.canary.admit() {
+		s.canaried.Add(1)
+		// The shadow run executes on the worker, inline: the canary's cost
+		// is visible as serving capacity, never as added client latency
+		// beyond this response.
+		s.canary.check(ctx, id, job, res, runErr, []byte(output))
+	}
+
+	if runErr != nil {
+		s.fail(st, runErr)
+		return
+	}
+	snap := metrics.Snapshot()
+	line := programResultLine{
+		Type:     "result",
+		ExitCode: res.ExitCode,
+		Steps:    res.Steps,
+		Output:   output,
+		Metrics:  &snap,
+		Elapsed:  time.Since(start).Round(time.Microsecond).String(),
+	}
+	if v := res.Violation; v != nil {
+		line.Violation = &violationLine{
+			Type: "violation", Kind: v.Kind.String(), PC: v.PC, Addr: v.Addr,
+		}
+	}
+	st.send(line)
+	s.completed.Add(1)
+}
+
+func (s *Server) fail(st *stream, err error) {
+	s.failed.Add(1)
+	st.send(errorLine{Type: "error", Error: err.Error()})
+}
+
+func (s *Server) handleBackends(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"backends":  latch.Backends(),
+		"workloads": latch.Workloads(),
+		"programs":  workload.ProgramNames(),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		writeJSON(w, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// Stats is the /debug/stats payload: serving counters and live queue
+// occupancy.
+type Stats struct {
+	Workers    int    `json:"workers"`
+	QueueDepth int    `json:"queue_depth"`
+	Queued     int    `json:"queued"`
+	Accepted   uint64 `json:"accepted"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	ShedQueue  uint64 `json:"shed_queue_full"`
+	ShedQuota  uint64 `json:"shed_quota"`
+	Canaried   uint64 `json:"canaried"`
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Workers:    s.disp.Workers(),
+		QueueDepth: s.disp.QueueDepth(),
+		Queued:     s.disp.Queued(),
+		Accepted:   s.accepted.Load(),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+		ShedQueue:  s.shedQueue.Load(),
+		ShedQuota:  s.shedQuota.Load(),
+		Canaried:   s.canaried.Load(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) { writeJSON(w, s.Stats()) }
+
+func (s *Server) handleCanary(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.canary.report())
+}
+
+func contains(set []string, s string) bool {
+	for _, x := range set {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

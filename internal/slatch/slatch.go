@@ -21,6 +21,7 @@
 package slatch
 
 import (
+	"context"
 	"fmt"
 
 	"latch/internal/engine"
@@ -218,7 +219,7 @@ func (b *backend) Finish(s *engine.Session) engine.Result {
 
 // Run simulates one benchmark under S-LATCH.
 func Run(p workload.Profile, cfg Config) (Result, error) {
-	res, err := engine.RunProfile(&backend{cfg: cfg}, p,
+	res, err := engine.RunProfile(context.Background(), &backend{cfg: cfg}, p,
 		engine.RunOptions{Events: cfg.Events, Observer: cfg.Observer})
 	if err != nil {
 		return Result{}, err

@@ -1,0 +1,94 @@
+package vm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"latch/internal/isa"
+)
+
+// spinProgram loops forever; only cancellation or the step budget stops it.
+const spinProgram = `
+	movi r1, 1
+loop:
+	add  r2, r2, r1
+	jmp  loop
+`
+
+func TestRunPreCanceledContextExecutesNothing(t *testing.T) {
+	c := newCPU(t, spinProgram)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	steps, err := c.Run(ctx, 1_000_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if steps != 0 {
+		t.Fatalf("pre-canceled run executed %d steps", steps)
+	}
+}
+
+// TestRunCancellationGranularity pins the bounded-latency contract: an
+// asynchronous cancel stops the machine at the next CancelCheckInterval
+// boundary, so the observed step count is always an exact multiple of the
+// interval — never between checks.
+func TestRunCancellationGranularity(t *testing.T) {
+	c := newCPU(t, spinProgram)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	steps, err := c.Run(ctx, 1<<40)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if steps == 0 {
+		t.Fatal("cancel landed before any step; retune the test sleep")
+	}
+	if steps&(CancelCheckInterval-1) != 0 {
+		t.Fatalf("stopped at step %d, not a CancelCheckInterval (%d) boundary",
+			steps, CancelCheckInterval)
+	}
+}
+
+// TestRunDeadlineSurfacesDeadlineExceeded distinguishes the two context
+// errors at the API boundary.
+func TestRunDeadlineSurfacesDeadlineExceeded(t *testing.T) {
+	c := newCPU(t, spinProgram)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := c.Run(ctx, 1<<40)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunBackgroundContextCompletes checks the nil-done fast path: an
+// uncancellable context must not change results or termination.
+func TestRunBackgroundContextCompletes(t *testing.T) {
+	c := newCPU(t, `
+		movi r1, 9
+		sys  1
+	`)
+	steps, err := c.Run(context.Background(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 2 || c.ExitCode() != 9 {
+		t.Fatalf("steps=%d exit=%d", steps, c.ExitCode())
+	}
+}
+
+func newCPU(t *testing.T, src string) *CPU {
+	t.Helper()
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	c.Load(prog)
+	return c
+}

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"context"
 	"testing"
 
 	"latch/internal/dift"
@@ -37,7 +38,7 @@ func TestObserverSeesTaintSources(t *testing.T) {
 	c.SetTracker(e)
 	c.SetObserver(mx)
 	c.Load(p)
-	if _, err := c.Run(1_000); err != nil {
+	if _, err := c.Run(context.Background(), 1_000); err != nil {
 		t.Fatal(err)
 	}
 
@@ -68,7 +69,7 @@ func TestObserverCountsPolicyFilteredInput(t *testing.T) {
 	c.SetTracker(e)
 	c.SetObserver(mx)
 	c.Load(p)
-	if _, err := c.Run(1_000); err != nil {
+	if _, err := c.Run(context.Background(), 1_000); err != nil {
 		t.Fatal(err)
 	}
 	if s := mx.Snapshot(); s.FileSourceBytes != 3 {
@@ -95,7 +96,7 @@ func TestObserverSeesHotPathCacheCounters(t *testing.T) {
 	c := New()
 	c.SetObserver(mx)
 	c.Load(p)
-	if _, err := c.Run(1_000); err != nil {
+	if _, err := c.Run(context.Background(), 1_000); err != nil {
 		t.Fatal(err)
 	}
 
@@ -121,7 +122,7 @@ func TestObserverSeesHotPathCacheCounters(t *testing.T) {
 
 	// A second Run must flush only the delta, not re-emit history.
 	c.Load(p)
-	if _, err := c.Run(1_000); err != nil {
+	if _, err := c.Run(context.Background(), 1_000); err != nil {
 		t.Fatal(err)
 	}
 	s2 := mx.Snapshot()

@@ -9,6 +9,7 @@ package vm
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 
@@ -80,6 +81,13 @@ func (f Fault) Error() string { return fmt.Sprintf("vm: fault at pc=%#x: %s", f.
 // ErrStepLimit is wrapped in the fault returned when Run exhausts its
 // instruction budget.
 var ErrStepLimit = errors.New("step limit reached")
+
+// CancelCheckInterval is Run's cancellation granularity in instructions: the
+// context is polled every this many committed steps (a power of two, so the
+// check is a mask test). A canceled run therefore stops within at most
+// CancelCheckInterval instructions of the cancellation, and a background
+// context costs the loop nothing beyond the mask test.
+const CancelCheckInterval = 4096
 
 // CPU is the LA32 machine state.
 type CPU struct {
@@ -260,15 +268,32 @@ func cycleCost(in isa.Instr, taken bool) uint64 {
 	return 1
 }
 
-// Run executes until HALT/SysExit, a fault, a tracker violation, or
-// maxSteps instructions. It returns the number of instructions committed by
-// this call.
-func (c *CPU) Run(maxSteps uint64) (uint64, error) {
+// Run executes until HALT/SysExit, a fault, a tracker violation, context
+// cancellation, or maxSteps instructions. It returns the number of
+// instructions committed by this call.
+//
+// Cancellation is polled every CancelCheckInterval steps (including before
+// the first), so a canceled run stops within that bound; the context's own
+// error (context.Canceled or context.DeadlineExceeded) is returned. A nil or
+// background context disables polling entirely — the hot loop then pays only
+// a mask test per step, and Run allocates nothing either way.
+func (c *CPU) Run(ctx context.Context, maxSteps uint64) (uint64, error) {
 	defer c.FlushCacheStats()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	var steps uint64
 	for !c.halted {
 		if steps >= maxSteps {
 			return steps, Fault{PC: c.PC, Reason: ErrStepLimit.Error()}
+		}
+		if steps&(CancelCheckInterval-1) == 0 && done != nil {
+			select {
+			case <-done:
+				return steps, ctx.Err()
+			default:
+			}
 		}
 		if err := c.Step(); err != nil {
 			return steps, err

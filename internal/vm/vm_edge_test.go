@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"context"
 	"testing"
 
 	"latch/internal/isa"
@@ -177,7 +178,7 @@ func TestRunReturnsStepsCommitted(t *testing.T) {
 	`)
 	c := New()
 	c.Load(p)
-	steps, err := c.Run(1000)
+	steps, err := c.Run(context.Background(), 1000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -29,7 +30,7 @@ func run(t *testing.T, src string, tracker Tracker, env func(*Env)) (*CPU, error
 		c.SetTracker(tracker)
 	}
 	c.Load(p)
-	_, err = c.Run(1_000_000)
+	_, err = c.Run(context.Background(), 1_000_000)
 	return c, err
 }
 
@@ -282,7 +283,7 @@ func TestStepLimit(t *testing.T) {
 	p := isa.MustAssemble("loop: jmp loop")
 	c := New()
 	c.Load(p)
-	steps, err := c.Run(100)
+	steps, err := c.Run(context.Background(), 100)
 	if steps != 100 {
 		t.Fatalf("steps = %d", steps)
 	}
@@ -336,7 +337,7 @@ func TestHookEventStream(t *testing.T) {
 	var evs []trace.Event
 	c.SetHook(trace.SinkFunc(func(ev trace.Event) { evs = append(evs, ev) }))
 	c.Load(p)
-	if _, err := c.Run(1000); err != nil {
+	if _, err := c.Run(context.Background(), 1000); err != nil {
 		t.Fatal(err)
 	}
 	var taintedLoads, cleanStores int
@@ -377,7 +378,7 @@ func TestStntStrfLtnt(t *testing.T) {
 	c.SetTracker(e)
 	c.SetLastExceptionAddr(0xABCD)
 	c.Load(p)
-	if _, err := c.Run(1000); err != nil {
+	if _, err := c.Run(context.Background(), 1000); err != nil {
 		t.Fatal(err)
 	}
 	if e.Shadow.Get(0x5000) != shadow.Tag(1) {
@@ -519,7 +520,7 @@ func TestStoreOverCachedCodeInvalidatesDecode(t *testing.T) {
 	}
 	c := New()
 	c.Load(p)
-	if _, err := c.Run(1_000); err != nil {
+	if _, err := c.Run(context.Background(), 1_000); err != nil {
 		t.Fatal(err)
 	}
 	if c.Regs[3] != 2 {
@@ -552,7 +553,7 @@ func TestSyscallWriteOverCachedCodeInvalidatesDecode(t *testing.T) {
 	c := New()
 	c.Env.FileData = fileData[:]
 	c.Load(p)
-	if _, err := c.Run(1_000); err != nil {
+	if _, err := c.Run(context.Background(), 1_000); err != nil {
 		t.Fatal(err)
 	}
 	if c.Regs[3] != 7 {

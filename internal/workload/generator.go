@@ -47,6 +47,11 @@ type Generator struct {
 	emittedClean []float64
 	activeCarry  float64
 	seq          uint64
+
+	// stopped is set by Stop: Run returns at the next event boundary. Once
+	// stopped the stream must not be continued — the abandoned epoch
+	// schedule state would skew subsequent epochs.
+	stopped bool
 }
 
 // basePage is the page number where generated footprints start
@@ -380,6 +385,15 @@ func (g *Generator) activeInstr(sink trace.Sink) {
 	g.cleanInstr(sink, g.p.BurstNearTaint)
 }
 
+// Stop makes Run return at the next event boundary. It exists for
+// cancellation: the engine's driver calls it from inside the sink when the
+// run's context is canceled. A stopped generator must not be run again —
+// the interrupted epoch schedule is abandoned, not resumable.
+func (g *Generator) Stop() { g.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (g *Generator) Stopped() bool { return g.stopped }
+
 // Run generates n events into sink. Repeated calls continue the stream.
 func (g *Generator) Run(n uint64, sink trace.Sink) {
 	var emitted uint64
@@ -416,6 +430,9 @@ func (g *Generator) Run(n uint64, sink trace.Sink) {
 			cleanLen = n - emitted
 		}
 		for i := uint64(0); i < cleanLen; i++ {
+			if g.stopped {
+				return
+			}
 			g.cleanInstr(sink, g.p.CleanNearTaint)
 		}
 		emitted += cleanLen
@@ -428,6 +445,9 @@ func (g *Generator) Run(n uint64, sink trace.Sink) {
 			burst = n - emitted
 		}
 		for i := uint64(0); i < burst; i++ {
+			if g.stopped {
+				return
+			}
 			g.activeInstr(sink)
 		}
 		emitted += burst

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -27,7 +28,7 @@ func runProgram(t *testing.T, name string, pol dift.Policy, env func(*vm.Env)) (
 		env(c.Env)
 	}
 	c.Load(prog)
-	_, err = c.Run(1_000_000)
+	_, err = c.Run(context.Background(), 1_000_000)
 	return c, eng, err
 }
 

@@ -25,9 +25,14 @@
 //
 //	sys, err := latch.New() // options: WithConfig, WithPolicy, WithObserver
 //	...
-//	prog, err := latch.Assemble(src)
-//	sys.Machine.Load(prog)
-//	_, err = sys.Machine.Run(1_000_000) // returns latch.Violation on attack
+//	res, err := sys.Run(ctx, src, 1_000_000)
+//	if res.Violation != nil { ... } // the attack, as data
+//
+// Every run entry point takes a context.Context: cancellation and deadlines
+// stop execution within a bounded number of instructions (see
+// vm.CancelCheckInterval), which is what lets the same engine serve
+// long-lived, deadline-bearing requests (cmd/latch-serve) and batch CLIs
+// alike.
 //
 // Observability: pass latch.WithObserver(latch.NewMetrics()) to New and the
 // whole stack — coarse checks, cache misses, violations, taint sources —
@@ -35,6 +40,9 @@
 package latch
 
 import (
+	"context"
+	"errors"
+
 	"latch/internal/dift"
 	"latch/internal/isa"
 	latchcore "latch/internal/latch"
@@ -128,17 +136,45 @@ type System struct {
 	Observer Observer
 }
 
-// Run assembles src, loads it, and executes up to maxSteps instructions.
-// It returns the machine's exit code; a DIFT violation surfaces as a
-// *Violation error.
-func (s *System) Run(src string, maxSteps uint64) (uint32, error) {
+// RunResult is the typed outcome of one System.Run: the machine's exit
+// code, the number of instructions this run committed, and — when the DIFT
+// policy fired — the violation itself, as data rather than an error. A
+// violation is an expected analysis outcome (it is the whole point of the
+// checker), so it terminates execution but does not make the run itself
+// fail.
+type RunResult struct {
+	// ExitCode is the code passed to sys exit (0 for HALT, and 0 when a
+	// violation stopped the program before it exited).
+	ExitCode uint32
+	// Steps is the number of instructions committed by this run.
+	Steps uint64
+	// Violation is the policy violation that stopped the program, or nil
+	// for a clean run.
+	Violation *Violation
+}
+
+// Run assembles src, loads it, and executes up to maxSteps instructions
+// under the context: cancellation or a deadline stops the machine within
+// vm.CancelCheckInterval instructions and surfaces ctx.Err().
+//
+// A DIFT policy violation is returned inside the RunResult, not as an
+// error; errors are reserved for infrastructure failures — assembly errors,
+// machine faults, exhausted step budgets, cancellation.
+func (s *System) Run(ctx context.Context, src string, maxSteps uint64) (RunResult, error) {
 	prog, err := Assemble(src)
 	if err != nil {
-		return 0, err
+		return RunResult{}, err
 	}
 	s.Machine.Load(prog)
-	if _, err := s.Machine.Run(maxSteps); err != nil {
-		return 0, err
+	steps, err := s.Machine.Run(ctx, maxSteps)
+	res := RunResult{ExitCode: s.Machine.ExitCode(), Steps: steps}
+	if err != nil {
+		var v Violation
+		if errors.As(err, &v) {
+			res.Violation = &v
+			return res, nil
+		}
+		return res, err
 	}
-	return s.Machine.ExitCode(), nil
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package latch_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -12,15 +13,21 @@ func TestSystemRunsCleanProgram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	code, err := sys.Run(`
+	res, err := sys.Run(context.Background(), `
 		movi r1, 7
 		sys 1
 	`, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if code != 7 {
-		t.Fatalf("exit code = %d", code)
+	if res.ExitCode != 7 {
+		t.Fatalf("exit code = %d", res.ExitCode)
+	}
+	if res.Steps == 0 {
+		t.Fatal("RunResult.Steps not populated")
+	}
+	if res.Violation != nil {
+		t.Fatalf("clean run reported violation %v", res.Violation)
 	}
 }
 
@@ -30,7 +37,7 @@ func TestSystemCatchesHijack(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.Machine.Env.FileData = []byte{0x00, 0x20, 0x00, 0x00} // attacker-controlled address
-	_, err = sys.Run(`
+	res, err := sys.Run(context.Background(), `
 		li   r1, 0x3000
 		movi r2, 4
 		sys  2          ; read tainted input
@@ -39,9 +46,11 @@ func TestSystemCatchesHijack(t *testing.T) {
 		jr   r4         ; jump to attacker-controlled target
 		halt
 	`, 1000)
-	var v latch.Violation
-	if !errors.As(err, &v) || v.Kind != latch.ViolationControlFlow {
-		t.Fatalf("err = %v, want control-flow violation", err)
+	if err != nil {
+		t.Fatalf("violation must be data, not an error: %v", err)
+	}
+	if res.Violation == nil || res.Violation.Kind != latch.ViolationControlFlow {
+		t.Fatalf("violation = %v, want control-flow violation", res.Violation)
 	}
 }
 
@@ -51,7 +60,7 @@ func TestCoarseStateTracksEngine(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.Machine.Env.FileData = []byte("secret")
-	if _, err := sys.Run(`
+	if _, err := sys.Run(context.Background(), `
 		li   r1, 0x5000
 		movi r2, 6
 		sys  2
@@ -76,7 +85,7 @@ func TestAssembleErrorsSurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Run("bogus", 10); err == nil {
+	if _, err := sys.Run(context.Background(), "bogus", 10); err == nil {
 		t.Fatal("assembler error not surfaced")
 	}
 }
@@ -108,7 +117,7 @@ func TestViolationSentinels(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.Machine.Env.FileData = []byte{0x00, 0x20, 0x00, 0x00}
-	_, err = sys.Run(`
+	res, err := sys.Run(context.Background(), `
 		li   r1, 0x3000
 		movi r2, 4
 		sys  2
@@ -117,15 +126,22 @@ func TestViolationSentinels(t *testing.T) {
 		jr   r4
 		halt
 	`, 1000)
-	if !errors.Is(err, latch.ErrControlFlow) {
-		t.Fatalf("err = %v, want ErrControlFlow chain", err)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if errors.Is(err, latch.ErrLeak) {
+	if res.Violation == nil {
+		t.Fatal("hijack not reported")
+	}
+	// The violation value still carries its sentinel chain for callers that
+	// treat it as an error.
+	if !errors.Is(*res.Violation, latch.ErrControlFlow) {
+		t.Fatalf("violation = %v, want ErrControlFlow chain", res.Violation)
+	}
+	if errors.Is(*res.Violation, latch.ErrLeak) {
 		t.Fatal("hijack matched ErrLeak")
 	}
-	var v latch.Violation
-	if !errors.As(err, &v) || v.Addr != 0x2000 {
-		t.Fatalf("errors.As: %+v", v)
+	if res.Violation.Addr != 0x2000 {
+		t.Fatalf("violation addr: %+v", res.Violation)
 	}
 }
 
@@ -139,7 +155,7 @@ func TestWithObserverWiresAllLayers(t *testing.T) {
 		t.Fatal("System.Observer not recorded")
 	}
 	sys.Machine.Env.FileData = []byte{0x00, 0x20, 0x00, 0x00}
-	_, err = sys.Run(`
+	res, err := sys.Run(context.Background(), `
 		li   r1, 0x3000
 		movi r2, 4
 		sys  2
@@ -148,8 +164,8 @@ func TestWithObserverWiresAllLayers(t *testing.T) {
 		jr   r4
 		halt
 	`, 1000)
-	if !errors.Is(err, latch.ErrControlFlow) {
-		t.Fatal(err)
+	if err != nil || res.Violation == nil {
+		t.Fatalf("run: %v, violation: %v", err, res.Violation)
 	}
 	sys.Module.CheckMem(0x3000, 4)
 

@@ -1,0 +1,196 @@
+// Command serve-smoke is the CI smoke test for cmd/latch-serve: it builds
+// the real binary, boots it on a local port, exercises the serving surface
+// end to end — health, a clean program job, a hijack (violation) job, a
+// workload-replay job, the canary report, expvar — and then shuts the
+// process down with SIGTERM to check the graceful-drain path. Run via
+// `make serve-smoke`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+const addr = "127.0.0.1:18341"
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve-smoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("serve-smoke: OK")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "latch-serve-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "latch-serve")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/latch-serve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+
+	srv := exec.Command(bin, "-addr", addr, "-canary", "1", "-queue", "4", "-workers", "2")
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		return fmt.Errorf("start: %w", err)
+	}
+	defer srv.Process.Kill()
+
+	base := "http://" + addr
+	if err := waitHealthy(base); err != nil {
+		return err
+	}
+
+	// A clean program job must stream start + result.
+	clean := map[string]any{
+		"source": "movi r1, 3\n sys 1",
+	}
+	lines, err := postJob(base+"/v1/program", clean)
+	if err != nil {
+		return fmt.Errorf("clean program job: %w", err)
+	}
+	final := lines[len(lines)-1]
+	if final["type"] != "result" || final["exit_code"] != float64(3) {
+		return fmt.Errorf("clean program result: %v", final)
+	}
+
+	// A hijack must stream the violation live and in the result.
+	hijack := map[string]any{
+		"source": "li r1, 0x3000\n movi r2, 4\n sys 2\n li r3, 0x3000\n ldw r4, [r3]\n jr r4\n halt",
+		"input":  "\x00\x20\x00\x00",
+	}
+	lines, err = postJob(base+"/v1/program", hijack)
+	if err != nil {
+		return fmt.Errorf("hijack job: %w", err)
+	}
+	var sawViolation bool
+	for _, l := range lines {
+		if l["type"] == "violation" {
+			sawViolation = true
+		}
+	}
+	if !sawViolation {
+		return fmt.Errorf("hijack violation not streamed: %v", lines)
+	}
+
+	// A workload-replay job through a registered backend.
+	replay := map[string]any{
+		"backend": "slatch", "workload": "gcc", "events": 50_000,
+	}
+	lines, err = postJob(base+"/v1/run", replay)
+	if err != nil {
+		return fmt.Errorf("workload job: %w", err)
+	}
+	if final := lines[len(lines)-1]; final["type"] != "result" {
+		return fmt.Errorf("workload result: %v", final)
+	}
+
+	// The canary shadow-ran both program jobs and must report agreement.
+	var canary struct {
+		Checked     uint64           `json:"checked"`
+		Divergences []map[string]any `json:"divergences"`
+	}
+	if err := getJSON(base+"/debug/canary", &canary); err != nil {
+		return err
+	}
+	if canary.Checked < 2 {
+		return fmt.Errorf("canary checked %d jobs, want >= 2", canary.Checked)
+	}
+	if len(canary.Divergences) != 0 {
+		return fmt.Errorf("canary divergences: %v", canary.Divergences)
+	}
+
+	for _, path := range []string{"/v1/backends", "/debug/stats", "/debug/vars"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return fmt.Errorf("GET %s: %w", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	// Graceful drain: SIGTERM must exit cleanly.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("server exit after SIGTERM: %w", err)
+		}
+	case <-time.After(20 * time.Second):
+		return fmt.Errorf("server did not drain within 20s of SIGTERM")
+	}
+	return nil
+}
+
+func waitHealthy(base string) error {
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("server never became healthy on %s", base)
+}
+
+func postJob(url string, body any) ([]map[string]any, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(string(b)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var lines []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			return nil, fmt.Errorf("bad NDJSON line %q: %w", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("empty stream")
+	}
+	return lines, nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
