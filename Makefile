@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test fmt vet race verify cover bench bench-compare fuzz golden diffcheck serve-smoke deprecation-gate
+.PHONY: build test fmt vet race verify cover bench bench-compare bench-gate fuzz golden diffcheck serve-smoke deprecation-gate
 
 build:
 	$(GO) build ./...
@@ -110,6 +110,17 @@ bench-compare:
 		-bench='BenchmarkMemoryLoadWord$$|BenchmarkMemoryStoreWord$$|BenchmarkMemoryReset$$' ./internal/mem
 	$(GO) test -run='^$$' -count=5 -benchtime=1x \
 		-bench='BenchmarkExperimentsSerial$$' .
+
+# Hot-path regression gate: re-run the benchmarks behind the committed
+# BENCH_hotpath.json and fail on a significant (>25%) slowdown against the
+# committed numbers, benchstat-style (best of N, since noise is one-sided).
+# Required for any change touching the interpreter hot path (internal/vm,
+# internal/isa's decode cache, internal/shadow, internal/dift): run it
+# before and after the change, and re-record the artifact with `make bench`
+# only for intentional, explained shifts. Also re-asserts 0 allocs/op on
+# CPU.Step, the fast loop, and shadow.Set.
+bench-gate:
+	$(GO) run ./tools/bench-gate -baseline $(CURDIR)/BENCH_hotpath.json
 
 # Short fuzz passes: the LA32 assembler/decoder round-trip properties
 # (FuzzAssembleDecode also cross-checks the decode cache against direct

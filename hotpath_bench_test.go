@@ -8,11 +8,14 @@ package latch_test
 // normal test run stays fast.
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"testing"
 
+	"latch/internal/dift"
 	"latch/internal/experiments"
 	"latch/internal/isa"
 	"latch/internal/mem"
@@ -60,6 +63,72 @@ func benchStepHotPath(b *testing.B) {
 	}
 }
 
+// sweepProgram walks a 32 KiB data window at a 64-byte stride: one load per
+// iteration, scrubbed immediately so a tainted read ends the tainted epoch
+// after a single propagation step. Six instructions per iteration.
+const sweepProgram = `
+	lui  r2, 0x10
+	movi r4, 0
+	movi r6, 0x7FC0
+loop:
+	add  r5, r2, r4
+	ldw  r3, [r5+0]
+	movi r3, 0
+	addi r4, r4, 64
+	and  r4, r4, r6
+	jmp  loop
+`
+
+// sweepCPU builds a tracked CPU over sweepProgram with fracPct percent of the
+// window's stride slots tainted (one byte each, spread evenly), warmed until
+// the decode cache and fusion pairs are hot.
+func sweepCPU(b *testing.B, fracPct int) *vm.CPU {
+	c := vm.New()
+	c.Load(isa.MustAssemble(sweepProgram))
+	e := dift.NewEngine(shadow.MustNew(shadow.DefaultDomainSize), dift.DefaultPolicy())
+	const base, window, stride = 0x10_0000, 32 << 10, 64
+	if fracPct > 0 {
+		period := 100 / fracPct // every period-th slot holds one tainted byte
+		for slot := 0; slot*stride < window; slot += period {
+			e.TaintMemory(base+uint32(slot*stride), 1, shadow.MustLabel(0))
+		}
+	}
+	c.SetTracker(e)
+	sweepRun(b, c, 8192)
+	return c
+}
+
+// sweepRun executes exactly n instructions; the step-limit fault is the
+// expected way out of the endless loop.
+func sweepRun(b *testing.B, c *vm.CPU, n uint64) {
+	if got, err := c.Run(context.Background(), n); got != n {
+		b.Fatalf("ran %d of %d instructions: %v", got, n, err)
+	}
+}
+
+// benchFastLoopHotPath measures the per-instruction cost of CPU.Run in a
+// taint-free epoch: the tracker proves every register and byte clean, so the
+// epoch-aware fast loop runs the whole benchmark without a shadow lookup.
+func benchFastLoopHotPath(b *testing.B) {
+	c := sweepCPU(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sweepRun(b, c, uint64(b.N))
+}
+
+// benchTaintedSweep measures the same walk with fracPct percent of the
+// window's slots tainted: each tainted load exits the fast loop, propagates
+// through the full DIFT pipeline, and re-enters once the scrub restores the
+// taint-free epoch.
+func benchTaintedSweep(fracPct int) func(b *testing.B) {
+	return func(b *testing.B) {
+		c := sweepCPU(b, fracPct)
+		b.ReportAllocs()
+		b.ResetTimer()
+		sweepRun(b, c, uint64(b.N))
+	}
+}
+
 // benchShadowStoreHotPath is BenchmarkShadowStore's body: alternating taint
 // and clear over a warm 16-page window, a domain transition on every call.
 func benchShadowStoreHotPath(b *testing.B) {
@@ -104,6 +173,17 @@ func benchExperimentPass(b *testing.B) {
 	}
 }
 
+// BenchmarkFastLoop and BenchmarkTaintedSweep expose the hot-path bodies to
+// `go test -bench` (and the bench-gate), in addition to their role in the
+// BENCH_hotpath.json artifact.
+func BenchmarkFastLoop(b *testing.B) { benchFastLoopHotPath(b) }
+
+func BenchmarkTaintedSweep(b *testing.B) {
+	for _, pct := range []int{0, 1, 10, 50} {
+		b.Run(fmt.Sprintf("taint=%d%%", pct), benchTaintedSweep(pct))
+	}
+}
+
 type hotpathEntry struct {
 	NsPerOp         float64 `json:"ns_per_op"`
 	AllocsPerOp     int64   `json:"allocs_per_op"`
@@ -127,6 +207,20 @@ func hotpathResult(r testing.BenchmarkResult, baselineNs float64) hotpathEntry {
 	return e
 }
 
+// bestOf runs a benchmark body n times and returns the fastest result: the
+// minimum is the standard noise filter for gating, since scheduler and
+// frequency interference only ever slow a run down.
+func bestOf(n int, f func(b *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(f)
+	for i := 1; i < n; i++ {
+		r := testing.Benchmark(f)
+		if r.N > 0 && (best.N == 0 || r.NsPerOp() < best.NsPerOp()) {
+			best = r
+		}
+	}
+	return best
+}
+
 // TestWriteHotpathBench writes BENCH_hotpath.json. The overhaul's acceptance
 // criteria are asserted here as well: CPU.Step and shadow.Set must be
 // allocation-free in steady state, and the end-to-end experiment pass must
@@ -135,12 +229,24 @@ func TestWriteHotpathBench(t *testing.T) {
 	if *hotpathBenchOut == "" {
 		t.Skip("no -hotpath-bench-out path")
 	}
-	step := hotpathResult(testing.Benchmark(benchStepHotPath), baselineCPUStepNs)
-	store := hotpathResult(testing.Benchmark(benchShadowStoreHotPath), baselineShadowStoreNs)
-	pass := hotpathResult(testing.Benchmark(benchExperimentPass), baselineExperimentSetNs)
+	step := hotpathResult(bestOf(3, benchStepHotPath), baselineCPUStepNs)
+	fast := hotpathResult(bestOf(3, benchFastLoopHotPath), baselineCPUStepNs)
+	store := hotpathResult(bestOf(3, benchShadowStoreHotPath), baselineShadowStoreNs)
+	pass := hotpathResult(bestOf(2, benchExperimentPass), baselineExperimentSetNs)
+	sweep := map[string]hotpathEntry{}
+	for _, pct := range []int{0, 1, 10, 50} {
+		sweep[fmt.Sprintf("%d_pct", pct)] =
+			hotpathResult(bestOf(2, benchTaintedSweep(pct)), baselineCPUStepNs)
+	}
 
 	if step.AllocsPerOp != 0 {
 		t.Errorf("CPU.Step allocates %d times per op in steady state, want 0", step.AllocsPerOp)
+	}
+	if fast.AllocsPerOp != 0 {
+		t.Errorf("fast loop allocates %d times per op in steady state, want 0", fast.AllocsPerOp)
+	}
+	if fast.NsPerOp > 7.0 {
+		t.Errorf("fast loop runs at %.2f ns/instr in a taint-free epoch, want <= 7", fast.NsPerOp)
 	}
 	if store.AllocsPerOp != 0 {
 		t.Errorf("shadow.Set allocates %d times per op in steady state, want 0", store.AllocsPerOp)
@@ -151,10 +257,12 @@ func TestWriteHotpathBench(t *testing.T) {
 	}
 
 	report := struct {
-		CPUStep       hotpathEntry `json:"cpu_step"`
-		ShadowStore   hotpathEntry `json:"shadow_store"`
-		ExperimentSet hotpathEntry `json:"experiment_set_serial"`
-	}{step, store, pass}
+		CPUStep       hotpathEntry            `json:"cpu_step"`
+		FastLoop      hotpathEntry            `json:"cpu_fast_loop"`
+		ShadowStore   hotpathEntry            `json:"shadow_store"`
+		ExperimentSet hotpathEntry            `json:"experiment_set_serial"`
+		TaintedSweep  map[string]hotpathEntry `json:"tainted_sweep"`
+	}{step, fast, store, pass, sweep}
 	raw, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -163,7 +271,7 @@ func TestWriteHotpathBench(t *testing.T) {
 	if err := os.WriteFile(*hotpathBenchOut, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("step %.1f ns/op (%.1fx), store %.1f ns/op (%.1fx), pass %.1f ms/op (%.1fx) -> %s",
-		step.NsPerOp, step.Speedup, store.NsPerOp, store.Speedup,
+	t.Logf("step %.1f ns/op (%.1fx), fast %.1f ns/instr, store %.1f ns/op (%.1fx), pass %.1f ms/op (%.1fx) -> %s",
+		step.NsPerOp, step.Speedup, fast.NsPerOp, store.NsPerOp, store.Speedup,
 		pass.NsPerOp/1e6, pass.Speedup, *hotpathBenchOut)
 }

@@ -347,6 +347,37 @@ func (e *Engine) Commit(pc uint32, in isa.Instr, addr uint32) error {
 	return nil
 }
 
+// EpochTaintFree reports whether every register is taint-free — the entry
+// condition of the VM's taint-free fast loop (vm.FastTracker). With all
+// registers clean and every memory access screened coarse-clean, no
+// fast-loop instruction can touch or propagate taint, so skipping Touches
+// and Commit is exact.
+func (e *Engine) EpochTaintFree() bool {
+	var u shadow.Tag
+	for i := range e.regs {
+		u |= e.regs[i][0] | e.regs[i][1] | e.regs[i][2] | e.regs[i][3]
+	}
+	return u == shadow.TagClean
+}
+
+// TaintResident reports whether any memory byte currently holds taint
+// (vm.FastTracker). When false, the fast loop skips even the coarse
+// per-access screen: with clean registers and no tainted memory anywhere,
+// no fast-set instruction can create taint.
+func (e *Engine) TaintResident() bool { return e.Shadow.TaintedBytes() != 0 }
+
+// MemCoarseClean reports whether [addr, addr+size) is taint-free at the
+// coarse domain granularity (vm.FastTracker) — the software rendering of
+// the CTT/TLB taint-bit check that guards the paper's hardware fast path.
+func (e *Engine) MemCoarseClean(addr uint32, size int) bool {
+	return !e.Shadow.RangeCoarseTainted(addr, size)
+}
+
+// CommitClean accounts n committed instructions known to be taint-free
+// (vm.FastTracker): the batched replacement for n Commit calls whose only
+// effect would have been incrementing the total.
+func (e *Engine) CommitClean(n uint64) { e.instrTotal += n }
+
 // IndirectTarget validates an indirect control transfer through register
 // reg to the given target before it executes.
 func (e *Engine) IndirectTarget(pc uint32, reg int, target uint32) error {

@@ -63,6 +63,20 @@ type Backend interface {
 	Finish(s *Session) Result
 }
 
+// BatchBackend is the optional Backend extension for integrations that
+// consume the stream in batches — the software analog of the paper's
+// commit-stream FIFO, where the monitor drains whole log chunks per
+// activation instead of taking one call per committed instruction.
+// StepBatch(s, evs) must be observably equivalent to, for each event in
+// order, advancing s.Events by one and then calling Step: under the batched
+// driver the backend owns the cursor, so implementations whose per-event
+// logic reads s.Events (pending-window filters, epoch transitions) must
+// advance it before processing each event.
+type BatchBackend interface {
+	Backend
+	StepBatch(s *Session, evs []trace.Event)
+}
+
 // Sharded is the optional Backend extension for integrations whose monitor
 // fans out over N parallel shards (the concurrent P-LATCH backend). The
 // CLIs' -shards flags and the experiment harness's Shards option reach any
@@ -102,6 +116,13 @@ type Result interface {
 // finalized, monitor shards joined — within at most CancelCheckEvents events
 // of the cancellation.
 const CancelCheckEvents = 4096
+
+// EventBatchSize is the profile driver's delivery batch: for BatchBackend
+// integrations, events accumulate in a fixed buffer handed over in slices of
+// at most this many. It divides CancelCheckEvents, so batch boundaries land
+// exactly on cancellation-poll boundaries and the poll granularity is
+// unchanged.
+const EventBatchSize = 512
 
 // RunOptions parameterizes one profile-driven run.
 type RunOptions struct {
@@ -173,17 +194,32 @@ func RunProfileSession(ctx context.Context, b Backend, p workload.Profile, opts 
 		return nil, nil, err
 	}
 	done := ctx.Done()
-	g.Run(opts.Events, trace.SinkFunc(func(ev trace.Event) {
-		s.Events++
-		b.Step(s, ev)
-		if s.Events&(CancelCheckEvents-1) == 0 && done != nil {
-			select {
-			case <-done:
-				g.Stop()
-			default:
-			}
+	if bb, ok := b.(BatchBackend); ok {
+		// Batched delivery: identical events, identical order, identical
+		// cursor positions — one StepBatch call per buffer instead of one
+		// interface call per event. The generator drains the buffer (via
+		// trace.Flusher) before every shadow mutation, so each event is
+		// checked against the same state as under per-event delivery.
+		bs := &batchingSink{bb: bb, s: s, g: g, done: done}
+		g.Run(opts.Events, bs)
+		// A canceled run drops the undelivered tail, exactly as the
+		// per-event driver stops at the poll boundary.
+		if !g.Stopped() {
+			bs.Flush()
 		}
-	}))
+	} else {
+		g.Run(opts.Events, trace.SinkFunc(func(ev trace.Event) {
+			s.Events++
+			b.Step(s, ev)
+			if s.Events&(CancelCheckEvents-1) == 0 && done != nil {
+				select {
+				case <-done:
+					g.Stop()
+				default:
+				}
+			}
+		}))
+	}
 	// Finalize unconditionally: for sharded backends Finish closes the
 	// rings and joins the monitor goroutines, which must happen on the
 	// cancellation path too.
@@ -192,6 +228,50 @@ func RunProfileSession(ctx context.Context, b Backend, p workload.Profile, opts 
 		return nil, s, ctx.Err()
 	}
 	return res, s, nil
+}
+
+// batchingSink is the profile driver's buffering sink for BatchBackend
+// integrations: the commit-stream FIFO between the generator and the
+// monitor. Events accumulate in a fixed buffer delivered in one StepBatch
+// call when full — or earlier, when the generator calls Flush before
+// mutating the shadow state. Cancellation is polled on the flush after each
+// CancelCheckEvents-sized stretch of the stream (barrier flushes shift batch
+// boundaries, so the poll keys off a watermark rather than an alignment
+// mask).
+type batchingSink struct {
+	bb       BatchBackend
+	s        *Session
+	g        *workload.Generator
+	done     <-chan struct{}
+	buf      [EventBatchSize]trace.Event
+	n        int
+	lastPoll uint64
+}
+
+// Consume implements trace.Sink.
+func (k *batchingSink) Consume(ev trace.Event) {
+	k.buf[k.n] = ev
+	k.n++
+	if k.n == EventBatchSize {
+		k.Flush()
+	}
+}
+
+// Flush implements trace.Flusher: deliver the buffered events now.
+func (k *batchingSink) Flush() {
+	if k.n == 0 {
+		return
+	}
+	k.bb.StepBatch(k.s, k.buf[:k.n])
+	k.n = 0
+	if k.s.Events-k.lastPoll >= CancelCheckEvents && k.done != nil {
+		k.lastPoll = k.s.Events
+		select {
+		case <-k.done:
+			k.g.Stop()
+		default:
+		}
+	}
 }
 
 // RunScheme runs the named registered backend, in its paper-default

@@ -1,0 +1,67 @@
+package enginetest
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"latch/internal/engine"
+	"latch/internal/platch"
+	"latch/internal/trace"
+	"latch/internal/workload"
+
+	_ "latch/internal/hlatch"
+	_ "latch/internal/slatch"
+)
+
+// stepOnly hides a backend's StepBatch so the driver takes the per-event
+// path — the reference semantics batched delivery must reproduce.
+type stepOnly struct {
+	engine.Backend
+}
+
+func (s stepOnly) Step(sess *engine.Session, ev trace.Event) { s.Backend.Step(sess, ev) }
+
+// TestBatchBackendEquivalence: every backend that opts into batched delivery
+// must produce a result identical to its own per-event path over the same
+// workload — batching is a delivery optimization, never a semantic change.
+func TestBatchBackendEquivalence(t *testing.T) {
+	p, err := workload.Get("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := engine.RunOptions{Events: 200_000}
+	for _, name := range []string{"slatch", "hlatch", "platch", "cplatch"} {
+		sch, err := engine.Lookup(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		batched := sch.New()
+		if _, ok := batched.(engine.BatchBackend); !ok {
+			t.Errorf("%s does not implement BatchBackend", name)
+			continue
+		}
+		rb, err := engine.RunProfile(context.Background(), batched, p, opts)
+		if err != nil {
+			t.Fatalf("%s batched: %v", name, err)
+		}
+		rs, err := engine.RunProfile(context.Background(), stepOnly{sch.New()}, p, opts)
+		if err != nil {
+			t.Fatalf("%s stepped: %v", name, err)
+		}
+		// P-LATCH's Ring stats report real, scheduling-dependent pipeline
+		// occupancy; everything else (flag digest, monitor taint hash,
+		// shard queues) must match exactly.
+		if cr, ok := rb.(platch.ConcurrentResult); ok {
+			cr.Ring = platch.RingStats{}
+			rb = cr
+		}
+		if cr, ok := rs.(platch.ConcurrentResult); ok {
+			cr.Ring = platch.RingStats{}
+			rs = cr
+		}
+		if !reflect.DeepEqual(rb, rs) {
+			t.Errorf("%s: batched and per-event results diverge\n batched: %+v\n stepped: %+v", name, rb, rs)
+		}
+	}
+}

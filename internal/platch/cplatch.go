@@ -420,6 +420,15 @@ func (b *cbackend) Step(s *engine.Session, ev trace.Event) {
 	})
 }
 
+// StepBatch implements engine.BatchBackend. Shard sequence numbers come from
+// s.Events, so the cursor advances before each event.
+func (b *cbackend) StepBatch(s *engine.Session, evs []trace.Event) {
+	for i := range evs {
+		s.Events++
+		b.Step(s, evs[i])
+	}
+}
+
 // Finish implements engine.Backend: close the rings, join the shards, and
 // merge their state deterministically. Finish is idempotent — call sites
 // that finalize defensively (the differential checker finalizes from a

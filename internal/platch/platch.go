@@ -367,7 +367,15 @@ func (b *backend) Config() latch.Config { return b.cfg.Latch }
 
 // Init implements engine.Backend.
 func (b *backend) Init(s *engine.Session) error {
-	b.enqueued = make([]bool, 0, s.Target)
+	// Cap the upfront reservation: Target is a budget, not a promise (a
+	// canceled run may see a sliver of it), and a huge target would turn
+	// this into a multi-hundred-MB allocation before the first event.
+	// Growth past the cap is geometric append as usual.
+	capHint := s.Target
+	if capHint > 1<<22 {
+		capHint = 1 << 22
+	}
+	b.enqueued = make([]bool, 0, capHint)
 	b.filt = newFilter(b.cfg.PendingEntries, b.cfg.PendingLagInstrs)
 	b.win = windows{size: b.cfg.WindowInstrs}
 	return nil
@@ -383,6 +391,15 @@ func (b *backend) Step(s *engine.Session, ev trace.Event) {
 	// but do not by themselves make a window an active-propagation one.
 	b.win.step(ev.Tainted)
 	b.enqueued = append(b.enqueued, enq)
+}
+
+// StepBatch implements engine.BatchBackend. The pending-window filter keys
+// its lag arithmetic off s.Events, so the cursor advances before each event.
+func (b *backend) StepBatch(s *engine.Session, evs []trace.Event) {
+	for i := range evs {
+		s.Events++
+		b.Step(s, evs[i])
+	}
 }
 
 // Finish implements engine.Backend: close the last window, then evaluate

@@ -88,6 +88,21 @@ type Server struct {
 	failed    atomic.Uint64
 	canaried  atomic.Uint64
 	draining  atomic.Bool
+
+	// Service-lifetime fast-loop aggregates, folded in from each completed
+	// job's metrics so the expvar/stats surface shows how much of the
+	// service's work the epoch-aware fast interpreter absorbed.
+	fastEntries atomic.Uint64
+	fastExits   atomic.Uint64
+	fastSteps   atomic.Uint64
+}
+
+// recordFastLoop folds one job's fast-loop counters into the
+// service-lifetime aggregates surfaced on /debug/stats and expvar.
+func (s *Server) recordFastLoop(snap latch.MetricsSnapshot) {
+	s.fastEntries.Add(snap.FastLoopEntries)
+	s.fastExits.Add(snap.FastLoopExits)
+	s.fastSteps.Add(snap.FastLoopSteps)
 }
 
 // workerState is the per-worker recycled state: one engine session per
@@ -306,13 +321,15 @@ func (s *Server) runWorkload(ctx context.Context, st *stream, ws *workerState, j
 		return
 	}
 
+	finalSnap := metrics.Snapshot()
+	s.recordFastLoop(finalSnap)
 	line := workloadResultLine{
 		Type:      "result",
 		Backend:   job.Backend,
 		Benchmark: res.BenchmarkName(),
 		Events:    res.EventCount(),
 		Checks:    res.CheckCount(),
-		Metrics:   metrics.Snapshot(),
+		Metrics:   finalSnap,
 		Elapsed:   time.Since(start).Round(time.Microsecond).String(),
 	}
 	for _, c := range res.Columns() {
@@ -390,6 +407,7 @@ func (s *Server) runProgram(ctx context.Context, st *stream, job *programJob, id
 		return
 	}
 	snap := metrics.Snapshot()
+	s.recordFastLoop(snap)
 	line := programResultLine{
 		Type:     "result",
 		ExitCode: res.ExitCode,
@@ -441,6 +459,11 @@ type Stats struct {
 	ShedQueue  uint64 `json:"shed_queue_full"`
 	ShedQuota  uint64 `json:"shed_quota"`
 	Canaried   uint64 `json:"canaried"`
+
+	// Fast-loop aggregates across every completed job.
+	FastLoopEntries uint64 `json:"fast_loop_entries"`
+	FastLoopExits   uint64 `json:"fast_loop_exits"`
+	FastLoopSteps   uint64 `json:"fast_loop_steps"`
 }
 
 // Stats returns a snapshot of the serving counters.
@@ -455,6 +478,10 @@ func (s *Server) Stats() Stats {
 		ShedQueue:  s.shedQueue.Load(),
 		ShedQuota:  s.shedQuota.Load(),
 		Canaried:   s.canaried.Load(),
+
+		FastLoopEntries: s.fastEntries.Load(),
+		FastLoopExits:   s.fastExits.Load(),
+		FastLoopSteps:   s.fastSteps.Load(),
 	}
 }
 

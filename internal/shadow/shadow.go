@@ -288,7 +288,7 @@ func (s *Shadow) Set(addr uint32, tag Tag) Tag {
 		return old
 	}
 	p.tags[off] = tag
-	di := off / s.domainSize
+	di := off >> s.domShift
 	switch {
 	case old == TagClean && tag != TagClean:
 		p.taintedBytes++
@@ -323,10 +323,116 @@ func (s *Shadow) Set(addr uint32, tag Tag) Tag {
 	return old
 }
 
-// SetRange assigns tag to n bytes starting at addr.
+// SetRange assigns tag to n bytes starting at addr. It is observably
+// equivalent to n ascending Set calls — identical counter updates and
+// watcher callback sequence — but resolves each tag page once, so the
+// taint initialization of multi-kilobyte inputs does not pay a page lookup
+// per byte.
 func (s *Shadow) SetRange(addr uint32, n int, tag Tag) {
-	for i := 0; i < n; i++ {
-		s.Set(addr+uint32(i), tag)
+	for n > 0 {
+		off := addr % mem.PageSize
+		run := int(mem.PageSize - off)
+		if run > n {
+			run = n
+		}
+		s.setPageRange(mem.PageNumber(addr), off, run, tag)
+		addr += uint32(run)
+		n -= run
+	}
+}
+
+// setPageRange applies Set's transition logic to run bytes of page pn
+// starting at page offset off (the span never crosses the page boundary).
+func (s *Shadow) setPageRange(pn, off uint32, run int, tag Tag) {
+	p := s.getPage(pn, tag != TagClean)
+	if p == nil {
+		return // clearing untracked bytes: nothing to do
+	}
+	base := pn << mem.PageShift
+	end := off + uint32(run)
+	if tag != TagClean && s.onByte == nil {
+		// Clean-span fill: when every domain the span touches holds no
+		// tainted bytes, every byte transitions, so the counters can be set
+		// wholesale. The watcher sequence matches the per-byte order: each
+		// domain fires at its first byte, and the page transition fires right
+		// after the very first domain's — and only if the page held no taint
+		// anywhere before the fill.
+		dEnd := (end - 1) >> s.domShift
+		clean := true
+		for d := off >> s.domShift; d <= dEnd; d++ {
+			if p.domainBytes[d] != 0 {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			pageWasClean := p.taintedBytes == 0
+			for i := off; i < end; i++ {
+				p.tags[i] = tag
+			}
+			p.taintedBytes += uint16(run)
+			s.taintedBytes += uint64(run)
+			for d := off >> s.domShift; d <= dEnd; d++ {
+				lo := d << s.domShift
+				if lo < off {
+					lo = off
+				}
+				hi := (d + 1) << s.domShift
+				if hi > end {
+					hi = end
+				}
+				p.domainBytes[d] = uint16(hi - lo)
+				if s.onDomain != nil {
+					s.onDomain((base>>s.domShift)+d, true)
+				}
+				if lo == off && pageWasClean {
+					s.markEverTainted(pn)
+					if s.onPage != nil {
+						s.onPage(pn, true)
+					}
+				}
+			}
+			return
+		}
+	}
+	for i := off; i < end; i++ {
+		old := p.tags[i]
+		if old == tag {
+			continue
+		}
+		p.tags[i] = tag
+		di := i >> s.domShift
+		switch {
+		case old == TagClean && tag != TagClean:
+			p.taintedBytes++
+			s.taintedBytes++
+			p.domainBytes[di]++
+			if p.domainBytes[di] == 1 && s.onDomain != nil {
+				s.onDomain((base>>s.domShift)+di, true)
+			}
+			if p.taintedBytes == 1 {
+				s.markEverTainted(pn)
+				if s.onPage != nil {
+					s.onPage(pn, true)
+				}
+			}
+			if s.onByte != nil {
+				s.onByte(base+i, true)
+			}
+		case old != TagClean && tag == TagClean:
+			p.taintedBytes--
+			s.taintedBytes--
+			p.domainBytes[di]--
+			if p.domainBytes[di] == 0 && s.onDomain != nil {
+				s.onDomain((base>>s.domShift)+di, false)
+			}
+			if p.taintedBytes == 0 && s.onPage != nil {
+				s.onPage(pn, false)
+			}
+			if s.onByte != nil {
+				s.onByte(base+i, false)
+			}
+		}
 	}
 }
 
@@ -347,6 +453,33 @@ func (s *Shadow) RangeTainted(addr uint32, n int) bool {
 	return s.RangeTag(addr, n) != TagClean
 }
 
+// RangeCoarseTainted reports whether the access [addr, addr+n) overlaps a
+// taint domain currently holding tainted bytes — the CTT/TLB-bit screen the
+// VM's fast loop applies before executing a memory access. It is a
+// conservative superset of RangeTainted (a tainted byte always taints its
+// domain), so a false return proves the range byte-clean. n must be at most
+// MinDomainSize, so the range spans at most two domains; memory operands are
+// at most a word.
+func (s *Shadow) RangeCoarseTainted(addr uint32, n int) bool {
+	if s.taintedBytes == 0 || n <= 0 {
+		return false
+	}
+	if s.domainCoarseTainted(addr) {
+		return true
+	}
+	end := addr + uint32(n) - 1
+	if end>>s.domShift != addr>>s.domShift {
+		return s.domainCoarseTainted(end)
+	}
+	return false
+}
+
+// domainCoarseTainted reports whether addr's domain holds any tainted byte.
+func (s *Shadow) domainCoarseTainted(addr uint32) bool {
+	p := s.lookup(mem.PageNumber(addr))
+	return p != nil && p.taintedBytes > 0 && p.domainBytes[(addr%mem.PageSize)>>s.domShift] > 0
+}
+
 // DomainTainted reports whether any byte of domain d is tainted.
 func (s *Shadow) DomainTainted(d uint32) bool {
 	return s.DomainTaintedBytes(d) > 0
@@ -361,7 +494,7 @@ func (s *Shadow) DomainTaintedBytes(d uint32) int {
 	if p == nil {
 		return 0
 	}
-	return int(p.domainBytes[(addr%mem.PageSize)/s.domainSize])
+	return int(p.domainBytes[(addr%mem.PageSize)>>s.domShift])
 }
 
 // TaintedAt reports whether the aligned unit of the given power-of-two size

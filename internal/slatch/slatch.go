@@ -202,6 +202,16 @@ func (b *backend) Step(s *engine.Session, ev trace.Event) {
 	}
 }
 
+// StepBatch implements engine.BatchBackend: the commit-stream-FIFO drain.
+// The cursor advances before each event so epoch transitions and traps see
+// the exact event positions the per-event driver would deliver.
+func (b *backend) StepBatch(s *engine.Session, evs []trace.Event) {
+	for i := range evs {
+		s.Events++
+		b.Step(s, evs[i])
+	}
+}
+
 // Finish implements engine.Backend.
 func (b *backend) Finish(s *engine.Session) engine.Result {
 	return Result{

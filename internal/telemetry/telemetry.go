@@ -173,6 +173,13 @@ type Observer interface {
 	// switch.
 	EpochTransition(to Mode, instret uint64)
 
+	// FastLoop reports accumulated fast-loop activity of the VM's
+	// taint-free interpreter path: epoch entries, exits back to the full
+	// loop, and instructions retired while resident. Like CacheBatch, the
+	// counts are deltas flushed at run boundaries, keeping the fast loop
+	// itself free of interface calls.
+	FastLoop(entries, exits, steps uint64)
+
 	// QueueStall reports the monitored core stalling on a full log FIFO
 	// (P-LATCH, §5.2); depth is the queue occupancy at the stall.
 	QueueStall(depth int)
@@ -201,6 +208,10 @@ type Metrics struct {
 	pendingClears atomic.Uint64 // CTC evictions with clear bits outstanding
 
 	transitions [NumModes]atomic.Uint64
+
+	fastEntries atomic.Uint64
+	fastExits   atomic.Uint64
+	fastSteps   atomic.Uint64
 
 	queueStalls   atomic.Uint64
 	queueMaxDepth atomic.Uint64
@@ -266,6 +277,19 @@ func (m *Metrics) EpochTransition(to Mode, instret uint64) {
 	}
 }
 
+// FastLoop implements Observer.
+func (m *Metrics) FastLoop(entries, exits, steps uint64) {
+	if entries > 0 {
+		m.fastEntries.Add(entries)
+	}
+	if exits > 0 {
+		m.fastExits.Add(exits)
+	}
+	if steps > 0 {
+		m.fastSteps.Add(steps)
+	}
+}
+
 // QueueStall implements Observer.
 func (m *Metrics) QueueStall(depth int) {
 	m.queueStalls.Add(1)
@@ -319,6 +343,10 @@ type Snapshot struct {
 	SwitchesToSoftware uint64 `json:"switches_to_software"`
 	SwitchesToHardware uint64 `json:"switches_to_hardware"`
 
+	FastLoopEntries uint64 `json:"fast_loop_entries"`
+	FastLoopExits   uint64 `json:"fast_loop_exits"`
+	FastLoopSteps   uint64 `json:"fast_loop_steps"`
+
 	QueueStalls   uint64 `json:"queue_stalls"`
 	QueueMaxDepth uint64 `json:"queue_max_stall_depth"`
 
@@ -353,6 +381,10 @@ func (m *Metrics) Snapshot() Snapshot {
 
 		SwitchesToSoftware: m.transitions[ModeSoftware].Load(),
 		SwitchesToHardware: m.transitions[ModeHardware].Load(),
+
+		FastLoopEntries: m.fastEntries.Load(),
+		FastLoopExits:   m.fastExits.Load(),
+		FastLoopSteps:   m.fastSteps.Load(),
 
 		QueueStalls:   m.queueStalls.Load(),
 		QueueMaxDepth: m.queueMaxDepth.Load(),
@@ -423,6 +455,13 @@ func (ms multi) CacheEviction(c Cache, pendingClears bool) {
 func (ms multi) EpochTransition(to Mode, instret uint64) {
 	for _, o := range ms {
 		o.EpochTransition(to, instret)
+	}
+}
+
+// FastLoop implements Observer.
+func (ms multi) FastLoop(entries, exits, steps uint64) {
+	for _, o := range ms {
+		o.FastLoop(entries, exits, steps)
 	}
 }
 

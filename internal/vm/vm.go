@@ -46,6 +46,46 @@ type Tracker interface {
 
 var _ Tracker = (*dift.Engine)(nil)
 
+// FastTracker is the optional Tracker extension consulted by Run's
+// taint-free fast loop (the interpreter analog of the paper's §5.1 hardware
+// fast path). When the tracker proves the current epoch taint-free — no
+// register holds taint — Run enters a second interpreter loop that skips
+// every per-operand tracker call: Touches cannot be true, Commit cannot move
+// taint, and no policy check can fire. Memory accesses are screened against
+// the coarse taint state (MemCoarseClean, the TLB-page-taint-bit analog)
+// before executing; the first potentially tainted access exits back to the
+// full loop, as do indirect jumps, syscalls, taint-state opcodes (strf,
+// stnt, ltnt), halts, and self-modifying stores. The skipped per-instruction
+// accounting is settled wholesale through CommitClean.
+//
+// The precise DIFT engine implements it. The co-simulation trackers
+// deliberately do not: their per-instruction protocol (trap modeling, module
+// statistics) is itself the measurement, so they always take the full loop.
+type FastTracker interface {
+	Tracker
+	// EpochTaintFree reports whether the tracker's register state is
+	// entirely clean — the fast loop's entry condition. While it holds and
+	// every executed access is coarse-clean, no fast-set instruction can
+	// touch or propagate taint.
+	EpochTaintFree() bool
+	// TaintResident reports whether any memory byte is currently tainted.
+	// When false at entry, the fast loop runs unguarded: no instruction in
+	// the fast set can create taint, so per-access checks are skipped
+	// entirely until the next exit.
+	TaintResident() bool
+	// MemCoarseClean reports whether [addr, addr+size) is taint-free at the
+	// tracker's coarse granularity (n is at most a word, so the span covers
+	// at most two pages). A false return exits the fast loop; the full loop
+	// then re-executes the access with precise checks.
+	MemCoarseClean(addr uint32, size int) bool
+	// CommitClean accounts n committed instructions, none of which touched
+	// tainted data — the batched replacement for n Commit calls whose only
+	// effect would have been counting.
+	CommitClean(n uint64)
+}
+
+var _ FastTracker = (*dift.Engine)(nil)
+
 // Env supplies the deterministic external world: file bytes for SysRead,
 // one buffer per inbound request for SysAccept/SysRecv, and an output sink.
 type Env struct {
@@ -89,6 +129,19 @@ var ErrStepLimit = errors.New("step limit reached")
 // context costs the loop nothing beyond the mask test.
 const CancelCheckInterval = 4096
 
+// FastRetryInterval is how often (in committed steps, a power of two) Run
+// re-evaluates the fast loop's entry condition. Entry attempts cost a
+// 16-register taint scan, so they are amortized rather than per-step; a
+// taint-handling epoch therefore runs at most this many instructions past
+// the point where the registers went clean before the fast loop resumes.
+const FastRetryInterval = 64
+
+// EventBatchSize is the capacity of the fast loop's event buffer — the
+// commit-stream FIFO depth of the batched hook delivery. The buffer is
+// flushed when full and at every fast-loop exit, in one ConsumeBatch call
+// when the hook implements trace.BatchSink.
+const EventBatchSize = 256
+
 // CPU is the LA32 machine state.
 type CPU struct {
 	Regs [isa.NumRegs]uint32
@@ -99,6 +152,16 @@ type CPU struct {
 	tracker Tracker
 	hook    trace.Sink
 	obs     telemetry.Observer
+
+	// hookBatch is hook's BatchSink view when it implements one (resolved
+	// once in SetHook); the fast loop then flushes its event buffer in a
+	// single call instead of one Consume per instruction.
+	hookBatch trace.BatchSink
+	// evbuf is the fast loop's fixed event buffer; evn its fill level. The
+	// buffer is flushed when full and at every fast-loop exit, so outside
+	// runFast it is always empty and the slow path delivers per event.
+	evbuf [EventBatchSize]trace.Event
+	evn   int
 
 	// dcache caches decoded instructions by PC so the steady-state fetch
 	// path skips both the memory load and the decoder — the interpreter's
@@ -113,6 +176,12 @@ type CPU struct {
 	// path free of interface calls.
 	reportedDecodeHits, reportedDecodeMisses uint64
 	reportedTLCHits, reportedTLCMisses       uint64
+
+	// Fast-loop lifetime counters (taint-free epoch entries, exits back to
+	// the full loop, instructions retired while resident) plus their
+	// flushed watermarks.
+	fastEntries, fastExits, fastSteps                         uint64
+	reportedFastEntries, reportedFastExits, reportedFastSteps uint64
 
 	halted   bool
 	exitCode uint32
@@ -140,8 +209,14 @@ func (c *CPU) SetTracker(t Tracker) { c.tracker = t }
 
 // SetHook attaches a per-commit event sink (nil detaches). The events carry
 // the extraction-logic view: PC, memory operand, and — when a tracker is
-// attached — the ground-truth tainted flag.
-func (c *CPU) SetHook(h trace.Sink) { c.hook = h }
+// attached — the ground-truth tainted flag. A sink that also implements
+// trace.BatchSink receives the fast loop's events in batches (identical
+// events, identical order, fewer calls); the full loop always delivers per
+// event.
+func (c *CPU) SetHook(h trace.Sink) {
+	c.hook = h
+	c.hookBatch, _ = h.(trace.BatchSink)
+}
 
 // SetObserver attaches obs to the CPU: bytes arriving through taint-source
 // syscalls (SysRead, SysRecv) are emitted through it, before any policy
@@ -164,9 +239,27 @@ func (c *CPU) Load(p *isa.Program) {
 // counts.
 func (c *CPU) DecodeCacheStats() (hits, misses uint64) { return c.dcache.Stats() }
 
+// FastLoopStats returns the fast loop's lifetime counters: taint-free epoch
+// entries, exits back to the full loop, and instructions retired inside it.
+func (c *CPU) FastLoopStats() (entries, exits, steps uint64) {
+	return c.fastEntries, c.fastExits, c.fastSteps
+}
+
+// Fusions returns the number of superinstructions the decode cache has
+// built.
+func (c *CPU) Fusions() uint64 { return c.dcache.Fusions() }
+
 // markCodePage records that page pn holds at least one cached decode.
 func (c *CPU) markCodePage(pn uint32) {
 	c.codePages[pn>>6] |= 1 << (pn & 63)
+}
+
+// insertDecode caches a decode and stamps the slot with its fast-loop kind,
+// so dispatch reads the classification from the already-resident entry. Both
+// fill paths (Step and runFast) must go through this helper: an unstamped
+// slot reads as fkExit and would pin the fast loop at that PC.
+func (c *CPU) insertDecode(pc uint32, in isa.Instr) {
+	c.dcache.Insert(pc, in).Aux = fastKinds[in.Op]
 }
 
 // noteStore invalidates cached decodes overlapped by a write of n bytes at
@@ -198,6 +291,39 @@ func (c *CPU) noteStore(addr uint32, n uint32) {
 	}
 }
 
+// storeHitsCode reports whether a store of n (>= 1) bytes at addr touches a
+// page holding cached decodes — the fast loop's self-modifying-store exit
+// test, the detection half of noteStore without the invalidation.
+func (c *CPU) storeHitsCode(addr, n uint32) bool {
+	first := mem.PageNumber(addr)
+	last := mem.PageNumber(addr + n - 1)
+	for p := first; ; p = (p + 1) % mem.PageCount {
+		if c.codePages[p>>6]&(1<<(p&63)) != 0 {
+			return true
+		}
+		if p == last {
+			return false
+		}
+	}
+}
+
+// flushEvents delivers the fast loop's buffered events to the hook: one
+// ConsumeBatch when the hook is a BatchSink, a Consume loop otherwise.
+func (c *CPU) flushEvents() {
+	if c.evn == 0 {
+		return
+	}
+	evs := c.evbuf[:c.evn]
+	c.evn = 0
+	if c.hookBatch != nil {
+		c.hookBatch.ConsumeBatch(evs)
+		return
+	}
+	for i := range evs {
+		c.hook.Consume(evs[i])
+	}
+}
+
 // counterDelta returns cur-last clamped at zero (the underlying counters can
 // restart from zero on a stats reset) and advances last.
 func counterDelta(cur uint64, last *uint64) uint64 {
@@ -209,10 +335,10 @@ func counterDelta(cur uint64, last *uint64) uint64 {
 	return d
 }
 
-// FlushCacheStats emits the decode-cache and memory-translation-cache
-// counter deltas accumulated since the last flush through the observer.
-// Run calls it on every return; drivers stepping the CPU manually can call
-// it at their own boundaries.
+// FlushCacheStats emits the decode-cache, memory-translation-cache, and
+// fast-loop counter deltas accumulated since the last flush through the
+// observer. Run calls it on every return; drivers stepping the CPU manually
+// can call it at their own boundaries.
 func (c *CPU) FlushCacheStats() {
 	if c.obs == nil {
 		return
@@ -224,6 +350,12 @@ func (c *CPU) FlushCacheStats() {
 	th, tm := c.Mem.TranslationCacheStats()
 	if h, m := counterDelta(th, &c.reportedTLCHits), counterDelta(tm, &c.reportedTLCMisses); h|m != 0 {
 		c.obs.CacheBatch(telemetry.CacheMemTLC, h, m)
+	}
+	fe := counterDelta(c.fastEntries, &c.reportedFastEntries)
+	fx := counterDelta(c.fastExits, &c.reportedFastExits)
+	fs := counterDelta(c.fastSteps, &c.reportedFastSteps)
+	if fe|fx|fs != 0 {
+		c.obs.FastLoop(fe, fx, fs)
 	}
 }
 
@@ -268,31 +400,136 @@ func cycleCost(in isa.Instr, taken bool) uint64 {
 	return 1
 }
 
+// cycleTable tabulates cycleCost(op, taken=false) for the fast loop. The
+// only opcodes whose cost depends on taken are the conditional branches
+// (+1 cycle when taken), which the dispatch switch adds at the branch site;
+// unconditional transfers already cost 2 in the untaken column.
+var cycleTable = buildCycleTable()
+
+func buildCycleTable() [256]uint8 {
+	var t [256]uint8
+	for op := 0; op < 256; op++ {
+		t[op] = uint8(cycleCost(isa.Instr{Op: isa.Op(op)}, false))
+	}
+	return t
+}
+
+// Fast-loop instruction classification: every opcode maps to one of four
+// kinds. fkExit marks the instructions the fast loop refuses to execute —
+// syscalls (taint sources/sinks), indirect jumps (tainted-pointer policy),
+// halts, and the taint-state opcodes (strf/stnt/ltnt) — because their
+// semantics involve the tracker. Everything else is register-only (fkReg),
+// a load (fkLoad), or a store (fkStore).
+const (
+	fkExit uint8 = iota
+	fkReg
+	fkLoad
+	fkStore
+)
+
+var fastKinds = buildFastKinds()
+
+func buildFastKinds() [256]uint8 {
+	var t [256]uint8
+	for op := 0; op < 256; op++ {
+		switch isa.Op(op).Class() {
+		case isa.ClassNop, isa.ClassMove, isa.ClassImm, isa.ClassALU2,
+			isa.ClassALUImm, isa.ClassBranch, isa.ClassJump:
+			t[op] = fkReg
+		case isa.ClassLoad:
+			t[op] = fkLoad
+		case isa.ClassStore:
+			t[op] = fkStore
+		default:
+			t[op] = fkExit
+		}
+	}
+	return t
+}
+
+// neverDone is Run's sentinel cancellation channel for nil and background
+// contexts: never closed, so the poll's select always takes the default arm
+// and the nil test stays out of the loop.
+var neverDone <-chan struct{} = make(chan struct{})
+
 // Run executes until HALT/SysExit, a fault, a tracker violation, context
 // cancellation, or maxSteps instructions. It returns the number of
 // instructions committed by this call.
 //
+// When the attached tracker implements FastTracker (or no tracker is
+// attached) and the epoch is taint-free, Run executes inside runFast — the
+// interpreter analog of the paper's §5.1 hardware fast path — re-checking
+// the entry condition every FastRetryInterval steps after an exit. Fast
+// segments are bounded so they end exactly on CancelCheckInterval
+// boundaries, preserving the cancellation granularity below.
+//
 // Cancellation is polled every CancelCheckInterval steps (including before
 // the first), so a canceled run stops within that bound; the context's own
 // error (context.Canceled or context.DeadlineExceeded) is returned. A nil or
-// background context disables polling entirely — the hot loop then pays only
-// a mask test per step, and Run allocates nothing either way.
+// background context costs only the never-firing select arm, and Run
+// allocates nothing either way.
 func (c *CPU) Run(ctx context.Context, maxSteps uint64) (uint64, error) {
 	defer c.FlushCacheStats()
-	var done <-chan struct{}
+	done := neverDone
 	if ctx != nil {
-		done = ctx.Done()
+		if d := ctx.Done(); d != nil {
+			done = d
+		}
 	}
+	ft, isFast := c.tracker.(FastTracker)
+	// With no tracker at all the fast loop is trivially sound: there is
+	// nothing to consult. A tracker that is not a FastTracker (the co-sim
+	// monitors) always takes the full loop.
+	fastCapable := c.tracker == nil || isFast
+	resident := false // currently inside a fast-loop residency span
 	var steps uint64
 	for !c.halted {
 		if steps >= maxSteps {
+			if resident {
+				c.fastExits++
+			}
 			return steps, Fault{PC: c.PC, Reason: ErrStepLimit.Error()}
 		}
-		if steps&(CancelCheckInterval-1) == 0 && done != nil {
+		if steps&(CancelCheckInterval-1) == 0 {
 			select {
 			case <-done:
+				if resident {
+					c.fastExits++
+				}
 				return steps, ctx.Err()
 			default:
+			}
+		}
+		if fastCapable && steps&(FastRetryInterval-1) == 0 && (ft == nil || ft.EpochTaintFree()) {
+			// Unguarded when no memory byte is tainted: the fast set cannot
+			// create taint, so per-access coarse checks are unnecessary.
+			guarded := ft != nil && ft.TaintResident()
+			// Bound the segment to the next cancellation boundary (and the
+			// step budget) so polling granularity is unchanged.
+			limit := uint64(CancelCheckInterval) - steps&(CancelCheckInterval-1)
+			if rem := maxSteps - steps; rem < limit {
+				limit = rem
+			}
+			n := c.runFast(ft, limit, guarded)
+			if n > 0 {
+				steps += n
+				c.fastSteps += n
+				if !resident {
+					c.fastEntries++
+					resident = true
+				}
+				if ft != nil {
+					ft.CommitClean(n)
+				}
+				if n == limit {
+					// Boundary reached, not an exit condition: poll and
+					// resume the same residency span.
+					continue
+				}
+			}
+			if resident {
+				c.fastExits++
+				resident = false
 			}
 		}
 		if err := c.Step(); err != nil {
@@ -301,6 +538,207 @@ func (c *CPU) Run(ctx context.Context, maxSteps uint64) (uint64, error) {
 		steps++
 	}
 	return steps, nil
+}
+
+// runFast is the taint-free fast interpreter loop: no tracker calls, no
+// shadow lookups, events buffered instead of delivered per instruction. It
+// executes at most limit instructions and returns early on the first
+// exit-class instruction (syscall, indirect jump, halt, taint-state op), the
+// first coarse-unclean memory access (guarded mode), the first store into a
+// page holding cached code, or a decode miss that fails — leaving that
+// instruction for the full loop to execute with precise checks. Returns the
+// number of instructions committed.
+//
+// The caller settles tracker accounting for the returned count via
+// FastTracker.CommitClean; events carry Tainted=false, which is exactly what
+// the full loop's Touches would have reported for a clean epoch.
+func (c *CPU) runFast(ft FastTracker, limit uint64, guarded bool) uint64 {
+	var n uint64
+	hooked := c.hook != nil
+	// Architectural state lives in locals for the duration of the segment —
+	// the PC stays in a register across instructions and the retired/cycle
+	// counters are flushed once on exit instead of read-modify-written per
+	// instruction.
+	pc := c.PC
+	r := &c.Regs
+	cycles, instret := c.cycles, c.instret
+	probe := c.dcache.Probe()
+	var hits, misses uint64
+loop:
+	for n < limit {
+		e, ok := probe.At(pc)
+		if !ok {
+			misses++
+			word := c.Mem.LoadWord(pc)
+			in, err := isa.Decode(word)
+			if err != nil {
+				break // the full loop re-decodes and surfaces the fault
+			}
+			c.insertDecode(pc, in)
+			c.markCodePage(mem.PageNumber(pc))
+			c.markCodePage(mem.PageNumber(pc + isa.WordSize - 1))
+			// Fuse opportunistically on fill: backwards (the predecessor may
+			// have been waiting for this decode) and forwards.
+			if pc >= isa.WordSize {
+				c.dcache.TryFuse(pc - isa.WordSize)
+			}
+			c.dcache.TryFuse(pc)
+			continue
+		}
+		hits++
+		in, k := e.In, e.Aux
+		fused := e.Fuse != isa.FuseNone
+		// The inner loop runs once for a plain entry and twice for a fused
+		// superinstruction: the successor re-enters with fused cleared.
+		// Fusible guarantees the first slot never redirects the PC (so the
+		// successor is architecturally next) and the second slot is
+		// register-only or a branch — always fkReg, never an exit class.
+		for {
+			if k == fkExit {
+				break loop
+			}
+			var addr uint32
+			var size uint8
+			if k != fkReg && (guarded || hooked || k == fkStore) {
+				// The effective address is only needed by the coarse screen,
+				// the self-modifying-store screen, and the event stream; an
+				// unguarded, unhooked load computes it at its opcode alone.
+				addr = r[in.Rs1] + uint32(in.Imm)
+				size = uint8(in.Op.MemSize())
+				if guarded && !ft.MemCoarseClean(addr, int(size)) {
+					break loop // potentially tainted access: full loop re-executes it
+				}
+				if k == fkStore && c.storeHitsCode(addr, uint32(size)) {
+					break loop // self-modifying store: full loop handles invalidation
+				}
+			}
+			// Architectural semantics, mirroring exec for the fast set. A
+			// store reaching this switch passed the code-page screen, so the
+			// noteStore walk exec performs is skipped as a proven no-op.
+			next := pc + isa.WordSize
+			switch in.Op {
+			case isa.NOP:
+			case isa.MOV:
+				r[in.Rd] = r[in.Rs1]
+			case isa.MOVI:
+				r[in.Rd] = uint32(in.Imm)
+			case isa.LUI:
+				r[in.Rd] = uint32(uint16(in.Imm)) << 16
+			case isa.ORI:
+				r[in.Rd] = r[in.Rs1] | uint32(uint16(in.Imm))
+			case isa.ADD:
+				r[in.Rd] = r[in.Rs1] + r[in.Rs2]
+			case isa.SUB:
+				r[in.Rd] = r[in.Rs1] - r[in.Rs2]
+			case isa.AND:
+				r[in.Rd] = r[in.Rs1] & r[in.Rs2]
+			case isa.OR:
+				r[in.Rd] = r[in.Rs1] | r[in.Rs2]
+			case isa.XOR:
+				r[in.Rd] = r[in.Rs1] ^ r[in.Rs2]
+			case isa.SHL:
+				r[in.Rd] = r[in.Rs1] << (r[in.Rs2] & 31)
+			case isa.SHR:
+				r[in.Rd] = r[in.Rs1] >> (r[in.Rs2] & 31)
+			case isa.SAR:
+				r[in.Rd] = uint32(int32(r[in.Rs1]) >> (r[in.Rs2] & 31))
+			case isa.MUL:
+				r[in.Rd] = r[in.Rs1] * r[in.Rs2]
+			case isa.DIVU:
+				if r[in.Rs2] == 0 {
+					r[in.Rd] = ^uint32(0)
+				} else {
+					r[in.Rd] = r[in.Rs1] / r[in.Rs2]
+				}
+			case isa.SLT:
+				if int32(r[in.Rs1]) < int32(r[in.Rs2]) {
+					r[in.Rd] = 1
+				} else {
+					r[in.Rd] = 0
+				}
+			case isa.SLTU:
+				if r[in.Rs1] < r[in.Rs2] {
+					r[in.Rd] = 1
+				} else {
+					r[in.Rd] = 0
+				}
+			case isa.ADDI:
+				r[in.Rd] = r[in.Rs1] + uint32(in.Imm)
+			case isa.ANDI:
+				r[in.Rd] = r[in.Rs1] & uint32(uint16(in.Imm))
+			case isa.XORI:
+				r[in.Rd] = r[in.Rs1] ^ uint32(uint16(in.Imm))
+			case isa.LDB:
+				r[in.Rd] = uint32(c.Mem.LoadByte(r[in.Rs1] + uint32(in.Imm)))
+			case isa.LDH:
+				r[in.Rd] = uint32(c.Mem.LoadHalf(r[in.Rs1] + uint32(in.Imm)))
+			case isa.LDW:
+				r[in.Rd] = c.Mem.LoadWord(r[in.Rs1] + uint32(in.Imm))
+			case isa.STB:
+				c.Mem.StoreByte(addr, byte(r[in.Rd]))
+			case isa.STH:
+				c.Mem.StoreHalf(addr, uint16(r[in.Rd]))
+			case isa.STW:
+				c.Mem.StoreWord(addr, r[in.Rd])
+			case isa.BEQ:
+				if r[in.Rd] == r[in.Rs1] {
+					next = branchTarget(pc, in.Imm)
+					cycles++ // taken-branch penalty
+				}
+			case isa.BNE:
+				if r[in.Rd] != r[in.Rs1] {
+					next = branchTarget(pc, in.Imm)
+					cycles++
+				}
+			case isa.BLT:
+				if int32(r[in.Rd]) < int32(r[in.Rs1]) {
+					next = branchTarget(pc, in.Imm)
+					cycles++
+				}
+			case isa.BGE:
+				if int32(r[in.Rd]) >= int32(r[in.Rs1]) {
+					next = branchTarget(pc, in.Imm)
+					cycles++
+				}
+			case isa.JMP:
+				next = branchTarget(pc, in.Imm)
+			case isa.CALL:
+				r[isa.RegLR] = next
+				next = branchTarget(pc, in.Imm)
+			default:
+				// Defensive: fastKinds admits nothing else.
+				break loop
+			}
+			cycles += uint64(cycleTable[in.Op])
+			instret++
+			n++
+			if hooked {
+				c.evbuf[c.evn] = trace.Event{
+					Seq:     instret,
+					PC:      pc,
+					IsMem:   k != fkReg,
+					IsWrite: k == fkStore,
+					Addr:    addr,
+					Size:    size,
+				}
+				c.evn++
+				if c.evn == EventBatchSize {
+					c.flushEvents()
+				}
+			}
+			pc = next
+			if !fused || n >= limit {
+				break
+			}
+			in, k, fused = e.Next, fkReg, false
+		}
+	}
+	c.PC = pc
+	c.cycles = cycles
+	c.instret = instret
+	c.dcache.AddStats(hits, misses)
+	c.flushEvents()
+	return n
 }
 
 // Step executes one instruction.
@@ -317,18 +755,25 @@ func (c *CPU) Step() error {
 		if err != nil {
 			return Fault{PC: pc, Reason: err.Error()}
 		}
-		c.dcache.Insert(pc, in)
+		c.insertDecode(pc, in)
 		// Mark every page the instruction word spans so stores over it are
 		// caught. (A decode-cache hit skips LoadWord, but the accessed-pages
 		// set is monotone: this fill already noted the fetch page.)
 		c.markCodePage(mem.PageNumber(pc))
 		c.markCodePage(mem.PageNumber(pc + isa.WordSize - 1))
+		// Build superinstructions on fill so warm code is fused no matter
+		// which loop populated the cache.
+		if pc >= isa.WordSize {
+			c.dcache.TryFuse(pc - isa.WordSize)
+		}
+		c.dcache.TryFuse(pc)
 	}
 
 	// Effective address for memory operands, known before execution.
 	var addr uint32
 	var size uint8
-	isMem := in.ReadsMem() || in.WritesMem()
+	writesMem := in.WritesMem()
+	isMem := in.ReadsMem() || writesMem
 	if isMem {
 		addr = c.Regs[in.Rs1] + uint32(in.Imm)
 		size = uint8(in.Op.MemSize())
@@ -363,7 +808,7 @@ func (c *CPU) Step() error {
 			Seq:     c.instret,
 			PC:      pc,
 			IsMem:   isMem,
-			IsWrite: in.WritesMem(),
+			IsWrite: writesMem,
 			Addr:    addr,
 			Size:    size,
 			Tainted: touches,

@@ -52,6 +52,12 @@ type Generator struct {
 	// stopped the stream must not be continued — the abandoned epoch
 	// schedule state would skew subsequent epochs.
 	stopped bool
+
+	// flusher is the sink's trace.Flusher view (resolved per Run call, nil
+	// for non-buffering sinks). The stream interleaves shadow mutations with
+	// events, and a buffering consumer checks events against live state — so
+	// every mutation is preceded by a barrier draining the buffer.
+	flusher trace.Flusher
 }
 
 // basePage is the page number where generated footprints start
@@ -212,10 +218,17 @@ func (g *Generator) materialize() {
 			if off+n > mem.PageSize {
 				n = mem.PageSize - off
 			}
-			// Byte-wise because the page phase may wrap a run across the
-			// page-offset space.
-			for b := 0; b < n; b++ {
-				g.sh.Set(pageBase+uint32(g.rotate(page, off+b)), tag)
+			// The rotated run is contiguous in page-offset space except for
+			// at most one wrap, so it materializes as one or two bulk range
+			// writes — in the same byte order a byte-wise loop would use.
+			start := g.rotate(page, off)
+			first := n
+			if start+first > mem.PageSize {
+				first = mem.PageSize - start
+			}
+			g.sh.SetRange(pageBase+uint32(start), first, tag)
+			if n > first {
+				g.sh.SetRange(pageBase, n-first, tag)
 			}
 		}
 	}
@@ -278,6 +291,9 @@ func (g *Generator) nextTaintAddr() (addr uint32, finishedRun int) {
 			// Cursor wrap: restore every freed run so the enumeration stays
 			// consistent with the byte-precise state.
 			g.taintIdx = 0
+			if len(g.freed) > 0 {
+				g.barrier()
+			}
 			for _, f := range g.freed {
 				g.setRunTaint(f.idx, f.n, shadow.MustLabel(0))
 			}
@@ -286,6 +302,14 @@ func (g *Generator) nextTaintAddr() (addr uint32, finishedRun int) {
 		}
 	}
 	return addr, finishedRun
+}
+
+// barrier drains any buffering sink before a shadow mutation, keeping
+// batched delivery observably identical to per-event delivery.
+func (g *Generator) barrier() {
+	if g.flusher != nil {
+		g.flusher.Flush()
+	}
 }
 
 // retaint is a deferred re-assertion of taint over a churned run,
@@ -305,6 +329,17 @@ func (g *Generator) setRunTaint(idx, n int, tag shadow.Tag) {
 
 // applyRetaints re-taints every churned run whose deadline has passed.
 func (g *Generator) applyRetaints() {
+	due := false
+	for _, r := range g.pending {
+		if r.due <= g.seq {
+			due = true
+			break
+		}
+	}
+	if !due {
+		return
+	}
+	g.barrier()
 	n := 0
 	for _, r := range g.pending {
 		if r.due > g.seq {
@@ -319,6 +354,10 @@ func (g *Generator) applyRetaints() {
 
 // flushRetaints re-taints every outstanding churned run immediately.
 func (g *Generator) flushRetaints() {
+	if len(g.pending) == 0 {
+		return
+	}
+	g.barrier()
 	for _, r := range g.pending {
 		g.setRunTaint(r.idx, r.n, shadow.MustLabel(0))
 	}
@@ -368,6 +407,9 @@ func (g *Generator) activeInstr(sink trace.Sink) {
 		// complete runs is what retires whole taint domains and gives the
 		// clear-bit scan real work (§5.1.4).
 		if finishedRun >= 0 && g.p.ChurnProb > 0 && g.rng.Float64() < g.p.ChurnProb {
+			// The event above observed the pre-write state: drain it before
+			// clearing.
+			g.barrier()
 			g.setRunTaint(finishedRun*g.p.RunLen, g.p.RunLen, shadow.TagClean)
 			r := retaint{idx: finishedRun * g.p.RunLen, n: g.p.RunLen, due: g.seq + 64}
 			if g.rng.Float64() < 0.5 {
@@ -395,7 +437,10 @@ func (g *Generator) Stop() { g.stopped = true }
 func (g *Generator) Stopped() bool { return g.stopped }
 
 // Run generates n events into sink. Repeated calls continue the stream.
+// A sink implementing trace.Flusher is drained before every shadow mutation,
+// so buffered delivery observes the same state per event as direct delivery.
 func (g *Generator) Run(n uint64, sink trace.Sink) {
+	g.flusher, _ = sink.(trace.Flusher)
 	var emitted uint64
 	r := g.p.ActiveShare / (1 - g.p.ActiveShare)
 	for emitted < n {

@@ -1,0 +1,184 @@
+// Command bench-gate is the hot-path performance regression gate: it re-runs
+// the benchmarks behind the committed BENCH_hotpath.json artifact and fails
+// if any of them has regressed significantly against the committed numbers.
+//
+// Methodology (benchstat-style, adapted for a gate): each benchmark is run
+// -count times and the MINIMUM ns/op is compared against the committed
+// value. The minimum is the right summary statistic for gating because
+// scheduler preemption, frequency scaling, and cache pollution only ever
+// slow a run down — the fastest sample is the closest observation of the
+// code's true cost. A regression is "significant" when the best of N fresh
+// runs is still more than -tolerance (default 25%) slower than the
+// committed number; smaller deltas are reported but do not fail, since
+// run-to-run and machine-to-machine noise on these sub-10ns loops routinely
+// reaches 10-15%.
+//
+// The gate also re-asserts the zero-allocation bar on the per-instruction
+// paths (CPU.Step, the fast loop, shadow.Set): those must stay at
+// 0 allocs/op regardless of timing.
+//
+// Run via `make bench-gate`. This is a required gate for any change to the
+// interpreter hot path (internal/vm, internal/isa's decode cache,
+// internal/shadow, internal/dift): run it before and after, and re-record
+// the artifact with `make bench` only for intentional, explained changes.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// gate ties one committed BENCH_hotpath.json entry to the benchmark that
+// produced it.
+type gate struct {
+	key        string // JSON field in BENCH_hotpath.json
+	bench      string // anchored -bench regexp
+	pkg        string // package path for `go test`
+	benchtime  string
+	count      int
+	zeroAllocs bool // fail on any allocation, not just timing
+}
+
+var gates = []gate{
+	{key: "cpu_step", bench: "BenchmarkCPUStep", pkg: "./internal/vm", benchtime: "100ms", count: 5, zeroAllocs: true},
+	{key: "cpu_fast_loop", bench: "BenchmarkFastLoop", pkg: ".", benchtime: "100ms", count: 5, zeroAllocs: true},
+	{key: "shadow_store", bench: "BenchmarkShadowStore", pkg: "./internal/shadow", benchtime: "100ms", count: 5, zeroAllocs: true},
+	{key: "experiment_set_serial", bench: "BenchmarkExperimentsSerial", pkg: ".", benchtime: "1x", count: 3},
+}
+
+type committedEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type sample struct {
+	nsPerOp     float64
+	allocsPerOp int64
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_hotpath.json", "committed hot-path benchmark artifact to gate against")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional slowdown before the gate fails")
+	flag.Parse()
+
+	if err := run(*baseline, *tolerance); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-gate:", err)
+		os.Exit(1)
+	}
+	fmt.Println("bench-gate: OK")
+}
+
+func run(baselinePath string, tolerance float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	committed := map[string]json.RawMessage{}
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+
+	failed := false
+	for _, g := range gates {
+		entryRaw, ok := committed[g.key]
+		if !ok {
+			return fmt.Errorf("%s: no %q entry — re-record with `make bench`", baselinePath, g.key)
+		}
+		var want committedEntry
+		if err := json.Unmarshal(entryRaw, &want); err != nil {
+			return fmt.Errorf("parse %s entry %q: %w", baselinePath, g.key, err)
+		}
+
+		best, err := runBench(g)
+		if err != nil {
+			return fmt.Errorf("%s: %w", g.bench, err)
+		}
+
+		delta := best.nsPerOp/want.NsPerOp - 1
+		verdict := "ok"
+		switch {
+		case delta > tolerance:
+			verdict = "REGRESSED"
+			failed = true
+		case delta < -tolerance:
+			verdict = "improved (re-record with `make bench`)"
+		}
+		fmt.Printf("%-22s committed %12.2f ns/op   best-of-%d %12.2f ns/op   %+6.1f%%   %s\n",
+			g.key, want.NsPerOp, g.count, best.nsPerOp, delta*100, verdict)
+
+		if g.zeroAllocs && best.allocsPerOp != 0 {
+			fmt.Printf("%-22s allocates %d times per op, want 0\n", g.key, best.allocsPerOp)
+			failed = true
+		}
+	}
+	if failed {
+		return fmt.Errorf("significant hot-path regression (tolerance %.0f%%)", tolerance*100)
+	}
+	return nil
+}
+
+// runBench runs one benchmark -count times in a single `go test` invocation
+// and returns the fastest sample.
+func runBench(g gate) (sample, error) {
+	cmd := exec.Command("go", "test", "-run=^$", "-bench=^"+g.bench+"$",
+		"-benchtime="+g.benchtime, "-count="+strconv.Itoa(g.count), "-benchmem", g.pkg)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return sample{}, fmt.Errorf("go test: %w\n%s", err, out.String())
+	}
+
+	best := sample{nsPerOp: -1}
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		s, ok := parseBenchLine(sc.Text(), g.bench)
+		if !ok {
+			continue
+		}
+		if best.nsPerOp < 0 || s.nsPerOp < best.nsPerOp {
+			best = s
+		}
+	}
+	if best.nsPerOp < 0 {
+		return sample{}, fmt.Errorf("no %q result in go test output:\n%s", g.bench, out.String())
+	}
+	return best, nil
+}
+
+// parseBenchLine parses a standard `go test -bench -benchmem` result line:
+//
+//	BenchmarkFastLoop-4   185236110   6.401 ns/op   0 B/op   0 allocs/op
+func parseBenchLine(line, bench string) (sample, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], bench) {
+		return sample{}, false
+	}
+	// The name must be exactly `bench` or `bench-GOMAXPROCS`.
+	if rest := f[0][len(bench):]; rest != "" && !strings.HasPrefix(rest, "-") {
+		return sample{}, false
+	}
+	var s sample
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return sample{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			s.nsPerOp = v
+			seen = true
+		case "allocs/op":
+			s.allocsPerOp = int64(v)
+		}
+	}
+	return s, seen
+}

@@ -114,6 +114,19 @@ func run() error {
 		return fmt.Errorf("canary divergences: %v", canary.Divergences)
 	}
 
+	// The program jobs ran clean epochs, so the service-lifetime fast-loop
+	// aggregates on the stats surface must be live.
+	var stats struct {
+		FastLoopEntries uint64 `json:"fast_loop_entries"`
+		FastLoopSteps   uint64 `json:"fast_loop_steps"`
+	}
+	if err := getJSON(base+"/debug/stats", &stats); err != nil {
+		return err
+	}
+	if stats.FastLoopEntries == 0 || stats.FastLoopSteps == 0 {
+		return fmt.Errorf("fast-loop aggregates missing from /debug/stats: %+v", stats)
+	}
+
 	for _, path := range []string{"/v1/backends", "/debug/stats", "/debug/vars"} {
 		resp, err := http.Get(base + path)
 		if err != nil {
