@@ -49,12 +49,18 @@ serve-smoke:
 	$(GO) run ./tools/serve-smoke
 
 # Facade hygiene: RunBackend/RunShardedBackend are deprecated in favor of
-# the context-aware, request-struct latch.Run. The wrappers stay for
-# compatibility, but no code in this repository may call them.
+# the context-aware, request-struct latch.Run, and dift.DefaultPolicy is
+# deprecated in favor of policy.Default (via the latch.DefaultPolicy
+# facade). The wrappers stay for compatibility, but no code in this
+# repository may call them.
 deprecation-gate:
 	@out="$$(grep -rn --include='*.go' -E 'latch\.Run(Sharded)?Backend\(' . || true)"; \
 	if [ -n "$$out" ]; then \
 		echo "deprecated facade calls (use latch.Run with a RunRequest):"; \
+		echo "$$out"; exit 1; fi
+	@out="$$(grep -rn --include='*.go' -E 'dift\.DefaultPolicy\(' . || true)"; \
+	if [ -n "$$out" ]; then \
+		echo "deprecated dift.DefaultPolicy calls (use policy.Default / latch.DefaultPolicy):"; \
 		echo "$$out"; exit 1; fi
 
 # Differential smoke tier: every registered backend against the
@@ -66,10 +72,16 @@ deprecation-gate:
 diffcheck:
 	$(GO) run ./cmd/latch-fuzz -seed 1 -cases 200 -corpus testdata/diffcheck
 
-# Coverage gate for the engine substrate: every backend, the experiment
-# harness, and the CLIs sit on internal/engine, so its statement coverage
-# must stay at or above 85%.
+# Coverage gates: every backend, the experiment harness, and the CLIs sit
+# on internal/engine, and every taint decision flows through the
+# declarative internal/policy layer — both must hold statement coverage at
+# or above 85%.
 cover:
+	$(GO) test -coverprofile=/tmp/policy.cover ./internal/policy
+	@total="$$($(GO) tool cover -func=/tmp/policy.cover | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}')"; \
+	echo "internal/policy coverage: $$total%"; \
+	awk "BEGIN { exit !($$total >= 85) }" || \
+		{ echo "internal/policy coverage $$total% is below the 85% floor"; exit 1; }
 	$(GO) test -coverprofile=/tmp/engine.cover ./internal/engine
 	@total="$$($(GO) tool cover -func=/tmp/engine.cover | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}')"; \
 	echo "internal/engine coverage: $$total%"; \
@@ -82,7 +94,9 @@ cover:
 # experiment pass against the pre-overhaul baselines), and the concurrent
 # P-LATCH report (BENCH_cplatch.json: serial analytic platch vs the
 # lock-free pipeline at 1/2/4/8 monitor shards, with the zero-alloc
-# producer-step bar enforced).
+# producer-step bar enforced), and the selective-tracing frontier
+# (BENCH_sampling.json: detection rate vs S-LATCH overhead across the
+# sampling-fraction sweep).
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 	$(GO) test ./internal/latch -run TestWriteObservabilityBench \
@@ -91,6 +105,8 @@ bench:
 		-hotpath-bench-out $(CURDIR)/BENCH_hotpath.json
 	$(GO) test ./internal/platch -run TestWriteCPlatchBench \
 		-cplatch-bench-out $(CURDIR)/BENCH_cplatch.json
+	$(GO) test ./internal/experiments -run TestWriteSamplingBench \
+		-sampling-bench-out $(CURDIR)/BENCH_sampling.json
 
 # Benchstat-friendly re-run of the hot-path benchmarks with pinned count
 # and benchtime, for diffing against the committed BENCH_hotpath.json:

@@ -54,6 +54,13 @@ type RunRequest struct {
 	// Observer, when non-nil, receives the run's telemetry. Observers are
 	// strictly passive and never affect results.
 	Observer Observer
+	// Policy, when non-nil, is the run's taint policy. For workload-replay
+	// runs only the Sampling spec has an effect: it deterministically
+	// selects which of the profile's taint runs are materialized and
+	// observed tainted (selective tracing). Nil — and equally a policy
+	// with sampling disabled or SampleFraction 1.0 — reproduces the
+	// default pipeline byte-identically.
+	Policy *Policy
 }
 
 // DefaultRunEvents is the stream length a RunRequest with Events == 0 runs:
@@ -89,6 +96,11 @@ func (r RunRequest) Validate() error {
 			return fmt.Errorf("latch: backend %s does not support shard configuration", r.Backend)
 		}
 	}
+	if r.Policy != nil {
+		if err := r.Policy.Validate(); err != nil {
+			return fmt.Errorf("latch: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -122,10 +134,14 @@ func Run(ctx context.Context, req RunRequest) (BackendResult, error) {
 	if events == 0 {
 		events = DefaultRunEvents
 	}
-	return engine.RunProfile(ctx, b, p, engine.RunOptions{
+	opts := engine.RunOptions{
 		Events:   events,
 		Observer: req.Observer,
-	})
+	}
+	if req.Policy != nil {
+		opts.Policy = *req.Policy
+	}
+	return engine.RunProfile(ctx, b, p, opts)
 }
 
 // RunBackend streams one calibrated workload through the named backend in

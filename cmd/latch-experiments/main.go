@@ -12,6 +12,8 @@
 //	latch-experiments -workers 8           # bound the worker pool
 //	latch-experiments -workers 1 -stats    # serial reference + job table
 //	latch-experiments -metrics out.json    # dump the telemetry registry
+//	latch-experiments -exp sampling -sample 0.25 -sample-seed 7
+//	latch-experiments -policy pol.json     # run every pass under a policy
 //
 // Experiments fan out one job per (experiment, benchmark) pair on a worker
 // pool sized by -workers (default: one worker per CPU). Every job derives
@@ -33,6 +35,7 @@ import (
 	"time"
 
 	"latch/internal/experiments"
+	"latch/internal/policy"
 	"latch/internal/stats"
 )
 
@@ -49,6 +52,9 @@ func main() {
 		shards      = flag.Int("shards", 0, "monitor shard count for sharded backends (cplatch); 0 keeps backend defaults")
 		showStats   = flag.Bool("stats", false, "print the per-pass job statistics table after the run")
 		metricsOut  = flag.String("metrics", "", "write the per-pass telemetry registry to this file as JSON")
+		polPath     = flag.String("policy", "", "JSON taint-policy file overlaid onto the default; applies to every pass")
+		sampleFrac  = flag.Float64("sample", -1, "source-sampling fraction in [0,1] (selective tracing)")
+		sampleSeed  = flag.Uint64("sample-seed", 0, "sampler seed for -sample (or to override the -policy file's)")
 	)
 	flag.Parse()
 	if *format != "text" && *format != "json" && *format != "markdown" {
@@ -76,6 +82,31 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Shards = *shards
+	if *polPath != "" || *sampleFrac >= 0 || *sampleSeed != 0 {
+		pol := policy.Default()
+		if *polPath != "" {
+			data, err := os.ReadFile(*polPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if err := json.Unmarshal(data, &pol); err != nil {
+				fmt.Fprintf(os.Stderr, "bad -policy file: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		if *sampleFrac >= 0 {
+			pol.Sampling.SampleFraction = *sampleFrac
+		}
+		if *sampleSeed != 0 {
+			pol.Sampling.SampleSeed = *sampleSeed
+		}
+		if err := pol.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Policy = pol
+	}
 	runner := experiments.NewRunner(opts)
 
 	selected := experiments.Catalog

@@ -12,6 +12,11 @@
 // Taint sources: -file supplies SysRead data, -request (repeatable) supplies
 // one inbound connection each for SysAccept/SysRecv.
 //
+// Policies: -policy overlays a JSON taint policy (see latch.Policy) onto the
+// default; -sample F and -sample-seed S arm the deterministic source sampler
+// (selective tracing) without a policy file. Both compose with -backend,
+// where the sampler selects which of the workload's taint runs are traced.
+//
 // Observability: -telemetry prints the telemetry registry (see
 // internal/telemetry) after the run; -cpuprofile and -memprofile write pprof
 // profiles of the simulator itself; -expvar serves /debug/vars (including
@@ -71,6 +76,9 @@ func run() int {
 		listBack   = flag.Bool("list-backends", false, "list registered backends and exit")
 		slowdown   = flag.Float64("sw-slowdown", 5, "software DIFT slowdown for -slatch")
 		leak       = flag.Bool("check-leak", false, "enable the output-leak check")
+		polPath    = flag.String("policy", "", "JSON taint-policy file overlaid onto the default policy")
+		sampleFrac = flag.Float64("sample", -1, "source-sampling fraction in [0,1] (selective tracing); 1 traces every source")
+		sampleSeed = flag.Uint64("sample-seed", 0, "sampler seed for -sample (or to override a -policy file's seed)")
 		saveTnt    = flag.String("save-taint", "", "write a taint snapshot after the run")
 		maxSteps   = flag.Uint64("max-steps", 10_000_000, "instruction budget")
 		deadline   = flag.Duration("deadline", 0, "wall-clock budget for the run (0 = none)")
@@ -96,6 +104,9 @@ func run() int {
 		SLatch:   *coSLatch,
 		NoDift:   *noDift,
 		Disasm:   *disasm,
+		Policy:   *polPath,
+		Sample:   *sampleFrac,
+		Seed:     *sampleSeed,
 	}); err != nil {
 		return fail(err)
 	}
@@ -119,8 +130,17 @@ func run() int {
 		}
 		return 0
 	}
+	pol, polGiven, err := loadPolicy(*polPath, *sampleFrac, *sampleSeed, *leak)
+	if err != nil {
+		return fail(err)
+	}
+
 	if *backend != "" {
-		return runBackend(ctx, *backend, *workloadNm, *events, *shards, *telemetry)
+		var reqPol *latch.Policy
+		if polGiven {
+			reqPol = &pol
+		}
+		return runBackend(ctx, *backend, *workloadNm, *events, *shards, reqPol, *telemetry)
 	}
 
 	src, err := loadSource(*progName, *srcPath)
@@ -172,9 +192,6 @@ func run() int {
 			}
 		}()
 	}
-
-	pol := latch.DefaultPolicy()
-	pol.CheckLeak = *leak
 
 	input := []byte(*fileData)
 	if *fileHex != "" {
@@ -241,7 +258,7 @@ func run() int {
 
 // runBackend streams one calibrated workload through a registered backend
 // and reports its scheme-agnostic result.
-func runBackend(ctx context.Context, backend, workloadName string, events uint64, shards int, telemetry bool) int {
+func runBackend(ctx context.Context, backend, workloadName string, events uint64, shards int, pol *latch.Policy, telemetry bool) int {
 	metrics := latch.NewMetrics()
 	res, err := latch.Run(ctx, latch.RunRequest{
 		Backend:  backend,
@@ -249,6 +266,7 @@ func runBackend(ctx context.Context, backend, workloadName string, events uint64
 		Events:   events,
 		Shards:   shards,
 		Observer: metrics,
+		Policy:   pol,
 	})
 	if err != nil {
 		return fail(err)
@@ -338,6 +356,38 @@ func assembleOrLoad(src string) (*isa.Program, error) {
 	return isa.Assemble(src)
 }
 
+// loadPolicy builds the run's effective taint policy: the default, with the
+// -policy JSON file overlaid, the -check-leak/-sample/-sample-seed flags
+// applied on top, and the result validated. given reports whether any policy
+// flag was set at all, so callers that distinguish "no policy" from "the
+// default policy" (RunRequest.Policy) can preserve the default pipeline.
+func loadPolicy(path string, sample float64, seed uint64, leak bool) (latch.Policy, bool, error) {
+	pol := latch.DefaultPolicy()
+	given := path != "" || sample >= 0 || seed != 0
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return pol, given, err
+		}
+		if err := json.Unmarshal(data, &pol); err != nil {
+			return pol, given, fmt.Errorf("bad -policy file: %w", err)
+		}
+	}
+	if leak {
+		pol.CheckLeak = true
+	}
+	if sample >= 0 {
+		pol.Sampling.SampleFraction = sample
+	}
+	if seed != 0 {
+		pol.Sampling.SampleSeed = seed
+	}
+	if err := pol.Validate(); err != nil {
+		return pol, given, err
+	}
+	return pol, given, nil
+}
+
 // flagSet is the subset of latch-run's flags whose combinations can
 // contradict each other.
 type flagSet struct {
@@ -346,6 +396,9 @@ type flagSet struct {
 	Shards                                     int
 	Deadline                                   time.Duration
 	SLatch, NoDift, Disasm                     bool
+	Policy                                     string
+	Sample                                     float64
+	Seed                                       uint64
 }
 
 // checkFlagConflicts rejects contradictory flag combinations up front, so a
@@ -385,6 +438,12 @@ func checkFlagConflicts(f flagSet) error {
 	}
 	if f.NoDift && f.SaveTnt != "" {
 		return fmt.Errorf("-save-taint needs taint tracking and cannot be combined with -no-dift")
+	}
+	if f.NoDift && (f.Policy != "" || f.Sample >= 0 || f.Seed != 0) {
+		return fmt.Errorf("-policy/-sample configure taint tracking and cannot be combined with -no-dift")
+	}
+	if f.Seed != 0 && f.Sample < 0 && f.Policy == "" {
+		return fmt.Errorf("-sample-seed needs a sampler: give -sample or a -policy file with a sampling spec")
 	}
 	if f.Shards != 0 && f.Backend == "" {
 		return fmt.Errorf("-shards configures a backend's monitor and requires -backend")

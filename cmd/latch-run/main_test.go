@@ -34,9 +34,21 @@ func TestCheckFlagConflicts(t *testing.T) {
 		{"no-dift and save-taint", flagSet{Prog: "p", NoDift: true, SaveTnt: "t.bin"}, "cannot be combined with -no-dift"},
 		{"shards without backend", flagSet{Shards: 4}, "requires -backend"},
 		{"negative shards", flagSet{Backend: "cplatch", Shards: -1}, "must be positive"},
+
+		{"sampled run", flagSet{Prog: "overflow", Sample: 0.5, Seed: 3}, ""},
+		{"policy file run", flagSet{Prog: "overflow", Policy: "pol.json"}, ""},
+		{"sampled backend", flagSet{Backend: "slatch", Sample: 0.5}, ""},
+		{"no-dift and sample", flagSet{Prog: "p", NoDift: true, Sample: 0.5}, "cannot be combined with -no-dift"},
+		{"no-dift and policy", flagSet{Prog: "p", NoDift: true, Policy: "pol.json"}, "cannot be combined with -no-dift"},
+		{"seed without sampler", flagSet{Prog: "p", Seed: 3}, "needs a sampler"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
+			// The zero flagSet stands for the parsed defaults, where the
+			// -sample sentinel is -1 (unset), not 0.
+			if c.flags.Sample == 0 {
+				c.flags.Sample = -1
+			}
 			err := checkFlagConflicts(c.flags)
 			if c.wantErr == "" {
 				if err != nil {

@@ -9,6 +9,7 @@
 //	latch-serve -workers 4 -queue 32 -deadline 10s -canary 8
 //	latch-serve -quota-rate 5 -quota-burst 10          # per-tenant
 //	latch-serve -backends slatch,hlatch                # restrict schemes
+//	latch-serve -allow-policy -pin-checks control-flow -min-sample 0.25
 //
 // Endpoints:
 //
@@ -20,6 +21,11 @@
 //	GET  /debug/canary in-service differential-check report
 //	GET  /debug/vars   expvar (includes the latch_serve stats map)
 //	GET  /debug/pprof  profiling
+//
+// Per-request taint policies are an operator opt-in: -allow-policy admits a
+// "policy" field in job bodies, -pin-checks names checks a tenant policy may
+// not disable, and -min-sample floors the selective-tracing fraction; out-of-
+// bounds policies answer 403.
 //
 // Load shedding: a full job queue or an exhausted tenant quota answers 429
 // with Retry-After; SIGINT/SIGTERM drains in-flight jobs before exit.
@@ -57,6 +63,9 @@ func run() int {
 		quotaBurst  = flag.Int("quota-burst", 1, "per-tenant burst depth")
 		canaryN     = flag.Int("canary", 0, "shadow-run every Nth program job against the reference stack (0 = off)")
 		backends    = flag.String("backends", "", "comma-separated backend allowlist (empty = all registered)")
+		allowPolicy = flag.Bool("allow-policy", false, "admit per-request taint policies in job bodies")
+		pinChecks   = flag.String("pin-checks", "", "comma-separated checks tenant policies must keep on (control-flow, leak)")
+		minSample   = flag.Float64("min-sample", 0, "floor on tenant sampling fractions (0 = no floor)")
 		domainSize  = flag.Uint("domain-size", 0, "taint-domain size override in bytes (power of two; 0 = paper default)")
 		ctcEntries  = flag.Int("ctc-entries", 0, "CTC entry-count override (power of two; 0 = paper default)")
 		tlbEntries  = flag.Int("tlb-entries", 0, "TLB entry-count override (power of two; 0 = paper default)")
@@ -68,8 +77,9 @@ func run() int {
 		Workers: *workers, Queue: *queue,
 		Deadline: *deadline, MaxDeadline: *maxDeadline,
 		QuotaRate: *quotaRate, QuotaBurst: *quotaBurst,
-		Canary:     *canaryN,
-		Backends:   *backends,
+		Canary:      *canaryN,
+		Backends:    *backends,
+		AllowPolicy: *allowPolicy, PinChecks: *pinChecks, MinSample: *minSample,
 		DomainSize: *domainSize, CTCEntries: *ctcEntries, TLBEntries: *tlbEntries,
 	}
 	if err := validateFlags(f); err != nil {
@@ -96,6 +106,11 @@ func run() int {
 		CanaryEveryN:    *canaryN,
 		Geometry:        geom,
 		Backends:        splitList(*backends),
+		Policy: serve.PolicyGate{
+			AllowTenantPolicies: *allowPolicy,
+			PinnedChecks:        splitList(*pinChecks),
+			MinSampleFraction:   *minSample,
+		},
 	})
 	expvar.Publish("latch_serve", expvar.Func(func() any { return srv.Stats() }))
 
@@ -137,6 +152,9 @@ type flagSet struct {
 	QuotaBurst            int
 	Canary                int
 	Backends              string
+	AllowPolicy           bool
+	PinChecks             string
+	MinSample             float64
 	DomainSize            uint
 	CTCEntries            int
 	TLBEntries            int
@@ -175,6 +193,17 @@ func validateFlags(f flagSet) error {
 	}
 	if f.TLBEntries < 0 || (f.TLBEntries > 0 && !powerOfTwo(uint64(f.TLBEntries))) {
 		return fmt.Errorf("-tlb-entries must be a power of two, got %d", f.TLBEntries)
+	}
+	for _, c := range splitList(f.PinChecks) {
+		if c != "control-flow" && c != "leak" {
+			return fmt.Errorf("-pin-checks: unknown check %q (known: control-flow, leak)", c)
+		}
+	}
+	if f.MinSample < 0 || f.MinSample > 1 {
+		return fmt.Errorf("-min-sample must be in [0, 1], got %v", f.MinSample)
+	}
+	if !f.AllowPolicy && (f.PinChecks != "" || f.MinSample != 0) {
+		return fmt.Errorf("-pin-checks/-min-sample only apply with -allow-policy")
 	}
 	known := latch.Backends()
 	for _, b := range splitList(f.Backends) {

@@ -33,6 +33,11 @@ func TestValidateFlags(t *testing.T) {
 		{"pow2 geometry passes", func(f *flagSet) { f.DomainSize = 128; f.CTCEntries = 32; f.TLBEntries = 256 }, ""},
 		{"unknown backend", func(f *flagSet) { f.Backends = "slatch,bogus" }, "unknown backend"},
 		{"known backends pass", func(f *flagSet) { f.Backends = "slatch,hlatch" }, ""},
+		{"unknown pinned check", func(f *flagSet) { f.AllowPolicy = true; f.PinChecks = "taint-all" }, "unknown check"},
+		{"min-sample out of range", func(f *flagSet) { f.AllowPolicy = true; f.MinSample = 1.5 }, "-min-sample"},
+		{"pin-checks without allow-policy", func(f *flagSet) { f.PinChecks = "leak" }, "-allow-policy"},
+		{"min-sample without allow-policy", func(f *flagSet) { f.MinSample = 0.5 }, "-allow-policy"},
+		{"policy gate passes", func(f *flagSet) { f.AllowPolicy = true; f.PinChecks = "control-flow,leak"; f.MinSample = 0.1 }, ""},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

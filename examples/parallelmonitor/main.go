@@ -16,7 +16,7 @@ import (
 	"log"
 
 	"latch/internal/cosim"
-	"latch/internal/dift"
+	"latch/internal/policy"
 	"latch/internal/telemetry"
 	"latch/internal/workload"
 )
@@ -28,7 +28,7 @@ func run(filtered bool, input []byte, obs telemetry.Observer) (*cosim.Parallel, 
 	// A small FIFO makes backpressure visible on this short kernel: the
 	// baseline fills it and stalls the monitored core; the filter doesn't.
 	cfg.QueueDepth = 64
-	sys, err := cosim.NewParallel(cfg, dift.DefaultPolicy())
+	sys, err := cosim.NewParallel(cfg, policy.Default())
 	if err != nil {
 		return nil, err
 	}
@@ -69,7 +69,7 @@ func main() {
 	fmt.Println()
 	fmt.Println("--- deferred detection of a control-flow hijack ---")
 	cfg := cosim.DefaultParallelConfig()
-	sys, err := cosim.NewParallel(cfg, dift.DefaultPolicy())
+	sys, err := cosim.NewParallel(cfg, policy.Default())
 	if err != nil {
 		log.Fatal(err)
 	}

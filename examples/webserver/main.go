@@ -23,17 +23,20 @@ import (
 func main() {
 	fmt.Println("--- end-to-end: per-connection taint policy on the VM ---")
 	pol := latch.DefaultPolicy()
-	// Even-numbered connections are "local" and trusted.
-	pol.TrustConn = func(conn int) bool { return conn%2 == 0 }
+	// Half of the connections are "local" and trusted — the declarative
+	// apache-50-style rule. Which connection ids land in the trusted
+	// half is a deterministic, seed-stable sampler decision, so reruns
+	// taint exactly the same requests.
+	pol.TrustFraction = 0.5
 	sys, err := latch.New(latch.WithPolicy(pol))
 	if err != nil {
 		log.Fatal(err)
 	}
 	sys.Machine.Env.Requests = [][]byte{
-		[]byte("GET /status"), // conn 0: trusted
-		[]byte("GET /login"),  // conn 1: untrusted -> tainted
-		[]byte("GET /health"), // conn 2: trusted
-		[]byte("GET /admin"),  // conn 3: untrusted -> tainted
+		[]byte("GET /status"), // conns 0..3: trusted or tainted per the
+		[]byte("GET /login"),  // TrustFraction sampler — about half of
+		[]byte("GET /health"), // all accepted connections are exempted
+		[]byte("GET /admin"),  // from tainting
 	}
 	src, err := workload.ProgramSource("server")
 	if err != nil {

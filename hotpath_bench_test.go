@@ -19,6 +19,7 @@ import (
 	"latch/internal/experiments"
 	"latch/internal/isa"
 	"latch/internal/mem"
+	"latch/internal/policy"
 	"latch/internal/shadow"
 	"latch/internal/vm"
 )
@@ -85,7 +86,7 @@ loop:
 func sweepCPU(b *testing.B, fracPct int) *vm.CPU {
 	c := vm.New()
 	c.Load(isa.MustAssemble(sweepProgram))
-	e := dift.NewEngine(shadow.MustNew(shadow.DefaultDomainSize), dift.DefaultPolicy())
+	e := dift.NewEngine(shadow.MustNew(shadow.DefaultDomainSize), policy.Default())
 	const base, window, stride = 0x10_0000, 32 << 10, 64
 	if fracPct > 0 {
 		period := 100 / fracPct // every period-th slot holds one tainted byte

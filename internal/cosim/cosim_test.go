@@ -8,6 +8,7 @@ import (
 	"latch/internal/dift"
 	"latch/internal/isa"
 	"latch/internal/latch"
+	"latch/internal/policy"
 	"latch/internal/shadow"
 	"latch/internal/vm"
 	"latch/internal/workload"
@@ -19,7 +20,7 @@ func newSystem(t *testing.T, mutate func(*Config)) *System {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	s, err := New(cfg, dift.DefaultPolicy())
+	s, err := New(cfg, policy.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,12 +30,12 @@ func newSystem(t *testing.T, mutate func(*Config)) *System {
 func TestRejectsEagerClear(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Latch.Clear = latch.EagerClear
-	if _, err := New(cfg, dift.DefaultPolicy()); err == nil {
+	if _, err := New(cfg, policy.Default()); err == nil {
 		t.Fatal("eager clear accepted")
 	}
 	cfg = DefaultConfig()
 	cfg.SWSlowdown = 0.5
-	if _, err := New(cfg, dift.DefaultPolicy()); err == nil {
+	if _, err := New(cfg, policy.Default()); err == nil {
 		t.Fatal("sub-native slowdown accepted")
 	}
 }
@@ -265,7 +266,7 @@ func BenchmarkSLatchCoSim(b *testing.B) {
 	b.ReportMetric(2960, "instrs/op") // substitution's instruction count
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s, err := New(DefaultConfig(), dift.DefaultPolicy())
+		s, err := New(DefaultConfig(), policy.Default())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,6 +7,7 @@ import (
 	"latch/internal/dift"
 	"latch/internal/isa"
 	"latch/internal/mem"
+	"latch/internal/policy"
 	"latch/internal/shadow"
 	"latch/internal/vm"
 	"latch/internal/workload"
@@ -41,7 +42,7 @@ func taintSnapshot(sh *shadow.Shadow) map[uint32]shadow.Tag {
 func runPure(t *testing.T, src string, input []byte, requests [][]byte) (finalState, error) {
 	t.Helper()
 	sh := shadow.MustNew(shadow.DefaultDomainSize)
-	eng := dift.NewEngine(sh, dift.DefaultPolicy())
+	eng := dift.NewEngine(sh, policy.Default())
 	m := vm.New()
 	m.SetTracker(eng)
 	m.Env.FileData = input
@@ -60,7 +61,7 @@ func runPure(t *testing.T, src string, input []byte, requests [][]byte) (finalSt
 
 func runSLatchCosim(t *testing.T, src string, input []byte, requests [][]byte) (finalState, error) {
 	t.Helper()
-	sys, err := New(DefaultConfig(), dift.DefaultPolicy())
+	sys, err := New(DefaultConfig(), policy.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func runSLatchCosim(t *testing.T, src string, input []byte, requests [][]byte) (
 
 func runParallelCosim(t *testing.T, src string, input []byte, requests [][]byte) (finalState, int, error) {
 	t.Helper()
-	sys, err := NewParallel(DefaultParallelConfig(), dift.DefaultPolicy())
+	sys, err := NewParallel(DefaultParallelConfig(), policy.Default())
 	if err != nil {
 		t.Fatal(err)
 	}

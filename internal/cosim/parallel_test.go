@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"latch/internal/dift"
+	"latch/internal/policy"
 	"latch/internal/workload"
 )
 
@@ -14,7 +15,7 @@ func newParallel(t *testing.T, mutate func(*ParallelConfig)) *Parallel {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	p, err := NewParallel(cfg, dift.DefaultPolicy())
+	p, err := NewParallel(cfg, policy.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,12 +25,12 @@ func newParallel(t *testing.T, mutate func(*ParallelConfig)) *Parallel {
 func TestParallelConfigValidation(t *testing.T) {
 	cfg := DefaultParallelConfig()
 	cfg.QueueDepth = 0
-	if _, err := NewParallel(cfg, dift.DefaultPolicy()); err == nil {
+	if _, err := NewParallel(cfg, policy.Default()); err == nil {
 		t.Fatal("zero queue depth accepted")
 	}
 	cfg = DefaultParallelConfig()
 	cfg.ServiceCycles = 0.5
-	if _, err := NewParallel(cfg, dift.DefaultPolicy()); err == nil {
+	if _, err := NewParallel(cfg, policy.Default()); err == nil {
 		t.Fatal("sub-cycle service accepted")
 	}
 }
@@ -130,7 +131,7 @@ func TestParallelDeferredDetection(t *testing.T) {
 func TestParallelOutputSyncPoint(t *testing.T) {
 	// Tainted data flowing to an output syscall must surface the pending
 	// violation at the sync point, not after.
-	pol := dift.DefaultPolicy()
+	pol := policy.Default()
 	pol.CheckLeak = true
 	cfg := DefaultParallelConfig()
 	par, err := NewParallel(cfg, pol)

@@ -18,6 +18,14 @@
 // CTT and the TLB page taint bits (false positives allowed, false negatives
 // never).
 //
+// The checker is policy-aware: seeds rotate through a set of selective-
+// tracing fractions (CasePolicy), both sides of every run share the
+// identical sampled policy, the oracle additionally re-derives each
+// sampling decision from the declarative spec and asserts sampled-out
+// source ranges stay byte-precisely clean, and full-tracing seeds anchor
+// the axis by requiring a fraction-1.0 policy to be byte-identical to an
+// unsampled one.
+//
 // Everything is seeded through the workload seed-derivation scheme, so a
 // failing case replays byte-for-byte from its seed alone. On failure the
 // checker minimizes the program (see Minimize) and writes a reproducer to
@@ -37,6 +45,7 @@ import (
 	"latch/internal/engine"
 	"latch/internal/isa"
 	"latch/internal/mem"
+	"latch/internal/policy"
 	"latch/internal/shadow"
 	"latch/internal/workload"
 
@@ -93,17 +102,39 @@ func (c Case) Program() (*isa.Program, error) {
 	return isa.BuildProgram(Origin, c.Instrs)
 }
 
-// policy is the differential policy: every source tainted, every check
+// basePolicy is the differential policy: every source tainted, every check
 // enabled, and — crucially — FailFast off, so violations are recorded as
 // data and execution continues; the two sides then remain comparable past
 // the first positive instead of racing to their first error return.
-func policy() dift.Policy {
+func basePolicy() dift.Policy {
 	return dift.Policy{
 		TaintFile:        true,
 		TaintNet:         true,
 		CheckControlFlow: true,
 		CheckLeak:        true,
 	}
+}
+
+// caseFractions is the selective-tracing axis of the differential search:
+// seeds rotate through these sampling fractions, so the corpus and every
+// fresh fuzz batch cover full tracing (the byte-identity anchor) and three
+// sampled-down policies.
+var caseFractions = []float64{1.0, 1.0, 0.5, 0.25, 0.1}
+
+// CasePolicy derives the policy a seed runs under: the differential base
+// policy plus a seed-derived sampling spec. Both sides of every run — the
+// conventional reference and each backend monitor — use the identical
+// policy, extending the equivalence claim to selective tracing: a sampled
+// reference and a sampled backend must still be indistinguishable.
+// Deterministic per seed, so minimization and corpus replay reproduce the
+// exact failing policy.
+func CasePolicy(seed int64) dift.Policy {
+	pol := basePolicy()
+	pol.Sampling = policy.Sampling{
+		SampleFraction: caseFractions[uint64(seed)%uint64(len(caseFractions))],
+		SampleSeed:     uint64(seed),
+	}
+	return pol
 }
 
 // Outcome is everything observable about one run of a case: architectural
@@ -195,13 +226,18 @@ func violationStrings(vs []dift.Violation) []string {
 }
 
 // RunReference executes c under the conventional byte-precise DIFT stack
-// and captures its outcome.
+// with the case's seed-derived policy and captures its outcome.
 func RunReference(c Case) (Outcome, error) {
+	return runReferencePolicy(c, CasePolicy(c.Seed))
+}
+
+// runReferencePolicy is RunReference under an explicit policy.
+func runReferencePolicy(c Case, pol dift.Policy) (Outcome, error) {
 	prog, err := c.Program()
 	if err != nil {
 		return Outcome{}, err
 	}
-	ref, err := engine.NewReference(policy())
+	ref, err := engine.NewReference(pol)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -252,7 +288,8 @@ func RunBackendShards(name string, c Case, shards int) (out Outcome, oracleFail 
 			return Outcome{}, "", err
 		}
 	}
-	mon, err := cosim.NewMonitorBackend(b, policy(), nil)
+	pol := CasePolicy(c.Seed)
+	mon, err := cosim.NewMonitorBackend(b, pol, nil)
 	if err != nil {
 		return Outcome{}, "", err
 	}
@@ -260,7 +297,7 @@ func RunBackendShards(name string, c Case, shards int) (out Outcome, oracleFail 
 	// close their rings and join their monitor goroutines in Finish, and a
 	// divergence hunt runs thousands of cases back to back.
 	defer mon.Result()
-	orc := &oracleTracker{Monitor: mon}
+	orc := &oracleTracker{Monitor: mon, pol: pol, sampler: pol.Sampler()}
 	mon.Machine.SetTracker(orc)
 	mon.Machine.Env.FileData = append([]byte(nil), c.Input...)
 	mon.Machine.Env.Requests = copyRequests(c.Requests)
@@ -287,6 +324,13 @@ func RunBackendShards(name string, c Case, shards int) (out Outcome, oracleFail 
 type oracleTracker struct {
 	*cosim.Monitor
 	failure string
+	// pol, sampler, and ordinals independently re-derive the policy's
+	// source-sampling decisions for the selective-tracing oracle: the
+	// tracker counts source events exactly as the engine does, so a
+	// disagreement means the engine strayed from the declared spec.
+	pol      dift.Policy
+	sampler  policy.Sampler
+	ordinals [2]uint64
 }
 
 // Commit delegates to the monitor (backend step + precise propagation),
@@ -299,6 +343,40 @@ func (o *oracleTracker) Commit(pc uint32, in isa.Instr, addr uint32) error {
 		}
 	}
 	return err
+}
+
+// Input delegates to the monitor, then replays the sampling decision from
+// the declarative spec alone: a source event the policy samples out (or
+// never taints) must leave its range byte-precisely clean — the
+// sampled-out-sources-stay-clean half of the selective-tracing contract.
+// The converse (a sampled-in event is tainted) is covered by the
+// differential diff against the reference, which taints under the same
+// policy.
+func (o *oracleTracker) Input(addr uint32, n int, source dift.InputSource, conn int) {
+	ord := o.ordinals[source]
+	o.ordinals[source]++
+	o.Monitor.Input(addr, n, source, conn)
+	if o.failure != "" {
+		return
+	}
+	tainted := false
+	switch source {
+	case dift.SourceFile:
+		tainted = o.pol.TaintFile
+	case dift.SourceNet:
+		tainted = o.pol.TaintNet && !o.sampler.Trust(o.pol.TrustFraction, conn)
+	}
+	if tainted && o.sampler.Sample(policy.Kind(source), ord) {
+		return // sampled in: the diff against the reference owns this case
+	}
+	sh := o.Session.Shadow
+	for i := 0; i < n; i++ {
+		if b := addr + uint32(i); sh.Get(b) != shadow.TagClean {
+			o.failure = fmt.Sprintf("sampled-out %v event %d left byte %#x tainted (tag %#02x)",
+				source, ord, b, sh.Get(b))
+			return
+		}
+	}
 }
 
 func (o *oracleTracker) checkCoarse(pc, addr uint32, n int) {
@@ -363,6 +441,22 @@ func CheckCase(c Case, backends []string) *Failure {
 	if refFail != nil {
 		refFail.Backend = "reference"
 		return refFail
+	}
+	if CasePolicy(c.Seed).Sampling.SampleFraction == 1.0 {
+		// Full-tracing anchor: a policy sampling at fraction 1.0 must be
+		// byte-identical to one with sampling left unconfigured — selective
+		// tracing fully open is exactly the unsampled pipeline.
+		unsampled, failU := runProtected(func() (Outcome, string, error) {
+			out, err := runReferencePolicy(c, basePolicy())
+			return out, "", err
+		})
+		if failU != nil {
+			failU.Backend = "reference(unsampled)"
+			return failU
+		}
+		if d := ref.Diff(unsampled); d != "" {
+			return &Failure{Kind: "divergence", Backend: "reference(fraction=1.0)", Detail: d}
+		}
 	}
 	for _, name := range backends {
 		name, label := name, name

@@ -249,3 +249,29 @@ func TestModuleInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestCasePolicyRotation pins the selective-tracing axis of the search:
+// seeds rotate deterministically through the sampling fractions (anchored
+// at full tracing), and the sampling seed is the case seed — so a failing
+// case replays its exact policy from the seed alone.
+func TestCasePolicyRotation(t *testing.T) {
+	wantFractions := []float64{1.0, 1.0, 0.5, 0.25, 0.1}
+	for seed := int64(0); seed < 10; seed++ {
+		pol := diffcheck.CasePolicy(seed)
+		if got, want := pol.Sampling.SampleFraction, wantFractions[seed%5]; got != want {
+			t.Errorf("seed %d: fraction %v, want %v", seed, got, want)
+		}
+		if pol.Sampling.SampleSeed != uint64(seed) {
+			t.Errorf("seed %d: sample seed %d", seed, pol.Sampling.SampleSeed)
+		}
+		if !pol.TaintFile || !pol.TaintNet || !pol.CheckControlFlow || !pol.CheckLeak {
+			t.Errorf("seed %d: base policy not fully armed: %+v", seed, pol)
+		}
+		if pol.FailFast {
+			t.Errorf("seed %d: FailFast must stay off for comparable runs", seed)
+		}
+		if again := diffcheck.CasePolicy(seed); again != pol {
+			t.Errorf("seed %d: CasePolicy not deterministic", seed)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"latch/internal/isa"
+	"latch/internal/policy"
 	"latch/internal/shadow"
 	"latch/internal/telemetry"
 )
@@ -32,6 +33,16 @@ const (
 	SourceFile InputSource = iota
 	SourceNet
 	numSources
+)
+
+// Compile-time guards: the policy sampler kinds mirror the input source
+// values (Engine.Input converts directly). Either expression underflows
+// to a negative untyped constant — a compile error — if they drift.
+const (
+	_ = uint(policy.KindFile - policy.Kind(SourceFile))
+	_ = uint(policy.Kind(SourceFile) - policy.KindFile)
+	_ = uint(policy.KindNet - policy.Kind(SourceNet))
+	_ = uint(policy.Kind(SourceNet) - policy.KindNet)
 )
 
 // Tag returns the taint label associated with the source.
@@ -116,67 +127,46 @@ func (v Violation) Error() string {
 func (v Violation) Unwrap() error { return v.Kind.Err() }
 
 // PropagationMode selects the taint propagation rules.
-type PropagationMode int
+//
+// Deprecated: the policy model now lives in latch/internal/policy;
+// PropagationMode is an alias for policy.Propagation kept so existing
+// call sites keep compiling.
+type PropagationMode = policy.Propagation
 
-// Propagation modes.
+// Propagation modes, aliased from the policy layer. PropagationClassical
+// is full Dynamic Taint Analysis — data movement copies taint,
+// computation unions it (the libdft rules the paper evaluates).
+// PropagationPIFT approximates PIFT ([56] in the paper): taint flows
+// through consecutive load/store/move chains but is *not* tracked
+// through computation — ALU results are treated as fresh values. The
+// paper notes LATCH's coarse caching composes with such approximate
+// schemes; this mode lets that be demonstrated (and the under-tainting
+// measured).
 const (
-	// PropagationClassical is full Dynamic Taint Analysis: data movement
-	// copies taint, computation unions it (the libdft rules the paper
-	// evaluates).
-	PropagationClassical PropagationMode = iota
-	// PropagationPIFT approximates PIFT ([56] in the paper): taint flows
-	// through consecutive load/store/move chains but is *not* tracked
-	// through computation — ALU results are treated as fresh values. The
-	// paper notes LATCH's coarse caching composes with such approximate
-	// schemes; this mode lets that be demonstrated (and the
-	// under-tainting measured).
-	PropagationPIFT
+	PropagationClassical = policy.PropagationClassical
+	PropagationPIFT      = policy.PropagationPIFT
 )
 
-// String names the mode.
-func (m PropagationMode) String() string {
-	switch m {
-	case PropagationClassical:
-		return "classical"
-	case PropagationPIFT:
-		return "pift"
-	}
-	return fmt.Sprintf("propagation(%d)", int(m))
-}
-
-// Policy configures which sources taint data and which uses are violations.
-type Policy struct {
-	// Propagation selects the rule set (classical DTA by default).
-	Propagation PropagationMode
-
-	// TaintFile and TaintNet control whether the respective sources
-	// initialize taint.
-	TaintFile bool
-	TaintNet  bool
-	// TrustConn, if non-nil, exempts individual network connections from
-	// tainting — the paper's apache-25/50/75 policies mark a fraction of
-	// accepted connections trusted (§3.1).
-	TrustConn func(conn int) bool
-	// CheckControlFlow raises a violation when an indirect jump target is
-	// tainted.
-	CheckControlFlow bool
-	// CheckLeak raises a violation when tainted data is written to a sink.
-	CheckLeak bool
-	// FailFast makes violations abort execution (returned as errors); when
-	// false they are recorded and execution continues.
-	FailFast bool
-}
+// Policy configures which sources taint data and which uses are
+// violations.
+//
+// Deprecated: Policy is an alias for policy.Policy, the declarative
+// JSON-serializable policy layer. The old `TrustConn func(conn int)
+// bool` hook is gone — express connection trust with the declarative
+// TrustFraction field, which the engine evaluates through the policy
+// sampler (deterministic per connection id).
+type Policy = policy.Policy
 
 // DefaultPolicy is the conservative policy of the paper's general
-// evaluation: all external input is untrusted, control-flow checks enabled.
+// evaluation: all external input is untrusted, control-flow checks
+// enabled.
+//
+// Deprecated: this is the migration shim for the old constructor; new
+// code should call policy.Default() (or latch.DefaultPolicy at the
+// facade). The `make deprecation-gate` target rejects new call sites of
+// this shim.
 func DefaultPolicy() Policy {
-	return Policy{
-		TaintFile:        true,
-		TaintNet:         true,
-		CheckControlFlow: true,
-		CheckLeak:        false,
-		FailFast:         true,
-	}
+	return policy.Default()
 }
 
 // RegTaint is the byte-granular taint of one 32-bit register.
@@ -198,6 +188,12 @@ type Engine struct {
 	Shadow *shadow.Shadow
 	policy Policy
 
+	// sampler makes the policy's deterministic source-sampling and
+	// connection-trust decisions; srcOrdinals numbers the source events
+	// per kind so a given (seed, kind, ordinal) is stable across runs.
+	sampler     policy.Sampler
+	srcOrdinals [numSources]uint64
+
 	regs [isa.NumRegs]RegTaint
 
 	violations []Violation
@@ -213,7 +209,7 @@ type Engine struct {
 
 // NewEngine builds an engine over the given shadow memory.
 func NewEngine(sh *shadow.Shadow, p Policy) *Engine {
-	return &Engine{Shadow: sh, policy: p}
+	return &Engine{Shadow: sh, policy: p, sampler: p.Sampler()}
 }
 
 // Policy returns the engine's policy.
@@ -393,21 +389,34 @@ func (e *Engine) IndirectTarget(pc uint32, reg int, target uint32) error {
 // Input records external data arriving in [addr, addr+n): taint
 // initialization per the policy. conn is the connection id for network
 // input (-1 for file input).
+//
+// This is the selective-tracing hook: each source event gets a per-kind
+// ordinal and the policy sampler decides — deterministically in (seed,
+// kind, ordinal) — whether it is tainted. Connection trust (the
+// declarative TrustFraction replacement for the old TrustConn hook) is
+// evaluated by the same sampler, keyed on the connection id.
 func (e *Engine) Input(addr uint32, n int, source InputSource, conn int) {
+	ord := e.srcOrdinals[source]
+	e.srcOrdinals[source]++
 	var taint bool
 	switch source {
 	case SourceFile:
 		taint = e.policy.TaintFile
 	case SourceNet:
 		taint = e.policy.TaintNet
-		if taint && e.policy.TrustConn != nil && conn >= 0 && e.policy.TrustConn(conn) {
+		if taint && e.sampler.Trust(e.policy.TrustFraction, conn) {
 			taint = false
 		}
+	}
+	// policy.KindFile/KindNet are defined to equal SourceFile/SourceNet.
+	if taint && !e.sampler.Sample(policy.Kind(source), ord) {
+		taint = false
 	}
 	if taint {
 		e.Shadow.SetRange(addr, n, source.Tag())
 	} else {
-		// Untrusted-turned-trusted input overwrites memory with clean data.
+		// Untrusted-turned-trusted (or sampled-out) input overwrites
+		// memory with clean data.
 		e.Shadow.SetRange(addr, n, shadow.TagClean)
 	}
 }
@@ -456,6 +465,7 @@ func (e *Engine) Reset() {
 	e.regs = [isa.NumRegs]RegTaint{}
 	e.violations = nil
 	e.connCounter = 0
+	e.srcOrdinals = [numSources]uint64{}
 	e.instrTotal = 0
 	e.instrTainted = 0
 }

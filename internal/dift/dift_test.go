@@ -210,8 +210,9 @@ func TestInputPolicyDisabled(t *testing.T) {
 }
 
 func TestTrustedConnections(t *testing.T) {
+	// TrustFraction 1: every connection is trusted, nothing taints.
 	p := DefaultPolicy()
-	p.TrustConn = func(conn int) bool { return conn%2 == 0 } // even conns trusted
+	p.TrustFraction = 1
 	e := newEngine(t, p)
 	c0 := e.Accept()
 	c1 := e.Accept()
@@ -220,16 +221,49 @@ func TestTrustedConnections(t *testing.T) {
 	}
 	e.Input(0x100, 4, SourceNet, c0)
 	e.Input(0x200, 4, SourceNet, c1)
-	if e.Shadow.RangeTainted(0x100, 4) {
-		t.Fatal("trusted connection tainted")
+	if e.Shadow.TaintedBytes() != 0 {
+		t.Fatal("fully trusted connections tainted data")
 	}
-	if !e.Shadow.RangeTainted(0x200, 4) {
-		t.Fatal("untrusted connection not tainted")
+	// File input is not subject to connection trust.
+	e.Input(0x300, 4, SourceFile, -1)
+	if !e.Shadow.RangeTainted(0x300, 4) {
+		t.Fatal("trust rule leaked into file source")
 	}
 	// Trusted input over previously tainted memory clears it.
-	e.Input(0x200, 4, SourceNet, c0+2)
+	e.Shadow.SetRange(0x200, 4, SourceNet.Tag())
+	e.Input(0x200, 4, SourceNet, c1)
 	if e.Shadow.RangeTainted(0x200, 4) {
 		t.Fatal("trusted reuse did not clear stale taint")
+	}
+}
+
+// At a partial TrustFraction the per-connection decision must agree
+// with the policy sampler (the declarative, serializable replacement
+// for the old TrustConn hook) and be identical across engines.
+func TestTrustFractionDeterministic(t *testing.T) {
+	p := DefaultPolicy()
+	p.TrustFraction = 0.5
+	p.Sampling.SampleSeed = 7
+	a := newEngine(t, p)
+	b := newEngine(t, p)
+	sp := p.Sampler()
+	trusted := 0
+	for conn := 0; conn < 64; conn++ {
+		addr := uint32(0x1000 + conn*8)
+		a.Input(addr, 4, SourceNet, a.Accept())
+		b.Input(addr, 4, SourceNet, b.Accept())
+		gotA := !a.Shadow.RangeTainted(addr, 4)
+		gotB := !b.Shadow.RangeTainted(addr, 4)
+		want := sp.Trust(0.5, conn)
+		if gotA != want || gotB != want {
+			t.Fatalf("conn %d: engines trusted=%v/%v, sampler says %v", conn, gotA, gotB, want)
+		}
+		if want {
+			trusted++
+		}
+	}
+	if trusted == 0 || trusted == 64 {
+		t.Fatalf("TrustFraction 0.5 trusted %d/64 connections", trusted)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"latch/internal/latch"
+	"latch/internal/policy"
 	"latch/internal/shadow"
 	"latch/internal/telemetry"
 	"latch/internal/trace"
@@ -137,6 +138,13 @@ type RunOptions struct {
 	// the way the mem/shadow free lists reuse pages. It is Recycled before
 	// use and its module geometry must match the backend's Config.
 	Session *Session
+	// Policy is the run's taint policy. For profile-driven runs only the
+	// Sampling spec has an effect (it selects which of the profile's
+	// taint runs are materialized and observed tainted); the zero value
+	// — sampling disabled — reproduces the unsampled pipeline exactly.
+	// The policy is validated on every run, including recycled sessions,
+	// and travels with the Session for the run's duration.
+	Policy policy.Policy
 }
 
 // RunProfile streams one calibrated workload profile through a backend:
@@ -160,11 +168,16 @@ func RunProfileSession(ctx context.Context, b Backend, p workload.Profile, opts 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if err := opts.Policy.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("engine: %w", err)
+	}
 	s := opts.Session
 	if s != nil {
 		if got, want := s.Module.Config(), b.Config(); got != want {
 			return nil, nil, fmt.Errorf("engine: recycled session geometry %+v does not match backend %s config %+v", got, b.Name(), want)
 		}
+		// Recycle clears the previous run's policy; the validated one for
+		// this run is installed below.
 		s.Recycle()
 	} else {
 		var err error
@@ -172,7 +185,8 @@ func RunProfileSession(ctx context.Context, b Backend, p workload.Profile, opts 
 			return nil, nil, err
 		}
 	}
-	g, err := workload.NewGeneratorOn(p, s.Shadow)
+	s.Policy = opts.Policy
+	g, err := workload.NewSampledGeneratorOn(p, s.Shadow, opts.Policy.Sampling)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -4,15 +4,15 @@ import (
 	"context"
 	"testing"
 
-	"latch/internal/dift"
 	"latch/internal/engine"
 	"latch/internal/isa"
 	"latch/internal/latch"
+	"latch/internal/policy"
 	"latch/internal/workload"
 )
 
 func TestReferenceRunsProgram(t *testing.T) {
-	ref, err := engine.NewReference(dift.DefaultPolicy())
+	ref, err := engine.NewReference(policy.Default())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestReferenceRunsProgram(t *testing.T) {
 }
 
 func TestReferenceTracksTaintPrecisely(t *testing.T) {
-	ref, err := engine.NewReference(dift.DefaultPolicy())
+	ref, err := engine.NewReference(policy.Default())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"latch/internal/latch"
+	"latch/internal/policy"
 	"latch/internal/shadow"
 	"latch/internal/telemetry"
 	"latch/internal/workload"
@@ -42,6 +43,11 @@ type Session struct {
 	Shadow   *shadow.Shadow
 	Profile  workload.Profile
 	Observer telemetry.Observer
+
+	// Policy is the validated taint policy of the current run; it travels
+	// with the session (RunProfileSession installs it after validation,
+	// Recycle clears it with the rest of the per-run state).
+	Policy policy.Policy
 
 	// Target is the requested stream length — a sizing hint for backends;
 	// the stream may end earlier.
@@ -86,6 +92,7 @@ func (s *Session) Recycle() {
 	s.Observer = nil
 	s.Module.SetObserver(nil)
 	s.Profile = workload.Profile{}
+	s.Policy = policy.Policy{}
 	s.Target = 0
 	s.Events = 0
 	s.Cycles = Cycles{}

@@ -185,7 +185,7 @@ func (r *Runner) AblationClearBits() (*stats.Table, error) {
 				return outcome{}, err
 			}
 			m.SetObserver(r.passObserver("ablation-clear"))
-			g, err := workload.NewGeneratorOn(p, sh)
+			g, err := workload.NewSampledGeneratorOn(p, sh, r.sampling())
 			if err != nil {
 				return outcome{}, err
 			}

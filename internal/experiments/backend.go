@@ -35,7 +35,7 @@ func (r *Runner) BackendPass(name string, s workload.Suite) ([]engine.Result, er
 	if err != nil {
 		return nil, err
 	}
-	opts := engine.RunOptions{Events: r.opts.Events, Observer: r.passObserver(name)}
+	opts := engine.RunOptions{Events: r.opts.Events, Observer: r.passObserver(name), Policy: r.opts.Policy}
 	names := workload.BySuite(s)
 	out := make([]engine.Result, len(names))
 	err = r.runJobs(name, names, func(i int, wname string, js *JobStat) error {

@@ -10,6 +10,7 @@ import (
 	"latch/internal/engine"
 	"latch/internal/isa"
 	"latch/internal/latch"
+	"latch/internal/policy"
 	"latch/internal/shadow"
 	"latch/internal/telemetry"
 	"latch/internal/vm"
@@ -76,7 +77,7 @@ func TestBackendsMatchConventionalDIFTViolations(t *testing.T) {
 // the commit stream through cosim.Monitor.
 func runMonitored(t *testing.T, backend string, c cosimCase) error {
 	t.Helper()
-	m, err := cosim.NewMonitor(backend, dift.DefaultPolicy(), nil)
+	m, err := cosim.NewMonitor(backend, policy.Default(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func runConventionalDIFT(t *testing.T, c cosimCase) error {
 		t.Fatal(err)
 	}
 	cpu := vm.New()
-	cpu.SetTracker(dift.NewEngine(sh, dift.DefaultPolicy()))
+	cpu.SetTracker(dift.NewEngine(sh, policy.Default()))
 	c.setup(cpu.Env)
 	src, err := workload.ProgramSource(c.program)
 	if err != nil {

@@ -6,7 +6,6 @@ import (
 	"fmt"
 
 	"latch/internal/cosim"
-	"latch/internal/dift"
 	"latch/internal/stats"
 	"latch/internal/vm"
 	"latch/internal/workload"
@@ -82,7 +81,7 @@ func (r *Runner) ParallelCoSim() (*stats.Table, error) {
 			cfg := cosim.DefaultParallelConfig()
 			cfg.Filtered = filtered
 			cfg.Observer = r.passObserver("platch-cosim")
-			sys, err := cosim.NewParallel(cfg, dift.DefaultPolicy())
+			sys, err := cosim.NewParallel(cfg, r.policy())
 			if err != nil {
 				return cosim.ParallelStats{}, err
 			}
@@ -130,7 +129,7 @@ func (r *Runner) CoSim() (*stats.Table, error) {
 		c := cosimCases[i]
 		cfg := cosim.DefaultConfig()
 		cfg.Observer = r.passObserver("cosim")
-		sys, err := cosim.New(cfg, dift.DefaultPolicy())
+		sys, err := cosim.New(cfg, r.policy())
 		if err != nil {
 			return err
 		}

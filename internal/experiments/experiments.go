@@ -26,6 +26,7 @@ import (
 	"latch/internal/complexity"
 	"latch/internal/engine"
 	"latch/internal/latch"
+	"latch/internal/policy"
 	"latch/internal/shadow"
 	"latch/internal/stats"
 	"latch/internal/telemetry"
@@ -66,6 +67,15 @@ type Options struct {
 	// P-LATCH backend); zero keeps each backend's default geometry.
 	// Backends without shard support ignore it.
 	Shards int
+
+	// Policy, when non-zero, overrides the default taint policy in every
+	// pass: program-driven passes (co-simulation, PIFT, attacks) run
+	// under it directly, and its Sampling spec is threaded into every
+	// workload generator and backend run (selective tracing). The zero
+	// value keeps the historical behavior — policy.Default() for
+	// programs, sampling disabled for streams — so existing goldens are
+	// untouched.
+	Policy policy.Policy
 }
 
 // DefaultOptions returns run lengths suitable for interactive use.
@@ -83,6 +93,7 @@ type Runner struct {
 	temporal map[workload.Suite][]temporalResult
 	backends map[backendKey][]engine.Result
 	typed    map[backendKey]any // memoized typedPass slices, one []T per key
+	frontier []FrontierRow      // memoized selective-tracing sweep
 
 	jobMu sync.Mutex // guards jobs
 	jobs  []JobStat
@@ -130,6 +141,22 @@ func (r *Runner) MetricsReport() map[string]telemetry.Snapshot {
 	return out
 }
 
+// policy returns the effective taint policy for program-driven passes:
+// Options.Policy when set, policy.Default() otherwise.
+func (r *Runner) policy() policy.Policy {
+	if r.opts.Policy == (policy.Policy{}) {
+		return policy.Default()
+	}
+	return r.opts.Policy
+}
+
+// sampling returns the selective-tracing spec threaded into workload
+// generators (the zero spec — sampling disabled — unless Options.Policy
+// carries one).
+func (r *Runner) sampling() policy.Sampling {
+	return r.opts.Policy.Sampling
+}
+
 // jobProfile returns the named profile reseeded for one parallel job: the
 // job's RNG stream depends only on (pass, workload) identity, never on
 // worker scheduling, which is what keeps parallel output bit-identical to
@@ -167,7 +194,7 @@ func (r *Runner) Temporal(s workload.Suite) ([]temporalResult, error) {
 		if err != nil {
 			return err
 		}
-		g, err := workload.NewGenerator(p, shadow.DefaultDomainSize)
+		g, err := workload.NewSampledGenerator(p, shadow.DefaultDomainSize, r.sampling())
 		if err != nil {
 			return err
 		}
@@ -253,7 +280,7 @@ func (r *Runner) pagesTable(s workload.Suite, title string) (*stats.Table, error
 		if err != nil {
 			return err
 		}
-		g, err := workload.NewGenerator(p, shadow.DefaultDomainSize)
+		g, err := workload.NewSampledGenerator(p, shadow.DefaultDomainSize, r.sampling())
 		if err != nil {
 			return err
 		}
@@ -288,7 +315,7 @@ func (r *Runner) Figure6() (*stats.Table, error) {
 		if err != nil {
 			return err
 		}
-		g, err := workload.NewGenerator(p, shadow.DefaultDomainSize)
+		g, err := workload.NewSampledGenerator(p, shadow.DefaultDomainSize, r.sampling())
 		if err != nil {
 			return err
 		}
@@ -521,6 +548,8 @@ var Catalog = []Experiment{
 	{"conventional", "Intro claim: 4KiB conventional vs 320B H-LATCH stack", (*Runner).Conventional},
 	{"platch-cosim", "Two-core P-LATCH co-simulation", (*Runner).ParallelCoSim},
 	{"pift", "Classical DTA vs PIFT-style propagation", (*Runner).PIFT},
+	{"attacks", "Attack detection matrix (canned exploits per backend)", (*Runner).Attacks},
+	{"sampling", "Selective tracing: detection vs overhead frontier", (*Runner).SamplingFrontier},
 }
 
 // Lookup finds an experiment by id.

@@ -14,8 +14,9 @@ func shortRunner() *Runner {
 }
 
 func TestCatalogComplete(t *testing.T) {
-	// Every table and figure of the evaluation plus the five ablations.
-	if len(Catalog) != 22 {
+	// Every table and figure of the evaluation plus the five ablations,
+	// the attack detection matrix, and the selective-tracing frontier.
+	if len(Catalog) != 24 {
 		t.Fatalf("catalog has %d entries", len(Catalog))
 	}
 	seen := map[string]bool{}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"latch/internal/dift"
+	"latch/internal/engine"
+	"latch/internal/isa"
+	"latch/internal/policy"
+	"latch/internal/slatch"
+	"latch/internal/stats"
+	"latch/internal/vm"
+	"latch/internal/workload"
+)
+
+// FrontierFractions is the selective-tracing sweep: the source-sampling
+// fractions the frontier experiment evaluates, from full tracing down to
+// one percent.
+var FrontierFractions = []float64{1.0, 0.5, 0.25, 0.1, 0.01}
+
+// frontierSeeds is how many sampling seeds the detection estimate averages
+// over: each seed fixes a different deterministic subset of source events.
+const frontierSeeds = 8
+
+// frontierWorkloads are the overhead side of the frontier: the calibrated
+// profiles whose event-stream addresses do not depend on the shadow state
+// (no near-taint or churn components), so the streams at every fraction
+// are address-identical and only the tainted flags shrink — the sampled
+// sets nest, which is what makes the measured overhead mechanically
+// comparable across fractions.
+var frontierWorkloads = []string{"bzip2", "cactusADM", "gobmk", "lbm", "sjeng"}
+
+// frontierAttacks are the detection side: the canned attacks whose taint
+// enters through a single sampled source read, so detection at fraction f
+// is exactly "was that source event sampled".
+var frontierAttacks = []string{"overflow", "taintjump"}
+
+// FrontierRow is one point of the detection-vs-overhead frontier.
+type FrontierRow struct {
+	// Fraction is the Sampling.SampleFraction of this point.
+	Fraction float64 `json:"sample_fraction"`
+	// Detected and AttackRuns are the raw detection tally: attack
+	// replays that still caught their exploit, over all attacks and
+	// sampling seeds.
+	Detected   int `json:"detected"`
+	AttackRuns int `json:"attack_runs"`
+	// DetectionPct is 100*Detected/AttackRuns.
+	DetectionPct float64 `json:"detection_pct"`
+	// MeanOverhead is the mean S-LATCH fractional overhead over the
+	// frontier workloads at this fraction.
+	MeanOverhead float64 `json:"mean_overhead"`
+	// SWInstrPct is the mean share of instructions executed under
+	// software DIFT — the traced footprint selective tracing shrinks.
+	SWInstrPct float64 `json:"sw_instr_pct"`
+}
+
+// frontierDetect replays one canned attack through the conventional
+// byte-precise reference under a sampled policy and reports whether the
+// exploit was still caught. A sampled-out source read leaves the attack
+// input clean, so the violation never fires — the detection price of
+// selective tracing.
+func frontierDetect(attack string, spl policy.Sampling) (bool, error) {
+	var c *attackCase
+	for i := range attackCases {
+		if attackCases[i].name == attack {
+			c = &attackCases[i]
+			break
+		}
+	}
+	if c == nil {
+		return false, fmt.Errorf("sampling: unknown attack %q", attack)
+	}
+	pol := policy.Default()
+	pol.Sampling = spl
+	ref, err := engine.NewReference(pol)
+	if err != nil {
+		return false, err
+	}
+	c.setup(ref.Machine.Env)
+	src, err := workload.ProgramSource(c.program)
+	if err != nil {
+		return false, err
+	}
+	prog, err := isa.Assemble(src)
+	if err != nil {
+		return false, err
+	}
+	_, err = ref.RunProgram(context.Background(), prog, 1_000_000)
+	var v dift.Violation
+	if errors.As(err, &v) {
+		return true, nil
+	}
+	// A sampled-out exploit is free to corrupt the machine — the overflow's
+	// clean function pointer sends execution into the weeds. A crash is
+	// still a miss: the checker did not stop the attack.
+	var f vm.Fault
+	if errors.As(err, &f) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("sampling %s: %w", attack, err)
+	}
+	return false, nil
+}
+
+// Frontier runs (or returns the memoized) selective-tracing sweep: for
+// each sampling fraction, the detection rate over the canned attacks ×
+// sampling seeds and the mean S-LATCH overhead over the frontier
+// workloads. The sampler's nested thresholds make both columns
+// mechanically monotone in the fraction: the tainted set at a lower
+// fraction is a subset of the set at any higher one.
+func (r *Runner) Frontier() ([]FrontierRow, error) {
+	r.mu.Lock()
+	if r.frontier != nil {
+		rows := r.frontier
+		r.mu.Unlock()
+		return rows, nil
+	}
+	r.mu.Unlock()
+
+	names := make([]string, len(FrontierFractions))
+	for i, f := range FrontierFractions {
+		names[i] = fmt.Sprintf("f%.2f", f)
+	}
+	rows := make([]FrontierRow, len(FrontierFractions))
+	err := r.runJobs("sampling", names, func(i int, name string, js *JobStat) error {
+		f := FrontierFractions[i]
+		row := FrontierRow{Fraction: f}
+		for seed := uint64(1); seed <= frontierSeeds; seed++ {
+			for _, attack := range frontierAttacks {
+				spl := policy.Sampling{SampleFraction: f, SampleSeed: seed}
+				hit, err := frontierDetect(attack, spl)
+				if err != nil {
+					return err
+				}
+				row.AttackRuns++
+				if hit {
+					row.Detected++
+				}
+			}
+		}
+		row.DetectionPct = 100 * float64(row.Detected) / float64(row.AttackRuns)
+		// The overhead estimate averages over the same seeds as the
+		// detection estimate: a single seed's sweep collapses to the
+		// in-or-out decision of the handful of taint runs a short stream
+		// touches, while the seed mean resolves the fraction itself.
+		// Each seed's sweep is monotone by nesting, so the mean is too.
+		for seed := uint64(1); seed <= frontierSeeds; seed++ {
+			pol := r.policy()
+			pol.Sampling = policy.Sampling{SampleFraction: f, SampleSeed: seed}
+			opts := engine.RunOptions{Events: r.opts.Events, Observer: r.passObserver("sampling"), Policy: pol}
+			for _, wname := range frontierWorkloads {
+				// The profile seed derives from (pass, workload) only —
+				// never the fraction or sampling seed — so every sweep
+				// point replays the same address stream and the
+				// overheads are comparable.
+				p, err := jobProfile("sampling", wname)
+				if err != nil {
+					return err
+				}
+				res, err := engine.RunScheme(context.Background(), "slatch", p, opts)
+				if err != nil {
+					return fmt.Errorf("sampling %s @ %.2f: %w", wname, f, err)
+				}
+				sr, ok := res.(slatch.Result)
+				if !ok {
+					return fmt.Errorf("sampling: slatch returned %T", res)
+				}
+				js.Events += sr.Events
+				row.MeanOverhead += sr.Overhead()
+				row.SWInstrPct += 100 * float64(sr.SWInstrs) / float64(sr.Events)
+			}
+		}
+		row.MeanOverhead /= float64(len(frontierWorkloads) * frontierSeeds)
+		row.SWInstrPct /= float64(len(frontierWorkloads) * frontierSeeds)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.frontier = rows
+	r.mu.Unlock()
+	return rows, nil
+}
+
+// SamplingFrontier renders the selective-tracing frontier: what detection
+// rate each sampling fraction buys, and what tracing overhead it costs.
+func (r *Runner) SamplingFrontier() (*stats.Table, error) {
+	rows, err := r.Frontier()
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Selective tracing frontier (detection rate vs S-LATCH overhead, nested source sampling)",
+		"sample fraction", "detection %", "mean overhead", "sw-instr %")
+	for _, row := range rows {
+		t.AddRowf(row.Fraction, row.DetectionPct, row.MeanOverhead, row.SWInstrPct)
+	}
+	return t, nil
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+
+	"latch/internal/policy"
+)
+
+var samplingBenchOut = flag.String("sampling-bench-out", "", "write the selective-tracing sweep JSON artifact to this path")
+
+// TestSamplingFrontierMonotone pins the frontier's shape: as the sampling
+// fraction drops, the detection rate, the mean overhead, and the traced
+// footprint must all be non-increasing — the nested-threshold sampler
+// guarantees the tainted set only shrinks.
+func TestSamplingFrontierMonotone(t *testing.T) {
+	rows, err := NewRunner(goldenOptions(manyWorkers())).Frontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(FrontierFractions) {
+		t.Fatalf("frontier has %d rows, want %d", len(rows), len(FrontierFractions))
+	}
+	if rows[0].Fraction != 1.0 {
+		t.Fatalf("first frontier point is %v, want full tracing", rows[0].Fraction)
+	}
+	if rows[0].DetectionPct != 100 {
+		t.Fatalf("full tracing detects %.1f%%, want 100%%", rows[0].DetectionPct)
+	}
+	if rows[0].MeanOverhead <= 0 {
+		t.Fatal("full tracing reports zero overhead")
+	}
+	for i := 1; i < len(rows); i++ {
+		prev, cur := rows[i-1], rows[i]
+		if cur.Fraction >= prev.Fraction {
+			t.Fatalf("fractions not descending: %v then %v", prev.Fraction, cur.Fraction)
+		}
+		if cur.DetectionPct > prev.DetectionPct {
+			t.Errorf("detection rose from %.1f%% to %.1f%% as fraction dropped %v -> %v",
+				prev.DetectionPct, cur.DetectionPct, prev.Fraction, cur.Fraction)
+		}
+		if cur.MeanOverhead > prev.MeanOverhead {
+			t.Errorf("overhead rose from %v to %v as fraction dropped %v -> %v",
+				prev.MeanOverhead, cur.MeanOverhead, prev.Fraction, cur.Fraction)
+		}
+		if cur.SWInstrPct > prev.SWInstrPct {
+			t.Errorf("sw-instr %% rose from %v to %v as fraction dropped %v -> %v",
+				prev.SWInstrPct, cur.SWInstrPct, prev.Fraction, cur.Fraction)
+		}
+	}
+}
+
+// TestSampledPolicyParallelMatchesSerial asserts a sampled policy keeps the
+// worker-pool determinism contract: the frontier — and a backend pass run
+// under the sampled policy — are bit-identical at any worker count.
+func TestSampledPolicyParallelMatchesSerial(t *testing.T) {
+	opts := goldenOptions(1)
+	opts.Policy = policy.Default()
+	opts.Policy.Sampling = policy.Sampling{SampleFraction: 0.5, SampleSeed: 7}
+	popts := opts
+	popts.Workers = manyWorkers()
+	serial, parallel := NewRunner(opts), NewRunner(popts)
+
+	st, err := serial.SamplingFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := parallel.SamplingFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.String() != pt.String() {
+		t.Errorf("sampled frontier differs between serial and parallel runs:\n%s\nvs\n%s", st, pt)
+	}
+
+	sb, err := serial.BackendTable("slatch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := parallel.BackendTable("slatch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != pb.String() {
+		t.Errorf("sampled slatch pass differs between serial and parallel runs:\n%s\nvs\n%s", sb, pb)
+	}
+}
+
+// TestWriteSamplingBench renders the selective-tracing sweep into the
+// BENCH_sampling.json perf-trajectory artifact. It is a no-op unless
+// -sampling-bench-out is given (`make bench` passes it), so the normal test
+// run stays fast.
+func TestWriteSamplingBench(t *testing.T) {
+	if *samplingBenchOut == "" {
+		t.Skip("no -sampling-bench-out path")
+	}
+	opts := goldenOptions(manyWorkers())
+	rows, err := NewRunner(opts).Frontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := struct {
+		Benchmark string        `json:"benchmark"`
+		Events    uint64        `json:"events_per_run"`
+		Seeds     int           `json:"sampling_seeds"`
+		Workloads []string      `json:"workloads"`
+		Attacks   []string      `json:"attacks"`
+		Frontier  []FrontierRow `json:"frontier"`
+	}{
+		Benchmark: "experiments.Frontier (selective tracing, S-LATCH)",
+		Events:    opts.Events,
+		Seeds:     frontierSeeds,
+		Workloads: frontierWorkloads,
+		Attacks:   frontierAttacks,
+		Frontier:  rows,
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(*samplingBenchOut, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d frontier points -> %s", len(rows), *samplingBenchOut)
+}

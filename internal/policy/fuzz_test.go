@@ -1,0 +1,45 @@
+package policy
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzPolicyRoundTrip checks that any valid Policy survives a JSON
+// encode/decode cycle exactly, and that any byte blob either fails to
+// decode or decodes into a policy that re-encodes stably (decode ∘
+// encode is idempotent).
+func FuzzPolicyRoundTrip(f *testing.F) {
+	seed, _ := json.Marshal(Default())
+	f.Add(seed)
+	f.Add([]byte(`{"propagation":"pift","taint_net":true,"trust_fraction":0.5,` +
+		`"sampling":{"sample_fraction":0.25,"sample_seed":42}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"sampling":{}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Policy
+		if err := json.Unmarshal(data, &p); err != nil {
+			return // not a Policy; nothing to check
+		}
+		enc, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("decoded policy failed to encode: %v (%+v)", err, p)
+		}
+		var back Policy
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("re-decode failed: %v on %s", err, enc)
+		}
+		// NaN fractions break comparability but are rejected by
+		// Validate; only require exact round-trip for valid policies.
+		if p.Validate() == nil && back != p {
+			t.Fatalf("round trip drift: %+v -> %s -> %+v", p, enc, back)
+		}
+		enc2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(enc2) != string(enc) {
+			t.Fatalf("encoding not stable: %s vs %s", enc, enc2)
+		}
+	})
+}

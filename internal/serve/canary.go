@@ -59,7 +59,7 @@ func (c *canary) admit() bool {
 // disagrees with the served outcome. The reference run is bounded by the
 // same context as the served one.
 func (c *canary) check(ctx context.Context, id uint64, job *programJob, served latch.RunResult, servedErr error, servedOut []byte) {
-	ref, err := engine.NewReference(latch.DefaultPolicy())
+	ref, err := engine.NewReference(job.policy())
 	if err != nil {
 		c.record(Divergence{Job: id, Field: "error", Served: "-", Reference: fmt.Sprintf("reference construction: %v", err)})
 		return

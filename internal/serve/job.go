@@ -31,6 +31,10 @@ type WorkloadJob struct {
 	// Telemetry, when set to a duration string like "250ms", streams a
 	// telemetry snapshot line at that cadence while the run executes.
 	Telemetry string `json:"telemetry,omitempty"`
+	// Policy, when present, is the run's taint policy (for workload replay
+	// only the sampling spec has an effect — selective tracing). Subject to
+	// the server's PolicyGate; absent runs the default pipeline.
+	Policy *latch.Policy `json:"policy,omitempty"`
 }
 
 // request converts the wire job to the facade's request struct — the
@@ -42,6 +46,7 @@ func (j *WorkloadJob) request(obs latch.Observer) latch.RunRequest {
 		Events:   j.Events,
 		Shards:   j.Shards,
 		Observer: obs,
+		Policy:   j.Policy,
 	}
 }
 
@@ -59,6 +64,10 @@ type ProgramJob struct {
 	MaxSteps uint64 `json:"max_steps,omitempty"`
 	// Deadline bounds the run in wall-clock time, like WorkloadJob.Deadline.
 	Deadline string `json:"deadline,omitempty"`
+	// Policy, when present, replaces the default taint policy for this run
+	// (sources, checks, propagation, selective tracing). Subject to the
+	// server's PolicyGate.
+	Policy *latch.Policy `json:"policy,omitempty"`
 }
 
 // programJob is the validated, internal form.
@@ -70,6 +79,17 @@ type programJob struct {
 const DefaultMaxSteps = 10_000_000
 
 func (j *programJob) input() []byte { return []byte(j.Input) }
+
+// policy returns the job's effective taint policy: the request's when it
+// sent one (and the gate admitted it), the default otherwise. The canary
+// replays under the same policy, so a sampled-out source is sampled out on
+// both sides.
+func (j *programJob) policy() latch.Policy {
+	if j.Policy != nil {
+		return *j.Policy
+	}
+	return latch.DefaultPolicy()
+}
 
 func (j *programJob) requestBytes() [][]byte {
 	if len(j.Requests) == 0 {

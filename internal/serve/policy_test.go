@@ -1,0 +1,211 @@
+package serve_test
+
+import (
+	"context"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"latch"
+	"latch/internal/serve"
+)
+
+// hijackJob is the canned control-flow hijack used by the gate tests: under
+// the default policy the tainted function pointer trips the checker.
+func hijackJob(pol *latch.Policy) serve.ProgramJob {
+	return serve.ProgramJob{
+		Source: `
+			li   r1, 0x3000
+			movi r2, 4
+			sys  2
+			li   r3, 0x3000
+			ldw  r4, [r3]
+			jr   r4
+			halt
+		`,
+		Input:  "\x00\x20\x00\x00",
+		Policy: pol,
+	}
+}
+
+// TestPolicyGateClosedByDefault pins the gate's zero value: a server that
+// never opted into tenant policies rejects any job carrying one, on both
+// endpoints, with 403 — the same posture as the Backends allowlist.
+func TestPolicyGateClosedByDefault(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{Workers: 1, QueueDepth: 2})
+	pol := latch.DefaultPolicy()
+
+	status, _ := postNDJSON(t, ts.URL+"/v1/run",
+		serve.WorkloadJob{Backend: "slatch", Workload: "gcc", Events: 1000, Policy: &pol}, nil)
+	if status != http.StatusForbidden {
+		t.Fatalf("/v1/run with policy: status %d, want 403", status)
+	}
+	status, _ = postNDJSON(t, ts.URL+"/v1/program", hijackJob(&pol), nil)
+	if status != http.StatusForbidden {
+		t.Fatalf("/v1/program with policy: status %d, want 403", status)
+	}
+
+	// Policy-free jobs still run: the gate only inspects requests that
+	// actually carry a policy.
+	status, _ = postNDJSON(t, ts.URL+"/v1/run",
+		serve.WorkloadJob{Backend: "slatch", Workload: "gcc", Events: 1000}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("policy-free job: status %d, want 200", status)
+	}
+}
+
+// TestPolicyGateBounds exercises an opted-in server's bounds: operator-pinned
+// checks cannot be disabled, sampling cannot drop below the floor, malformed
+// policies are the caller's fault (400), and a compliant policy runs.
+func TestPolicyGateBounds(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{
+		Workers: 1, QueueDepth: 2,
+		Policy: serve.PolicyGate{
+			AllowTenantPolicies: true,
+			PinnedChecks:        []string{"control-flow", "leak"},
+			MinSampleFraction:   0.25,
+		},
+	})
+
+	mut := func(f func(*latch.Policy)) *latch.Policy {
+		pol := latch.DefaultPolicy()
+		f(&pol)
+		return &pol
+	}
+	cases := []struct {
+		name string
+		pol  *latch.Policy
+		want int
+	}{
+		{"compliant", mut(func(p *latch.Policy) { p.CheckLeak = true }), http.StatusOK},
+		{"sampling at floor", mut(func(p *latch.Policy) {
+			p.CheckLeak = true
+			p.Sampling = latch.Sampling{SampleFraction: 0.25, SampleSeed: 1}
+		}), http.StatusOK},
+		{"unpins control-flow", mut(func(p *latch.Policy) { p.CheckControlFlow = false; p.CheckLeak = true }), http.StatusForbidden},
+		{"unpins leak", mut(func(p *latch.Policy) { p.CheckLeak = false }), http.StatusForbidden},
+		{"samples below floor", mut(func(p *latch.Policy) {
+			p.CheckLeak = true
+			p.Sampling = latch.Sampling{SampleFraction: 0.1, SampleSeed: 1}
+		}), http.StatusForbidden},
+		{"malformed fraction", mut(func(p *latch.Policy) {
+			p.CheckLeak = true
+			p.Sampling = latch.Sampling{SampleFraction: 2}
+		}), http.StatusBadRequest},
+		{"malformed propagation", mut(func(p *latch.Policy) { p.CheckLeak = true; p.Propagation = "quantum" }), http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			status, lines := postNDJSON(t, ts.URL+"/v1/run",
+				serve.WorkloadJob{Backend: "slatch", Workload: "gcc", Events: 1000, Policy: c.pol}, nil)
+			if status != c.want {
+				t.Fatalf("status %d, want %d (%v)", status, c.want, lines)
+			}
+		})
+	}
+}
+
+// TestProgramPolicyChangesVerdict runs the same exfiltration program twice
+// on a server that admits tenant policies. The default policy has the leak
+// check off, so the first verdict only fires because the tenant policy armed
+// it — proof the policy reaches the engine. The second policy disables the
+// file source: the output bytes are never tainted and the run completes
+// clean. The canary replays each job under its own effective policy, so
+// neither run diverges from the reference shadow.
+func TestProgramPolicyChangesVerdict(t *testing.T) {
+	s, ts := newTestServer(t, serve.Config{
+		Workers: 1, QueueDepth: 2, CanaryEveryN: 1,
+		Policy: serve.PolicyGate{AllowTenantPolicies: true},
+	})
+
+	exfil := func(pol *latch.Policy) serve.ProgramJob {
+		return serve.ProgramJob{
+			Source: `
+				li   r1, 0x3000
+				movi r2, 8
+				sys  2
+				li   r1, 0x3000
+				movi r2, 8
+				sys  5
+				movi r1, 0
+				sys  1
+			`,
+			Input:  "8 secret",
+			Policy: pol,
+		}
+	}
+
+	armed := latch.DefaultPolicy()
+	armed.CheckLeak = true
+	status, lines := postNDJSON(t, ts.URL+"/v1/program", exfil(&armed), nil)
+	if status != http.StatusOK {
+		t.Fatalf("leak-armed policy: status %d", status)
+	}
+	final := lastLine(t, lines)
+	if v, ok := final["violation"].(map[string]any); !ok || v["kind"] != "leak" {
+		t.Fatalf("leak-armed policy missed the exfiltration: %v", final)
+	}
+
+	blind := armed
+	blind.TaintFile = false
+	status, lines = postNDJSON(t, ts.URL+"/v1/program", exfil(&blind), nil)
+	if status != http.StatusOK {
+		t.Fatalf("source-blind policy: status %d", status)
+	}
+	final = lastLine(t, lines)
+	if final["type"] != "result" {
+		t.Fatalf("source-blind terminal line: %v", final)
+	}
+	if _, tripped := final["violation"].(map[string]any); tripped {
+		t.Fatalf("untainted output still flagged: %v", final)
+	}
+
+	rep := s.Canary()
+	if rep.Checked != 2 {
+		t.Fatalf("canary checked %d of 2 jobs", rep.Checked)
+	}
+	if len(rep.Divergences) != 0 {
+		t.Fatalf("canary replayed under the wrong policy: %+v", rep.Divergences)
+	}
+}
+
+// TestWorkloadPolicySampling pins the served selective-tracing contract: a
+// sampled workload job through HTTP lands on the same result as the library
+// facade under the identical policy — the sampler's determinism survives the
+// service's session recycling.
+func TestWorkloadPolicySampling(t *testing.T) {
+	_, ts := newTestServer(t, serve.Config{
+		Workers: 1, QueueDepth: 2,
+		Policy: serve.PolicyGate{AllowTenantPolicies: true},
+	})
+	pol := latch.DefaultPolicy()
+	pol.Sampling = latch.Sampling{SampleFraction: 0.5, SampleSeed: 7}
+
+	job := serve.WorkloadJob{Backend: "slatch", Workload: "gcc", Events: 100_000, Policy: &pol}
+	var finals []map[string]any
+	for i := 0; i < 2; i++ { // second run exercises the recycled session
+		status, lines := postNDJSON(t, ts.URL+"/v1/run", job, nil)
+		if status != http.StatusOK {
+			t.Fatalf("run %d: status %d", i, status)
+		}
+		final := lastLine(t, lines)
+		delete(final, "elapsed")
+		finals = append(finals, final)
+	}
+	if !reflect.DeepEqual(finals[0], finals[1]) {
+		t.Fatalf("sampled runs diverged across recycled sessions:\n%v\n%v", finals[0], finals[1])
+	}
+
+	res, err := latch.Run(context.Background(), latch.RunRequest{
+		Backend: "slatch", Workload: "gcc", Events: 100_000, Policy: &pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := finals[0]["events"], float64(res.EventCount()); got != want {
+		t.Fatalf("events: served %v, batch %v", got, want)
+	}
+	if got, want := finals[0]["checks"], float64(res.CheckCount()); got != want {
+		t.Fatalf("checks: served %v, batch %v", got, want)
+	}
+}

@@ -65,6 +65,59 @@ type Config struct {
 	// Backends, when non-empty, restricts workload jobs to the named
 	// integrations. Empty admits every registered backend.
 	Backends []string
+	// Policy gates per-request taint policies: which tenants may send one
+	// at all, which checks the operator pins on, and how far selective
+	// tracing may be turned down. The zero value rejects tenant policies
+	// entirely — policy control is an operator opt-in, like Backends.
+	Policy PolicyGate
+}
+
+// PolicyGate is the server-side policy allowlist: tenants may only weaken
+// the taint policy within the bounds the operator configured, mirroring how
+// Backends restricts which integrations a tenant can occupy.
+type PolicyGate struct {
+	// AllowTenantPolicies admits request bodies carrying a "policy" field.
+	// Off (the default), any job naming a policy is rejected with 403.
+	AllowTenantPolicies bool
+	// PinnedChecks lists checks a tenant policy must keep enabled:
+	// "control-flow" and/or "leak". A policy disabling a pinned check is
+	// rejected with 403.
+	PinnedChecks []string
+	// MinSampleFraction floors selective tracing: a policy sampling below
+	// this fraction is rejected with 403. Zero imposes no floor.
+	MinSampleFraction float64
+}
+
+// checkPolicy applies the gate to one request policy. The returned status
+// distinguishes the caller's malformed policy (400) from a well-formed one
+// the operator forbids (403); 0 means admitted.
+func (g PolicyGate) checkPolicy(pol *latch.Policy) (int, error) {
+	if pol == nil {
+		return 0, nil
+	}
+	if !g.AllowTenantPolicies {
+		return http.StatusForbidden, fmt.Errorf("per-request policies are not enabled on this server")
+	}
+	if err := pol.Validate(); err != nil {
+		return http.StatusBadRequest, err
+	}
+	for _, c := range g.PinnedChecks {
+		switch c {
+		case "control-flow":
+			if !pol.CheckControlFlow {
+				return http.StatusForbidden, fmt.Errorf("this server pins the control-flow check on; the request policy disables it")
+			}
+		case "leak":
+			if !pol.CheckLeak {
+				return http.StatusForbidden, fmt.Errorf("this server pins the leak check on; the request policy disables it")
+			}
+		}
+	}
+	if g.MinSampleFraction > 0 && pol.Sampling.Enabled() && pol.Sampling.SampleFraction < g.MinSampleFraction {
+		return http.StatusForbidden, fmt.Errorf("sample fraction %v below this server's floor %v",
+			pol.Sampling.SampleFraction, g.MinSampleFraction)
+	}
+	return 0, nil
 }
 
 // Server is the taint-checking service. Create with New, mount as an
@@ -232,6 +285,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			job.Backend, s.cfg.Backends), http.StatusForbidden)
 		return
 	}
+	if status, err := s.cfg.Policy.checkPolicy(job.Policy); status != 0 {
+		http.Error(w, err.Error(), status)
+		return
+	}
 	deadline, err := parseDeadline(job.Deadline, s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -307,11 +364,15 @@ func (s *Server) runWorkload(ctx context.Context, st *stream, ws *workerState, j
 		}()
 	}
 
-	res, sess, err := engine.RunProfileSession(ctx, b, p, engine.RunOptions{
+	runOpts := engine.RunOptions{
 		Events:   events,
 		Observer: metrics,
 		Session:  ws.sessions[b.Config()],
-	})
+	}
+	if job.Policy != nil {
+		runOpts.Policy = *job.Policy
+	}
+	res, sess, err := engine.RunProfileSession(ctx, b, p, runOpts)
 	if sess != nil {
 		ws.sessions[b.Config()] = sess
 	}
@@ -355,6 +416,10 @@ func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if status, err := s.cfg.Policy.checkPolicy(wire.Policy); status != 0 {
+		http.Error(w, err.Error(), status)
+		return
+	}
 	deadline, err := parseDeadline(wire.Deadline, s.cfg.DefaultDeadline, s.cfg.MaxDeadline)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -383,7 +448,7 @@ func (s *Server) runProgram(ctx context.Context, st *stream, job *programJob, id
 	if geom == (latch.Config{}) {
 		geom = latch.DefaultConfig()
 	}
-	sys, err := latch.New(latch.WithObserver(obs), latch.WithConfig(geom))
+	sys, err := latch.New(latch.WithObserver(obs), latch.WithConfig(geom), latch.WithPolicy(job.policy()))
 	if err != nil {
 		s.fail(st, err)
 		return

@@ -9,6 +9,7 @@ import (
 
 	"latch/internal/dift"
 	"latch/internal/isa"
+	"latch/internal/policy"
 	"latch/internal/shadow"
 	"latch/internal/trace"
 )
@@ -19,7 +20,7 @@ import (
 // checks intact.
 
 func newDift() *dift.Engine {
-	return dift.NewEngine(shadow.MustNew(64), dift.DefaultPolicy())
+	return dift.NewEngine(shadow.MustNew(64), policy.Default())
 }
 
 // TestFastLoopSelfModifyingStore: a store over an already-executed-from code

@@ -6,6 +6,7 @@ import (
 
 	"latch/internal/dift"
 	"latch/internal/isa"
+	"latch/internal/policy"
 	"latch/internal/shadow"
 	"latch/internal/telemetry"
 )
@@ -20,7 +21,7 @@ func mustAssemble(t *testing.T, src string) *isa.Program {
 }
 
 func TestObserverSeesTaintSources(t *testing.T) {
-	e := dift.NewEngine(shadow.MustNew(64), dift.DefaultPolicy())
+	e := dift.NewEngine(shadow.MustNew(64), policy.Default())
 	mx := telemetry.NewMetrics()
 	p := mustAssemble(t, `
 		li   r1, 0x3000
@@ -54,7 +55,7 @@ func TestObserverSeesTaintSources(t *testing.T) {
 func TestObserverCountsPolicyFilteredInput(t *testing.T) {
 	// The observer reports bytes arriving at the syscall boundary, before
 	// policy filtering: a policy that trusts file input still sees them.
-	pol := dift.DefaultPolicy()
+	pol := policy.Default()
 	pol.TaintFile = false
 	e := dift.NewEngine(shadow.MustNew(64), pol)
 	mx := telemetry.NewMetrics()

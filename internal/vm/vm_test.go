@@ -10,6 +10,7 @@ import (
 
 	"latch/internal/dift"
 	"latch/internal/isa"
+	"latch/internal/policy"
 	"latch/internal/shadow"
 	"latch/internal/trace"
 )
@@ -186,7 +187,7 @@ func TestSysExit(t *testing.T) {
 }
 
 func TestSysReadTaintsFileData(t *testing.T) {
-	e := dift.NewEngine(shadow.MustNew(64), dift.DefaultPolicy())
+	e := dift.NewEngine(shadow.MustNew(64), policy.Default())
 	c, err := run(t, `
 		li   r1, 0x3000
 		movi r2, 4
@@ -232,7 +233,7 @@ func TestSysReadEOF(t *testing.T) {
 }
 
 func TestAcceptRecvWrite(t *testing.T) {
-	e := dift.NewEngine(shadow.MustNew(64), dift.DefaultPolicy())
+	e := dift.NewEngine(shadow.MustNew(64), policy.Default())
 	c, err := run(t, `
 	next:
 		sys  4          ; accept
@@ -263,7 +264,7 @@ func TestAcceptRecvWrite(t *testing.T) {
 }
 
 func TestTaintedIndirectJumpDetected(t *testing.T) {
-	e := dift.NewEngine(shadow.MustNew(64), dift.DefaultPolicy())
+	e := dift.NewEngine(shadow.MustNew(64), policy.Default())
 	_, err := run(t, `
 		li   r1, 0x3000
 		movi r2, 4
@@ -320,7 +321,7 @@ func TestStepAfterHalt(t *testing.T) {
 }
 
 func TestHookEventStream(t *testing.T) {
-	e := dift.NewEngine(shadow.MustNew(64), dift.DefaultPolicy())
+	e := dift.NewEngine(shadow.MustNew(64), policy.Default())
 	p := isa.MustAssemble(`
 		li   r1, 0x3000
 		movi r2, 2
@@ -364,7 +365,7 @@ func TestHookEventStream(t *testing.T) {
 }
 
 func TestStntStrfLtnt(t *testing.T) {
-	e := dift.NewEngine(shadow.MustNew(64), dift.DefaultPolicy())
+	e := dift.NewEngine(shadow.MustNew(64), policy.Default())
 	p := isa.MustAssemble(`
 		li   r1, 0x5000
 		movi r2, 1
@@ -439,7 +440,7 @@ func TestRecvWithoutAccept(t *testing.T) {
 }
 
 func TestLeakDetection(t *testing.T) {
-	pol := dift.DefaultPolicy()
+	pol := policy.Default()
 	pol.CheckLeak = true
 	e := dift.NewEngine(shadow.MustNew(64), pol)
 	_, err := run(t, `
@@ -486,7 +487,7 @@ func BenchmarkInterpreterWithDIFT(b *testing.B) {
 	`)
 	c := New()
 	c.Mem.SetAccessTracking(false)
-	c.SetTracker(dift.NewEngine(shadow.MustNew(64), dift.DefaultPolicy()))
+	c.SetTracker(dift.NewEngine(shadow.MustNew(64), policy.Default()))
 	c.Load(p)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -622,7 +623,7 @@ func TestSysWriteLengthClamped(t *testing.T) {
 	// checker; see testdata/diffcheck/hang-syswrite-seed5296691041779947934
 	// .repro). The OS model now performs a short write of at most
 	// MaxSysWriteBytes, returning the count like write(2).
-	e := dift.NewEngine(shadow.MustNew(64), dift.DefaultPolicy())
+	e := dift.NewEngine(shadow.MustNew(64), policy.Default())
 	c, err := run(t, `
 		movi r1, -1     ; buf  = 0xFFFFFFFF
 		movi r2, -1     ; len  = 0xFFFFFFFF

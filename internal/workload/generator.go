@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"latch/internal/mem"
+	"latch/internal/policy"
 	"latch/internal/shadow"
 	"latch/internal/trace"
 )
@@ -18,6 +19,17 @@ type Generator struct {
 	p   Profile
 	rng *rand.Rand
 	sh  *shadow.Shadow
+
+	// Selective tracing: when sampled is set (a SampleFraction strictly
+	// between 0 and 1), whole taint runs are deterministically sampled
+	// in or out by the policy sampler (KindLayout, ordinal = global run
+	// index). Sampled-out runs stay clean in the shadow and their events
+	// are emitted untainted; everything else about the stream — the
+	// addresses, the epoch schedule, the RNG draws — is unchanged, so
+	// the same profile seed produces the same access pattern at every
+	// fraction.
+	smp     policy.Sampler
+	sampled bool
 
 	// Layout: the footprint occupies contiguous pages starting at base,
 	// with the tainted block in the middle (taintStart..taintStart+tainted).
@@ -67,11 +79,18 @@ const basePage = 0x10000
 // NewGenerator builds a generator for profile p over a fresh shadow with the
 // given taint-domain size.
 func NewGenerator(p Profile, domainSize uint32) (*Generator, error) {
+	return NewSampledGenerator(p, domainSize, policy.Sampling{})
+}
+
+// NewSampledGenerator is NewGenerator with a selective-tracing spec: the
+// profile's taint runs are deterministically sampled by spl before being
+// materialized (see NewSampledGeneratorOn).
+func NewSampledGenerator(p Profile, domainSize uint32, spl policy.Sampling) (*Generator, error) {
 	sh, err := shadow.New(domainSize)
 	if err != nil {
 		return nil, err
 	}
-	return NewGeneratorOn(p, sh)
+	return NewSampledGeneratorOn(p, sh, spl)
 }
 
 // NewGeneratorOn builds a generator for profile p over an existing shadow —
@@ -79,6 +98,19 @@ func NewGenerator(p Profile, domainSize uint32) (*Generator, error) {
 // state is built up by the layout materialization exactly as hardware would
 // observe the taint being written. The shadow must be empty.
 func NewGeneratorOn(p Profile, sh *shadow.Shadow) (*Generator, error) {
+	return NewSampledGeneratorOn(p, sh, policy.Sampling{})
+}
+
+// NewSampledGeneratorOn is NewGeneratorOn under a selective-tracing spec.
+// A disabled spec (the zero value, or SampleFraction 1.0) reproduces the
+// unsampled generator exactly — same shadow writes in the same order,
+// same stream; a partial fraction keeps the sampled-out runs clean
+// end-to-end (through materialization, churn, and re-taint) while the
+// access pattern stays identical across fractions.
+func NewSampledGeneratorOn(p Profile, sh *shadow.Shadow, spl policy.Sampling) (*Generator, error) {
+	if err := spl.Validate(); err != nil {
+		return nil, fmt.Errorf("workload %s: %w", p.Name, err)
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -95,6 +127,8 @@ func NewGeneratorOn(p Profile, sh *shadow.Shadow) (*Generator, error) {
 		density:      p.TaintPct / 100 / p.ActiveShare,
 		reuseLeft:    p.TaintReuse,
 		emittedClean: make([]float64, len(p.Epochs)),
+		smp:          policy.NewSampler(spl),
+		sampled:      spl.Enabled(),
 	}
 	if p.RunLen >= mem.PageSize {
 		g.tbpp, g.gbpp = mem.PageSize, 0
@@ -203,8 +237,46 @@ func (g *Generator) gapAddr(i int) uint32 {
 	return g.pageAddr(page) + uint32(g.rotate(page, off))
 }
 
+// totalTaintBytes is the size of the profile's tainted-byte index space.
+func (g *Generator) totalTaintBytes() int { return g.tbpp * g.p.PagesTainted }
+
+// runSampled reports whether the given global taint run is tainted under
+// the selective-tracing spec. With sampling disabled every run is in.
+func (g *Generator) runSampled(run int) bool {
+	if !g.sampled {
+		return true
+	}
+	return g.smp.Sample(policy.KindLayout, uint64(run))
+}
+
+// taintTag is the tag tainted-byte index i carries: the taint label when
+// its run is sampled in, clean when sampled out.
+func (g *Generator) taintTag(i int) shadow.Tag {
+	if g.runSampled(i / g.p.RunLen) {
+		return shadow.MustLabel(0)
+	}
+	return shadow.TagClean
+}
+
 // materialize writes the static taint layout into the shadow.
 func (g *Generator) materialize() {
+	if g.sampled {
+		// Selective tracing: materialize run by run, skipping sampled-out
+		// runs so they never enter the shadow (or the coarse state built
+		// by its watchers).
+		total := g.totalTaintBytes()
+		for start := 0; start < total; start += g.p.RunLen {
+			if !g.runSampled(start / g.p.RunLen) {
+				continue
+			}
+			n := g.p.RunLen
+			if start+n > total {
+				n = total - start
+			}
+			g.setRunTaint(start, n, shadow.MustLabel(0))
+		}
+		return
+	}
 	tag := shadow.MustLabel(0)
 	for pi := 0; pi < g.p.PagesTainted; pi++ {
 		page := g.taintStart + pi
@@ -295,7 +367,7 @@ func (g *Generator) nextTaintAddr() (addr uint32, finishedRun int) {
 				g.barrier()
 			}
 			for _, f := range g.freed {
-				g.setRunTaint(f.idx, f.n, shadow.MustLabel(0))
+				g.restoreRun(f.idx, f.n)
 			}
 			g.freed = g.freed[:0]
 			g.flushRetaints()
@@ -327,6 +399,19 @@ func (g *Generator) setRunTaint(idx, n int, tag shadow.Tag) {
 	}
 }
 
+// restoreRun re-asserts the materialized taint of [idx, idx+n) after a
+// churn clear, byte by byte with each byte's own taintTag. The per-byte
+// tag matters because a churned range that wraps past the end of the
+// index space spills into run 0, whose sampling decision may differ.
+// With sampling disabled this is exactly setRunTaint(idx, n, label 0).
+func (g *Generator) restoreRun(idx, n int) {
+	total := g.totalTaintBytes()
+	for b := 0; b < n; b++ {
+		i := (idx + b) % total
+		g.sh.Set(g.taintAddr(i), g.taintTag(i))
+	}
+}
+
 // applyRetaints re-taints every churned run whose deadline has passed.
 func (g *Generator) applyRetaints() {
 	due := false
@@ -347,7 +432,7 @@ func (g *Generator) applyRetaints() {
 			n++
 			continue
 		}
-		g.setRunTaint(r.idx, r.n, shadow.MustLabel(0))
+		g.restoreRun(r.idx, r.n)
 	}
 	g.pending = g.pending[:n]
 }
@@ -359,7 +444,7 @@ func (g *Generator) flushRetaints() {
 	}
 	g.barrier()
 	for _, r := range g.pending {
-		g.setRunTaint(r.idx, r.n, shadow.MustLabel(0))
+		g.restoreRun(r.idx, r.n)
 	}
 	g.pending = g.pending[:0]
 }
@@ -399,8 +484,12 @@ func (g *Generator) cleanInstr(sink trace.Sink, nearProb float64) {
 func (g *Generator) activeInstr(sink trace.Sink) {
 	g.applyRetaints()
 	if g.rng.Float64() < g.density {
+		// The run's sampling decision is the event's taint status: a
+		// sampled-out run is walked (same addresses, same RNG draws as an
+		// unsampled stream) but observed clean.
+		tainted := g.runSampled(g.taintIdx / g.p.RunLen)
 		addr, finishedRun := g.nextTaintAddr()
-		g.emit(sink, true, addr, 1, true)
+		g.emit(sink, true, addr, 1, tainted)
 		// Churn: once the cursor moves past a run, the workload may
 		// overwrite the whole run with clean data (the event above observed
 		// the pre-write state) and re-taint it later in the phase. Clearing

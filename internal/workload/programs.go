@@ -368,6 +368,74 @@ done:
 	sys  1
 `,
 
+	// taintjump is the control-flow hijack attack: the program reads a
+	// 4-byte dispatch offset from its input, adds it to a jump-table base,
+	// and jumps indirectly through the result. The attacker controls the
+	// jump target byte for byte. Classical DTA propagates the input's taint
+	// through the add, so the `jr` faults with a control-flow violation;
+	// PIFT clears taint at ALU operations, so the same run is missed — a
+	// canned probe for the detection gap between the two propagation rule
+	// sets. Benign input (four zero bytes) dispatches to the table base and
+	// exits cleanly.
+	"taintjump": `
+_start:
+	li   r1, 0xC000
+	movi r2, 4
+	sys  2              ; read 4-byte dispatch offset (tainted)
+	li   r5, 0xC000
+	ldw  r6, [r5]       ; attacker-controlled offset
+	li   r4, =table
+	add  r7, r4, r6     ; target = table + offset
+	jr   r7             ; checked indirect jump
+table:
+	movi r1, 0
+	sys  1
+`,
+
+	// launder is the substitution-table exfiltration attack (§3.3.2): the
+	// program builds an *identity* table, passes every byte of a secret
+	// input through it, and writes the result out. The output equals the
+	// secret exactly, but the table lookup derives each output byte from a
+	// clean table cell addressed by a tainted index — classical DTA does
+	// not propagate taint through addresses, so the copy is clean and the
+	// write passes even under a leak-checking policy. Both propagation
+	// modes miss it; detecting it requires address (pointer) tainting,
+	// which the paper scopes out.
+	"launder": `
+_start:
+	movi r2, 0
+	li   r3, 0xA000     ; identity table base
+tbl:                        ; table[i] = i
+	add  r7, r3, r2
+	stb  r2, [r7]
+	addi r2, r2, 1
+	movi r8, 256
+	blt  r2, r8, tbl
+	li   r1, 0x8000
+	movi r2, 64
+	sys  2              ; read the secret (tainted)
+	mov  r9, r1
+	beq  r9, r0, done
+	movi r10, 0
+loop:
+	li   r11, 0x8000
+	add  r11, r11, r10
+	ldb  r12, [r11]     ; secret byte (tainted)
+	add  r13, r3, r12   ; index the identity table with it
+	ldb  r14, [r13]     ; same value, laundered clean
+	li   r11, 0x9000
+	add  r11, r11, r10
+	stb  r14, [r11]
+	addi r10, r10, 1
+	blt  r10, r9, loop
+	li   r1, 0x9000
+	mov  r2, r9
+	sys  5              ; exfiltrate: byte-identical secret, no leak fires
+done:
+	movi r1, 0
+	sys  1
+`,
+
 	// parser scans input for spaces and reports the count: heavy taint
 	// touching with a clean (comparison-derived) result.
 	"parser": `

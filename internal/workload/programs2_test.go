@@ -3,12 +3,12 @@ package workload
 import (
 	"testing"
 
-	"latch/internal/dift"
+	"latch/internal/policy"
 	"latch/internal/vm"
 )
 
 func TestRLEEncodesAndPartiallyTaints(t *testing.T) {
-	c, eng, err := runProgram(t, "rle", dift.DefaultPolicy(), func(e *vm.Env) {
+	c, eng, err := runProgram(t, "rle", policy.Default(), func(e *vm.Env) {
 		e.FileData = []byte("aaabbc")
 	})
 	if err != nil {
@@ -30,7 +30,7 @@ func TestRLEEncodesAndPartiallyTaints(t *testing.T) {
 }
 
 func TestRLESingleRun(t *testing.T) {
-	c, _, err := runProgram(t, "rle", dift.DefaultPolicy(), func(e *vm.Env) {
+	c, _, err := runProgram(t, "rle", policy.Default(), func(e *vm.Env) {
 		e.FileData = []byte("zzzzz")
 	})
 	if err != nil {
@@ -43,7 +43,7 @@ func TestRLESingleRun(t *testing.T) {
 
 func TestChecksumMatchesReference(t *testing.T) {
 	input := []byte("fletcher checksum reference input")
-	c, eng, err := runProgram(t, "checksum", dift.DefaultPolicy(), func(e *vm.Env) {
+	c, eng, err := runProgram(t, "checksum", policy.Default(), func(e *vm.Env) {
 		e.FileData = input
 	})
 	if err != nil {
@@ -65,7 +65,7 @@ func TestChecksumMatchesReference(t *testing.T) {
 }
 
 func TestCaesarPropagatesTaintOneToOne(t *testing.T) {
-	c, eng, err := runProgram(t, "caesar", dift.DefaultPolicy(), func(e *vm.Env) {
+	c, eng, err := runProgram(t, "caesar", policy.Default(), func(e *vm.Env) {
 		e.FileData = []byte("abc")
 	})
 	if err != nil {
@@ -82,7 +82,7 @@ func TestCaesarPropagatesTaintOneToOne(t *testing.T) {
 }
 
 func TestFilterKeepsDirectFlowTaint(t *testing.T) {
-	c, eng, err := runProgram(t, "filter", dift.DefaultPolicy(), func(e *vm.Env) {
+	c, eng, err := runProgram(t, "filter", policy.Default(), func(e *vm.Env) {
 		e.FileData = []byte("ok\x01\x02fine\x7f!")
 	})
 	if err != nil {
@@ -97,7 +97,7 @@ func TestFilterKeepsDirectFlowTaint(t *testing.T) {
 }
 
 func TestFilterLeakDetected(t *testing.T) {
-	pol := dift.DefaultPolicy()
+	pol := policy.Default()
 	pol.CheckLeak = true
 	_, _, err := runProgram(t, "filter", pol, func(e *vm.Env) {
 		e.FileData = []byte("secret")
@@ -116,13 +116,13 @@ func TestNewProgramsRegistered(t *testing.T) {
 	if len(want) != 0 {
 		t.Fatalf("missing programs: %v", want)
 	}
-	if len(names) != 10 {
+	if len(names) != 12 {
 		t.Fatalf("program count = %d", len(names))
 	}
 }
 
 func TestPipelineStagedTaint(t *testing.T) {
-	pol := dift.DefaultPolicy()
+	pol := policy.Default()
 	pol.CheckLeak = true // final output must be launderable
 	c, eng, err := runProgram(t, "pipeline", pol, func(e *vm.Env) {
 		e.FileData = []byte("aabb")

@@ -7,6 +7,7 @@ import (
 
 	"latch/internal/dift"
 	"latch/internal/isa"
+	"latch/internal/policy"
 	"latch/internal/shadow"
 	"latch/internal/vm"
 )
@@ -34,7 +35,7 @@ func runProgram(t *testing.T, name string, pol dift.Policy, env func(*vm.Env)) (
 
 func TestProgramNames(t *testing.T) {
 	names := ProgramNames()
-	if len(names) != 10 {
+	if len(names) != 12 {
 		t.Fatalf("programs = %v", names)
 	}
 	if _, err := ProgramSource("nope"); err == nil {
@@ -52,7 +53,7 @@ func TestAllProgramsAssemble(t *testing.T) {
 }
 
 func TestCopyloopPropagatesTaint(t *testing.T) {
-	c, eng, err := runProgram(t, "copyloop", dift.DefaultPolicy(), func(e *vm.Env) {
+	c, eng, err := runProgram(t, "copyloop", policy.Default(), func(e *vm.Env) {
 		e.FileData = []byte("hello world!")
 	})
 	if err != nil {
@@ -68,7 +69,7 @@ func TestCopyloopPropagatesTaint(t *testing.T) {
 }
 
 func TestCopyloopLeaksUnderLeakPolicy(t *testing.T) {
-	pol := dift.DefaultPolicy()
+	pol := policy.Default()
 	pol.CheckLeak = true
 	_, _, err := runProgram(t, "copyloop", pol, func(e *vm.Env) {
 		e.FileData = []byte("secret")
@@ -82,7 +83,7 @@ func TestCopyloopLeaksUnderLeakPolicy(t *testing.T) {
 func TestSubstitutionLaundersTaint(t *testing.T) {
 	// Even under a leak-checking policy the substituted output is clean:
 	// classical DTA does not track address-based flows (§3.3.2).
-	pol := dift.DefaultPolicy()
+	pol := policy.Default()
 	pol.CheckLeak = true
 	c, eng, err := runProgram(t, "substitution", pol, func(e *vm.Env) {
 		e.FileData = []byte{1, 2, 3, 4}
@@ -105,7 +106,7 @@ func TestSubstitutionLaundersTaint(t *testing.T) {
 }
 
 func TestServerHandlesRequests(t *testing.T) {
-	c, eng, err := runProgram(t, "server", dift.DefaultPolicy(), func(e *vm.Env) {
+	c, eng, err := runProgram(t, "server", policy.Default(), func(e *vm.Env) {
 		e.Requests = [][]byte{[]byte("GET /index"), []byte("GET /about")}
 	})
 	if err != nil {
@@ -120,8 +121,8 @@ func TestServerHandlesRequests(t *testing.T) {
 }
 
 func TestServerTrustedConnectionsStayClean(t *testing.T) {
-	pol := dift.DefaultPolicy()
-	pol.TrustConn = func(int) bool { return true }
+	pol := policy.Default()
+	pol.TrustFraction = 1 // every connection trusted
 	_, eng, err := runProgram(t, "server", pol, func(e *vm.Env) {
 		e.Requests = [][]byte{[]byte("GET /index")}
 	})
@@ -134,7 +135,7 @@ func TestServerTrustedConnectionsStayClean(t *testing.T) {
 }
 
 func TestOverflowBenignInput(t *testing.T) {
-	c, _, err := runProgram(t, "overflow", dift.DefaultPolicy(), func(e *vm.Env) {
+	c, _, err := runProgram(t, "overflow", policy.Default(), func(e *vm.Env) {
 		e.FileData = []byte("short msg") // fits the 16-byte buffer
 	})
 	if err != nil {
@@ -148,7 +149,7 @@ func TestOverflowBenignInput(t *testing.T) {
 func TestOverflowExploitDetected(t *testing.T) {
 	attack := make([]byte, 20) // 16 bytes fill the buffer, 4 smash the fnptr
 	copy(attack[16:], []byte{0x00, 0x10, 0x00, 0x00})
-	_, _, err := runProgram(t, "overflow", dift.DefaultPolicy(), func(e *vm.Env) {
+	_, _, err := runProgram(t, "overflow", policy.Default(), func(e *vm.Env) {
 		e.FileData = attack
 	})
 	var v dift.Violation
@@ -157,8 +158,60 @@ func TestOverflowExploitDetected(t *testing.T) {
 	}
 }
 
+func TestTaintjumpDetectedClassical(t *testing.T) {
+	// The dispatch offset is attacker input; classical DTA carries its
+	// taint through the add into the jump target.
+	_, _, err := runProgram(t, "taintjump", policy.Default(), func(e *vm.Env) {
+		e.FileData = []byte{0, 0, 0, 0}
+	})
+	var v dift.Violation
+	if !errors.As(err, &v) || v.Kind != dift.ViolationControlFlow {
+		t.Fatalf("err = %v, want control-flow violation", err)
+	}
+}
+
+func TestTaintjumpMissedPIFT(t *testing.T) {
+	// PIFT clears taint at ALU operations, so the computed target looks
+	// clean and the hijack probe sails through.
+	pol := policy.Default()
+	pol.Propagation = policy.PropagationPIFT
+	c, _, err := runProgram(t, "taintjump", pol, func(e *vm.Env) {
+		e.FileData = []byte{0, 0, 0, 0}
+	})
+	if err != nil {
+		t.Fatalf("PIFT unexpectedly flagged the jump: %v", err)
+	}
+	if c.ExitCode() != 0 {
+		t.Fatalf("exit code = %d", c.ExitCode())
+	}
+}
+
+func TestLaunderExfiltratesSecret(t *testing.T) {
+	// The identity table copies the secret byte for byte, yet the copy is
+	// clean under classical DTA (address-based flow) and the leak check
+	// never fires.
+	pol := policy.Default()
+	pol.CheckLeak = true
+	secret := []byte("hunter2: the launderable secret!")
+	c, eng, err := runProgram(t, "launder", pol, func(e *vm.Env) {
+		e.FileData = secret
+	})
+	if err != nil {
+		t.Fatalf("launder flagged a leak: %v", err)
+	}
+	if got := c.Env.Output.Bytes(); string(got) != string(secret) {
+		t.Fatalf("exfiltrated %q, want the exact secret %q", got, secret)
+	}
+	if eng.Shadow.RangeTainted(0x9000, len(secret)) {
+		t.Fatal("laundered output is tainted")
+	}
+	if !eng.Shadow.RangeTainted(0x8000, len(secret)) {
+		t.Fatal("input lost taint")
+	}
+}
+
 func TestParserCountsSpaces(t *testing.T) {
-	c, _, err := runProgram(t, "parser", dift.DefaultPolicy(), func(e *vm.Env) {
+	c, _, err := runProgram(t, "parser", policy.Default(), func(e *vm.Env) {
 		e.FileData = []byte("one two three four")
 	})
 	if err != nil {

@@ -46,6 +46,7 @@ import (
 	"latch/internal/dift"
 	"latch/internal/isa"
 	latchcore "latch/internal/latch"
+	"latch/internal/policy"
 	"latch/internal/shadow"
 	"latch/internal/vm"
 )
@@ -65,8 +66,17 @@ type (
 	// ClearPolicy selects eager (H-LATCH) or lazy (S-LATCH) coarse clears.
 	ClearPolicy = latchcore.ClearPolicy
 
-	// Policy is the DIFT taint policy (sources, checks).
-	Policy = dift.Policy
+	// Policy is the declarative, JSON-serializable taint policy: sources,
+	// checks, propagation mode, the TrustFraction rule, and the Sampling
+	// selective-tracing spec.
+	Policy = policy.Policy
+	// Sampling is the deterministic source-sampling spec carried by a
+	// Policy (selective tracing): a seeded per-source-event Bernoulli
+	// filter that taints the same subset of inputs across runs, backends,
+	// and shard counts.
+	Sampling = policy.Sampling
+	// Propagation selects the taint-propagation rule set of a Policy.
+	Propagation = policy.Propagation
 	// Engine is the byte-precise DIFT engine.
 	Engine = dift.Engine
 	// Violation is a DIFT policy violation (control-flow hijack or leak).
@@ -100,6 +110,12 @@ const (
 	ViolationLeak        = dift.ViolationLeak
 )
 
+// Propagation modes (see Policy.Propagation).
+const (
+	PropagationClassical = policy.PropagationClassical
+	PropagationPIFT      = policy.PropagationPIFT
+)
+
 // TagClean is the zero (untainted) tag.
 const TagClean = shadow.TagClean
 
@@ -117,7 +133,7 @@ func DefaultConfig() Config { return latchcore.DefaultConfig() }
 
 // DefaultPolicy returns the paper's conservative DIFT policy: all file and
 // network input is tainted and tainted indirect control transfers fault.
-func DefaultPolicy() Policy { return dift.DefaultPolicy() }
+func DefaultPolicy() Policy { return policy.Default() }
 
 // Assemble translates LA32 assembly into a loadable program.
 func Assemble(src string) (*Program, error) { return isa.Assemble(src) }
