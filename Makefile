@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: build test fmt vet race verify cover bench bench-compare bench-gate fuzz golden diffcheck serve-smoke deprecation-gate
+.PHONY: build test fmt vet race verify cover bench bench-compare bench-gate fuzz golden diffcheck serve-smoke deprecation-gate paper paper-smoke
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,23 @@ race:
 		-run 'TestConcurrentStress|TestBackpressureStalls|FuzzRingSPSC|TestConcurrentDeterminismPin|TestConcurrentShardSweepEquivalence' \
 		./internal/ring ./internal/platch ./internal/diffcheck
 
-verify: fmt test vet deprecation-gate race diffcheck serve-smoke
+verify: fmt test vet deprecation-gate race diffcheck serve-smoke paper-smoke
+
+# Paper-grade reproduction: run the default experiment grid (repeats,
+# backend/shard/sampling/geometry sweeps, catalog experiments) into a
+# timestamped paper_runs/<ts>/ tree and analyze it — per-cell
+# mean/stddev/95%-CI tables as Markdown and LaTeX, plus an appended
+# BENCH_history.json headline entry. See EXPERIMENTS.md for the grid
+# schema and the run-tree layout.
+paper:
+	$(GO) run ./cmd/latch-paper run -grid experiments.json -analyze
+
+# Paper-pipeline smoke tier: a miniature 2-cell, 2-repeat grid run twice,
+# asserting the deterministic csv/ trees are byte-identical between runs
+# and that the analyzer round-trips (summary tables rendered, history
+# appended). Seconds, not minutes — wired into `make verify`.
+paper-smoke:
+	$(GO) run ./cmd/latch-paper smoke
 
 # Service smoke tier: build the real latch-serve binary, boot it, push a
 # clean program job, a control-flow hijack, and a workload-replay job

@@ -51,6 +51,12 @@ type RunRequest struct {
 	// geometry. A positive count on a backend without shard support is an
 	// error.
 	Shards int
+	// Seed, when non-zero, replaces the calibrated profile's RNG seed for
+	// this run. The stream stays bit-deterministic per seed; callers that
+	// want genuinely distinct repeats (the paper-grid pipeline) derive one
+	// seed per repeat. Zero keeps the profile's calibrated seed, so
+	// existing runs are byte-identical.
+	Seed int64
 	// Observer, when non-nil, receives the run's telemetry. Observers are
 	// strictly passive and never affect results.
 	Observer Observer
@@ -115,6 +121,9 @@ func Run(ctx context.Context, req RunRequest) (BackendResult, error) {
 	p, err := workload.Get(req.Workload)
 	if err != nil {
 		return nil, err
+	}
+	if req.Seed != 0 {
+		p.Seed = req.Seed
 	}
 	sch, err := engine.Lookup(req.Backend)
 	if err != nil {

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"latch/internal/paperrun"
+)
+
+// TestSmokeGridValid keeps the embedded smoke grid loadable — a broken
+// smoke grid would otherwise only surface inside `make verify`.
+func TestSmokeGridValid(t *testing.T) {
+	g, hash, err := paperrun.LoadGrid([]byte(smokeGrid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "paper-smoke" || g.Repeats != 2 || len(g.Cells) != 2 || len(hash) != 64 {
+		t.Fatalf("unexpected smoke grid: %+v", g)
+	}
+}
+
+// TestDefaultGridValid keeps the checked-in experiments.json loadable, so
+// `make paper` cannot be broken by a stale backend, workload, or axis
+// name in the default grid.
+func TestDefaultGridValid(t *testing.T) {
+	raw, err := os.ReadFile("../../experiments.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := paperrun.LoadGrid(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Repeats < 2 {
+		t.Fatalf("default grid has %d repeats; dispersion statistics need at least 2", g.Repeats)
+	}
+	if len(g.Cells) < 5 {
+		t.Fatalf("default grid has only %d cells", len(g.Cells))
+	}
+}

@@ -34,7 +34,7 @@ func (r *Runner) AblationDomainSize() (*stats.Table, error) {
 		"benchmark", "8B", "16B", "32B", "64B", "128B", "256B")
 	rows := make([][]any, len(ablationBenchmarks))
 	err := r.runJobs("ablation-domain", ablationBenchmarks, func(i int, name string, js *JobStat) error {
-		p, err := jobProfile("ablation-domain", name)
+		p, err := r.jobProfile("ablation-domain", name)
 		if err != nil {
 			return err
 		}
@@ -78,7 +78,7 @@ func (r *Runner) AblationTimeout() (*stats.Table, error) {
 	t := stats.NewTable("Ablation: S-LATCH timeout in instructions (overhead over native)", header...)
 	rows := make([][]any, len(ablationBenchmarks))
 	err := r.runJobs("ablation-timeout", ablationBenchmarks, func(i int, name string, js *JobStat) error {
-		p, err := jobProfile("ablation-timeout", name)
+		p, err := r.jobProfile("ablation-timeout", name)
 		if err != nil {
 			return err
 		}
@@ -121,7 +121,7 @@ func (r *Runner) AblationCTCSize() (*stats.Table, error) {
 	benchmarks := append(append([]string(nil), ablationBenchmarks...), "astar")
 	rows := make([][]any, len(benchmarks))
 	err := r.runJobs("ablation-ctc", benchmarks, func(i int, name string, js *JobStat) error {
-		p, err := jobProfile("ablation-ctc", name)
+		p, err := r.jobProfile("ablation-ctc", name)
 		if err != nil {
 			return err
 		}
@@ -161,7 +161,7 @@ func (r *Runner) AblationClearBits() (*stats.Table, error) {
 		"benchmark", "truly tainted", "marked (eager)", "marked (lazy+scan)", "marked (no clear)", "stale % (no clear)")
 	rows := make([][]any, len(ablationBenchmarks))
 	err := r.runJobs("ablation-clear", ablationBenchmarks, func(i int, name string, js *JobStat) error {
-		p, err := jobProfile("ablation-clear", name)
+		p, err := r.jobProfile("ablation-clear", name)
 		if err != nil {
 			return err
 		}
@@ -256,7 +256,7 @@ func (r *Runner) AblationQueueDepth() (*stats.Table, error) {
 	benchmarks := append(append([]string(nil), ablationBenchmarks...), "astar")
 	rows := make([][]any, len(benchmarks))
 	err := r.runJobs("ablation-queue", benchmarks, func(i int, name string, js *JobStat) error {
-		p, err := jobProfile("ablation-queue", name)
+		p, err := r.jobProfile("ablation-queue", name)
 		if err != nil {
 			return err
 		}

@@ -39,7 +39,7 @@ func (r *Runner) BackendPass(name string, s workload.Suite) ([]engine.Result, er
 	names := workload.BySuite(s)
 	out := make([]engine.Result, len(names))
 	err = r.runJobs(name, names, func(i int, wname string, js *JobStat) error {
-		p, err := jobProfile(name, wname)
+		p, err := r.jobProfile(name, wname)
 		if err != nil {
 			return err
 		}

@@ -47,7 +47,7 @@ func (r *Runner) Conventional() (*stats.Table, error) {
 	// 4 KiB geometry; one pool job per benchmark.
 	convMiss := make([]float64, len(hlRows))
 	err := r.runJobs("conventional", names, func(i int, name string, js *JobStat) error {
-		p, err := jobProfile("conventional", name)
+		p, err := r.jobProfile("conventional", name)
 		if err != nil {
 			return err
 		}

@@ -9,16 +9,32 @@ import (
 )
 
 // JobStat is the per-job accounting record of one unit of parallel work:
-// one (pass, workload) pair executed by the worker pool. Wall is the job's
-// own elapsed time — with several workers the jobs overlap, so the sum of
-// Wall across jobs exceeds the harness's elapsed time by roughly the
-// achieved speedup.
+// one (pass, workload) pair executed by the worker pool.
+//
+// The struct is split along the determinism boundary the paper pipeline
+// depends on: the top-level fields are pure functions of the job's
+// identity and seed (byte-identical across reruns, worker counts, and
+// machines), while everything wall-clock lives in Timing — telemetry-only,
+// excluded from JSON, and never allowed into the deterministic CSV or
+// analysis outputs (paperrun pins this with a same-seed byte-identity
+// test).
 type JobStat struct {
-	Pass   string        // simulation pass or experiment id
-	Job    string        // workload or scenario name
-	Wall   time.Duration // elapsed time of this job alone
-	Events uint64        // instructions simulated, when the pass reports it
-	Checks uint64        // coarse taint checks performed, when reported
+	Pass   string `json:"pass"`   // simulation pass or experiment id
+	Job    string `json:"job"`    // workload or scenario name
+	Events uint64 `json:"events"` // instructions simulated, when the pass reports it
+	Checks uint64 `json:"checks"` // coarse taint checks performed, when reported
+
+	// Timing is the telemetry-only section: real elapsed time, which
+	// depends on the machine, the scheduler, and the worker count. It is
+	// deliberately not serialized with the record.
+	Timing JobTiming `json:"-"`
+}
+
+// JobTiming holds a job's wall-clock accounting. With several workers the
+// jobs overlap, so the sum of Wall across jobs exceeds the harness's
+// elapsed time by roughly the achieved speedup.
+type JobTiming struct {
+	Wall time.Duration // elapsed time of this job alone
 }
 
 // record appends one completed job's accounting.
@@ -68,9 +84,9 @@ func (r *Runner) StatsSummary() *stats.Table {
 		a.jobs++
 		a.events += js.Events
 		a.checks += js.Checks
-		a.total += js.Wall
-		if js.Wall > a.longest {
-			a.longest = js.Wall
+		a.total += js.Timing.Wall
+		if js.Timing.Wall > a.longest {
+			a.longest = js.Timing.Wall
 		}
 	}
 	var grand agg
@@ -104,7 +120,7 @@ func (r *Runner) runJobs(pass string, names []string, job func(i int, name strin
 		if err := job(i, names[i], &js); err != nil {
 			return err
 		}
-		js.Wall = time.Since(start)
+		js.Timing.Wall = time.Since(start)
 		r.record(js)
 		return nil
 	})

@@ -109,7 +109,7 @@ func TestJobStatsRecorded(t *testing.T) {
 		if js.Events == 0 || js.Checks == 0 {
 			t.Errorf("job %s recorded no work: %+v", js.Job, js)
 		}
-		if js.Wall <= 0 {
+		if js.Timing.Wall <= 0 {
 			t.Errorf("job %s recorded no wall time", js.Job)
 		}
 		seen[js.Job] = true

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+
+	"latch/internal/engine"
+	"latch/internal/stats"
+)
+
+// This file is the structured results export behind the paper-grid
+// pipeline (internal/paperrun): instead of scraping the rendered text
+// tables, grid cells consume typed metric records derived from the same
+// engine.Result values the tables are built from.
+//
+// Everything exported here sits on the deterministic side of the
+// determinism boundary documented on JobStat: a record is a pure function
+// of (backend, workload, seed, geometry, policy) and contains no
+// wall-clock, scheduling-dependent, or machine-dependent field. The
+// paperrun byte-identity test pins this for the whole pipeline.
+
+// Metric is one named deterministic value of a run.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// WorkloadMetrics is the structured record of one backend run over one
+// workload: the event/check counters plus the backend's headline columns,
+// every value reduced to float64 for aggregation.
+type WorkloadMetrics struct {
+	Workload string   `json:"workload"`
+	Events   uint64   `json:"events"`
+	Checks   uint64   `json:"checks"`
+	Metrics  []Metric `json:"metrics"`
+}
+
+// numericValue reduces one engine.Column value to a float64. Backends
+// report ints, uints, and floats; anything else (a formatted string pair,
+// a bool) is not aggregatable and is skipped.
+func numericValue(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case uint64:
+		return float64(x), true
+	case uint32:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// ResultMetrics flattens one backend result into its structured record:
+// the scheme's headline Columns in their stable order, numeric values
+// only. Backends already restrict Columns to deterministic fields (the
+// concurrent P-LATCH backend keeps its real ring stats out), so the
+// record inherits that contract.
+func ResultMetrics(res engine.Result) WorkloadMetrics {
+	wm := WorkloadMetrics{
+		Workload: res.BenchmarkName(),
+		Events:   res.EventCount(),
+		Checks:   res.CheckCount(),
+	}
+	for _, c := range res.Columns() {
+		if v, ok := numericValue(c.Value); ok {
+			wm.Metrics = append(wm.Metrics, Metric{Name: c.Label, Value: v})
+		}
+	}
+	return wm
+}
+
+// TableCell is one numeric cell of a rendered experiment table, addressed
+// by its row label (the first column) and column header.
+type TableCell struct {
+	Row    string  `json:"row"`
+	Column string  `json:"column"`
+	Value  float64 `json:"value"`
+}
+
+// TableMetrics flattens a rendered table into numeric records for the
+// grid pipeline's experiment cells: every cell that parses as a float
+// becomes a (row label, column header, value) triple; formatted pairs
+// ("measured | paper") and plain labels are skipped. Row order and column
+// order are preserved, so the flattening is as deterministic as the table.
+func TableMetrics(t *stats.Table) []TableCell {
+	header := t.Header()
+	if len(header) < 2 {
+		return nil
+	}
+	var out []TableCell
+	for r := 0; r < t.Rows(); r++ {
+		row := t.Cell(r, 0)
+		for c := 1; c < len(header); c++ {
+			cell := strings.TrimSpace(t.Cell(r, c))
+			if cell == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				continue
+			}
+			out = append(out, TableCell{Row: row, Column: header[c], Value: v})
+		}
+	}
+	return out
+}

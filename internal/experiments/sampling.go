@@ -156,7 +156,7 @@ func (r *Runner) Frontier() ([]FrontierRow, error) {
 				// never the fraction or sampling seed — so every sweep
 				// point replays the same address stream and the
 				// overheads are comparable.
-				p, err := jobProfile("sampling", wname)
+				p, err := r.jobProfile("sampling", wname)
 				if err != nil {
 					return err
 				}

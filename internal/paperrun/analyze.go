@@ -1,0 +1,270 @@
+package paperrun
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"latch/internal/stats"
+)
+
+// group is one (variant, workload, metric) series: its value across every
+// repeat of the run.
+type group struct {
+	Variant  string        `json:"variant"`
+	Workload string        `json:"workload"`
+	Metric   string        `json:"metric"`
+	Values   []float64     `json:"-"`
+	Summary  stats.Summary `json:"summary"`
+}
+
+// CellAnalysis is the per-cell aggregation: every series of the cell with
+// its dispersion statistics across repeats.
+type CellAnalysis struct {
+	Cell   string  `json:"cell"`
+	Groups []group `json:"series"`
+}
+
+// Analysis is the full result of analyzing one run directory.
+type Analysis struct {
+	Manifest Manifest       `json:"manifest"`
+	Grid     Grid           `json:"-"`
+	Cells    []CellAnalysis `json:"cells"`
+}
+
+// LoadRun reads a run directory produced by Execute — any past run, not
+// just this process's — and aggregates its CSV samples.
+func LoadRun(dir string) (*Analysis, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "grid.json"))
+	if err != nil {
+		return nil, fmt.Errorf("paperrun: %s does not look like a run directory: %w", dir, err)
+	}
+	g, _, err := LoadGrid(raw)
+	if err != nil {
+		return nil, err
+	}
+	var man Manifest
+	manRaw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(manRaw, &man); err != nil {
+		return nil, fmt.Errorf("paperrun: parse manifest: %w", err)
+	}
+	a := &Analysis{Manifest: man, Grid: g}
+	for _, c := range g.Cells {
+		samples, err := readCellCSV(filepath.Join(dir, "csv", c.ID+".csv"))
+		if err != nil {
+			return nil, fmt.Errorf("paperrun: cell %s: %w", c.ID, err)
+		}
+		ca, err := aggregate(c.ID, samples)
+		if err != nil {
+			return nil, fmt.Errorf("paperrun: cell %s: %w", c.ID, err)
+		}
+		a.Cells = append(a.Cells, ca)
+	}
+	return a, nil
+}
+
+func readCellCSV(path string) ([]Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	header, err := r.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read header: %w", err)
+	}
+	if strings.Join(header, ",") != strings.Join(csvHeader, ",") {
+		return nil, fmt.Errorf("unexpected CSV header %v", header)
+	}
+	var out []Sample
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rep, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad repeat %q: %w", rec[2], err)
+		}
+		v, err := strconv.ParseFloat(rec[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", rec[5], err)
+		}
+		out = append(out, Sample{rec[0], rec[1], rep, rec[3], rec[4], v})
+	}
+}
+
+// aggregate folds a cell's samples into per-series summaries, preserving
+// first-appearance order so the rendered tables match the run's loop
+// order.
+func aggregate(cell string, samples []Sample) (CellAnalysis, error) {
+	type key struct{ variant, workload, metric string }
+	index := map[key]int{}
+	ca := CellAnalysis{Cell: cell}
+	for _, s := range samples {
+		k := key{s.Variant, s.Workload, s.Metric}
+		i, ok := index[k]
+		if !ok {
+			i = len(ca.Groups)
+			index[k] = i
+			ca.Groups = append(ca.Groups, group{Variant: s.Variant, Workload: s.Workload, Metric: s.Metric})
+		}
+		ca.Groups[i].Values = append(ca.Groups[i].Values, s.Value)
+	}
+	for i := range ca.Groups {
+		sum, err := stats.Summarize(ca.Groups[i].Values)
+		if err != nil {
+			return CellAnalysis{}, fmt.Errorf("series %s/%s/%s: %w",
+				ca.Groups[i].Variant, ca.Groups[i].Workload, ca.Groups[i].Metric, err)
+		}
+		ca.Groups[i].Summary = sum
+	}
+	return ca, nil
+}
+
+// Table renders one cell's analysis as a stats.Table (the repo's common
+// table currency: String, Markdown, and LaTeX all come for free).
+func (ca CellAnalysis) Table() *stats.Table {
+	t := stats.NewTable("Cell "+ca.Cell+": per-series dispersion across repeats",
+		"variant", "workload", "metric", "n", "mean", "stddev", "95% CI", "min", "max")
+	for _, gr := range ca.Groups {
+		s := gr.Summary
+		ci := "n/a"
+		if s.N > 1 {
+			ci = stats.FormatFloat(s.CI95)
+		}
+		t.AddRow(gr.Variant, gr.Workload, gr.Metric, strconv.Itoa(s.N),
+			stats.FormatFloat(s.Mean), stats.FormatFloat(s.StdDev), ci,
+			stats.FormatFloat(s.Min), stats.FormatFloat(s.Max))
+	}
+	return t
+}
+
+// WriteAnalysis renders the analysis into <dir>/analysis/: Markdown and
+// LaTeX summary tables plus the raw aggregation as JSON.
+func (a *Analysis) WriteAnalysis(dir string) error {
+	outDir := filepath.Join(dir, "analysis")
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	var md, tex strings.Builder
+	fmt.Fprintf(&md, "# %s\n\ngrid %s (sha256 %s), %d repeats, recorded %s\n\n",
+		a.Manifest.GridName, a.Manifest.GridName, a.Manifest.GridSHA256, a.Manifest.Repeats, a.Manifest.Created)
+	for _, ca := range a.Cells {
+		t := ca.Table()
+		md.WriteString(t.Markdown())
+		md.WriteString("\n")
+		tex.WriteString(t.LaTeX())
+		tex.WriteString("\n")
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "summary.md"), []byte(md.String()), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "summary.tex"), []byte(tex.String()), 0o644); err != nil {
+		return err
+	}
+	return writeJSON(filepath.Join(outDir, "summary.json"), a)
+}
+
+// HistoryEntry is one run's headline in the BENCH history tracker. The
+// headlines map is keyed "<cell>/<variant>" and holds the mean of the
+// cell's declared headline metric pooled across workloads and repeats;
+// cells without a headline contribute nothing.
+type HistoryEntry struct {
+	Analyzed   string             `json:"analyzed"`
+	RunCreated string             `json:"run_created"`
+	GridName   string             `json:"grid_name"`
+	GridSHA256 string             `json:"grid_sha256"`
+	GitRev     string             `json:"git_rev"`
+	GoVersion  string             `json:"go_version"`
+	RunDir     string             `json:"run_dir"`
+	Headlines  map[string]float64 `json:"headlines"`
+}
+
+// HistoryEntry extracts the run's headline metrics.
+func (a *Analysis) HistoryEntry(runDir string) HistoryEntry {
+	headline := map[string]string{}
+	for _, c := range a.Grid.Cells {
+		if c.Headline != "" {
+			headline[c.ID] = c.Headline
+		}
+	}
+	e := HistoryEntry{
+		Analyzed:   time.Now().UTC().Format(time.RFC3339),
+		RunCreated: a.Manifest.Created,
+		GridName:   a.Manifest.GridName,
+		GridSHA256: a.Manifest.GridSHA256,
+		GitRev:     a.Manifest.GitRev,
+		GoVersion:  a.Manifest.GoVersion,
+		RunDir:     runDir,
+		Headlines:  map[string]float64{},
+	}
+	for _, ca := range a.Cells {
+		metric, ok := headline[ca.Cell]
+		if !ok {
+			continue
+		}
+		pooled := map[string][]float64{}
+		for _, gr := range ca.Groups {
+			if gr.Metric == metric {
+				pooled[gr.Variant] = append(pooled[gr.Variant], gr.Values...)
+			}
+		}
+		for variant, vals := range pooled {
+			// Pooled series are non-empty by construction.
+			e.Headlines[ca.Cell+"/"+variant] = stats.MustMean(vals)
+		}
+	}
+	return e
+}
+
+// AppendHistory appends one entry to the JSON history file, creating it
+// when absent. The file is a JSON array, newest entry last.
+func AppendHistory(path string, e HistoryEntry) error {
+	var entries []HistoryEntry
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &entries); err != nil {
+			return fmt.Errorf("paperrun: parse history %s: %w", path, err)
+		}
+	case errors.Is(err, os.ErrNotExist):
+	default:
+		return err
+	}
+	entries = append(entries, e)
+	return writeJSON(path, entries)
+}
+
+// Analyze is the one-call form: load a run directory, write its analysis
+// tree, and append its headline entry to the history file (skipped when
+// historyPath is empty).
+func Analyze(dir, historyPath string) (*Analysis, error) {
+	a, err := LoadRun(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.WriteAnalysis(dir); err != nil {
+		return nil, err
+	}
+	if historyPath != "" {
+		if err := AppendHistory(historyPath, a.HistoryEntry(dir)); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}

@@ -12,16 +12,146 @@ import (
 	"strings"
 )
 
-// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
-func Mean(xs []float64) float64 {
+// Mean returns the arithmetic mean of xs. Like every aggregate in this
+// package, it rejects the empty slice with an error: a mean over zero
+// samples is not a number, and silently reporting 0 is exactly how an
+// analyzer ends up averaging zero cells into a table.
+func Mean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 0
+		return 0, fmt.Errorf("stats: mean of empty slice")
 	}
 	var sum float64
 	for _, x := range xs {
 		sum += x
 	}
-	return sum / float64(len(xs))
+	return sum / float64(len(xs)), nil
+}
+
+// MustMean is Mean panicking on error, for call sites where the input is
+// non-empty by construction (a row rendered from a non-empty suite).
+func MustMean(xs []float64) float64 {
+	m, err := Mean(xs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// StdDev returns the sample standard deviation of xs (Bessel-corrected,
+// n-1 denominator). The empty slice is an error; a single sample has, by
+// definition, no observable dispersion and returns 0.
+func StdDev(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: stddev of empty slice")
+	}
+	if len(xs) == 1 {
+		return 0, nil
+	}
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1)), nil
+}
+
+// tCrit95 holds the two-sided 95% Student-t critical values for 1..30
+// degrees of freedom; beyond 30 the normal approximation (1.96) is within
+// 2% and is used instead.
+var tCrit95 = []float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom (the normal 1.96 for df > 30, +Inf for df < 1 — a
+// single sample constrains nothing).
+func TCritical95(df int) float64 {
+	switch {
+	case df < 1:
+		return math.Inf(1)
+	case df <= len(tCrit95):
+		return tCrit95[df-1]
+	default:
+		return 1.96
+	}
+}
+
+// CI95 returns the half-width of the two-sided 95% confidence interval of
+// the mean of xs, using the Student-t critical value for the sample size.
+// The empty slice is an error. One sample is defined to return +Inf: the
+// run happened, but a single repeat bounds nothing, and an infinite
+// interval is the honest rendering of that (callers display it as "n/a").
+func CI95(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: confidence interval of empty slice")
+	}
+	if len(xs) == 1 {
+		return math.Inf(1), nil
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		return 0, err
+	}
+	return TCritical95(len(xs)-1) * sd / math.Sqrt(float64(len(xs))), nil
+}
+
+// Summary is the repeat-run aggregation of one metric: the dispersion
+// record the paper pipeline reports per experiment-grid cell.
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	// CI95 is the half-width of the 95% confidence interval of the mean
+	// (Student-t); +Inf when N == 1, rendered as JSON null (encoding/json
+	// cannot represent infinities).
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON renders the Summary with the N==1 infinite interval as null.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	type alias Summary // drop the method, keep the tags
+	if !math.IsInf(s.CI95, 0) {
+		return json.Marshal(alias(s))
+	}
+	return json.Marshal(struct {
+		alias
+		CI95 *float64 `json:"ci95"` // shadows the embedded field with null
+	}{alias: alias(s)})
+}
+
+// Summarize aggregates repeat samples into a Summary. The empty slice is
+// an error — the unified empty-input contract of this package.
+func Summarize(xs []float64) (Summary, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return Summary{}, err
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		return Summary{}, err
+	}
+	ci, err := CI95(xs)
+	if err != nil {
+		return Summary{}, err
+	}
+	s := Summary{N: len(xs), Mean: m, StdDev: sd, CI95: ci, Min: xs[0], Max: xs[0]}
+	for _, x := range xs[1:] {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	return s, nil
 }
 
 // HarmonicMean returns the harmonic mean of xs. The paper reports S-LATCH
@@ -256,6 +386,9 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 // Rows returns the number of data rows.
 func (t *Table) Rows() int { return len(t.rows) }
 
+// Header returns a copy of the column headers.
+func (t *Table) Header() []string { return append([]string(nil), t.header...) }
+
 // Markdown renders the table as a GitHub-flavored markdown table, used by
 // the experiment CLI's -format markdown for pasting into reports.
 func (t *Table) Markdown() string {
@@ -281,6 +414,50 @@ func (t *Table) Markdown() string {
 	for _, row := range t.rows {
 		writeRow(row)
 	}
+	return sb.String()
+}
+
+// latexEscape escapes the LaTeX special characters that appear in metric
+// labels and benchmark names (%, _, #, &, $).
+func latexEscape(s string) string {
+	r := strings.NewReplacer(
+		`\`, `\textbackslash{}`,
+		"%", `\%`, "_", `\_`, "#", `\#`, "&", `\&`, "$", `\$`,
+		"{", `\{`, "}", `\}`, "~", `\textasciitilde{}`, "^", `\textasciicircum{}`,
+	)
+	return r.Replace(s)
+}
+
+// LaTeX renders the table as a booktabs-style LaTeX tabular wrapped in a
+// table environment, the format the analyzer emits for direct inclusion in
+// a paper draft. The first column is left-aligned (labels), the rest
+// right-aligned (numbers).
+func (t *Table) LaTeX() string {
+	var sb strings.Builder
+	sb.WriteString("\\begin{table}[h]\n")
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "\\caption{%s}\n", latexEscape(t.Title))
+	}
+	sb.WriteString("\\centering\n\\begin{tabular}{l")
+	for i := 1; i < len(t.header); i++ {
+		sb.WriteString("r")
+	}
+	sb.WriteString("}\n\\toprule\n")
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString(" & ")
+			}
+			sb.WriteString(latexEscape(c))
+		}
+		sb.WriteString(" \\\\\n")
+	}
+	writeRow(t.header)
+	sb.WriteString("\\midrule\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	sb.WriteString("\\bottomrule\n\\end{tabular}\n\\end{table}\n")
 	return sb.String()
 }
 

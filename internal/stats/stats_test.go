@@ -12,12 +12,25 @@ func almostEqual(a, b float64) bool {
 }
 
 func TestMean(t *testing.T) {
-	if got := Mean(nil); got != 0 {
-		t.Fatalf("Mean(nil) = %g, want 0", got)
+	if _, err := Mean(nil); err == nil {
+		t.Fatal("Mean(nil) should fail — the aggregates share the empty-input contract")
 	}
-	if got := Mean([]float64{2, 4, 6}); !almostEqual(got, 4) {
+	got, err := Mean([]float64{2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 4) {
 		t.Fatalf("Mean = %g, want 4", got)
 	}
+	if got := MustMean([]float64{3}); got != 3 {
+		t.Fatalf("MustMean = %g, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMean(nil) should panic")
+		}
+	}()
+	MustMean(nil)
 }
 
 func TestHarmonicMean(t *testing.T) {
@@ -72,8 +85,8 @@ func TestHarmonicLeGeoLeArith(t *testing.T) {
 		}
 		hm, err1 := HarmonicMean(xs)
 		gm, err2 := GeoMean(xs)
-		am := Mean(xs)
-		if err1 != nil || err2 != nil {
+		am, err3 := Mean(xs)
+		if err1 != nil || err2 != nil || err3 != nil {
 			return false
 		}
 		const slack = 1e-9

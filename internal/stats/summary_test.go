@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStdDev(t *testing.T) {
+	if _, err := StdDev(nil); err == nil {
+		t.Fatal("StdDev(nil) should fail")
+	}
+	// n == 1: defined, zero dispersion.
+	sd, err := StdDev([]float64{42})
+	if err != nil || sd != 0 {
+		t.Fatalf("StdDev(single) = %g,%v want 0,nil", sd, err)
+	}
+	// Known sample stddev: {2,4,4,4,5,5,7,9} has mean 5, sample variance
+	// 32/7.
+	sd, err = StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Sqrt(32.0 / 7); !almostEqual(sd, want) {
+		t.Fatalf("StdDev = %g, want %g", sd, want)
+	}
+	// Constant samples: exactly zero.
+	sd, err = StdDev([]float64{3, 3, 3, 3})
+	if err != nil || sd != 0 {
+		t.Fatalf("StdDev(constant) = %g,%v want 0,nil", sd, err)
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if _, err := CI95(nil); err == nil {
+		t.Fatal("CI95(nil) should fail")
+	}
+	// n == 1: defined, infinite interval.
+	ci, err := CI95([]float64{7})
+	if err != nil || !math.IsInf(ci, 1) {
+		t.Fatalf("CI95(single) = %g,%v want +Inf,nil", ci, err)
+	}
+	// n == 2, samples {1, 3}: mean 2, sd sqrt(2), t(df=1) = 12.706.
+	ci, err = CI95([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 12.706 * math.Sqrt(2) / math.Sqrt(2); !almostEqual(ci, want) {
+		t.Fatalf("CI95 = %g, want %g", ci, want)
+	}
+	// The interval shrinks as repeats accumulate at fixed dispersion.
+	narrow, err := CI95([]float64{1, 3, 1, 3, 1, 3, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow >= ci {
+		t.Fatalf("CI95 with 8 samples (%g) should be narrower than with 2 (%g)", narrow, ci)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	if v := TCritical95(0); !math.IsInf(v, 1) {
+		t.Fatalf("TCritical95(0) = %g, want +Inf", v)
+	}
+	if v := TCritical95(1); !almostEqual(v, 12.706) {
+		t.Fatalf("TCritical95(1) = %g, want 12.706", v)
+	}
+	if v := TCritical95(1000); v != 1.96 {
+		t.Fatalf("TCritical95(1000) = %g, want 1.96", v)
+	}
+	// Monotone non-increasing over the table.
+	for df := 2; df <= 31; df++ {
+		if TCritical95(df) > TCritical95(df-1) {
+			t.Fatalf("t-table not monotone at df=%d", df)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("Summarize(nil) should fail")
+	}
+	s, err := Summarize([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || !almostEqual(s.Mean, 2) || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if !almostEqual(s.StdDev, 1) {
+		t.Fatalf("Summarize stddev = %g, want 1", s.StdDev)
+	}
+}
+
+func TestSummaryJSONInfinity(t *testing.T) {
+	s, err := Summarize([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("single-sample Summary must marshal (CI95 is +Inf): %v", err)
+	}
+	if !strings.Contains(string(data), `"ci95":null`) {
+		t.Fatalf("infinite CI should render as null, got %s", data)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["mean"] != 5.0 || back["n"] != 1.0 {
+		t.Fatalf("round-trip lost fields: %s", data)
+	}
+	// The finite case keeps a numeric interval.
+	s2, err := Summarize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := json.Marshal(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data2), "null") {
+		t.Fatalf("finite CI must stay numeric, got %s", data2)
+	}
+}
+
+// TestPercentileInterpolationEdges pins the interpolation contract the
+// paper analyzer depends on: exact endpoints, the two-element midpoint,
+// and duplicate-heavy samples.
+func TestPercentileInterpolationEdges(t *testing.T) {
+	// Two elements: p sweeps linearly between them.
+	two := []float64{10, 20}
+	for _, c := range []struct{ p, want float64 }{
+		{0, 10}, {100, 20}, {50, 15}, {25, 12.5}, {75, 17.5},
+	} {
+		got, err := Percentile(two, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, c.want) {
+			t.Errorf("Percentile(two, %g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	// Duplicates: interpolation between equal ranks stays on the value.
+	dup := []float64{4, 4, 4, 8}
+	for _, c := range []struct{ p, want float64 }{
+		{0, 4}, {50, 4}, {100, 8}, {66.67, 4.0004}, // rank 2.0001: barely off the plateau
+	} {
+		got, err := Percentile(dup, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 0.01 {
+			t.Errorf("Percentile(dup, %g) = %g, want ~%g", c.p, got, c.want)
+		}
+	}
+	// All-equal input: every percentile is that value.
+	eq := []float64{7, 7, 7}
+	for _, p := range []float64{0, 33, 50, 99, 100} {
+		got, err := Percentile(eq, p)
+		if err != nil || got != 7 {
+			t.Fatalf("Percentile(eq, %g) = %g,%v want 7,nil", p, got, err)
+		}
+	}
+	// Unsorted input gives the same answers as sorted input.
+	uns := []float64{5, 1, 4, 2, 3}
+	srt := []float64{1, 2, 3, 4, 5}
+	for p := 0.0; p <= 100; p += 12.5 {
+		a, err1 := Percentile(uns, p)
+		b, err2 := Percentile(srt, p)
+		if err1 != nil || err2 != nil || !almostEqual(a, b) {
+			t.Fatalf("Percentile order dependence at p=%g: %g vs %g", p, a, b)
+		}
+	}
+}
+
+// TestHistogramFigure5Semantics pins the overlapping-bucket weighting the
+// Figure 5 reproduction depends on: a sample lands in every bucket whose
+// bound it meets, weights accumulate the sample value, and WeightShare
+// divides by a caller-supplied total that may exceed the histogram's own.
+func TestHistogramFigure5Semantics(t *testing.T) {
+	h := NewHistogram(100, 1000, 10000, 100000, 1000000)
+	// One epoch of 2M instructions belongs to all five sets.
+	h.Add(2_000_000)
+	for i := range h.Bounds {
+		if h.Count(i) != 1 || h.Weight(i) != 2_000_000 {
+			t.Fatalf("bucket %d: count %d weight %d, want 1/2000000", i, h.Count(i), h.Weight(i))
+		}
+	}
+	// A boundary sample is inclusive (s >= bound).
+	h.Add(1000)
+	if h.Count(1) != 2 {
+		t.Fatalf("boundary sample excluded: Count(1) = %d, want 2", h.Count(1))
+	}
+	if h.Count(2) != 1 {
+		t.Fatalf("boundary sample leaked upward: Count(2) = %d, want 1", h.Count(2))
+	}
+	// WeightShare against a larger denominator (total executed
+	// instructions exceeds the sum of clean-epoch lengths).
+	total := uint64(4_000_000)
+	if got, want := h.WeightShare(0, total), (2_000_000.0+1000)/4_000_000; !almostEqual(got, want) {
+		t.Fatalf("WeightShare = %g, want %g", got, want)
+	}
+	if h.Total() != 2_001_000 || h.Samples() != 2 {
+		t.Fatalf("Total/Samples = %d/%d", h.Total(), h.Samples())
+	}
+}
+
+func TestTableLaTeX(t *testing.T) {
+	tb := NewTable("Overhead vs native (%)", "benchmark", "mean", "ci95")
+	tb.AddRow("gcc_r", "1.23", "0.04")
+	tb.AddRow("astar & co", "4.5", "0.9")
+	got := tb.LaTeX()
+	for _, want := range []string{
+		`\begin{table}`, `\caption{Overhead vs native (\%)}`,
+		`\begin{tabular}{lrr}`, `\toprule`, `\midrule`, `\bottomrule`,
+		`benchmark & mean & ci95 \\`, `gcc\_r & 1.23 & 0.04 \\`,
+		`astar \& co & 4.5 & 0.9 \\`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("LaTeX output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "%)}\n") && !strings.Contains(got, `\%`) {
+		t.Errorf("unescaped %% in LaTeX output:\n%s", got)
+	}
+}

@@ -24,7 +24,6 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -32,7 +31,6 @@ import (
 	"os"
 	"os/exec"
 	"strconv"
-	"strings"
 )
 
 // gate ties one committed BENCH_hotpath.json entry to the benchmark that
@@ -56,11 +54,6 @@ var gates = []gate{
 type committedEntry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
-}
-
-type sample struct {
-	nsPerOp     float64
-	allocsPerOp int64
 }
 
 func main() {
@@ -125,7 +118,7 @@ func run(baselinePath string, tolerance float64) error {
 }
 
 // runBench runs one benchmark -count times in a single `go test` invocation
-// and returns the fastest sample.
+// and returns the fastest sample (see bestSample in parse.go).
 func runBench(g gate) (sample, error) {
 	cmd := exec.Command("go", "test", "-run=^$", "-bench=^"+g.bench+"$",
 		"-benchtime="+g.benchtime, "-count="+strconv.Itoa(g.count), "-benchmem", g.pkg)
@@ -135,50 +128,10 @@ func runBench(g gate) (sample, error) {
 	if err := cmd.Run(); err != nil {
 		return sample{}, fmt.Errorf("go test: %w\n%s", err, out.String())
 	}
-
-	best := sample{nsPerOp: -1}
-	sc := bufio.NewScanner(&out)
-	for sc.Scan() {
-		s, ok := parseBenchLine(sc.Text(), g.bench)
-		if !ok {
-			continue
-		}
-		if best.nsPerOp < 0 || s.nsPerOp < best.nsPerOp {
-			best = s
-		}
-	}
-	if best.nsPerOp < 0 {
-		return sample{}, fmt.Errorf("no %q result in go test output:\n%s", g.bench, out.String())
+	text := out.String()
+	best, err := bestSample(bytes.NewReader(out.Bytes()), g.bench, g.zeroAllocs)
+	if err != nil {
+		return sample{}, fmt.Errorf("%w\ngo test output:\n%s", err, text)
 	}
 	return best, nil
-}
-
-// parseBenchLine parses a standard `go test -bench -benchmem` result line:
-//
-//	BenchmarkFastLoop-4   185236110   6.401 ns/op   0 B/op   0 allocs/op
-func parseBenchLine(line, bench string) (sample, bool) {
-	f := strings.Fields(line)
-	if len(f) < 4 || !strings.HasPrefix(f[0], bench) {
-		return sample{}, false
-	}
-	// The name must be exactly `bench` or `bench-GOMAXPROCS`.
-	if rest := f[0][len(bench):]; rest != "" && !strings.HasPrefix(rest, "-") {
-		return sample{}, false
-	}
-	var s sample
-	seen := false
-	for i := 2; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseFloat(f[i], 64)
-		if err != nil {
-			return sample{}, false
-		}
-		switch f[i+1] {
-		case "ns/op":
-			s.nsPerOp = v
-			seen = true
-		case "allocs/op":
-			s.allocsPerOp = int64(v)
-		}
-	}
-	return s, seen
 }

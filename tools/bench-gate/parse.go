@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark result line. allocsSeen records whether
+// an allocs/op field was actually present: a line without one (benchmem
+// dropped, output truncated) must not be mistaken for a zero-allocation
+// observation — allocsPerOp would default to 0 and a zero-alloc gate would
+// silently pass.
+type sample struct {
+	nsPerOp     float64
+	allocsPerOp int64
+	allocsSeen  bool
+}
+
+// parseBenchLine parses a standard `go test -bench -benchmem` result line:
+//
+//	BenchmarkFastLoop-4   185236110   6.401 ns/op   0 B/op   0 allocs/op
+//
+// The second return is false for lines that are not a result of the named
+// benchmark (headers, PASS/ok trailers, other benchmarks, sub-benchmarks).
+func parseBenchLine(line, bench string) (sample, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], bench) {
+		return sample{}, false
+	}
+	// The name must be exactly `bench` or `bench-GOMAXPROCS`.
+	if rest := f[0][len(bench):]; rest != "" && !strings.HasPrefix(rest, "-") {
+		return sample{}, false
+	}
+	var s sample
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return sample{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			s.nsPerOp = v
+			seen = true
+		case "allocs/op":
+			s.allocsPerOp = int64(v)
+			s.allocsSeen = true
+		}
+	}
+	return s, seen
+}
+
+// bestSample scans benchmark output for result lines of the named
+// benchmark and returns the fastest one (minimum ns/op — the gate's
+// summary statistic, since timing noise is one-sided). needAllocs asks
+// for the allocation contract too: it is an error if no line of the
+// winning benchmark ever reported an allocs/op field, because a zero-alloc
+// gate that never observed allocations has checked nothing.
+func bestSample(r io.Reader, bench string, needAllocs bool) (sample, error) {
+	best := sample{nsPerOp: -1}
+	any := false
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		s, ok := parseBenchLine(sc.Text(), bench)
+		if !ok {
+			continue
+		}
+		any = true
+		if best.nsPerOp < 0 || s.nsPerOp < best.nsPerOp {
+			best = s
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return sample{}, err
+	}
+	if !any {
+		return sample{}, fmt.Errorf("no %q result in go test output", bench)
+	}
+	if needAllocs && !best.allocsSeen {
+		return sample{}, fmt.Errorf(
+			"%s: allocs/op never observed (was -benchmem dropped, or the output truncated?) — cannot assert the zero-allocation gate", bench)
+	}
+	return best, nil
+}

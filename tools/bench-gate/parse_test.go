@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const cannedOutput = `goos: linux
+goarch: amd64
+pkg: latch/internal/vm
+cpu: some CPU @ 2.00GHz
+BenchmarkCPUStep-4   	85236110	        13.40 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCPUStep-4   	90236110	        12.90 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCPUStepOther-4   	1000	        1.00 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	latch/internal/vm	2.345s
+`
+
+func TestParseBenchLine(t *testing.T) {
+	s, ok := parseBenchLine("BenchmarkCPUStep-4   \t85236110\t        13.40 ns/op\t       0 B/op\t       2 allocs/op", "BenchmarkCPUStep")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if s.nsPerOp != 13.40 || s.allocsPerOp != 2 || !s.allocsSeen {
+		t.Fatalf("parsed %+v", s)
+	}
+
+	// A line without -benchmem fields parses, but records that allocations
+	// were never observed — the heart of the gate fix.
+	s, ok = parseBenchLine("BenchmarkCPUStep-4   85236110   13.40 ns/op", "BenchmarkCPUStep")
+	if !ok {
+		t.Fatal("timing-only line should parse")
+	}
+	if s.allocsSeen {
+		t.Fatal("allocsSeen must be false when no allocs/op field is present")
+	}
+	if s.allocsPerOp != 0 {
+		t.Fatalf("allocsPerOp = %d, want 0 default", s.allocsPerOp)
+	}
+
+	// Name matching: exact or with -GOMAXPROCS suffix only.
+	if _, ok := parseBenchLine("BenchmarkCPUStepOther-4 1000 1.0 ns/op 0 B/op 0 allocs/op", "BenchmarkCPUStep"); ok {
+		t.Fatal("prefix-overlapping name must not match")
+	}
+	if _, ok := parseBenchLine("BenchmarkCPUStep 1000 1.0 ns/op 0 B/op 0 allocs/op", "BenchmarkCPUStep"); !ok {
+		t.Fatal("bare name must match")
+	}
+
+	// Non-result lines.
+	for _, line := range []string{"", "PASS", "ok  \tlatch/internal/vm\t2.345s", "goos: linux"} {
+		if _, ok := parseBenchLine(line, "BenchmarkCPUStep"); ok {
+			t.Fatalf("non-result line %q should not parse", line)
+		}
+	}
+
+	// A truncated line (units column cut off mid-pair) must not panic and
+	// must not claim an observation.
+	if s, ok := parseBenchLine("BenchmarkCPUStep-4 85236110 13.40 ns/op 0", "BenchmarkCPUStep"); ok && s.allocsSeen {
+		t.Fatal("truncated line must not claim an allocs observation")
+	}
+}
+
+func TestBestSamplePicksMinimum(t *testing.T) {
+	best, err := bestSample(strings.NewReader(cannedOutput), "BenchmarkCPUStep", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.nsPerOp != 12.90 {
+		t.Fatalf("best ns/op = %g, want 12.90 (minimum of the two samples)", best.nsPerOp)
+	}
+	if !best.allocsSeen || best.allocsPerOp != 0 {
+		t.Fatalf("best = %+v, want observed 0 allocs", best)
+	}
+}
+
+// TestBestSampleRequiresAllocsObservation is the regression test for the
+// silent zero-alloc pass: output whose result lines carry no allocs/op
+// field (e.g. -benchmem dropped) must fail a zero-alloc gate instead of
+// passing with the 0 default.
+func TestBestSampleRequiresAllocsObservation(t *testing.T) {
+	noMem := `BenchmarkCPUStep-4   85236110   13.40 ns/op
+BenchmarkCPUStep-4   90236110   12.90 ns/op
+PASS
+`
+	if _, err := bestSample(strings.NewReader(noMem), "BenchmarkCPUStep", true); err == nil {
+		t.Fatal("zero-alloc gate over output without allocs/op must error")
+	} else if !strings.Contains(err.Error(), "allocs/op never observed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// The same output is fine for a timing-only gate.
+	best, err := bestSample(strings.NewReader(noMem), "BenchmarkCPUStep", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.nsPerOp != 12.90 {
+		t.Fatalf("best = %+v", best)
+	}
+}
+
+func TestBestSampleNoResults(t *testing.T) {
+	if _, err := bestSample(strings.NewReader("PASS\nok x 1s\n"), "BenchmarkCPUStep", false); err == nil {
+		t.Fatal("no result lines must be an error")
+	}
+}
